@@ -1,0 +1,147 @@
+package btreeperf_test
+
+import (
+	"sync"
+	"testing"
+
+	"btreeperf"
+)
+
+func TestFacadeConcurrentTree(t *testing.T) {
+	tr := btreeperf.NewTree(32, btreeperf.LinkType)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				k := int64(i*4 + w)
+				tr.Insert(k, uint64(k))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tr.Len() != 4000 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if v, ok := tr.Search(1234); !ok || v != 1234 {
+		t.Fatalf("Search = %d,%v", v, ok)
+	}
+	n := 0
+	tr.Range(0, 3999, func(int64, uint64) bool { n++; return true })
+	if n != 4000 {
+		t.Fatalf("Range saw %d", n)
+	}
+}
+
+func TestFacadeAnalysis(t *testing.T) {
+	m, err := btreeperf.NewModel(40000, 13, btreeperf.PaperCosts(5), 0.5, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := btreeperf.Analyze(btreeperf.NLC, m,
+		btreeperf.Workload{Lambda: 0.1, Mix: btreeperf.PaperMix})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stable || res.RespSearch <= 0 {
+		t.Fatalf("analysis: %+v", res)
+	}
+	lmax, err := btreeperf.MaxThroughput(btreeperf.Link, m,
+		btreeperf.Workload{Mix: btreeperf.PaperMix}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nlcMax, err := btreeperf.MaxThroughput(btreeperf.NLC, m,
+		btreeperf.Workload{Mix: btreeperf.PaperMix}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lmax <= nlcMax {
+		t.Fatalf("Link max %v should beat NLC max %v", lmax, nlcMax)
+	}
+	if r1, err := btreeperf.RuleOfThumb1(m, btreeperf.Workload{Mix: btreeperf.PaperMix}); err != nil || r1 <= 0 {
+		t.Fatalf("rule of thumb 1: %v, %v", r1, err)
+	}
+}
+
+func TestFacadeSimulator(t *testing.T) {
+	cfg := btreeperf.PaperSim(btreeperf.OD, 0.05, 5)
+	cfg.InitialItems = 4000
+	cfg.Ops = 1500
+	cfg.Warmup = 150
+	res, err := btreeperf.RunSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 1500 || res.RespInsert.Mean <= 0 {
+		t.Fatalf("sim: %+v", res)
+	}
+	rep, err := btreeperf.RunSimSeeds(cfg, btreeperf.SimSeeds(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 2 {
+		t.Fatalf("replications: %d", len(rep.Results))
+	}
+}
+
+func TestFacadeDiskTree(t *testing.T) {
+	path := t.TempDir() + "/facade.db"
+	tr, err := btreeperf.OpenDiskTree(path, btreeperf.DiskTreeOptions{Cap: 32, CacheNodes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 2000; i++ {
+		if _, err := tr.Insert(i, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v, ok, _ := tr.Search(1234); !ok || v != 1234 {
+		t.Fatalf("Search = %d,%v", v, ok)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := btreeperf.OpenDiskTree(path, btreeperf.DiskTreeOptions{Cap: 32, CacheNodes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr2.Close()
+	if tr2.Len() != 2000 {
+		t.Fatalf("Len after reopen = %d", tr2.Len())
+	}
+
+	// Buffer planning APIs.
+	m, err := btreeperf.NewModel(100000, 64, btreeperf.PaperCosts(10), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs, err := btreeperf.BufferedCosts(m.Shape, 100, m.Costs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr := btreeperf.ExpectedHitRatio(m.Shape, costs)
+	if hr <= 0 || hr >= 1 {
+		t.Fatalf("hit ratio %v", hr)
+	}
+}
+
+func TestFacadeRecovery(t *testing.T) {
+	m, err := btreeperf.NewModelWithHeight(5, 13, 6, btreeperf.PaperCosts(10), 0.5, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := btreeperf.Workload{Lambda: 0.02, Mix: btreeperf.PaperMix}
+	naive, err := btreeperf.AnalyzeOD(m, w, btreeperf.ODOptions{Recovery: btreeperf.NaiveRecovery, TTrans: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	none, err := btreeperf.AnalyzeOD(m, w, btreeperf.ODOptions{Recovery: btreeperf.NoRecovery})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if naive.RespInsert <= none.RespInsert {
+		t.Fatalf("naive %v should exceed none %v", naive.RespInsert, none.RespInsert)
+	}
+}

@@ -1,0 +1,89 @@
+// Command btfigures regenerates the paper's evaluation figures (3–16),
+// writing one aligned-text table and one CSV per figure.
+//
+// Examples:
+//
+//	btfigures -fig all -out results
+//	btfigures -fig 3,12 -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"btreeperf/internal/experiments"
+)
+
+func main() {
+	var (
+		figs  = flag.String("fig", "all", "comma-separated figure numbers (3..16) or 'all'")
+		quick = flag.Bool("quick", false, "reduced sweeps and replication for a fast pass")
+		out   = flag.String("out", "results", "output directory ('' to skip files)")
+		seeds = flag.Int("seeds", 0, "replications per point (default: paper's 5)")
+		ops   = flag.Int("ops", 0, "operations per replication (default: paper's 10000)")
+	)
+	flag.Parse()
+
+	var selected []experiments.Figure
+	if *figs == "all" {
+		selected = append(experiments.All(), experiments.Extras()...)
+	} else {
+		for _, id := range strings.Split(*figs, ",") {
+			f, ok := experiments.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "btfigures: unknown figure %q\n", id)
+				os.Exit(1)
+			}
+			selected = append(selected, f)
+		}
+	}
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "btfigures:", err)
+			os.Exit(1)
+		}
+	}
+
+	opts := experiments.Options{Quick: *quick, Seeds: *seeds, Ops: *ops}
+	for _, f := range selected {
+		start := time.Now()
+		tb, err := f.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "btfigures: %s: %v\n", f.ID, err)
+			os.Exit(1)
+		}
+		tb.Title = f.Title
+		tb.Caption = f.Caption
+		fmt.Println()
+		if err := tb.Render(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "btfigures:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s in %v)\n", f.ID, time.Since(start).Round(time.Millisecond))
+
+		if *out != "" {
+			txt, err := os.Create(filepath.Join(*out, f.ID+".txt"))
+			if err == nil {
+				err = tb.Render(txt)
+				txt.Close()
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "btfigures:", err)
+				os.Exit(1)
+			}
+			csvf, err := os.Create(filepath.Join(*out, f.ID+".csv"))
+			if err == nil {
+				err = tb.WriteCSV(csvf)
+				csvf.Close()
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "btfigures:", err)
+				os.Exit(1)
+			}
+		}
+	}
+}

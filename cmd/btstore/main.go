@@ -1,0 +1,169 @@
+// Command btstore operates the disk-backed concurrent B⁺-tree: a small
+// key/value store driven by the Lehman–Yao protocol with an LRU buffer
+// pool and crash recovery.
+//
+//	btstore -db index.db put 42 100
+//	btstore -db index.db get 42
+//	btstore -db index.db del 42
+//	btstore -db index.db scan 0 100
+//	btstore -db index.db stat
+//	btstore -db index.db bench -n 100000 -workers 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"time"
+
+	"btreeperf"
+	"btreeperf/internal/xrand"
+)
+
+func main() {
+	var (
+		db      = flag.String("db", "btstore.db", "database file")
+		cap     = flag.Int("cap", 128, "node capacity (items per page)")
+		pool    = flag.Int("pool", 1024, "buffer pool size in nodes")
+		durable = flag.Bool("durable", true, "enable journal + oplog crash recovery")
+		syncOps = flag.Bool("syncops", false, "fsync the oplog on every write")
+	)
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+
+	tree, err := btreeperf.OpenDiskTree(*db, btreeperf.DiskTreeOptions{
+		Cap: *cap, CacheNodes: *pool, Durable: *durable, SyncOps: *syncOps,
+	})
+	check(err)
+	defer func() { check(tree.Close()) }()
+	if n := tree.Recovered(); n > 0 {
+		fmt.Fprintf(os.Stderr, "btstore: recovered %d operations from the oplog\n", n)
+	}
+
+	switch args[0] {
+	case "put":
+		need(args, 3)
+		key := parseKey(args[1])
+		val, err := strconv.ParseUint(args[2], 10, 64)
+		check(err)
+		fresh, err := tree.Insert(key, val)
+		check(err)
+		if fresh {
+			fmt.Println("inserted")
+		} else {
+			fmt.Println("replaced")
+		}
+	case "get":
+		need(args, 2)
+		v, ok, err := tree.Search(parseKey(args[1]))
+		check(err)
+		if !ok {
+			fmt.Println("(not found)")
+			os.Exit(1)
+		}
+		fmt.Println(v)
+	case "del":
+		need(args, 2)
+		ok, err := tree.Delete(parseKey(args[1]))
+		check(err)
+		if ok {
+			fmt.Println("deleted")
+		} else {
+			fmt.Println("(not found)")
+		}
+	case "scan":
+		need(args, 3)
+		lo, hi := parseKey(args[1]), parseKey(args[2])
+		n := 0
+		err := tree.Range(lo, hi, func(k int64, v uint64) bool {
+			fmt.Printf("%d\t%d\n", k, v)
+			n++
+			return true
+		})
+		check(err)
+		fmt.Fprintf(os.Stderr, "%d keys\n", n)
+	case "stat":
+		cs := tree.CacheStats()
+		splits, crossings := tree.Stats()
+		fmt.Printf("keys: %d\ncapacity: %d items/node\n", tree.Len(), tree.Cap())
+		fmt.Printf("buffer pool: %d/%d resident, hit ratio %.3f (%d hits, %d misses, %d evictions)\n",
+			cs.Resident, cs.Capacity, cs.HitRatio(), cs.Hits, cs.Misses, cs.Evictions)
+		fmt.Printf("splits: %d   link crossings: %d\n", splits, crossings)
+	case "bench":
+		fs := flag.NewFlagSet("bench", flag.ExitOnError)
+		n := fs.Int("n", 100000, "operations")
+		workers := fs.Int("workers", 8, "concurrent goroutines")
+		reads := fs.Float64("reads", 0.5, "fraction of searches")
+		check(fs.Parse(args[1:]))
+		runBench(tree, *n, *workers, *reads)
+	default:
+		usage()
+	}
+}
+
+func runBench(tree *btreeperf.DiskTree, n, workers int, reads float64) {
+	start := time.Now()
+	var wg sync.WaitGroup
+	per := n / workers
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			src := xrand.New(uint64(w)*2654435761 + 1)
+			for i := 0; i < per; i++ {
+				k := src.Int63n(1 << 40)
+				if src.Float64() < reads {
+					if _, _, err := tree.Search(k); err != nil {
+						panic(err)
+					}
+				} else if _, err := tree.Insert(k, uint64(i)); err != nil {
+					panic(err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	total := per * workers
+	cs := tree.CacheStats()
+	fmt.Printf("%d ops in %v: %.0f ops/s (%d workers, %.0f%% reads)\n",
+		total, elapsed.Round(time.Millisecond),
+		float64(total)/elapsed.Seconds(), workers, reads*100)
+	fmt.Printf("buffer pool hit ratio %.3f, %d keys in tree\n", cs.HitRatio(), tree.Len())
+}
+
+func parseKey(s string) int64 {
+	k, err := strconv.ParseInt(s, 10, 64)
+	check(err)
+	return k
+}
+
+func need(args []string, n int) {
+	if len(args) != n {
+		usage()
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "btstore:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: btstore [-db file] [-cap N] [-pool N] [-durable] <command>
+commands:
+  put <key> <val>    insert or replace
+  get <key>          look up
+  del <key>          delete
+  scan <lo> <hi>     range scan
+  stat               tree and buffer-pool statistics
+  bench [-n N] [-workers W] [-reads F]   concurrent throughput benchmark`)
+	os.Exit(2)
+}

@@ -1,0 +1,65 @@
+package btreeperf_test
+
+import (
+	"fmt"
+
+	"btreeperf"
+)
+
+// ExampleNewTree shows the concurrent B⁺-tree under the Lehman–Yao
+// protocol.
+func ExampleNewTree() {
+	tree := btreeperf.NewTree(64, btreeperf.LinkType)
+	tree.Insert(42, 4200)
+	tree.Insert(7, 700)
+	v, ok := tree.Search(42)
+	fmt.Println(v, ok)
+	tree.Range(0, 100, func(k int64, v uint64) bool {
+		fmt.Println(k, v)
+		return true
+	})
+	// Output:
+	// 4200 true
+	// 7 700
+	// 42 4200
+}
+
+// ExampleAnalyze predicts the paper's headline comparison: the maximum
+// sustainable throughput of each concurrency-control algorithm on the
+// paper's baseline tree (N=13, 40k keys, disk cost 5).
+func ExampleAnalyze() {
+	m, _ := btreeperf.NewModel(40000, 13, btreeperf.PaperCosts(5), 0.5, 0.2)
+	w := btreeperf.Workload{Mix: btreeperf.PaperMix}
+	for _, alg := range []btreeperf.Algorithm{
+		btreeperf.TwoPhase, btreeperf.NLC, btreeperf.OD,
+	} {
+		lmax, _ := btreeperf.MaxThroughput(alg, m, w, 1e-4)
+		fmt.Printf("%v %.2f\n", alg, lmax)
+	}
+	// Output:
+	// two-phase-locking 0.04
+	// naive-lock-coupling 0.62
+	// optimistic-descent 4.03
+}
+
+// ExampleRuleOfThumb2 evaluates the paper's simplest design formula: the
+// effective maximum arrival rate of Naive Lock-coupling in the large-node
+// limit depends only on the root search cost and the search fraction.
+func ExampleRuleOfThumb2() {
+	m, _ := btreeperf.NewModel(40000, 13, btreeperf.PaperCosts(5), 0.5, 0.2)
+	r2, _ := btreeperf.RuleOfThumb2(m, btreeperf.Workload{Mix: btreeperf.PaperMix})
+	fmt.Printf("%.3f\n", r2)
+	// Output:
+	// 0.598
+}
+
+// ExampleBulkLoadTree builds a tree from sorted data bottom-up.
+func ExampleBulkLoadTree() {
+	keys := []int64{1, 2, 3, 4, 5, 6, 7, 8}
+	vals := []uint64{10, 20, 30, 40, 50, 60, 70, 80}
+	tree, _ := btreeperf.BulkLoadTree(4, btreeperf.LinkType, keys, vals, 0.9)
+	v, ok := tree.Search(5)
+	fmt.Println(tree.Len(), v, ok)
+	// Output:
+	// 8 50 true
+}

@@ -1,0 +1,63 @@
+// Capacity planning with the analytical framework: an index of 2 million
+// keys must sustain a transaction-processing workload (the paper's
+// motivating scenario — 1000+ transactions/second, 4–6 record accesses
+// each, most through indices). Which concurrency-control algorithm keeps
+// up, and what response times should we expect?
+//
+// Everything here is closed-form analysis — no simulation — so the whole
+// what-if sweep runs in milliseconds.
+package main
+
+import (
+	"fmt"
+
+	"btreeperf"
+)
+
+func main() {
+	const items = 2_000_000
+	const nodeCap = 128
+	costs := btreeperf.PaperCosts(5) // disk nodes cost 5× memory nodes
+	mix := btreeperf.Mix{QS: 0.3, QI: 0.5, QD: 0.2}
+
+	m, err := btreeperf.NewModel(items, nodeCap, costs, mix.QI, mix.QD)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("index: %d keys, node capacity %d → %v\n\n", items, nodeCap, m.Shape)
+
+	fmt.Println("algorithm           max λ     effective λ (ρw=.5)")
+	for _, alg := range []btreeperf.Algorithm{btreeperf.NLC, btreeperf.OD, btreeperf.Link} {
+		lmax, err := btreeperf.MaxThroughput(alg, m, btreeperf.Workload{Mix: mix}, 0)
+		if err != nil {
+			panic(err)
+		}
+		l50, err := btreeperf.EffectiveMaxThroughput(alg, m, btreeperf.Workload{Mix: mix}, 0.5, 0)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-18v  %8.3f  %8.3f\n", alg, lmax, l50)
+	}
+
+	// Response-time curves: operations per root-search time unit.
+	fmt.Println("\nresponse times (insert) as load rises:")
+	fmt.Println("λ        nlc       od        link")
+	for _, lambda := range []float64{0.1, 0.3, 0.5, 0.7} {
+		fmt.Printf("%-7.2f", lambda)
+		for _, alg := range []btreeperf.Algorithm{btreeperf.NLC, btreeperf.OD, btreeperf.Link} {
+			res, err := btreeperf.Analyze(alg, m, btreeperf.Workload{Lambda: lambda, Mix: mix})
+			if err != nil {
+				panic(err)
+			}
+			if res.Stable {
+				fmt.Printf("  %-8.2f", res.RespInsert)
+			} else {
+				fmt.Printf("  %-8s", "saturated")
+			}
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nconclusion: the Link-type algorithm sustains loads that saturate")
+	fmt.Println("lock coupling outright — adopt Lehman–Yao for high-concurrency indices.")
+}

@@ -1,0 +1,107 @@
+// Disk-backed index with buffer-pool planning: the Lehman–Yao tree over
+// real pages, plus the §8 LRU-buffering analysis to choose the pool size.
+//
+// The workflow a practitioner would follow:
+//  1. predict, from the tree shape alone, how the buffer pool size trades
+//     off against throughput (closed form, instant);
+//  2. open the disk tree with the chosen pool and verify the predicted
+//     hit ratio against the pool's real measurements.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"btreeperf"
+)
+
+func main() {
+	const items = 50_000
+	const nodeCap = 64
+
+	// --- 1. Plan: how big a pool does this index need?
+	m, err := btreeperf.NewModel(items, nodeCap, btreeperf.PaperCosts(10), 0.5, 0.2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("planned index: %v\n\n", m.Shape)
+	fmt.Println("pool(nodes)  hit-ratio  NLC max λ  Link search resp @λ=1")
+	for _, pool := range []float64{8, 64, 512, 4096} {
+		costs, err := btreeperf.BufferedCosts(m.Shape, pool, m.Costs)
+		if err != nil {
+			panic(err)
+		}
+		bm := btreeperf.Model{Shape: m.Shape, Costs: costs}
+		lmax, err := btreeperf.MaxThroughput(btreeperf.NLC, bm,
+			btreeperf.Workload{Mix: btreeperf.PaperMix}, 0)
+		if err != nil {
+			panic(err)
+		}
+		res, err := btreeperf.Analyze(btreeperf.Link, bm,
+			btreeperf.Workload{Lambda: 1, Mix: btreeperf.PaperMix})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-11.0f  %-9.3f  %-9.3f  %.2f\n",
+			pool, btreeperf.ExpectedHitRatio(m.Shape, costs), lmax, res.RespSearch)
+	}
+
+	// --- 2. Build the real thing and check the prediction.
+	dir, err := os.MkdirTemp("", "btreeperf-disk")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "index.db")
+
+	const pool = 512
+	tree, err := btreeperf.OpenDiskTree(path, btreeperf.DiskTreeOptions{Cap: nodeCap, CacheNodes: pool})
+	if err != nil {
+		panic(err)
+	}
+
+	// Load concurrently.
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < items; i += 4 {
+				if _, err := tree.Insert(int64(i)*7919%1_000_003, uint64(i)); err != nil {
+					panic(err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// A uniform read phase to measure the pool.
+	before := tree.CacheStats()
+	for i := 0; i < 100_000; i++ {
+		if _, _, err := tree.Search(int64(i) * 7919 % 1_000_003); err != nil {
+			panic(err)
+		}
+	}
+	after := tree.CacheStats()
+	hits := after.Hits - before.Hits
+	misses := after.Misses - before.Misses
+	measured := float64(hits) / float64(hits+misses)
+
+	costs, _ := btreeperf.BufferedCosts(m.Shape, pool, m.Costs)
+	fmt.Printf("\npool of %d nodes: measured hit ratio %.3f, model predicted %.3f\n",
+		pool, measured, btreeperf.ExpectedHitRatio(m.Shape, costs))
+
+	if err := tree.Close(); err != nil {
+		panic(err)
+	}
+
+	// Reopen to show durability.
+	tree2, err := btreeperf.OpenDiskTree(path, btreeperf.DiskTreeOptions{Cap: nodeCap, CacheNodes: pool})
+	if err != nil {
+		panic(err)
+	}
+	defer tree2.Close()
+	fmt.Printf("reopened: %d keys survive on disk\n", tree2.Len())
+}

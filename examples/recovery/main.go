@@ -1,0 +1,72 @@
+// Recovery-protocol comparison (§7 of the paper): a database manager that
+// holds a transaction's exclusive locks until commit must decide whether
+// that discipline applies to B-tree index nodes too. The paper's answer:
+// holding every index W lock (Naive recovery) cripples throughput, while
+// holding only the leaf locks (Leaf-only) costs almost nothing — so index
+// locking deserves its own protocol.
+//
+// This example reproduces the comparison with the analytical model and
+// spot-checks one operating point with the simulator.
+package main
+
+import (
+	"fmt"
+
+	"btreeperf"
+)
+
+func main() {
+	const ttrans = 100 // expected residual transaction time (time units)
+	m, err := btreeperf.NewModelWithHeight(5, 13, 6, btreeperf.PaperCosts(10), 0.5, 0.2)
+	if err != nil {
+		panic(err)
+	}
+	mix := btreeperf.Workload{Mix: btreeperf.PaperMix}
+
+	protocols := []struct {
+		name string
+		opts btreeperf.ODOptions
+	}{
+		{"no recovery", btreeperf.ODOptions{Recovery: btreeperf.NoRecovery}},
+		{"leaf-only", btreeperf.ODOptions{Recovery: btreeperf.LeafOnly, TTrans: ttrans}},
+		{"naive", btreeperf.ODOptions{Recovery: btreeperf.NaiveRecovery, TTrans: ttrans}},
+	}
+
+	fmt.Println("Optimistic Descent, disk cost 10, T_trans =", ttrans)
+	fmt.Println("\nprotocol      insert response at λ")
+	fmt.Println("              0.005    0.010    0.020    0.040")
+	for _, p := range protocols {
+		fmt.Printf("%-12s", p.name)
+		for _, lambda := range []float64{0.005, 0.01, 0.02, 0.04} {
+			res, err := btreeperf.AnalyzeOD(m, btreeperf.Workload{Lambda: lambda, Mix: mix.Mix}, p.opts)
+			if err != nil {
+				panic(err)
+			}
+			if res.Stable {
+				fmt.Printf("  %7.2f", res.RespInsert)
+			} else {
+				fmt.Printf("  %7s", "sat.")
+			}
+		}
+		fmt.Println()
+	}
+
+	// Simulator spot check at λ=0.02.
+	fmt.Println("\nsimulator spot check at λ=0.02 (insert response, 2 seeds):")
+	for _, p := range protocols {
+		cfg := btreeperf.PaperSim(btreeperf.OD, 0.02, 10)
+		cfg.Recovery = p.opts.Recovery
+		cfg.TTrans = p.opts.TTrans
+		cfg.Ops = 4000
+		cfg.Warmup = 400
+		rep, err := btreeperf.RunSimSeeds(cfg, btreeperf.SimSeeds(2))
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-12s  %7.2f ± %.2f\n", p.name, rep.RespInsert.Mean, rep.RespInsert.CI95)
+	}
+
+	fmt.Println("\nconclusion: leaf-only recovery tracks the no-recovery curve;")
+	fmt.Println("naive recovery pays for held ancestor locks — use a separate")
+	fmt.Println("protocol for index locks.")
+}

@@ -1,0 +1,3 @@
+module btreeperf
+
+go 1.24

@@ -1,0 +1,180 @@
+package btree
+
+import (
+	"fmt"
+	"math"
+)
+
+// CheckInvariants validates the full structural health of the tree and
+// returns the first violation found, or nil. It verifies:
+//
+//   - level consistency (children are exactly one level below their parent,
+//     all leaves at level 1, root at level Height()),
+//   - key ordering within nodes and against the routing bounds,
+//   - occupancy limits (<= cap everywhere; >= minItems for merge-at-half
+//     non-root nodes),
+//   - high keys matching the routing bounds,
+//   - sibling links forming a complete, ordered, doubly-linked chain on
+//     every level,
+//   - the stored size matching the actual number of leaf keys.
+func (t *Tree) CheckInvariants() error {
+	if t.root == nil {
+		return fmt.Errorf("nil root")
+	}
+	if t.root.level != t.height {
+		return fmt.Errorf("root level %d != height %d", t.root.level, t.height)
+	}
+	leftmost := make(map[int]*Node) // first node visited per level
+	count := 0
+	if err := t.checkNode(t.root, math.MinInt64, math.MaxInt64, true, leftmost, &count); err != nil {
+		return err
+	}
+	if count != t.size {
+		return fmt.Errorf("size %d but %d keys in leaves", t.size, count)
+	}
+	for level := 1; level <= t.height; level++ {
+		if err := t.checkChain(leftmost[level], level); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkNode recursively validates node n whose routed key range is
+// [lo, hi); hiInf marks hi as +infinity.
+func (t *Tree) checkNode(n *Node, lo, hi int64, hiInf bool, leftmost map[int]*Node, count *int) error {
+	if _, seen := leftmost[n.level]; !seen {
+		leftmost[n.level] = n
+	}
+	if n.Items() > t.cap {
+		return fmt.Errorf("level %d node over capacity: %d > %d", n.level, n.Items(), t.cap)
+	}
+	if t.policy == MergeAtHalf && n != t.root && n.Items() < t.minItems() {
+		return fmt.Errorf("level %d node underfull: %d < %d", n.level, n.Items(), t.minItems())
+	}
+	// High key must equal the routed upper bound.
+	if hiInf {
+		if n.hasHigh {
+			return fmt.Errorf("level %d rightmost node has finite high key %d", n.level, n.high)
+		}
+	} else {
+		if !n.hasHigh || n.high != hi {
+			return fmt.Errorf("level %d node high key %v (has=%v), want %d", n.level, n.high, n.hasHigh, hi)
+		}
+	}
+	for i := 1; i < len(n.keys); i++ {
+		if n.keys[i-1] >= n.keys[i] {
+			return fmt.Errorf("level %d keys out of order: %d >= %d", n.level, n.keys[i-1], n.keys[i])
+		}
+	}
+	if n.IsLeaf() {
+		if len(n.vals) != len(n.keys) {
+			return fmt.Errorf("leaf key/val length mismatch: %d vs %d", len(n.keys), len(n.vals))
+		}
+		for _, k := range n.keys {
+			if k < lo || (!hiInf && k >= hi) {
+				return fmt.Errorf("leaf key %d outside routed range [%d, %d)", k, lo, hi)
+			}
+		}
+		*count += len(n.keys)
+		return nil
+	}
+	if len(n.children) != len(n.keys)+1 {
+		return fmt.Errorf("level %d internal node has %d children, %d routers", n.level, len(n.children), len(n.keys))
+	}
+	if len(n.children) == 0 {
+		return fmt.Errorf("level %d internal node with no children", n.level)
+	}
+	for _, k := range n.keys {
+		if k < lo || (!hiInf && k >= hi) {
+			return fmt.Errorf("router %d outside range [%d, %d)", k, lo, hi)
+		}
+	}
+	for i, c := range n.children {
+		if c.level != n.level-1 {
+			return fmt.Errorf("child level %d under level %d node", c.level, n.level)
+		}
+		clo := lo
+		if i > 0 {
+			clo = n.keys[i-1]
+		}
+		chi, chiInf := hi, hiInf
+		if i < len(n.keys) {
+			chi, chiInf = n.keys[i], false
+		}
+		if err := t.checkNode(c, clo, chi, chiInf, leftmost, count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkChain walks the sibling links of one level, verifying ordering,
+// back-links, and that high keys ascend and terminate at +infinity.
+func (t *Tree) checkChain(first *Node, level int) error {
+	if first == nil {
+		return fmt.Errorf("level %d missing from traversal", level)
+	}
+	if first.left != nil {
+		return fmt.Errorf("level %d leftmost node has a left link", level)
+	}
+	prev := (*Node)(nil)
+	for n := first; n != nil; n = n.right {
+		if n.level != level {
+			return fmt.Errorf("level %d chain reached level %d node", level, n.level)
+		}
+		if n.left != prev {
+			return fmt.Errorf("level %d broken back-link", level)
+		}
+		if prev != nil {
+			if !prev.hasHigh {
+				return fmt.Errorf("level %d interior node with infinite high key", level)
+			}
+			if n.hasHigh && n.high <= prev.high {
+				return fmt.Errorf("level %d high keys not ascending: %d <= %d", level, n.high, prev.high)
+			}
+		}
+		if n.right == nil && n.hasHigh {
+			return fmt.Errorf("level %d rightmost chain node has finite high key", level)
+		}
+		prev = n
+	}
+	return nil
+}
+
+// LevelStats describes one level of the tree.
+type LevelStats struct {
+	Level     int
+	Nodes     int
+	Items     int     // total items (keys for leaves, children for internal)
+	MeanItems float64 // average occupancy = paper's E(level) fanout
+	Util      float64 // occupancy / capacity
+}
+
+// StructureStats returns per-level occupancy statistics, leaves first.
+// These are compared against the analytical shape model of internal/shape.
+func (t *Tree) StructureStats() []LevelStats {
+	counts := make([]LevelStats, t.height)
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		ls := &counts[n.level-1]
+		ls.Level = n.level
+		ls.Nodes++
+		ls.Items += n.Items()
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	for i := range counts {
+		if counts[i].Nodes > 0 {
+			counts[i].MeanItems = float64(counts[i].Items) / float64(counts[i].Nodes)
+			counts[i].Util = counts[i].MeanItems / float64(t.cap)
+		}
+	}
+	return counts
+}
+
+// RootFanout returns the number of children of the root (or the number of
+// keys if the root is a leaf) — the paper's E(h).
+func (t *Tree) RootFanout() int { return t.root.Items() }

@@ -1,0 +1,53 @@
+package btree
+
+import "testing"
+
+// FuzzOps drives the tree with an arbitrary byte-encoded operation
+// sequence against a model map, under both restructuring policies,
+// checking invariants throughout. Three bytes per op: opcode, key, value.
+func FuzzOps(f *testing.F) {
+	f.Add([]byte{0, 1, 1, 0, 2, 2, 1, 1, 0, 2, 1, 0})
+	f.Add([]byte{0, 10, 1, 0, 20, 2, 0, 30, 3, 1, 20, 0, 2, 10, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, policy := range []Policy{MergeAtEmpty, MergeAtHalf} {
+			tr := New(4, policy)
+			model := map[int64]uint64{}
+			for i := 0; i+2 < len(data); i += 3 {
+				op := data[i] % 3
+				key := int64(data[i+1])
+				val := uint64(data[i+2])
+				switch op {
+				case 0:
+					_, existed := model[key]
+					if fresh := tr.Insert(key, val); fresh == existed {
+						t.Fatalf("Insert(%d) freshness mismatch", key)
+					}
+					model[key] = val
+				case 1:
+					_, existed := model[key]
+					if got := tr.Delete(key); got != existed {
+						t.Fatalf("Delete(%d) mismatch", key)
+					}
+					delete(model, key)
+				case 2:
+					want, existed := model[key]
+					got, ok := tr.Search(key)
+					if ok != existed || (ok && got != want) {
+						t.Fatalf("Search(%d) mismatch", key)
+					}
+				}
+			}
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("%v: %v", policy, err)
+			}
+			if tr.Len() != len(model) {
+				t.Fatalf("%v: Len %d vs model %d", policy, tr.Len(), len(model))
+			}
+			for k, want := range model {
+				if got, ok := tr.Search(k); !ok || got != want {
+					t.Fatalf("%v: final Search(%d)", policy, k)
+				}
+			}
+		}
+	})
+}

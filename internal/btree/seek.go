@@ -1,0 +1,45 @@
+package btree
+
+// SearchGE returns the smallest stored key >= key and its value
+// (an ordered "seek"). ok is false when no such key exists.
+func (t *Tree) SearchGE(key int64) (k int64, v uint64, ok bool) {
+	n := t.root
+	for !n.IsLeaf() {
+		n = n.FindChild(key)
+	}
+	for n != nil {
+		i, _ := n.keyIndex(key)
+		if i < len(n.keys) {
+			return n.keys[i], n.vals[i], true
+		}
+		n = n.right
+	}
+	return 0, 0, false
+}
+
+// Min returns the smallest key in the tree.
+func (t *Tree) Min() (k int64, v uint64, ok bool) {
+	return t.SearchGE(-1 << 63)
+}
+
+// Max returns the largest key in the tree.
+func (t *Tree) Max() (k int64, v uint64, ok bool) {
+	return maxUnder(t.root)
+}
+
+// maxUnder finds the largest key in a subtree, scanning children
+// right-to-left so lazily emptied rightmost leaves are skipped.
+func maxUnder(n *Node) (int64, uint64, bool) {
+	if n.IsLeaf() {
+		if len(n.keys) == 0 {
+			return 0, 0, false
+		}
+		return n.keys[len(n.keys)-1], n.vals[len(n.vals)-1], true
+	}
+	for i := len(n.children) - 1; i >= 0; i-- {
+		if k, v, ok := maxUnder(n.children[i]); ok {
+			return k, v, true
+		}
+	}
+	return 0, 0, false
+}

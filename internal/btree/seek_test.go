@@ -1,0 +1,92 @@
+package btree
+
+import (
+	"testing"
+	"testing/quick"
+
+	"btreeperf/internal/xrand"
+)
+
+func TestSeekBasics(t *testing.T) {
+	tr := New(4, MergeAtEmpty)
+	if _, _, ok := tr.SearchGE(0); ok {
+		t.Fatal("SearchGE on empty tree")
+	}
+	if _, _, ok := tr.Min(); ok {
+		t.Fatal("Min on empty tree")
+	}
+	if _, _, ok := tr.Max(); ok {
+		t.Fatal("Max on empty tree")
+	}
+	for i := int64(0); i < 100; i++ {
+		tr.Insert(i*7, uint64(i))
+	}
+	if k, _, ok := tr.SearchGE(8); !ok || k != 14 {
+		t.Fatalf("SearchGE(8) = %d,%v", k, ok)
+	}
+	if k, _, ok := tr.SearchGE(14); !ok || k != 14 {
+		t.Fatalf("SearchGE(14) = %d,%v", k, ok)
+	}
+	if _, _, ok := tr.SearchGE(694); ok {
+		t.Fatal("SearchGE past the end")
+	}
+	if k, _, ok := tr.Min(); !ok || k != 0 {
+		t.Fatalf("Min = %d,%v", k, ok)
+	}
+	if k, _, ok := tr.Max(); !ok || k != 693 {
+		t.Fatalf("Max = %d,%v", k, ok)
+	}
+}
+
+// Property: SearchGE matches a linear scan of the surviving key set after
+// arbitrary insert/delete interleavings.
+func TestSeekAgainstModel(t *testing.T) {
+	err := quick.Check(func(seed uint64, probes uint8) bool {
+		src := xrand.New(seed)
+		tr := New(5, MergeAtEmpty)
+		live := map[int64]bool{}
+		for i := 0; i < 400; i++ {
+			k := src.Int63n(500)
+			if src.Bernoulli(0.7) {
+				tr.Insert(k, uint64(k))
+				live[k] = true
+			} else {
+				tr.Delete(k)
+				delete(live, k)
+			}
+		}
+		for p := 0; p < int(probes%32)+1; p++ {
+			probe := src.Int63n(600)
+			wantK, wantOK := int64(0), false
+			for k := range live {
+				if k >= probe && (!wantOK || k < wantK) {
+					wantK, wantOK = k, true
+				}
+			}
+			gotK, gotV, gotOK := tr.SearchGE(probe)
+			if gotOK != wantOK || (gotOK && (gotK != wantK || gotV != uint64(wantK))) {
+				return false
+			}
+		}
+		// Min/Max agree with the model extremes.
+		if len(live) == 0 {
+			_, _, ok := tr.Min()
+			return !ok
+		}
+		lo, hi := int64(1<<62), int64(-1<<62)
+		for k := range live {
+			if k < lo {
+				lo = k
+			}
+			if k > hi {
+				hi = k
+			}
+		}
+		mink, _, okMin := tr.Min()
+		maxk, _, okMax := tr.Max()
+		return okMin && okMax && mink == lo && maxk == hi
+	}, &quick.Config{MaxCount: 60})
+	if err != nil {
+		t.Error(err)
+	}
+}

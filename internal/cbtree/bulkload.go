@@ -1,0 +1,88 @@
+package cbtree
+
+import "fmt"
+
+// BulkLoad builds a tree from sorted data bottom-up, far faster than
+// repeated Insert and with a controlled fill factor. keys must be strictly
+// increasing and parallel to vals; fill in (0, 1] sets the target node
+// occupancy (the classical default 0.9 leaves headroom for later inserts;
+// use 1.0 for read-only trees). The returned tree is immediately safe for
+// concurrent use.
+func BulkLoad(cap int, alg Algorithm, keys []int64, vals []uint64, fill float64) (*Tree, error) {
+	if len(keys) != len(vals) {
+		return nil, fmt.Errorf("cbtree: %d keys but %d values", len(keys), len(vals))
+	}
+	if fill <= 0 || fill > 1 {
+		return nil, fmt.Errorf("cbtree: fill factor %v outside (0, 1]", fill)
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			return nil, fmt.Errorf("cbtree: keys not strictly increasing at index %d", i)
+		}
+	}
+	t := New(cap, alg)
+	if len(keys) == 0 {
+		return t, nil
+	}
+	per := int(fill * float64(cap))
+	if per < 2 {
+		per = 2
+	}
+
+	// Build the leaf level.
+	var level []built
+	for off := 0; off < len(keys); off += per {
+		end := off + per
+		if end > len(keys) {
+			end = len(keys)
+		}
+		n := &node{level: 1}
+		n.keys = append(n.keys, keys[off:end]...)
+		n.vals = append(n.vals, vals[off:end]...)
+		level = append(level, built{n: n, min: keys[off]})
+	}
+	linkLevel(level)
+
+	// Stack internal levels until one node remains.
+	h := 1
+	for len(level) > 1 {
+		h++
+		var parents []built
+		for off := 0; off < len(level); off += per {
+			end := off + per
+			if end > len(level) {
+				end = len(level)
+			}
+			n := &node{level: h}
+			for j := off; j < end; j++ {
+				n.children = append(n.children, level[j].n)
+				if j > off {
+					n.keys = append(n.keys, level[j].min)
+				}
+			}
+			parents = append(parents, built{n: n, min: level[off].min})
+		}
+		linkLevel(parents)
+		level = parents
+	}
+
+	t.root.Store(level[0].n)
+	t.size.Store(int64(len(keys)))
+	return t, nil
+}
+
+// built pairs a constructed node with the smallest key of its subtree.
+type built struct {
+	n   *node
+	min int64
+}
+
+// linkLevel chains one built level left to right, setting right pointers
+// and high keys (the next node's minimum).
+func linkLevel(level []built) {
+	for i := 0; i < len(level)-1; i++ {
+		level[i].n.right = level[i+1].n
+		level[i].n.high = level[i+1].min
+		level[i].n.hasHigh = true
+	}
+}

@@ -1,0 +1,213 @@
+package cbtree
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"btreeperf/internal/xrand"
+)
+
+func sortedKeys(n int) ([]int64, []uint64) {
+	keys := make([]int64, n)
+	vals := make([]uint64, n)
+	for i := range keys {
+		keys[i] = int64(i * 3)
+		vals[i] = uint64(i)
+	}
+	return keys, vals
+}
+
+func TestBulkLoadBasic(t *testing.T) {
+	keys, vals := sortedKeys(10000)
+	tr, err := BulkLoad(32, LinkType, keys, vals, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != len(keys) {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys {
+		v, ok := tr.Search(k)
+		if !ok || v != vals[i] {
+			t.Fatalf("Search(%d) = %d,%v", k, v, ok)
+		}
+	}
+	if _, ok := tr.Search(1); ok {
+		t.Fatal("phantom key")
+	}
+	// Ordered full scan.
+	last := int64(-1)
+	n := 0
+	tr.Range(-1<<62, 1<<62, func(k int64, v uint64) bool {
+		if k <= last {
+			t.Fatalf("scan out of order at %d", k)
+		}
+		last = k
+		n++
+		return true
+	})
+	if n != len(keys) {
+		t.Fatalf("scan saw %d", n)
+	}
+}
+
+func TestBulkLoadEmptyAndSmall(t *testing.T) {
+	tr, err := BulkLoad(8, Optimistic, nil, nil, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 0 {
+		t.Fatal("empty load")
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := BulkLoad(8, Optimistic, []int64{5}, []uint64{50}, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := tr2.Search(5); !ok || v != 50 {
+		t.Fatal("single-key load")
+	}
+	if err := tr2.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBulkLoadValidation(t *testing.T) {
+	if _, err := BulkLoad(8, LinkType, []int64{1, 2}, []uint64{1}, 0.9); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := BulkLoad(8, LinkType, []int64{2, 1}, []uint64{1, 2}, 0.9); err == nil {
+		t.Error("unsorted accepted")
+	}
+	if _, err := BulkLoad(8, LinkType, []int64{1, 1}, []uint64{1, 2}, 0.9); err == nil {
+		t.Error("duplicate accepted")
+	}
+	if _, err := BulkLoad(8, LinkType, []int64{1}, []uint64{1}, 0); err == nil {
+		t.Error("zero fill accepted")
+	}
+	if _, err := BulkLoad(8, LinkType, []int64{1}, []uint64{1}, 1.5); err == nil {
+		t.Error("fill > 1 accepted")
+	}
+}
+
+func TestBulkLoadFillFactor(t *testing.T) {
+	keys, vals := sortedKeys(10000)
+	half, err := BulkLoad(100, LinkType, keys, vals, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := BulkLoad(100, LinkType, keys, vals, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lower fill → more nodes → possibly taller tree; both valid.
+	if err := half.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := full.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// A 1.0-fill leaf holds cap items: inserting into it must split, not
+	// overflow.
+	full.Insert(1, 1)
+	if err := full.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBulkLoadedTreeSupportsConcurrency(t *testing.T) {
+	for _, alg := range algorithms {
+		t.Run(alg.String(), func(t *testing.T) {
+			keys, vals := sortedKeys(20000)
+			tr, err := BulkLoad(16, alg, keys, vals, 0.8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			for w := 0; w < 6; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					src := xrand.New(uint64(w) + 3)
+					for i := 0; i < 4000; i++ {
+						k := src.Int63n(70000)
+						switch src.IntN(3) {
+						case 0:
+							tr.Insert(k, uint64(k))
+						case 1:
+							tr.Delete(k)
+						case 2:
+							tr.Search(k)
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// Property: a bulk-loaded tree is indistinguishable (contents-wise) from
+// one built by sequential inserts.
+func TestBulkLoadEquivalence(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 25}
+	err := quick.Check(func(seed uint64, nRaw uint16, capRaw, fillRaw uint8) bool {
+		n := int(nRaw%2000) + 1
+		cap := int(capRaw%60) + 4
+		fill := 0.3 + 0.7*float64(fillRaw)/255
+		src := xrand.New(seed)
+		seen := map[int64]bool{}
+		var keys []int64
+		for len(keys) < n {
+			k := src.Int63n(int64(n) * 10)
+			if !seen[k] {
+				seen[k] = true
+				keys = append(keys, k)
+			}
+		}
+		sortInt64s(keys)
+		vals := make([]uint64, len(keys))
+		for i := range vals {
+			vals[i] = uint64(keys[i]) * 2
+		}
+		bulk, err := BulkLoad(cap, LinkType, keys, vals, fill)
+		if err != nil {
+			return false
+		}
+		if bulk.CheckInvariants() != nil || bulk.Len() != len(keys) {
+			return false
+		}
+		seq := New(cap, LinkType)
+		for i, k := range keys {
+			seq.Insert(k, vals[i])
+		}
+		for i, k := range keys {
+			bv, bok := bulk.Search(k)
+			sv, sok := seq.Search(k)
+			if !bok || !sok || bv != sv || bv != vals[i] {
+				return false
+			}
+		}
+		return true
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func sortInt64s(s []int64) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

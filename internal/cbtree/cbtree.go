@@ -1,0 +1,263 @@
+// Package cbtree is a goroutine-safe concurrent B⁺-tree implementing the
+// three concurrency-control algorithms analyzed by Johnson & Shasha
+// (PODS 1990) on real sync primitives:
+//
+//   - LockCoupling — Bayer/Schkolnick naive lock coupling: updates descend
+//     with exclusive locks, releasing ancestors whenever the child cannot
+//     split; searches descend with shared-lock coupling.
+//   - Optimistic — optimistic descent: updates descend with shared locks
+//     and lock only the leaf exclusively, restarting with the
+//     lock-coupling protocol when the leaf might split.
+//   - LinkType — Lehman–Yao: right links and high keys let every operation
+//     hold at most one lock at a time; splits are half-splits repaired
+//     upward.
+//
+// All three algorithms run against the same node layout, so they are
+// directly comparable (see the benchmarks at the repository root, the
+// modern analogue of the paper's Figure 12).
+//
+// Restructuring is merge-at-empty in the lazy sense the paper adopts for
+// the Link-type algorithm: nodes emptied by deletes remain in place and
+// are reclaimed only by Compact (which requires quiescence). With more
+// inserts than deletes — the regime the paper's analysis covers — empty
+// nodes are vanishingly rare ([10]).
+package cbtree
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"btreeperf/internal/lock"
+)
+
+// Algorithm selects the concurrency-control protocol.
+type Algorithm int
+
+const (
+	// LockCoupling is the paper's Naive Lock-coupling algorithm.
+	LockCoupling Algorithm = iota
+	// Optimistic is the paper's Optimistic Descent algorithm.
+	Optimistic
+	// LinkType is the paper's Link-type (Lehman–Yao) algorithm.
+	LinkType
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case LockCoupling:
+		return "lock-coupling"
+	case Optimistic:
+		return "optimistic"
+	case LinkType:
+		return "link-type"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Stats counts structural and protocol events since the tree was created.
+type Stats struct {
+	Splits    int64 // node splits
+	Restarts  int64 // Optimistic second descents
+	Crossings int64 // LinkType right-link follows
+}
+
+// node is a B⁺-tree node guarded by its own FCFS reader/writer lock.
+// All fields after mu are protected by mu, except that the pointer
+// identity of a node never changes and nodes are never freed (the GC
+// reclaims unreachable ones), so holding a stale pointer is always safe —
+// the Link-type protocol then recovers via right links.
+type node struct {
+	mu       lock.FCFSRWMutex
+	level    int
+	keys     []int64
+	vals     []uint64
+	children []*node
+	right    *node
+	high     int64
+	hasHigh  bool
+}
+
+func (n *node) isLeaf() bool { return n.level == 1 }
+
+// items is the paper's occupancy: keys for leaves, children for internal
+// nodes. Caller must hold n.mu.
+func (n *node) items() int {
+	if n.isLeaf() {
+		return len(n.keys)
+	}
+	return len(n.children)
+}
+
+// covers reports whether key belongs at or below this node (Link-type
+// high-key test). Caller must hold n.mu.
+func (n *node) covers(key int64) bool { return !n.hasHigh || key < n.high }
+
+// childIndex returns the child slot routing key. Caller must hold n.mu.
+func (n *node) childIndex(key int64) int {
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if key < n.keys[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// keyIndex locates key in a leaf. Caller must hold n.mu.
+func (n *node) keyIndex(key int64) (int, bool) {
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if n.keys[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(n.keys) && n.keys[lo] == key
+}
+
+// Tree is a concurrent B⁺-tree. Create one with New. All methods are safe
+// for concurrent use by any number of goroutines.
+type Tree struct {
+	alg  Algorithm
+	cap  int
+	root atomic.Pointer[node]
+	size atomic.Int64
+
+	splits    atomic.Int64
+	restarts  atomic.Int64
+	crossings atomic.Int64
+}
+
+// New creates an empty tree whose nodes hold at most cap items (cap >= 3)
+// under the given concurrency-control algorithm.
+func New(cap int, alg Algorithm) *Tree {
+	if cap < 3 {
+		panic(fmt.Sprintf("cbtree: capacity %d too small (need >= 3)", cap))
+	}
+	if alg != LockCoupling && alg != Optimistic && alg != LinkType {
+		panic(fmt.Sprintf("cbtree: unknown algorithm %v", alg))
+	}
+	t := &Tree{alg: alg, cap: cap}
+	t.root.Store(&node{level: 1})
+	return t
+}
+
+// Cap returns the node capacity.
+func (t *Tree) Cap() int { return t.cap }
+
+// Algorithm returns the concurrency-control protocol in use.
+func (t *Tree) Algorithm() Algorithm { return t.alg }
+
+// Len returns the number of keys in the tree.
+func (t *Tree) Len() int { return int(t.size.Load()) }
+
+// Stats returns the event counters.
+func (t *Tree) Stats() Stats {
+	return Stats{
+		Splits:    t.splits.Load(),
+		Restarts:  t.restarts.Load(),
+		Crossings: t.crossings.Load(),
+	}
+}
+
+// Height returns the current number of levels. It is exact when quiescent
+// and approximate under concurrent root splits.
+func (t *Tree) Height() int { return t.root.Load().level }
+
+// insertSafe reports whether an insert cannot split n. Caller holds n.mu.
+func (t *Tree) insertSafe(n *node) bool { return n.items() < t.cap }
+
+// lockRoot locks the current root with the class chosen by classOf,
+// retrying if the root pointer moved while we waited.
+func (t *Tree) lockRoot(classOf func(*node) bool) *node {
+	for {
+		r := t.root.Load()
+		write := classOf(r)
+		if write {
+			r.mu.Lock()
+		} else {
+			r.mu.RLock()
+		}
+		if t.root.Load() == r {
+			return r
+		}
+		if write {
+			r.mu.Unlock()
+		} else {
+			r.mu.RUnlock()
+		}
+	}
+}
+
+func alwaysRead(*node) bool    { return false }
+func alwaysWrite(*node) bool   { return true }
+func writeIfLeaf(n *node) bool { return n.isLeaf() }
+
+// split moves the upper half of n into a new right sibling, maintaining
+// right links and high keys (a Lehman–Yao half-split). Caller holds n.mu
+// exclusively. Returns the sibling and separator.
+func (t *Tree) split(n *node) (*node, int64) {
+	t.splits.Add(1)
+	sib := &node{level: n.level}
+	var sep int64
+	if n.isLeaf() {
+		m := (len(n.keys) + 1) / 2
+		sib.keys = append(sib.keys, n.keys[m:]...)
+		sib.vals = append(sib.vals, n.vals[m:]...)
+		n.keys = n.keys[:m:m]
+		n.vals = n.vals[:m:m]
+		sep = sib.keys[0]
+	} else {
+		m := (len(n.children) + 1) / 2
+		sep = n.keys[m-1]
+		sib.children = append(sib.children, n.children[m:]...)
+		sib.keys = append(sib.keys, n.keys[m:]...)
+		n.children = n.children[:m:m]
+		n.keys = n.keys[: m-1 : m-1]
+	}
+	sib.high, sib.hasHigh = n.high, n.hasHigh
+	sib.right = n.right
+	n.right = sib
+	n.high, n.hasHigh = sep, true
+	return sib, sep
+}
+
+// addChild installs a (separator, child) pair. Caller holds n.mu
+// exclusively and n must cover sep.
+func (n *node) addChild(sep int64, child *node) {
+	i := n.childIndex(sep)
+	n.keys = insertAt(n.keys, i, sep)
+	n.children = insertAt(n.children, i+1, child)
+}
+
+// growRoot replaces the root after splitting it. Caller holds old.mu
+// exclusively and has verified old is the current root.
+func (t *Tree) growRoot(old *node, sep int64, sib *node) {
+	r := &node{
+		level:    old.level + 1,
+		keys:     []int64{sep},
+		children: []*node{old, sib},
+	}
+	if !t.root.CompareAndSwap(old, r) {
+		panic("cbtree: concurrent root replacement")
+	}
+}
+
+func insertAt[T any](s []T, i int, v T) []T {
+	var zero T
+	s = append(s, zero)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+func removeAt[T any](s []T, i int) []T {
+	copy(s[i:], s[i+1:])
+	return s[:len(s)-1]
+}

@@ -1,0 +1,105 @@
+package cbtree
+
+import (
+	"fmt"
+	"math"
+)
+
+// CheckInvariants validates the structure of the tree. It must only be
+// called when the tree is quiescent (no concurrent operations in flight).
+// Empty leaves are legal: deletes leave them in place until Compact.
+func (t *Tree) CheckInvariants() error {
+	root := t.root.Load()
+	leftmost := make(map[int]*node)
+	count := 0
+	if err := t.checkNode(root, math.MinInt64, 0, true, leftmost, &count); err != nil {
+		return err
+	}
+	if count != t.Len() {
+		return fmt.Errorf("cbtree: size %d but %d keys in leaves", t.Len(), count)
+	}
+	for level := 1; level <= root.level; level++ {
+		if err := checkChain(leftmost[level], level); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (t *Tree) checkNode(n *node, lo, hi int64, hiInf bool, leftmost map[int]*node, count *int) error {
+	if _, seen := leftmost[n.level]; !seen {
+		leftmost[n.level] = n
+	}
+	if n.items() > t.cap {
+		return fmt.Errorf("cbtree: level %d node over capacity: %d > %d", n.level, n.items(), t.cap)
+	}
+	if hiInf {
+		if n.hasHigh {
+			return fmt.Errorf("cbtree: rightmost level-%d node has finite high key", n.level)
+		}
+	} else if !n.hasHigh || n.high != hi {
+		return fmt.Errorf("cbtree: level %d high key %v/%v, want %d", n.level, n.high, n.hasHigh, hi)
+	}
+	for i := 1; i < len(n.keys); i++ {
+		if n.keys[i-1] >= n.keys[i] {
+			return fmt.Errorf("cbtree: level %d keys out of order", n.level)
+		}
+	}
+	if n.isLeaf() {
+		if len(n.vals) != len(n.keys) {
+			return fmt.Errorf("cbtree: leaf key/val mismatch")
+		}
+		for _, k := range n.keys {
+			if k < lo || (!hiInf && k >= hi) {
+				return fmt.Errorf("cbtree: leaf key %d outside [%d, %d)", k, lo, hi)
+			}
+		}
+		*count += len(n.keys)
+		return nil
+	}
+	if len(n.children) != len(n.keys)+1 || len(n.children) == 0 {
+		return fmt.Errorf("cbtree: level %d has %d children, %d routers", n.level, len(n.children), len(n.keys))
+	}
+	for i, c := range n.children {
+		if c.level != n.level-1 {
+			return fmt.Errorf("cbtree: child level %d under level %d", c.level, n.level)
+		}
+		clo := lo
+		if i > 0 {
+			clo = n.keys[i-1]
+		}
+		chi, chiInf := hi, hiInf
+		if i < len(n.keys) {
+			chi, chiInf = n.keys[i], false
+		}
+		if err := t.checkNode(c, clo, chi, chiInf, leftmost, count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func checkChain(first *node, level int) error {
+	if first == nil {
+		return fmt.Errorf("cbtree: level %d missing", level)
+	}
+	prev := (*node)(nil)
+	for n := first; n != nil; n = n.right {
+		if n.level != level {
+			return fmt.Errorf("cbtree: level %d chain reached level %d", level, n.level)
+		}
+		if prev != nil {
+			if !prev.hasHigh {
+				return fmt.Errorf("cbtree: interior level-%d node with infinite high key", level)
+			}
+			if n.hasHigh && n.high <= prev.high {
+				return fmt.Errorf("cbtree: level %d high keys not ascending", level)
+			}
+		}
+		if n.right == nil && n.hasHigh {
+			return fmt.Errorf("cbtree: rightmost level-%d chain node has finite high key", level)
+		}
+		prev = n
+	}
+	return nil
+}

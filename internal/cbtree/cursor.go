@@ -1,0 +1,40 @@
+package cbtree
+
+// Cursor iterates keys in ascending order. It is seek-based: each Next
+// re-locates the successor of the last returned key, so it holds no locks
+// between calls and stays valid under arbitrary concurrent updates
+// (observing each key that exists for the whole iteration exactly once).
+// A Cursor must not be shared between goroutines.
+type Cursor struct {
+	t       *Tree
+	nextKey int64
+	done    bool
+
+	// Current position, valid after a true Next.
+	Key int64
+	Val uint64
+}
+
+// Cursor returns a cursor positioned before the first key >= start.
+func (t *Tree) Cursor(start int64) *Cursor {
+	return &Cursor{t: t, nextKey: start}
+}
+
+// Next advances to the next key, reporting false at the end.
+func (c *Cursor) Next() bool {
+	if c.done {
+		return false
+	}
+	k, v, ok := c.t.SearchGE(c.nextKey)
+	if !ok {
+		c.done = true
+		return false
+	}
+	c.Key, c.Val = k, v
+	if k == 1<<63-1 {
+		c.done = true
+	} else {
+		c.nextKey = k + 1
+	}
+	return true
+}

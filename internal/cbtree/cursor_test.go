@@ -1,0 +1,107 @@
+package cbtree
+
+import (
+	"sync"
+	"testing"
+
+	"btreeperf/internal/xrand"
+)
+
+func TestCursorFullScan(t *testing.T) {
+	tr := New(6, LinkType)
+	for i := int64(0); i < 500; i++ {
+		tr.Insert(i*3, uint64(i))
+	}
+	c := tr.Cursor(-1 << 62)
+	var got []int64
+	for c.Next() {
+		got = append(got, c.Key)
+	}
+	if len(got) != 500 {
+		t.Fatalf("cursor saw %d keys", len(got))
+	}
+	for i, k := range got {
+		if k != int64(i*3) {
+			t.Fatalf("key %d = %d", i, k)
+		}
+	}
+	if c.Next() {
+		t.Fatal("exhausted cursor advanced")
+	}
+}
+
+func TestCursorStartMidway(t *testing.T) {
+	tr := New(6, Optimistic)
+	for i := int64(0); i < 100; i++ {
+		tr.Insert(i, uint64(i))
+	}
+	c := tr.Cursor(90)
+	n := 0
+	for c.Next() {
+		n++
+	}
+	if n != 10 {
+		t.Fatalf("saw %d keys from 90", n)
+	}
+}
+
+func TestCursorSeesStableKeysUnderChurn(t *testing.T) {
+	tr := New(8, LinkType)
+	for i := int64(0); i < 2000; i += 2 {
+		tr.Insert(i, uint64(i))
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		src := xrand.New(9)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			k := src.Int63n(1000)*2 + 1
+			if src.Bernoulli(0.5) {
+				tr.Insert(k, 1)
+			} else {
+				tr.Delete(k)
+			}
+		}
+	}()
+	for scan := 0; scan < 30; scan++ {
+		c := tr.Cursor(0)
+		evens := 0
+		last := int64(-1)
+		for c.Next() {
+			if c.Key <= last {
+				t.Fatalf("cursor went backwards: %d after %d", c.Key, last)
+			}
+			last = c.Key
+			if c.Key%2 == 0 && c.Key < 2000 {
+				evens++
+			}
+		}
+		if evens != 1000 {
+			t.Fatalf("scan %d saw %d stable even keys", scan, evens)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestCursorBoundaryKeys(t *testing.T) {
+	tr := New(4, LinkType)
+	maxKey := int64(1<<63 - 1)
+	tr.Insert(maxKey, 1)
+	tr.Insert(0, 2)
+	c := tr.Cursor(-1 << 63)
+	var got []int64
+	for c.Next() {
+		got = append(got, c.Key)
+	}
+	if len(got) != 2 || got[0] != 0 || got[1] != maxKey {
+		t.Fatalf("boundary scan = %v", got)
+	}
+}

@@ -1,0 +1,102 @@
+package cbtree
+
+// SearchGE returns the smallest stored key >= key and its value
+// (an ordered "seek"). ok is false when no such key exists.
+func (t *Tree) SearchGE(key int64) (k int64, v uint64, ok bool) {
+	var n *node
+	if t.alg == LinkType {
+		leaf, _ := t.linkDescend(key, false)
+		leaf.mu.RLock()
+		n = t.moveRightR(leaf, key)
+	} else {
+		n = t.lockRoot(alwaysRead)
+		for !n.isLeaf() {
+			child := n.children[n.childIndex(key)]
+			child.mu.RLock()
+			n.mu.RUnlock()
+			n = child
+		}
+	}
+	// Walk the leaf chain until a qualifying key appears (lazily emptied
+	// leaves may need skipping).
+	for {
+		i, _ := n.keyIndex(key)
+		if i < len(n.keys) {
+			k, v = n.keys[i], n.vals[i]
+			n.mu.RUnlock()
+			return k, v, true
+		}
+		next := n.right
+		if next == nil {
+			n.mu.RUnlock()
+			return 0, 0, false
+		}
+		next.mu.RLock()
+		n.mu.RUnlock()
+		n = next
+	}
+}
+
+// Min returns the smallest key in the tree.
+func (t *Tree) Min() (k int64, v uint64, ok bool) {
+	return t.SearchGE(-1 << 63)
+}
+
+// Max returns the largest key in the tree. The fast path scans the
+// rightmost spine and the tail of the leaf chain; if lazily-emptied
+// trailing leaves hide the maximum, a lock-coupled right-to-left descent
+// finds the rightmost non-empty leaf.
+func (t *Tree) Max() (k int64, v uint64, ok bool) {
+	n := t.lockRoot(alwaysRead)
+	for !n.isLeaf() {
+		child := n.children[len(n.children)-1]
+		child.mu.RLock()
+		n.mu.RUnlock()
+		n = child
+	}
+	// In LinkType mode a split may have pushed keys past the rightmost
+	// routed child; chase the links to the true end of the chain, keeping
+	// the last non-empty leaf's maximum.
+	found := false
+	for {
+		if len(n.keys) > 0 {
+			k, v = n.keys[len(n.keys)-1], n.vals[len(n.vals)-1]
+			found = true
+		}
+		next := n.right
+		if next == nil {
+			n.mu.RUnlock()
+			if found {
+				return k, v, true
+			}
+			// Trailing leaves were all empty: fall back to the DFS.
+			root := t.lockRoot(alwaysRead)
+			return t.maxDFS(root)
+		}
+		next.mu.RLock()
+		n.mu.RUnlock()
+		n = next
+	}
+}
+
+// maxDFS explores children right-to-left under shared-lock coupling
+// (ancestors stay locked while a subtree is explored — the same top-down
+// order every protocol uses, so it cannot deadlock) and returns the
+// largest key found. n is R-locked on entry and released before return.
+func (t *Tree) maxDFS(n *node) (int64, uint64, bool) {
+	defer n.mu.RUnlock()
+	if n.isLeaf() {
+		if len(n.keys) > 0 {
+			return n.keys[len(n.keys)-1], n.vals[len(n.vals)-1], true
+		}
+		return 0, 0, false
+	}
+	for i := len(n.children) - 1; i >= 0; i-- {
+		c := n.children[i]
+		c.mu.RLock()
+		if k, v, ok := t.maxDFS(c); ok {
+			return k, v, true
+		}
+	}
+	return 0, 0, false
+}

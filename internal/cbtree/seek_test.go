@@ -1,0 +1,140 @@
+package cbtree
+
+import (
+	"sync"
+	"testing"
+
+	"btreeperf/internal/xrand"
+)
+
+func TestSearchGE(t *testing.T) {
+	for _, alg := range algorithms {
+		t.Run(alg.String(), func(t *testing.T) {
+			tr := New(5, alg)
+			for i := int64(0); i < 100; i++ {
+				tr.Insert(i*10, uint64(i))
+			}
+			cases := []struct {
+				in, want int64
+				ok       bool
+			}{
+				{-5, 0, true},
+				{0, 0, true},
+				{1, 10, true},
+				{995, 0, false},
+				{990, 990, true},
+				{445, 450, true},
+			}
+			for _, c := range cases {
+				k, _, ok := tr.SearchGE(c.in)
+				if ok != c.ok || (ok && k != c.want) {
+					t.Errorf("SearchGE(%d) = %d,%v want %d,%v", c.in, k, ok, c.want, c.ok)
+				}
+			}
+		})
+	}
+}
+
+func TestSearchGEEmptyTree(t *testing.T) {
+	tr := New(5, LinkType)
+	if _, _, ok := tr.SearchGE(0); ok {
+		t.Fatal("SearchGE on empty tree")
+	}
+	if _, _, ok := tr.Min(); ok {
+		t.Fatal("Min on empty tree")
+	}
+	if _, _, ok := tr.Max(); ok {
+		t.Fatal("Max on empty tree")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	for _, alg := range algorithms {
+		tr := New(4, alg)
+		src := xrand.New(5)
+		lo, hi := int64(1<<62), int64(-1<<62)
+		for i := 0; i < 3000; i++ {
+			k := src.Int63n(1 << 30)
+			tr.Insert(k, uint64(k))
+			if k < lo {
+				lo = k
+			}
+			if k > hi {
+				hi = k
+			}
+		}
+		if k, _, ok := tr.Min(); !ok || k != lo {
+			t.Fatalf("%v: Min = %d,%v want %d", alg, k, ok, lo)
+		}
+		if k, _, ok := tr.Max(); !ok || k != hi {
+			t.Fatalf("%v: Max = %d,%v want %d", alg, k, ok, hi)
+		}
+	}
+}
+
+func TestMinMaxWithEmptiedLeaves(t *testing.T) {
+	// Delete the extremes so the edge leaves empty out (lazily retained);
+	// Min/Max must skip them.
+	tr := New(4, LinkType)
+	for i := int64(0); i < 200; i++ {
+		tr.Insert(i, uint64(i))
+	}
+	for i := int64(0); i < 50; i++ {
+		tr.Delete(i)
+	}
+	for i := int64(150); i < 200; i++ {
+		tr.Delete(i)
+	}
+	if k, _, ok := tr.Min(); !ok || k != 50 {
+		t.Fatalf("Min = %d,%v want 50", k, ok)
+	}
+	if k, _, ok := tr.Max(); !ok || k != 149 {
+		t.Fatalf("Max = %d,%v want 149", k, ok)
+	}
+}
+
+func TestSeekUnderConcurrency(t *testing.T) {
+	tr := New(8, LinkType)
+	// Stable even keys.
+	for i := int64(0); i < 2000; i += 2 {
+		tr.Insert(i, uint64(i))
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		src := xrand.New(1)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			k := src.Int63n(1000)*2 + 1
+			if src.Bernoulli(0.5) {
+				tr.Insert(k, 1)
+			} else {
+				tr.Delete(k)
+			}
+		}
+	}()
+	src := xrand.New(2)
+	for i := 0; i < 20000; i++ {
+		probe := src.Int63n(2000)
+		k, _, ok := tr.SearchGE(probe)
+		if !ok && probe <= 1998 {
+			t.Fatalf("SearchGE(%d) found nothing", probe)
+		}
+		if ok && k < probe {
+			t.Fatalf("SearchGE(%d) = %d below probe", probe, k)
+		}
+		// The next even key at or above probe must never be skipped.
+		evenWant := (probe + 1) / 2 * 2
+		if ok && evenWant < 2000 && k > evenWant {
+			t.Fatalf("SearchGE(%d) = %d skipped stable even key %d", probe, k, evenWant)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

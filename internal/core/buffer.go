@@ -1,0 +1,73 @@
+package core
+
+import (
+	"fmt"
+
+	"btreeperf/internal/shape"
+)
+
+// BufferedCosts derives a cost model in which the sharp "top MemLevels in
+// memory" assumption is replaced by an LRU buffer pool of bufferNodes
+// node-sized frames — the "LRU buffering" analysis the paper defers to its
+// full version (§8).
+//
+// The approximation: a level-i node is accessed at per-node rate
+// λ/population(i), so upper levels are hotter by exactly their population
+// ratio and steady-state LRU retains levels top-down. The pool therefore
+// caches whole levels from the root downward, with at most one level
+// partially resident; a level's miss probability is the un-cached fraction
+// of its population (searches within a level are uniform).
+//
+// The derived model plugs into every analysis and into the simulator
+// unchanged, and its per-level hit ratios are directly comparable with the
+// measured CacheStats of internal/diskbtree's real LRU pool.
+func BufferedCosts(s *shape.Model, bufferNodes float64, base CostModel) (CostModel, error) {
+	if s == nil {
+		return CostModel{}, fmt.Errorf("core: nil shape")
+	}
+	if err := base.Validate(); err != nil {
+		return CostModel{}, err
+	}
+	if bufferNodes < 0 {
+		return CostModel{}, fmt.Errorf("core: negative buffer size %v", bufferNodes)
+	}
+	h := s.Height
+	pop := LevelPopulations(s)
+	miss := make([]float64, h+1)
+	remaining := bufferNodes
+	for i := h; i >= 1; i-- {
+		cached := pop[i]
+		if cached > remaining {
+			cached = remaining
+		}
+		miss[i] = 1 - cached/pop[i]
+		remaining -= cached
+	}
+	out := base
+	out.MissProb = miss
+	return out, nil
+}
+
+// LevelPopulations returns the expected node count per level (index i =
+// level i, index 0 unused): one root, multiplying by the fanout going
+// down.
+func LevelPopulations(s *shape.Model) []float64 {
+	h := s.Height
+	pop := make([]float64, h+1)
+	pop[h] = 1
+	for i := h - 1; i >= 1; i-- {
+		pop[i] = pop[i+1] * s.E(i+1)
+	}
+	return pop
+}
+
+// ExpectedHitRatio returns the model's buffer hit ratio for a uniform
+// search workload: each search touches one node per level.
+func ExpectedHitRatio(s *shape.Model, c CostModel) float64 {
+	h := s.Height
+	hits := 0.0
+	for i := 1; i <= h; i++ {
+		hits += 1 - c.MissAt(i, h)
+	}
+	return hits / float64(h)
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"btreeperf/internal/diskbtree"
+	"btreeperf/internal/shape"
+	"btreeperf/internal/xrand"
+)
+
+func TestBufferedCostsLevels(t *testing.T) {
+	s, err := shape.New(40000, 13, 0.5, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := PaperCosts(5)
+	// Pool large enough for the top three levels (1 + 6.27 + 6.27·8.97 ≈ 64)
+	// but not the thousands of level-2 nodes.
+	c, err := BufferedCosts(s, 70, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.Height
+	if c.MissAt(h, h) != 0 || c.MissAt(h-1, h) != 0 || c.MissAt(h-2, h) != 0 {
+		t.Fatalf("top levels should be resident: %v %v %v",
+			c.MissAt(h, h), c.MissAt(h-1, h), c.MissAt(h-2, h))
+	}
+	if m := c.MissAt(2, h); m < 0.95 {
+		t.Fatalf("level 2 should be nearly cold: miss %v", m)
+	}
+	if m := c.MissAt(1, h); m < 0.99 {
+		t.Fatalf("leaves should be cold: miss %v", m)
+	}
+	// Se reflects the mix.
+	if got := c.Se(h, h); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("resident root Se = %v", got)
+	}
+	if got := c.Se(1, h); math.Abs(got-5) > 0.05 {
+		t.Fatalf("cold leaf Se = %v, want ≈5", got)
+	}
+}
+
+func TestBufferedCostsZeroAndHugePool(t *testing.T) {
+	s, _ := shape.New(40000, 13, 0.5, 0.2)
+	base := PaperCosts(5)
+	cold, err := BufferedCosts(s, 0, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= s.Height; i++ {
+		if cold.MissAt(i, s.Height) != 1 {
+			t.Fatalf("level %d not cold with empty pool", i)
+		}
+	}
+	hot, err := BufferedCosts(s, 1e9, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= s.Height; i++ {
+		if hot.MissAt(i, s.Height) != 0 {
+			t.Fatalf("level %d not resident with huge pool", i)
+		}
+	}
+	if ExpectedHitRatio(s, hot) != 1 || ExpectedHitRatio(s, cold) != 0 {
+		t.Fatal("hit ratios at the extremes")
+	}
+}
+
+func TestBufferedCostsValidation(t *testing.T) {
+	s, _ := shape.New(1000, 13, 1, 0)
+	if _, err := BufferedCosts(nil, 10, PaperCosts(5)); err == nil {
+		t.Error("nil shape accepted")
+	}
+	if _, err := BufferedCosts(s, -1, PaperCosts(5)); err == nil {
+		t.Error("negative pool accepted")
+	}
+	if _, err := BufferedCosts(s, 10, CostModel{}); err == nil {
+		t.Error("invalid base accepted")
+	}
+}
+
+func TestLevelPopulations(t *testing.T) {
+	s, _ := shape.New(40000, 13, 0.5, 0.2)
+	pop := LevelPopulations(s)
+	if pop[s.Height] != 1 {
+		t.Fatal("root population")
+	}
+	for i := 1; i < s.Height; i++ {
+		if pop[i] <= pop[i+1] {
+			t.Fatalf("populations must grow downward: pop[%d]=%v pop[%d]=%v",
+				i, pop[i], i+1, pop[i+1])
+		}
+	}
+	// Leaves ≈ items/(leaf occupancy).
+	wantLeaves := 40000 / s.E(1)
+	if math.Abs(pop[1]-wantLeaves)/wantLeaves > 0.25 {
+		t.Fatalf("leaf population %v, want ≈%v", pop[1], wantLeaves)
+	}
+}
+
+// TestBufferModelAgainstRealLRUPool is the cross-validation: the
+// analytical hit ratio derived from the tree shape must track the
+// measured hit ratio of internal/diskbtree's real LRU buffer pool under a
+// uniform search workload.
+func TestBufferModelAgainstRealLRUPool(t *testing.T) {
+	const items = 20000
+	const cap = 32
+	path := filepath.Join(t.TempDir(), "buf.db")
+
+	for _, poolNodes := range []int{16, 64, 512} {
+		tr, err := diskbtree.Open(path+string(rune('a'+poolNodes%26)), diskbtree.Options{Cap: cap, CacheNodes: poolNodes})
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := xrand.New(9)
+		keys := make([]int64, 0, items)
+		for len(keys) < items {
+			k := src.Int63n(1 << 30)
+			if fresh, err := tr.Insert(k, 1); err != nil {
+				t.Fatal(err)
+			} else if fresh {
+				keys = append(keys, k)
+			}
+		}
+		// Warm the pool, then measure a read-only phase.
+		reads := xrand.New(17)
+		for i := 0; i < 20000; i++ {
+			tr.Search(keys[reads.IntN(len(keys))])
+		}
+		before := tr.CacheStats()
+		for i := 0; i < 40000; i++ {
+			tr.Search(keys[reads.IntN(len(keys))])
+		}
+		after := tr.CacheStats()
+		measured := float64(after.Hits-before.Hits) /
+			float64(after.Hits-before.Hits+after.Misses-before.Misses)
+
+		s, err := shape.New(items, cap, 1, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := BufferedCosts(s, float64(poolNodes), PaperCosts(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		predicted := ExpectedHitRatio(s, c)
+		if math.Abs(measured-predicted) > 0.12 {
+			t.Errorf("pool %d: measured hit ratio %.3f vs model %.3f",
+				poolNodes, measured, predicted)
+		}
+		tr.Close()
+	}
+}
+
+func TestMaxThroughputImprovesWithBuffer(t *testing.T) {
+	// The §8 extension's payoff: growing the pool raises NLC's ceiling
+	// from its D-limited value toward its in-memory value.
+	s, err := shape.New(40000, 13, 0.5, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := PaperCosts(10)
+	mix := paperWorkload(0)
+	prev := 0.0
+	for _, pool := range []float64{1, 70, 600, 1e6} {
+		c, err := BufferedCosts(s, pool, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lmax, err := MaxThroughput(NLC, Model{Shape: s, Costs: c}, mix, 1e-4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lmax <= prev {
+			t.Fatalf("pool %v did not raise throughput: %v <= %v", pool, lmax, prev)
+		}
+		prev = lmax
+	}
+	// Fully resident ≈ the D=1 model.
+	inMem, err := MaxThroughput(NLC, Model{Shape: s, Costs: PaperCosts(1)}, mix, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(prev-inMem)/inMem > 0.02 {
+		t.Fatalf("fully buffered max %v vs in-memory %v", prev, inMem)
+	}
+}

@@ -1,0 +1,291 @@
+// Package core implements the analytical framework of Johnson & Shasha,
+// "A Framework for the Performance Analysis of Concurrent B-tree
+// Algorithms" (PODS 1990) — the paper's primary contribution.
+//
+// A concurrent B⁺-tree running algorithm A under an operation mix
+// (q_s, q_i, q_d) at total arrival rate λ is modeled as an open network of
+// FCFS reader/writer lock queues, one representative queue per tree level.
+// For each level the framework computes arrival rates, lock-hold (service)
+// times, and lock-waiting times, from which it predicts the expected
+// response time of each operation class and the maximum sustainable
+// throughput.
+//
+// Three algorithms are analyzed:
+//
+//   - Naive Lock-coupling (AnalyzeNLC) — Theorems 1–5 of the paper,
+//   - Optimistic Descent (AnalyzeOD) — including the redo-insert class and
+//     the recovery variants of §7,
+//   - Link-type / Lehman–Yao (AnalyzeLink).
+//
+// The closed-form "rules of thumb" of §6 are in rules.go, and the maximum
+// throughput and effective-maximum (ρ_w = .5) solvers in throughput.go.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"btreeperf/internal/shape"
+	"btreeperf/internal/workload"
+)
+
+// CostModel parameterizes the serial node-access costs of §5.3: the time
+// to search the root is the unit of time; nodes on disk cost DiskCost
+// times an in-memory access; modifying a leaf costs ModifyFactor leaf
+// searches; splitting a node costs SplitFactor node searches (including
+// the parent update).
+type CostModel struct {
+	SearchMem    float64 // in-memory node search time (the paper's unit: 1)
+	DiskCost     float64 // on-disk access multiplier (the paper's D)
+	MemLevels    int     // number of top levels held in memory
+	ModifyFactor float64 // modify cost / search cost (paper: 2)
+	SplitFactor  float64 // split cost / search cost (paper: 3)
+	MergeFactor  float64 // merge cost / search cost (paper uses splits' 3)
+	Dilation     float64 // resource-contention service-time dilation (§5.2)
+
+	// MissProb, when non-nil, replaces the sharp MemLevels split with
+	// per-level buffer-pool miss probabilities (index i = tree level i;
+	// index 0 unused): Se(i) = SearchMem·(1 + MissProb[i]·(DiskCost−1)).
+	// Use BufferedCosts to derive it from a tree shape and an LRU pool
+	// size — the "LRU buffering" extension the paper defers to its full
+	// version (§8).
+	MissProb []float64
+}
+
+// PaperCosts is the cost model of the paper's experiments with disk
+// cost D: Se(root)=1, two in-memory levels, M=2·Se(leaf), Sp=3·Se.
+func PaperCosts(d float64) CostModel {
+	return CostModel{
+		SearchMem:    1,
+		DiskCost:     d,
+		MemLevels:    2,
+		ModifyFactor: 2,
+		SplitFactor:  3,
+		MergeFactor:  3,
+		Dilation:     1,
+	}
+}
+
+// Validate checks the cost model.
+func (c CostModel) Validate() error {
+	if c.SearchMem <= 0 {
+		return fmt.Errorf("core: SearchMem %v", c.SearchMem)
+	}
+	if c.DiskCost < 1 {
+		return fmt.Errorf("core: DiskCost %v < 1", c.DiskCost)
+	}
+	if c.MemLevels < 0 {
+		return fmt.Errorf("core: MemLevels %d", c.MemLevels)
+	}
+	if c.ModifyFactor <= 0 || c.SplitFactor <= 0 || c.MergeFactor <= 0 {
+		return fmt.Errorf("core: non-positive cost factor %+v", c)
+	}
+	if c.Dilation <= 0 {
+		return fmt.Errorf("core: Dilation %v", c.Dilation)
+	}
+	return nil
+}
+
+// onDisk reports whether level i of an h-level tree resides on disk.
+func (c CostModel) onDisk(i, h int) bool { return i <= h-c.MemLevels }
+
+// Se returns the expected time to search a level-i node of an h-level tree.
+func (c CostModel) Se(i, h int) float64 {
+	t := c.SearchMem
+	switch {
+	case c.MissProb != nil:
+		miss := 1.0 // levels beyond the modeled shape are assumed cold
+		if i < len(c.MissProb) {
+			miss = c.MissProb[i]
+		}
+		t *= 1 + miss*(c.DiskCost-1)
+	case c.onDisk(i, h):
+		t *= c.DiskCost
+	}
+	return t * c.Dilation
+}
+
+// MissAt returns the buffer-miss probability the model charges level i of
+// an h-level tree (1 for on-disk levels and 0 for in-memory ones when
+// MissProb is unset).
+func (c CostModel) MissAt(i, h int) float64 {
+	if c.MissProb != nil {
+		if i < len(c.MissProb) {
+			return c.MissProb[i]
+		}
+		return 1
+	}
+	if c.onDisk(i, h) {
+		return 1
+	}
+	return 0
+}
+
+// M returns the expected time to modify a leaf of an h-level tree.
+func (c CostModel) M(h int) float64 { return c.ModifyFactor * c.Se(1, h) }
+
+// Mod returns the expected time to modify a level-i node (pointer insertion
+// under the Link-type algorithm).
+func (c CostModel) Mod(i, h int) float64 { return c.ModifyFactor * c.Se(i, h) }
+
+// Sp returns the expected time to split a level-i node (the parent update
+// is included, per the paper).
+func (c CostModel) Sp(i, h int) float64 { return c.SplitFactor * c.Se(i, h) }
+
+// Mg returns the expected time to merge (remove) a level-i node.
+func (c CostModel) Mg(i, h int) float64 { return c.MergeFactor * c.Se(i, h) }
+
+// Workload is the offered load: total arrival rate λ and the operation mix.
+type Workload struct {
+	Lambda float64
+	Mix    workload.Mix
+}
+
+// Validate checks the workload.
+func (w Workload) Validate() error {
+	if w.Lambda < 0 {
+		return fmt.Errorf("core: negative arrival rate %v", w.Lambda)
+	}
+	return w.Mix.Validate()
+}
+
+// Model bundles the tree shape and the cost model — everything about the
+// system except the offered load.
+type Model struct {
+	Shape *shape.Model
+	Costs CostModel
+}
+
+// Validate checks the model.
+func (m Model) Validate() error {
+	if m.Shape == nil {
+		return fmt.Errorf("core: nil shape")
+	}
+	return m.Costs.Validate()
+}
+
+// Algorithm identifies a concurrency-control algorithm.
+type Algorithm int
+
+const (
+	// NLC is Naive Lock-coupling (Bayer & Schkolnick).
+	NLC Algorithm = iota
+	// OD is Optimistic Descent.
+	OD
+	// Link is the Link-type (Lehman–Yao) algorithm.
+	Link
+	// TwoPhase is strict Two-Phase Locking on the whole descent path —
+	// the additional algorithm the paper defers to its full version.
+	TwoPhase
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case NLC:
+		return "naive-lock-coupling"
+	case OD:
+		return "optimistic-descent"
+	case Link:
+		return "link-type"
+	case TwoPhase:
+		return "two-phase-locking"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// RecoveryPolicy selects the §7 recovery protocol layered on an algorithm.
+type RecoveryPolicy int
+
+const (
+	// NoRecovery releases every lock as the algorithm dictates.
+	NoRecovery RecoveryPolicy = iota
+	// LeafOnly holds leaf W locks until transaction commit.
+	LeafOnly
+	// NaiveRecovery holds every W lock until transaction commit.
+	NaiveRecovery
+)
+
+func (r RecoveryPolicy) String() string {
+	switch r {
+	case NoRecovery:
+		return "none"
+	case LeafOnly:
+		return "leaf-only"
+	case NaiveRecovery:
+		return "naive"
+	default:
+		return fmt.Sprintf("RecoveryPolicy(%d)", int(r))
+	}
+}
+
+// LevelResult is the solved operating point of one level's lock queue.
+type LevelResult struct {
+	Level   int
+	LambdaR float64 // reader arrival rate
+	LambdaW float64 // writer arrival rate
+	MuR     float64 // reader service rate
+	MuW     float64 // writer service rate
+	RhoW    float64 // P(writer in queue) — the paper's ρ_w(i)
+	RU      float64 // reader drain behind a queued writer
+	RE      float64 // reader drain with no queued writer
+	R       float64 // expected R-lock waiting time
+	W       float64 // expected W-lock waiting time
+	Stable  bool
+}
+
+// Result is a full analysis of one algorithm at one operating point.
+type Result struct {
+	Algorithm Algorithm
+	Lambda    float64
+	Levels    []LevelResult // Levels[0] is the leaf level (level 1)
+	Stable    bool
+
+	RespSearch float64 // Per(S)
+	RespInsert float64 // Per(I)
+	RespDelete float64 // Per(D)
+}
+
+// Level returns the solved queue of level i (1 = leaf).
+func (r *Result) Level(i int) LevelResult { return r.Levels[i-1] }
+
+// RootRhoW returns ρ_w at the root — the quantity Theorem 2's maximum
+// throughput condition and the §6 rules of thumb are stated in.
+func (r *Result) RootRhoW() float64 { return r.Levels[len(r.Levels)-1].RhoW }
+
+// RespMean returns the mix-weighted mean response time.
+func (r *Result) RespMean(mix workload.Mix) float64 {
+	return mix.QS*r.RespSearch + mix.QI*r.RespInsert + mix.QD*r.RespDelete
+}
+
+// saturateFrom marks level i and everything above it as saturated:
+// ρ_w = 1, infinite waits, infinite response times. Levels below i keep
+// their solved values.
+func (r *Result) saturateFrom(i int, lam []float64, qs float64) {
+	r.Stable = false
+	inf := math.Inf(1)
+	for j := i; j <= len(r.Levels); j++ {
+		r.Levels[j-1] = LevelResult{
+			Level:   j,
+			LambdaR: qs * lam[j],
+			LambdaW: (1 - qs) * lam[j],
+			RhoW:    1,
+			R:       inf,
+			W:       inf,
+			Stable:  false,
+		}
+	}
+	r.RespSearch, r.RespInsert, r.RespDelete = inf, inf, inf
+}
+
+// levelLambdas distributes the root arrival rate down the tree:
+// λ_h = λ, λ_i = λ_{i+1}/E(i+1) (Proposition 2).
+func levelLambdas(s *shape.Model, lambda float64) []float64 {
+	h := s.Height
+	l := make([]float64, h+1)
+	l[h] = lambda
+	for i := h - 1; i >= 1; i-- {
+		l[i] = l[i+1] / s.E(i+1)
+	}
+	return l
+}

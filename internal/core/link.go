@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+
+	"btreeperf/internal/qmodel"
+)
+
+// AnalyzeLink evaluates the Link-type (Lehman–Yao) algorithm (§5.1).
+// Operations hold at most one lock at a time, so the level queues are
+// independent and exponential-service (Theorem 4 / aggregate-customer
+// M/M/1) throughout:
+//
+//   - every operation R-locks one node per level on the way down, so the
+//     reader arrival rate at level i is λ divided by the fanouts above it;
+//   - updates W-lock the leaf; the only W locks above the leaf come from
+//     splits propagating up: λ_w(i) = q_i·λ·∏_{k<i}Pr[F(k)] scaled to the
+//     level's node population;
+//   - R service is the node search; W service is the node modification
+//     plus — with the probability the node itself is full — a half-split.
+//
+// Link crossings are rare (Figure 9) and are ignored by the analysis,
+// exactly as in the paper.
+func AnalyzeLink(m Model, w Workload) (*Result, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	s := m.Shape
+	c := m.Costs
+	h := s.Height
+	mix := w.Mix
+	lam := levelLambdas(s, w.Lambda)
+
+	res := &Result{Algorithm: Link, Lambda: w.Lambda, Stable: true}
+	res.Levels = make([]LevelResult, h)
+
+	rWait := make([]float64, h+1)
+	wWait := make([]float64, h+1)
+
+	for i := 1; i <= h; i++ {
+		var lr, lw, muR, muW float64
+		if i == 1 {
+			lr = mix.QS * lam[1]
+			lw = (mix.QI + mix.QD) * lam[1]
+			muR = 1 / c.Se(1, h)
+			wi, wd := updateShares(mix.QI, mix.QD)
+			// Inserts half-split a full leaf while holding its W lock;
+			// deletes never restructure under merge-at-empty with
+			// q_i > q_d.
+			tw := wi*(c.M(h)+s.PrF(1)*c.Sp(1, h)) +
+				wd*(c.M(h)+s.PrEm(1)*c.Mg(1, h))
+			if tw > 0 {
+				muW = 1 / tw
+			}
+		} else {
+			lr = lam[i]
+			lw = mix.QI * s.ProdPrF(i-1) * lam[i]
+			muR = 1 / c.Se(i, h)
+			tw := c.Mod(i, h) + s.PrF(i)*c.Sp(i, h)
+			muW = 1 / tw
+		}
+		sol, err := qmodel.Solve(qmodel.Input{LambdaR: lr, LambdaW: lw, MuR: muR, MuW: muW})
+		if err != nil {
+			return nil, fmt.Errorf("core: level %d: %w", i, err)
+		}
+		if !sol.Stable {
+			res.Stable = false
+		}
+		rWait[i] = qmodel.MM1Wait(sol.RhoW, sol.TA)
+		wWait[i] = rWait[i] + sol.RhoW*sol.RU + (1-sol.RhoW)*sol.RE
+
+		res.Levels[i-1] = LevelResult{
+			Level: i, LambdaR: lr, LambdaW: lw, MuR: muR, MuW: muW,
+			RhoW: sol.RhoW, RU: sol.RU, RE: sol.RE,
+			R: rWait[i], W: wWait[i], Stable: sol.Stable,
+		}
+	}
+
+	// Response times: a descent R-locks one node per level; updates wait
+	// for the leaf W lock, modify, and repair splits upward (rare).
+	for i := 1; i <= h; i++ {
+		res.RespSearch += c.Se(i, h) + rWait[i]
+	}
+	update := c.M(h) + wWait[1]
+	for i := 2; i <= h; i++ {
+		update += c.Se(i, h) + rWait[i]
+	}
+	res.RespInsert = update
+	for j := 1; j <= h-1; j++ {
+		// Split at level j: perform the half-split, then W-lock the
+		// parent and insert the new pointer.
+		res.RespInsert += s.ProdPrF(j) * (c.Sp(j, h) + wWait[j+1] + c.Mod(j+1, h))
+	}
+	res.RespDelete = update
+	return res, nil
+}

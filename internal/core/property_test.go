@@ -1,0 +1,210 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"btreeperf/internal/shape"
+	"btreeperf/internal/workload"
+	"btreeperf/internal/xrand"
+)
+
+// randomScenario derives a valid (model, workload) pair from raw fuzz
+// inputs, spanning node sizes, tree sizes, disk costs and mixes.
+func randomScenario(seed uint64) (Model, Workload, bool) {
+	src := xrand.New(seed)
+	n := 4 + src.IntN(200)
+	items := 100 + src.IntN(500000)
+	d := 1 + src.Float64()*19
+	qs := src.Float64() * 0.9
+	rest := 1 - qs
+	qi := rest * (0.55 + src.Float64()*0.44) // qi > qd always
+	qd := rest - qi
+	s, err := shape.New(items, n, qi, qd)
+	if err != nil {
+		return Model{}, Workload{}, false
+	}
+	if s.Height < 2 {
+		return Model{}, Workload{}, false
+	}
+	costs := PaperCosts(d)
+	costs.MemLevels = src.IntN(s.Height + 1)
+	m := Model{Shape: s, Costs: costs}
+	w := Workload{Mix: workload.Mix{QS: qs, QI: qi, QD: qd}}
+	return m, w, true
+}
+
+// For every algorithm and random scenario, a stable solution must satisfy
+// the structural invariants of the framework.
+func TestPropertyStableSolutionsWellFormed(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 60}
+	err := quick.Check(func(seed uint64, algRaw uint8, frac uint8) bool {
+		m, w, ok := randomScenario(seed)
+		if !ok {
+			return true
+		}
+		alg := []Algorithm{NLC, OD, Link, TwoPhase}[int(algRaw)%4]
+		lmax, err := MaxThroughput(alg, m, w, 1e-3)
+		if err != nil {
+			return false
+		}
+		if math.IsInf(lmax, 1) {
+			lmax = 100
+		}
+		lambda := (0.05 + 0.85*float64(frac)/255) * lmax
+		res, err := Analyze(alg, m, Workload{Lambda: lambda, Mix: w.Mix})
+		if err != nil || !res.Stable {
+			return false
+		}
+		for _, lv := range res.Levels {
+			if lv.RhoW < 0 || lv.RhoW >= 1 {
+				return false
+			}
+			if lv.R < 0 || lv.W < lv.R {
+				// A writer additionally drains readers: W(i) >= R(i).
+				return false
+			}
+			if math.IsNaN(lv.R) || math.IsNaN(lv.W) {
+				return false
+			}
+		}
+		// Responses bound below by the serial costs.
+		serialSearch := 0.0
+		for i := 1; i <= m.Shape.Height; i++ {
+			serialSearch += m.Costs.Se(i, m.Shape.Height)
+		}
+		if res.RespSearch < serialSearch-1e-9 {
+			return false
+		}
+		if res.RespInsert <= 0 || res.RespDelete <= 0 {
+			return false
+		}
+		return true
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// Response times are monotone non-decreasing in λ while stable.
+func TestPropertyMonotoneInLambda(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 30}
+	err := quick.Check(func(seed uint64, algRaw uint8) bool {
+		m, w, ok := randomScenario(seed)
+		if !ok {
+			return true
+		}
+		alg := []Algorithm{NLC, OD, Link}[int(algRaw)%3]
+		lmax, err := MaxThroughput(alg, m, w, 1e-3)
+		if err != nil {
+			return false
+		}
+		if math.IsInf(lmax, 1) {
+			lmax = 100
+		}
+		prevS, prevI := 0.0, 0.0
+		for _, f := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+			res, err := Analyze(alg, m, Workload{Lambda: f * lmax, Mix: w.Mix})
+			if err != nil {
+				return false
+			}
+			if !res.Stable {
+				continue
+			}
+			if res.RespSearch < prevS-1e-9 || res.RespInsert < prevI-1e-9 {
+				return false
+			}
+			prevS, prevI = res.RespSearch, res.RespInsert
+		}
+		return true
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// MaxThroughput is consistent with Analyze: stable just below, unstable
+// just above.
+func TestPropertyMaxThroughputBoundary(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 25}
+	err := quick.Check(func(seed uint64, algRaw uint8) bool {
+		m, w, ok := randomScenario(seed)
+		if !ok {
+			return true
+		}
+		alg := []Algorithm{NLC, OD, TwoPhase}[int(algRaw)%3]
+		lmax, err := MaxThroughput(alg, m, w, 1e-4)
+		if err != nil || math.IsInf(lmax, 1) {
+			return err == nil
+		}
+		below, err := Analyze(alg, m, Workload{Lambda: 0.995 * lmax, Mix: w.Mix})
+		if err != nil || !below.Stable {
+			return false
+		}
+		above, err := Analyze(alg, m, Workload{Lambda: 1.01 * lmax, Mix: w.Mix})
+		if err != nil || above.Stable {
+			return false
+		}
+		return true
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// The algorithm ordering Link >= OD >= NLC >= 2PL holds on every scenario.
+func TestPropertyAlgorithmOrdering(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 25}
+	err := quick.Check(func(seed uint64) bool {
+		m, w, ok := randomScenario(seed)
+		if !ok {
+			return true
+		}
+		maxOf := func(a Algorithm) float64 {
+			v, err := MaxThroughput(a, m, w, 1e-3)
+			if err != nil {
+				return -1
+			}
+			return v
+		}
+		tp := maxOf(TwoPhase)
+		nlc := maxOf(NLC)
+		od := maxOf(OD)
+		link := maxOf(Link)
+		if tp < 0 || nlc < 0 || od < 0 || link < 0 {
+			return false
+		}
+		const slack = 1.02 // numerical tolerance on the boundary search
+		return tp <= nlc*slack && nlc <= od*slack && od <= link*slack
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// Dilation scales the whole system linearly: doubling every service time
+// halves the maximum throughput.
+func TestPropertyDilationScaling(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 20}
+	err := quick.Check(func(seed uint64) bool {
+		m, w, ok := randomScenario(seed)
+		if !ok {
+			return true
+		}
+		base, err := MaxThroughput(NLC, m, w, 1e-4)
+		if err != nil {
+			return false
+		}
+		m2 := m
+		m2.Costs.Dilation = 2
+		half, err := MaxThroughput(NLC, m2, w, 1e-4)
+		if err != nil {
+			return false
+		}
+		return math.Abs(half-base/2)/base < 0.01
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}

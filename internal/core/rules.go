@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// The §6 rules of thumb approximate λ_{ρ=.5}, the "effective maximum
+// arrival rate" at which the root's writer utilization reaches one half.
+// They trade the full leaf-up queue solution for closed forms, giving the
+// paper's design guidance: Naive Lock-coupling's effective maximum is
+// independent of the node size (favor small nodes, whose roots are cheap
+// to search), while Optimistic Descent's grows like N/log²N (favor the
+// largest nodes available).
+
+// RuleOfThumb1 is the Naive Lock-coupling approximation of λ_{ρ=.5}.
+func RuleOfThumb1(m Model, mix Workload) (float64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	s, c := m.Shape, m.Costs
+	h := s.Height
+	if h < 2 {
+		return 0, fmt.Errorf("core: rule of thumb needs height >= 2")
+	}
+	qs := mix.Mix.QS
+	qi, qd := mix.Mix.QI, mix.Mix.QD
+	if qs >= 1 || qi+qd <= 0 {
+		return 0, fmt.Errorf("core: rule of thumb needs updates in the mix")
+	}
+	eh := s.E(h)
+	root := c.Se(h, h) * (1 + math.Log(1+qs/(2*(1-qs))))
+	child := c.Se(2, h) * (1.5 + qs/(2*eh*(1-qs)))
+	coupling := 1/(2*eh-1) + qi/(qi+qd)*s.PrF(h-1)
+	return 1 / (2 * (1 - qs) * (root + coupling*child)), nil
+}
+
+// RuleOfThumb2 is the large-node, large-root-fanout limit of rule 1: the
+// child terms vanish and only the root search matters — Naive
+// Lock-coupling's effective maximum does not improve with node size.
+func RuleOfThumb2(m Model, mix Workload) (float64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	s, c := m.Shape, m.Costs
+	qs := mix.Mix.QS
+	if qs >= 1 {
+		return 0, fmt.Errorf("core: rule of thumb needs updates in the mix")
+	}
+	h := s.Height
+	return 1 / (2 * (1 - qs) * c.Se(h, h) * (1 + math.Log(1+qs/(2*(1-qs))))), nil
+}
+
+// RuleOfThumb3 is the Optimistic Descent approximation of λ_{ρ=.5}. The
+// writer arrival rate is the redo rate q_i·Pr[F(1)]·λ, so the reader/
+// writer ratio 1/(q_i·Pr[F(1)]) is large and the log terms are kept.
+func RuleOfThumb3(m Model, mix Workload) (float64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	s, c := m.Shape, m.Costs
+	h := s.Height
+	if h < 2 {
+		return 0, fmt.Errorf("core: rule of thumb needs height >= 2")
+	}
+	qi, qd := mix.Mix.QI, mix.Mix.QD
+	if qi <= 0 {
+		return 0, fmt.Errorf("core: rule of thumb needs inserts in the mix")
+	}
+	pf := s.PrF(1)
+	if pf <= 0 {
+		return 0, fmt.Errorf("core: Pr[F(1)] = 0")
+	}
+	eh := s.E(h)
+	root := c.Se(h, h) * (1 + math.Log(1+1/(2*qi*pf)))
+	child := c.Se(2, h) * (1.5 + math.Log(1+1/(2*eh*qi*pf)))
+	coupling := 1/(2*eh-1) + qi/(qi+qd)*s.PrF(h-1)
+	return 1 / (2 * qi * pf * (root + coupling*child)), nil
+}
+
+// RuleOfThumb4 is the large-node limit of rule 3: λ_{ρ=.5} is inversely
+// proportional to q_i·Pr[F(1)], i.e. grows roughly like N/log²N with the
+// node size.
+func RuleOfThumb4(m Model, mix Workload) (float64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	s, c := m.Shape, m.Costs
+	h := s.Height
+	qi := mix.Mix.QI
+	if qi <= 0 {
+		return 0, fmt.Errorf("core: rule of thumb needs inserts in the mix")
+	}
+	pf := s.PrF(1)
+	if pf <= 0 {
+		return 0, fmt.Errorf("core: Pr[F(1)] = 0")
+	}
+	return 1 / (2 * qi * pf * c.Se(h, h) * (1 + math.Log(1+1/(2*qi*pf)))), nil
+}

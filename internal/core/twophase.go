@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+
+	"btreeperf/internal/qmodel"
+)
+
+// AnalyzeTwoPhase evaluates strict Two-Phase Locking on the B-tree — the
+// extension the paper defers to its full version ("Results that will
+// appear in the full version of this paper include analyses of additional
+// concurrent B-tree algorithms, including Two-Phase locking").
+//
+// Under 2PL an operation never releases a lock before it finishes:
+// searches hold R locks on the entire root-to-leaf path until the leaf
+// access completes, and updates hold W locks on the whole path until the
+// leaf is modified (and any restructuring done). This is Naive
+// Lock-coupling without the release-ancestors-when-safe optimization, so
+// it lower-bounds every protocol in the paper.
+//
+// The model: the level-i hold time is the full remaining descent below i
+// plus the leaf work —
+//
+//	T(o,i) = Σ_{k<i} (Se(k)-ish work + wait at k) + leaf work
+//
+// computed leaf-up exactly like Theorem 1, except no term is ever dropped
+// when a child is safe.
+func AnalyzeTwoPhase(m Model, w Workload) (*Result, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	s := m.Shape
+	c := m.Costs
+	h := s.Height
+	mix := w.Mix
+	lam := levelLambdas(s, w.Lambda)
+
+	res := &Result{Algorithm: TwoPhase, Lambda: w.Lambda, Stable: true}
+	res.Levels = make([]LevelResult, h)
+
+	wi, _ := updateShares(mix.QI, mix.QD)
+
+	// Hold times: the level-i lock is held for the node search plus the
+	// entire remainder of the operation (wait + hold at i-1).
+	tS := make([]float64, h+1)
+	tU := make([]float64, h+1) // update (insert/delete weighted) hold
+	rWait := make([]float64, h+1)
+	wWait := make([]float64, h+1)
+
+	splitWork := 0.0
+	for j := 1; j <= h-1; j++ {
+		splitWork += s.ProdPrF(j) * c.Sp(j, h)
+	}
+
+	for i := 1; i <= h; i++ {
+		if i == 1 {
+			tS[1] = c.Se(1, h)
+			tU[1] = c.M(h) + splitWork*wi // restructuring done under the held path
+		} else {
+			tS[i] = c.Se(i, h) + rWait[i-1] + tS[i-1]
+			tU[i] = c.Se(i, h) + wWait[i-1] + tU[i-1]
+		}
+
+		lr := mix.QS * lam[i]
+		lw := (mix.QI + mix.QD) * lam[i]
+		in := qmodel.Input{LambdaR: lr, LambdaW: lw, MuR: 1 / tS[i], MuW: 1 / tU[i]}
+		sol, err := qmodel.Solve(in)
+		if err != nil {
+			return nil, fmt.Errorf("core: level %d: %w", i, err)
+		}
+		if !sol.Stable {
+			res.saturateFrom(i, lam, mix.QS)
+			return res, nil
+		}
+		rWait[i] = qmodel.MM1Wait(sol.RhoW, sol.TA)
+		wWait[i] = rWait[i] + sol.RhoW*sol.RU + (1-sol.RhoW)*sol.RE
+
+		res.Levels[i-1] = LevelResult{
+			Level: i, LambdaR: lr, LambdaW: lw, MuR: in.MuR, MuW: in.MuW,
+			RhoW: sol.RhoW, RU: sol.RU, RE: sol.RE,
+			R: rWait[i], W: wWait[i], Stable: sol.Stable,
+		}
+	}
+
+	for i := 1; i <= h; i++ {
+		res.RespSearch += c.Se(i, h) + rWait[i]
+		if i >= 2 {
+			res.RespDelete += c.Se(i, h) + wWait[i]
+			res.RespInsert += c.Se(i, h) + wWait[i]
+		}
+	}
+	res.RespDelete += c.M(h) + wWait[1]
+	res.RespInsert += c.M(h) + wWait[1] + splitWork
+	return res, nil
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTwoPhaseNoContentionLimit(t *testing.T) {
+	m := paperModel(t, 5)
+	res, err := AnalyzeTwoPhase(m, paperWorkload(1e-9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stable {
+		t.Fatal("vanishing load unstable")
+	}
+	// Serial costs match NLC's: Per(S) → 17, Per(D) → 22.
+	if math.Abs(res.RespSearch-17) > 0.01 {
+		t.Errorf("RespSearch = %v", res.RespSearch)
+	}
+	if math.Abs(res.RespDelete-22) > 0.01 {
+		t.Errorf("RespDelete = %v", res.RespDelete)
+	}
+}
+
+func TestTwoPhaseIsTheWorstProtocol(t *testing.T) {
+	// 2PL never releases early, so its maximum throughput lower-bounds
+	// Naive Lock-coupling's.
+	m := paperModel(t, 5)
+	mix := paperWorkload(0)
+	tp, err := MaxThroughput(TwoPhase, m, mix, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nlc, err := MaxThroughput(NLC, m, mix, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp >= nlc {
+		t.Fatalf("2PL max %v should be below NLC max %v", tp, nlc)
+	}
+	if tp <= 0 {
+		t.Fatalf("2PL max %v", tp)
+	}
+}
+
+func TestTwoPhaseResponseDominatesNLC(t *testing.T) {
+	m := paperModel(t, 5)
+	mix := paperWorkload(0)
+	tpMax, err := MaxThroughput(TwoPhase, m, mix, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := paperWorkload(0.8 * tpMax)
+	tp, err := AnalyzeTwoPhase(m, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nlc, err := AnalyzeNLC(m, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tp.Stable || !nlc.Stable {
+		t.Fatal("stability at 0.8×2PL max")
+	}
+	if tp.RespInsert <= nlc.RespInsert {
+		t.Errorf("2PL insert %v should exceed NLC %v at equal load", tp.RespInsert, nlc.RespInsert)
+	}
+	if tp.RespSearch <= nlc.RespSearch {
+		t.Errorf("2PL search %v should exceed NLC %v at equal load", tp.RespSearch, nlc.RespSearch)
+	}
+}
+
+func TestTwoPhaseSaturation(t *testing.T) {
+	m := paperModel(t, 5)
+	res, err := AnalyzeTwoPhase(m, paperWorkload(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stable {
+		t.Fatal("λ=10 should saturate 2PL")
+	}
+	if !math.IsInf(res.RespInsert, 1) {
+		t.Fatal("saturated response should be +Inf")
+	}
+}
+
+func TestTwoPhaseDispatch(t *testing.T) {
+	m := paperModel(t, 5)
+	res, err := Analyze(TwoPhase, m, paperWorkload(0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Algorithm != TwoPhase {
+		t.Fatal("dispatch")
+	}
+	if TwoPhase.String() != "two-phase-locking" {
+		t.Fatal("string")
+	}
+}

@@ -1,0 +1,184 @@
+package diskbtree
+
+import (
+	"container/list"
+	"fmt"
+
+	"btreeperf/internal/pagestore"
+	"sync"
+)
+
+// frame is a buffer-pool slot holding one decoded node.
+type frame struct {
+	id    pagestore.PageID
+	n     *dnode
+	pins  int
+	dirty bool
+	lru   *list.Element // non-nil iff unpinned (eviction candidate)
+}
+
+// cache is the LRU buffer pool. Protocol: Get pins a frame; the caller
+// may then latch frame.n.mu, use the node, unlatch, and Put. Latches must
+// only be held on pinned frames, so eviction (which only considers
+// unpinned frames) never races with node access.
+type cache struct {
+	mu       sync.Mutex
+	store    *pagestore.Store
+	capacity int
+	frames   map[pagestore.PageID]*frame
+	lruList  *list.List // front = most recently unpinned
+
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+// CacheStats reports buffer-pool effectiveness — the measured counterpart
+// of the LRU-buffering extension of the analytical model.
+type CacheStats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Resident  int
+	Capacity  int
+}
+
+// HitRatio returns hits/(hits+misses), or 1 when there were no accesses.
+func (c CacheStats) HitRatio() float64 {
+	total := c.Hits + c.Misses
+	if total == 0 {
+		return 1
+	}
+	return float64(c.Hits) / float64(total)
+}
+
+func newCache(store *pagestore.Store, capacity int) *cache {
+	if capacity < 4 {
+		capacity = 4
+	}
+	return &cache{
+		store:    store,
+		capacity: capacity,
+		frames:   make(map[pagestore.PageID]*frame, capacity),
+		lruList:  list.New(),
+	}
+}
+
+// get returns the pinned frame for a page, fetching and decoding on miss.
+func (c *cache) get(id pagestore.PageID) (*frame, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if f, ok := c.frames[id]; ok {
+		c.hits++
+		c.pinLocked(f)
+		return f, nil
+	}
+	c.misses++
+	if err := c.evictLocked(); err != nil {
+		return nil, err
+	}
+	payload, err := c.store.Read(id)
+	if err != nil {
+		return nil, err
+	}
+	n, err := decodeNode(payload)
+	if err != nil {
+		return nil, fmt.Errorf("diskbtree: page %d: %w", id, err)
+	}
+	f := &frame{id: id, n: n, pins: 1}
+	c.frames[id] = f
+	return f, nil
+}
+
+// create allocates a fresh page and returns its pinned, dirty frame
+// holding the given (fully initialized) node.
+func (c *cache) create(n *dnode) (*frame, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.evictLocked(); err != nil {
+		return nil, err
+	}
+	id, err := c.store.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	f := &frame{id: id, n: n, pins: 1, dirty: true}
+	c.frames[id] = f
+	return f, nil
+}
+
+// put unpins a frame, recording whether the caller modified the node.
+func (c *cache) put(f *frame, dirty bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if f.pins <= 0 {
+		panic("diskbtree: put of unpinned frame")
+	}
+	f.dirty = f.dirty || dirty
+	f.pins--
+	if f.pins == 0 {
+		f.lru = c.lruList.PushFront(f)
+	}
+}
+
+// pinLocked pins a cached frame, removing it from the eviction list.
+func (c *cache) pinLocked(f *frame) {
+	f.pins++
+	if f.lru != nil {
+		c.lruList.Remove(f.lru)
+		f.lru = nil
+	}
+}
+
+// evictLocked makes room for one more frame by writing back and dropping
+// the least recently used unpinned frame, if the pool is full.
+func (c *cache) evictLocked() error {
+	for len(c.frames) >= c.capacity {
+		tail := c.lruList.Back()
+		if tail == nil {
+			return fmt.Errorf("diskbtree: buffer pool exhausted (%d frames, all pinned)", len(c.frames))
+		}
+		f := tail.Value.(*frame)
+		if f.dirty {
+			if err := c.store.Write(f.id, f.n.encode()); err != nil {
+				return err
+			}
+			f.dirty = false
+		}
+		c.lruList.Remove(tail)
+		delete(c.frames, f.id)
+		c.evictions++
+	}
+	return nil
+}
+
+// flush writes every dirty frame back to the store. It must only be
+// called when the tree is quiescent: it reads node contents without
+// latching them (latching under c.mu would invert the lock order with
+// put), so concurrent mutators would race.
+func (c *cache) flush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, f := range c.frames {
+		if f.dirty {
+			if err := c.store.Write(f.id, f.n.encode()); err != nil {
+				return err
+			}
+			f.dirty = false
+		}
+	}
+	return nil
+}
+
+// stats snapshots the counters.
+func (c *cache) statsSnapshot() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Resident:  len(c.frames),
+		Capacity:  c.capacity,
+	}
+}

@@ -1,0 +1,44 @@
+package diskbtree
+
+// Cursor iterates keys in ascending order. It is seek-based (each Next
+// re-locates the successor of the last key), so it holds no latches or
+// pins between calls and stays valid under concurrent updates. A Cursor
+// must not be shared between goroutines.
+type Cursor struct {
+	t       *Tree
+	nextKey int64
+	done    bool
+
+	// Current position, valid after a true Next.
+	Key int64
+	Val uint64
+}
+
+// Cursor returns a cursor positioned before the first key >= start.
+func (t *Tree) Cursor(start int64) *Cursor {
+	return &Cursor{t: t, nextKey: start}
+}
+
+// Next advances to the next key, reporting false at the end or on error
+// (check Err).
+func (c *Cursor) Next() (bool, error) {
+	if c.done {
+		return false, nil
+	}
+	k, v, ok, err := c.t.SearchGE(c.nextKey)
+	if err != nil {
+		c.done = true
+		return false, err
+	}
+	if !ok {
+		c.done = true
+		return false, nil
+	}
+	c.Key, c.Val = k, v
+	if k == 1<<63-1 {
+		c.done = true
+	} else {
+		c.nextKey = k + 1
+	}
+	return true, nil
+}

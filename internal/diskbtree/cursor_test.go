@@ -1,0 +1,35 @@
+package diskbtree
+
+import "testing"
+
+func TestDiskCursor(t *testing.T) {
+	tr, _ := openTemp(t, Options{Cap: 8, CacheNodes: 16})
+	defer tr.Close()
+	for i := int64(0); i < 300; i++ {
+		tr.Insert(i*2, uint64(i))
+	}
+	c := tr.Cursor(100)
+	n := 0
+	last := int64(-1)
+	for {
+		ok, err := c.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if c.Key <= last || c.Key < 100 {
+			t.Fatalf("cursor order violated at %d", c.Key)
+		}
+		last = c.Key
+		n++
+	}
+	if n != 250 {
+		t.Fatalf("saw %d keys", n)
+	}
+	ok, err := c.Next()
+	if ok || err != nil {
+		t.Fatal("exhausted cursor advanced")
+	}
+}

@@ -1,0 +1,180 @@
+// Package diskbtree is a disk-backed concurrent B⁺-tree: the Lehman–Yao
+// (Link-type) protocol — the paper's winning algorithm — running over
+// fixed-size pages with an LRU buffer pool. It makes the paper's abstract
+// "disk cost D" concrete: node accesses that miss the buffer pool perform
+// real page I/O, and the pool's hit ratio is exactly the quantity the
+// LRU-buffering extension of the analytical model (core.BufferedCosts)
+// predicts from the tree shape.
+//
+// Concurrency: any number of goroutines may call Search, Insert, Delete
+// and Range concurrently. Each buffered node carries its own FCFS
+// reader/writer latch; operations hold at most one latch at a time and
+// recover from concurrent splits through right links, exactly as in
+// internal/cbtree.
+//
+// Durability: all dirty pages reach the file on Sync or Close, and the
+// root pointer and key count persist in the store's meta page. The tree
+// is NOT crash-atomic — there is no write-ahead log, so a crash between
+// the page writes of a split can lose recent updates (a clean Close is
+// required). Restructuring is lazy merge-at-empty, as everywhere in this
+// repository.
+package diskbtree
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"btreeperf/internal/lock"
+	"btreeperf/internal/pagestore"
+)
+
+// MaxCap is the largest node capacity a 4 KiB page can hold
+// (16 bytes per item plus the header).
+const MaxCap = 250
+
+// headerSize is the serialized node header:
+// level(2) flags(1) pad(1) nkeys(4) high(8) right(8).
+const headerSize = 24
+
+// dnode is the in-memory (decoded) form of a node page. All fields are
+// guarded by mu; level is immutable after creation.
+type dnode struct {
+	mu       lock.FCFSRWMutex
+	level    int
+	keys     []int64
+	vals     []uint64           // leaves
+	children []pagestore.PageID // internal nodes
+	right    pagestore.PageID   // 0 = rightmost
+	high     int64
+	hasHigh  bool
+}
+
+func (n *dnode) isLeaf() bool { return n.level == 1 }
+
+func (n *dnode) items() int {
+	if n.isLeaf() {
+		return len(n.keys)
+	}
+	return len(n.children)
+}
+
+func (n *dnode) covers(key int64) bool { return !n.hasHigh || key < n.high }
+
+func (n *dnode) childIndex(key int64) int {
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if key < n.keys[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+func (n *dnode) keyIndex(key int64) (int, bool) {
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if n.keys[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(n.keys) && n.keys[lo] == key
+}
+
+// encode serializes the node into a page payload. Caller holds n.mu.
+func (n *dnode) encode() []byte {
+	itemBytes := 16 * n.items()
+	buf := make([]byte, headerSize+itemBytes+8)
+	binary.LittleEndian.PutUint16(buf[0:], uint16(n.level))
+	var flags byte
+	if n.hasHigh {
+		flags |= 1
+	}
+	buf[2] = flags
+	binary.LittleEndian.PutUint32(buf[4:], uint32(len(n.keys)))
+	binary.LittleEndian.PutUint64(buf[8:], uint64(n.high))
+	binary.LittleEndian.PutUint64(buf[16:], uint64(n.right))
+	off := headerSize
+	for _, k := range n.keys {
+		binary.LittleEndian.PutUint64(buf[off:], uint64(k))
+		off += 8
+	}
+	if n.isLeaf() {
+		for _, v := range n.vals {
+			binary.LittleEndian.PutUint64(buf[off:], v)
+			off += 8
+		}
+	} else {
+		for _, c := range n.children {
+			binary.LittleEndian.PutUint64(buf[off:], uint64(c))
+			off += 8
+		}
+	}
+	return buf[:off]
+}
+
+// decodeNode parses a page payload.
+func decodeNode(buf []byte) (*dnode, error) {
+	if len(buf) < headerSize {
+		return nil, fmt.Errorf("diskbtree: short page (%d bytes)", len(buf))
+	}
+	n := &dnode{
+		level:   int(binary.LittleEndian.Uint16(buf[0:])),
+		hasHigh: buf[2]&1 != 0,
+		high:    int64(binary.LittleEndian.Uint64(buf[8:])),
+		right:   pagestore.PageID(binary.LittleEndian.Uint64(buf[16:])),
+	}
+	if n.level < 1 {
+		return nil, fmt.Errorf("diskbtree: bad node level %d", n.level)
+	}
+	nkeys := int(binary.LittleEndian.Uint32(buf[4:]))
+	if nkeys > MaxCap+1 {
+		return nil, fmt.Errorf("diskbtree: implausible key count %d", nkeys)
+	}
+	nvals := nkeys
+	if !n.isLeaf() {
+		nvals = nkeys + 1 // children
+	}
+	need := headerSize + 8*nkeys + 8*nvals
+	if len(buf) < need {
+		return nil, fmt.Errorf("diskbtree: truncated node (%d < %d)", len(buf), need)
+	}
+	off := headerSize
+	n.keys = make([]int64, nkeys)
+	for i := range n.keys {
+		n.keys[i] = int64(binary.LittleEndian.Uint64(buf[off:]))
+		off += 8
+	}
+	if n.isLeaf() {
+		n.vals = make([]uint64, nkeys)
+		for i := range n.vals {
+			n.vals[i] = binary.LittleEndian.Uint64(buf[off:])
+			off += 8
+		}
+	} else {
+		n.children = make([]pagestore.PageID, nvals)
+		for i := range n.children {
+			n.children[i] = pagestore.PageID(binary.LittleEndian.Uint64(buf[off:]))
+			off += 8
+		}
+	}
+	return n, nil
+}
+
+func insertAt[T any](s []T, i int, v T) []T {
+	var zero T
+	s = append(s, zero)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+func removeAt[T any](s []T, i int) []T {
+	copy(s[i:], s[i+1:])
+	return s[:len(s)-1]
+}

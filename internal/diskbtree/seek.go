@@ -1,0 +1,43 @@
+package diskbtree
+
+// SearchGE returns the smallest stored key >= key and its value
+// (an ordered "seek"); ok is false when no such key exists.
+func (t *Tree) SearchGE(key int64) (k int64, v uint64, ok bool, err error) {
+	id, _, err := t.descend(key, false)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	f, err := t.rLatch(id)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	f, err = t.moveRightR(f, key)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	for {
+		i, _ := f.n.keyIndex(key)
+		if i < len(f.n.keys) {
+			k, v = f.n.keys[i], f.n.vals[i]
+			t.rUnlatch(f)
+			return k, v, true, nil
+		}
+		next := f.n.right
+		if next == 0 {
+			t.rUnlatch(f)
+			return 0, 0, false, nil
+		}
+		nf, err := t.rLatch(next)
+		if err != nil {
+			t.rUnlatch(f)
+			return 0, 0, false, err
+		}
+		t.rUnlatch(f)
+		f = nf
+	}
+}
+
+// Min returns the smallest key in the tree.
+func (t *Tree) Min() (k int64, v uint64, ok bool, err error) {
+	return t.SearchGE(-1 << 63)
+}

@@ -1,0 +1,550 @@
+package diskbtree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync/atomic"
+
+	"btreeperf/internal/journal"
+	"btreeperf/internal/pagestore"
+)
+
+// Tree is a disk-backed concurrent B⁺-tree under the Lehman–Yao protocol.
+// Create or reopen one with Open; see the package comment for the
+// concurrency and durability contract.
+type Tree struct {
+	store *pagestore.Store
+	cache *cache
+	cap   int
+	root  atomic.Uint64 // pagestore.PageID of the root
+	size  atomic.Int64
+
+	jnl       *journal.Journal // nil when not durable
+	replaying bool             // recovery replay in progress; skip oplog appends
+
+	splits    atomic.Int64
+	crossings atomic.Int64
+	recovered atomic.Int64 // operations replayed at the last Open
+}
+
+// Options configures Open.
+type Options struct {
+	// Cap is the maximum items per node (3..MaxCap). Default 128.
+	Cap int
+	// CacheNodes is the buffer-pool capacity in nodes. Default 1024.
+	CacheNodes int
+	// Durable enables crash recovery: a rollback journal (page pre-images
+	// under the write-ahead rule) plus a logical oplog, both reset at each
+	// Sync. Opening a durable tree after a crash rewinds to the last Sync
+	// and replays the logged operations.
+	Durable bool
+	// SyncOps, with Durable, fsyncs the oplog on every Insert/Delete so
+	// each acknowledged operation survives a crash (slower). Without it,
+	// operations are durable at the next Sync.
+	SyncOps bool
+}
+
+// Open opens (creating if necessary) a tree stored at path.
+func Open(path string, opts Options) (*Tree, error) {
+	if opts.Cap == 0 {
+		opts.Cap = 128
+	}
+	if opts.Cap < 3 || opts.Cap > MaxCap {
+		return nil, fmt.Errorf("diskbtree: capacity %d outside [3, %d]", opts.Cap, MaxCap)
+	}
+	if opts.CacheNodes == 0 {
+		opts.CacheNodes = 1024
+	}
+	store, err := pagestore.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	t := &Tree{store: store, cache: newCache(store, opts.CacheNodes), cap: opts.Cap}
+
+	if store.Root() == 0 {
+		// Fresh tree: write an empty leaf root.
+		f, err := t.cache.create(&dnode{level: 1})
+		if err != nil {
+			store.Close()
+			return nil, err
+		}
+		t.cache.put(f, true)
+		t.root.Store(uint64(f.id))
+		if err := t.persistMeta(); err != nil {
+			store.Close()
+			return nil, err
+		}
+		if opts.Durable {
+			if err := t.attachJournal(path, opts.SyncOps); err != nil {
+				store.Close()
+				return nil, err
+			}
+		}
+		return t, nil
+	}
+
+	t.root.Store(uint64(store.Root()))
+	ud := store.UserData()
+	t.size.Store(int64(binary.LittleEndian.Uint64(ud[:8])))
+	storedCap := int(binary.LittleEndian.Uint64(ud[8:16]))
+	if storedCap != 0 && storedCap != opts.Cap {
+		store.Close()
+		return nil, fmt.Errorf("diskbtree: store was created with capacity %d, not %d", storedCap, opts.Cap)
+	}
+	if opts.Durable {
+		if err := t.attachJournal(path, opts.SyncOps); err != nil {
+			store.Close()
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// attachJournal opens the journal, recovers a prior epoch if one exists,
+// and installs the write guard.
+func (t *Tree) attachJournal(path string, syncOps bool) error {
+	j, err := journal.Open(path, t.store, syncOps)
+	if err != nil {
+		return err
+	}
+	t.jnl = j
+	ops, err := j.Recover()
+	if err != nil {
+		return err
+	}
+	// The store may have been rewound: reload the root and size.
+	t.root.Store(uint64(t.store.Root()))
+	ud := t.store.UserData()
+	t.size.Store(int64(binary.LittleEndian.Uint64(ud[:8])))
+
+	// Guard page writes from here on, so a crash during replay rewinds to
+	// the same checkpoint and replays again (both steps are idempotent).
+	t.store.SetWriteGuard(j.Guard)
+
+	// Replay the logged operations (idempotent set semantics).
+	t.replaying = true
+	for _, op := range ops {
+		var err error
+		switch op.Kind {
+		case journal.OpInsert:
+			_, err = t.Insert(op.Key, op.Val)
+		case journal.OpDelete:
+			_, err = t.Delete(op.Key)
+		}
+		if err != nil {
+			t.replaying = false
+			return fmt.Errorf("diskbtree: replay: %w", err)
+		}
+	}
+	t.replaying = false
+	t.recovered.Store(int64(len(ops)))
+
+	// Open a clean epoch.
+	return t.Sync()
+}
+
+// Recovered returns the number of operations replayed by the last Open
+// (always zero after a clean shutdown).
+func (t *Tree) Recovered() int { return int(t.recovered.Load()) }
+
+// persistMeta records the root, size and capacity in the store's meta page.
+func (t *Tree) persistMeta() error {
+	var ud [64]byte
+	binary.LittleEndian.PutUint64(ud[:8], uint64(t.size.Load()))
+	binary.LittleEndian.PutUint64(ud[8:16], uint64(t.cap))
+	if err := t.store.SetUserData(ud); err != nil {
+		return err
+	}
+	return t.store.SetRoot(pagestore.PageID(t.root.Load()))
+}
+
+// Sync flushes all dirty nodes and the meta page to the file; with a
+// durable tree it then checkpoints the journal, opening a fresh epoch.
+// The tree must be quiescent.
+func (t *Tree) Sync() error {
+	if err := t.cache.flush(); err != nil {
+		return err
+	}
+	if err := t.persistMeta(); err != nil {
+		return err
+	}
+	if err := t.store.Sync(); err != nil {
+		return err
+	}
+	if t.jnl != nil {
+		return t.jnl.Checkpoint()
+	}
+	return nil
+}
+
+// Close syncs and closes the underlying store. The tree must be quiescent.
+func (t *Tree) Close() error {
+	if err := t.Sync(); err != nil {
+		t.store.Close()
+		return err
+	}
+	if t.jnl != nil {
+		if err := t.jnl.Close(); err != nil {
+			t.store.Close()
+			return err
+		}
+	}
+	return t.store.Close()
+}
+
+// logOp appends a logical operation to the oplog (durable trees only).
+func (t *Tree) logOp(kind journal.OpKind, key int64, val uint64) error {
+	if t.jnl == nil || t.replaying {
+		return nil
+	}
+	return t.jnl.Append(journal.Op{Kind: kind, Key: key, Val: val})
+}
+
+// Len returns the number of keys.
+func (t *Tree) Len() int { return int(t.size.Load()) }
+
+// Cap returns the node capacity.
+func (t *Tree) Cap() int { return t.cap }
+
+// CacheStats reports buffer-pool hit/miss/eviction counts.
+func (t *Tree) CacheStats() CacheStats { return t.cache.statsSnapshot() }
+
+// Stats reports structural counters.
+func (t *Tree) Stats() (splits, crossings int64) {
+	return t.splits.Load(), t.crossings.Load()
+}
+
+// rootID loads the current root page id.
+func (t *Tree) rootID() pagestore.PageID { return pagestore.PageID(t.root.Load()) }
+
+// ---------------------------------------------------------------------------
+// Latch-by-page helpers. Each returns a pinned frame whose node is latched
+// in the requested mode; release with rUnlatch / wUnlatch.
+
+func (t *Tree) rLatch(id pagestore.PageID) (*frame, error) {
+	f, err := t.cache.get(id)
+	if err != nil {
+		return nil, err
+	}
+	f.n.mu.RLock()
+	return f, nil
+}
+
+func (t *Tree) rUnlatch(f *frame) {
+	f.n.mu.RUnlock()
+	t.cache.put(f, false)
+}
+
+func (t *Tree) wLatch(id pagestore.PageID) (*frame, error) {
+	f, err := t.cache.get(id)
+	if err != nil {
+		return nil, err
+	}
+	f.n.mu.Lock()
+	return f, nil
+}
+
+func (t *Tree) wUnlatch(f *frame, dirty bool) {
+	f.n.mu.Unlock()
+	t.cache.put(f, dirty)
+}
+
+// moveRightR follows right links under shared latches until the node
+// covers key.
+func (t *Tree) moveRightR(f *frame, key int64) (*frame, error) {
+	for !f.n.covers(key) {
+		right := f.n.right
+		t.rUnlatch(f)
+		t.crossings.Add(1)
+		var err error
+		f, err = t.rLatch(right)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// moveRightW is moveRightR with exclusive latches.
+func (t *Tree) moveRightW(f *frame, key int64) (*frame, error) {
+	for !f.n.covers(key) {
+		right := f.n.right
+		t.wUnlatch(f, false)
+		t.crossings.Add(1)
+		var err error
+		f, err = t.wLatch(right)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// descend returns the (unlatched) leaf page covering key, optionally
+// recording the ancestor page ids for split repair.
+func (t *Tree) descend(key int64, wantStack bool) (pagestore.PageID, []pagestore.PageID, error) {
+	var stack []pagestore.PageID
+	id := t.rootID()
+	for {
+		f, err := t.rLatch(id)
+		if err != nil {
+			return 0, nil, err
+		}
+		if f.n.isLeaf() {
+			t.rUnlatch(f)
+			return id, stack, nil
+		}
+		f, err = t.moveRightR(f, key)
+		if err != nil {
+			return 0, nil, err
+		}
+		child := f.n.children[f.n.childIndex(key)]
+		if wantStack {
+			stack = append(stack, f.id)
+		}
+		t.rUnlatch(f)
+		id = child
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Public operations.
+
+// Search returns the value stored under key.
+func (t *Tree) Search(key int64) (uint64, bool, error) {
+	id, _, err := t.descend(key, false)
+	if err != nil {
+		return 0, false, err
+	}
+	f, err := t.rLatch(id)
+	if err != nil {
+		return 0, false, err
+	}
+	f, err = t.moveRightR(f, key)
+	if err != nil {
+		return 0, false, err
+	}
+	i, ok := f.n.keyIndex(key)
+	var v uint64
+	if ok {
+		v = f.n.vals[i]
+	}
+	t.rUnlatch(f)
+	return v, ok, nil
+}
+
+// Insert stores key→val; a fresh insertion reports true.
+func (t *Tree) Insert(key int64, val uint64) (bool, error) {
+	id, stack, err := t.descend(key, true)
+	if err != nil {
+		return false, err
+	}
+	f, err := t.wLatch(id)
+	if err != nil {
+		return false, err
+	}
+	f, err = t.moveRightW(f, key)
+	if err != nil {
+		return false, err
+	}
+	if i, ok := f.n.keyIndex(key); ok {
+		f.n.vals[i] = val
+		t.wUnlatch(f, true)
+		return false, t.logOp(journal.OpInsert, key, val)
+	}
+	i, _ := f.n.keyIndex(key)
+	f.n.keys = insertAt(f.n.keys, i, key)
+	f.n.vals = insertAt(f.n.vals, i, val)
+	t.size.Add(1)
+	if err := t.repairSplits(f, stack); err != nil {
+		return false, err
+	}
+	return true, t.logOp(journal.OpInsert, key, val)
+}
+
+// repairSplits performs half-splits bottom-up starting from the latched,
+// pinned frame f, releasing it when done.
+func (t *Tree) repairSplits(f *frame, stack []pagestore.PageID) error {
+	for f.n.items() > t.cap {
+		sib, sep, err := t.split(f)
+		if err != nil {
+			t.wUnlatch(f, true)
+			return err
+		}
+		if len(stack) == 0 && t.rootID() == f.id {
+			err := t.growRoot(f, sep, sib)
+			t.wUnlatch(f, true)
+			return err
+		}
+		level := f.n.level + 1
+		t.wUnlatch(f, true)
+
+		var parentID pagestore.PageID
+		if len(stack) > 0 {
+			parentID = stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+		} else {
+			parentID, err = t.locate(level, sep)
+			if err != nil {
+				return err
+			}
+		}
+		f, err = t.wLatch(parentID)
+		if err != nil {
+			return err
+		}
+		f, err = t.moveRightW(f, sep)
+		if err != nil {
+			return err
+		}
+		i := f.n.childIndex(sep)
+		f.n.keys = insertAt(f.n.keys, i, sep)
+		f.n.children = insertAt(f.n.children, i+1, sib)
+	}
+	t.wUnlatch(f, true)
+	return nil
+}
+
+// split moves the upper half of the latched node into a fresh page. The
+// sibling page is fully written into the buffer pool before the right
+// link is published, so the release of f's latch orders its contents for
+// every later reader.
+func (t *Tree) split(f *frame) (pagestore.PageID, int64, error) {
+	t.splits.Add(1)
+	n := f.n
+	sib := &dnode{level: n.level}
+	var sep int64
+	if n.isLeaf() {
+		m := (len(n.keys) + 1) / 2
+		sib.keys = append(sib.keys, n.keys[m:]...)
+		sib.vals = append(sib.vals, n.vals[m:]...)
+		n.keys = n.keys[:m:m]
+		n.vals = n.vals[:m:m]
+		sep = sib.keys[0]
+	} else {
+		m := (len(n.children) + 1) / 2
+		sep = n.keys[m-1]
+		sib.children = append(sib.children, n.children[m:]...)
+		sib.keys = append(sib.keys, n.keys[m:]...)
+		n.children = n.children[:m:m]
+		n.keys = n.keys[: m-1 : m-1]
+	}
+	sib.high, sib.hasHigh = n.high, n.hasHigh
+	sib.right = n.right
+	sf, err := t.cache.create(sib)
+	if err != nil {
+		return 0, 0, err
+	}
+	t.cache.put(sf, true)
+	n.right = sf.id
+	n.high, n.hasHigh = sep, true
+	return sf.id, sep, nil
+}
+
+// growRoot installs a new root above the split old root (whose pinned,
+// latched frame the caller passes, having verified it is still the root).
+func (t *Tree) growRoot(old *frame, sep int64, sib pagestore.PageID) error {
+	rf, err := t.cache.create(&dnode{
+		level:    old.n.level + 1,
+		keys:     []int64{sep},
+		children: []pagestore.PageID{old.id, sib},
+	})
+	if err != nil {
+		return err
+	}
+	t.cache.put(rf, true)
+	if !t.root.CompareAndSwap(uint64(old.id), uint64(rf.id)) {
+		panic("diskbtree: concurrent root replacement")
+	}
+	return nil
+}
+
+// locate descends to the page at the given level covering key (used when
+// the root grew past the remembered ancestor stack).
+func (t *Tree) locate(level int, key int64) (pagestore.PageID, error) {
+	id := t.rootID()
+	for {
+		f, err := t.rLatch(id)
+		if err != nil {
+			return 0, err
+		}
+		if f.n.level == level {
+			t.rUnlatch(f)
+			return id, nil
+		}
+		f, err = t.moveRightR(f, key)
+		if err != nil {
+			return 0, err
+		}
+		child := f.n.children[f.n.childIndex(key)]
+		t.rUnlatch(f)
+		id = child
+	}
+}
+
+// Delete removes key, reporting whether it was present. Emptied leaves
+// stay in place (lazy merge-at-empty).
+func (t *Tree) Delete(key int64) (bool, error) {
+	id, _, err := t.descend(key, false)
+	if err != nil {
+		return false, err
+	}
+	f, err := t.wLatch(id)
+	if err != nil {
+		return false, err
+	}
+	f, err = t.moveRightW(f, key)
+	if err != nil {
+		return false, err
+	}
+	i, ok := f.n.keyIndex(key)
+	if !ok {
+		t.wUnlatch(f, false)
+		return false, nil
+	}
+	f.n.keys = removeAt(f.n.keys, i)
+	f.n.vals = removeAt(f.n.vals, i)
+	t.size.Add(-1)
+	t.wUnlatch(f, true)
+	return true, t.logOp(journal.OpDelete, key, 0)
+}
+
+// Range calls fn for each key in [lo, hi] ascending, stopping early if fn
+// returns false. It walks the leaf chain with latch coupling.
+func (t *Tree) Range(lo, hi int64, fn func(key int64, val uint64) bool) error {
+	id, _, err := t.descend(lo, false)
+	if err != nil {
+		return err
+	}
+	f, err := t.rLatch(id)
+	if err != nil {
+		return err
+	}
+	f, err = t.moveRightR(f, lo)
+	if err != nil {
+		return err
+	}
+	for {
+		for i, k := range f.n.keys {
+			if k < lo {
+				continue
+			}
+			if k > hi || !fn(k, f.n.vals[i]) {
+				t.rUnlatch(f)
+				return nil
+			}
+		}
+		next := f.n.right
+		if next == 0 {
+			t.rUnlatch(f)
+			return nil
+		}
+		nf, err := t.rLatch(next)
+		if err != nil {
+			t.rUnlatch(f)
+			return err
+		}
+		t.rUnlatch(f)
+		f = nf
+	}
+}

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+
+	"btreeperf/internal/table"
+)
+
+func TestAllFiguresRegistered(t *testing.T) {
+	figs := All()
+	if len(figs) != 14 {
+		t.Fatalf("%d figures registered, want 14 (Figures 3–16)", len(figs))
+	}
+	seen := map[string]bool{}
+	for _, f := range figs {
+		if f.ID == "" || f.Title == "" || f.Run == nil {
+			t.Errorf("incomplete figure %+v", f.ID)
+		}
+		if seen[f.ID] {
+			t.Errorf("duplicate id %s", f.ID)
+		}
+		seen[f.ID] = true
+	}
+}
+
+func TestByID(t *testing.T) {
+	for _, id := range []string{"fig03", "3", "03"} {
+		f, ok := ByID(id)
+		if !ok || f.ID != "fig03" {
+			t.Errorf("ByID(%q) = %v, %v", id, f.ID, ok)
+		}
+	}
+	if _, ok := ByID("fig99"); ok {
+		t.Error("ByID(fig99) matched")
+	}
+	if _, ok := ByID("bogus"); ok {
+		t.Error("ByID(bogus) matched")
+	}
+}
+
+// runQuick executes a figure in quick mode and returns its table.
+func runQuick(t *testing.T, id string) *table.Table {
+	t.Helper()
+	f, ok := ByID(id)
+	if !ok {
+		t.Fatalf("figure %s missing", id)
+	}
+	tb, err := f.Run(Options{Quick: true, Seeds: 1, Ops: 1500})
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if len(tb.Rows) == 0 {
+		t.Fatalf("%s produced no rows", id)
+	}
+	return tb
+}
+
+func TestFig03Quick(t *testing.T) {
+	tb := runQuick(t, "fig03")
+	if len(tb.Columns) != 7 {
+		t.Fatalf("columns: %v", tb.Columns)
+	}
+	// Response times grow monotonically along the sweep (model column).
+	prev := -1.0
+	for _, row := range tb.Rows {
+		v := parseF(t, row[1])
+		if v <= prev {
+			t.Fatalf("model response not increasing: %v", tb.Rows)
+		}
+		prev = v
+	}
+}
+
+func TestFig09Quick(t *testing.T) {
+	tb := runQuick(t, "fig09")
+	// Crossings per op must be tiny in every row.
+	for _, row := range tb.Rows {
+		if v := parseF(t, row[5]); v > 0.05 {
+			t.Fatalf("crossings per op %v", v)
+		}
+	}
+}
+
+func TestFig11Quick(t *testing.T) {
+	tb := runQuick(t, "fig11")
+	prev := 1e18
+	for _, row := range tb.Rows {
+		v := parseF(t, row[1])
+		if v >= prev {
+			t.Fatalf("max throughput not decreasing in disk cost: %v", tb.Rows)
+		}
+		prev = v
+	}
+}
+
+func TestFig13Quick(t *testing.T) {
+	tb := runQuick(t, "fig13")
+	// Every row: rule of thumb within a factor ~2 of the model at D=1.
+	for _, row := range tb.Rows {
+		if row[0] != "1" {
+			continue
+		}
+		model := parseF(t, row[2])
+		rot := parseF(t, row[3])
+		if rot < model/2 || rot > model*2 {
+			t.Fatalf("rule of thumb %v vs model %v", rot, model)
+		}
+	}
+}
+
+func TestFig15Quick(t *testing.T) {
+	tb := runQuick(t, "fig15")
+	// Model columns: naive >= leaf >= none in every row.
+	for _, row := range tb.Rows {
+		none := parseF(t, row[1])
+		leaf := parseF(t, row[2])
+		naive := parseF(t, row[3])
+		if !(naive >= leaf && leaf >= none*0.999) {
+			t.Fatalf("recovery ordering violated: none=%v leaf=%v naive=%v", none, leaf, naive)
+		}
+	}
+}
+
+func parseF(t *testing.T, s string) float64 {
+	t.Helper()
+	if s == "inf" {
+		return 1e18
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("bad cell %q: %v", s, err)
+	}
+	return v
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import "testing"
+
+func TestExtrasRegistered(t *testing.T) {
+	ex := Extras()
+	if len(ex) != 4 {
+		t.Fatalf("%d extras", len(ex))
+	}
+	for _, id := range []string{"extA", "extB", "extC", "extD"} {
+		if _, ok := ByID(id); !ok {
+			t.Errorf("%s not resolvable", id)
+		}
+	}
+}
+
+func TestExtMergePolicyQuick(t *testing.T) {
+	tb := runQuick(t, "extA")
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows: %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		empty := parseF(t, row[2])
+		half := parseF(t, row[3])
+		if half <= empty {
+			t.Errorf("merge-at-half restructuring (%v) should exceed merge-at-empty (%v) for mix %v/%v",
+				half, empty, row[0], row[1])
+		}
+		// Merge-at-half buys somewhat higher utilization.
+		if parseF(t, row[5]) <= parseF(t, row[4])*0.95 {
+			t.Errorf("merge-at-half utilization unexpectedly low: %v vs %v", row[5], row[4])
+		}
+	}
+}
+
+func TestExtTwoPhaseQuick(t *testing.T) {
+	tb := runQuick(t, "extB")
+	// Row 0: max throughputs in order 2PL < NLC < OD < Link.
+	maxes := make([]float64, 4)
+	for i := 0; i < 4; i++ {
+		maxes[i] = parseF(t, tb.Rows[0][i+1])
+	}
+	if !(maxes[0] < maxes[1] && maxes[1] < maxes[2] && maxes[2] < maxes[3]) {
+		t.Errorf("max throughput ordering violated: %v", maxes)
+	}
+}
+
+func TestExtBufferingQuick(t *testing.T) {
+	tb := runQuick(t, "extC")
+	// Max throughput rises monotonically with the pool.
+	prev := -1.0
+	for _, row := range tb.Rows {
+		v := parseF(t, row[2])
+		if v <= prev {
+			t.Fatalf("NLC max not rising with pool: %v", tb.Rows)
+		}
+		prev = v
+	}
+	// Hit ratio 0 at pool 0, 1 at the largest pool.
+	if parseF(t, tb.Rows[0][1]) != 0 {
+		t.Fatalf("pool 0 hit ratio %v", tb.Rows[0][1])
+	}
+	// The 5000-node pool covers all but a sliver of the ~4500 leaves.
+	if parseF(t, tb.Rows[len(tb.Rows)-1][1]) < 0.99 {
+		t.Fatalf("large pool hit ratio %v", tb.Rows[len(tb.Rows)-1][1])
+	}
+}
+
+func TestExtSkewQuick(t *testing.T) {
+	tb := runQuick(t, "extD")
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows: %d", len(tb.Rows))
+	}
+	uniform := parseF(t, tb.Rows[0][1])
+	skew80 := parseF(t, tb.Rows[1][1])
+	skew95 := parseF(t, tb.Rows[2][1])
+	// Skew concentrates accesses on hot pages: hit ratio must rise.
+	if !(uniform < skew80 && skew80 < skew95) {
+		t.Fatalf("hit ratio should rise with skew: %v %v %v", uniform, skew80, skew95)
+	}
+	// The uniform measurement tracks the uniform-shape model closely.
+	model := parseF(t, tb.Rows[0][2])
+	if uniform < model-0.15 || uniform > model+0.15 {
+		t.Fatalf("uniform measured %v vs model %v", uniform, model)
+	}
+}

@@ -1,0 +1,341 @@
+// Package journal makes a pagestore-backed tree crash-recoverable using
+// the classic rollback-journal + logical-oplog design (as in SQLite's
+// journal mode):
+//
+//   - The rollback journal captures, under the write-ahead rule, the
+//     pre-image of every page overwritten since the last checkpoint,
+//     together with a snapshot of the store's meta state. Restoring it
+//     rewinds the data file to exactly the checkpoint.
+//   - The oplog records every logical operation (insert key→val, delete
+//     key) committed since the checkpoint. Replaying it onto the restored
+//     checkpoint reconstructs all acknowledged state. Records are
+//     CRC-framed, so a torn tail (an operation in flight at the crash) is
+//     detected and dropped.
+//
+// Recovery = restore journal → replay oplog → checkpoint. Both steps are
+// idempotent: page restoration is physical, and insert/delete are
+// set-semantics operations, so crashing during recovery (or replaying ops
+// that already reached a checkpoint) is harmless.
+//
+// A checkpoint (flush pages → fsync data → reset journal atomically via
+// rename → truncate oplog) bounds both files.
+package journal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+
+	"btreeperf/internal/pagestore"
+)
+
+// OpKind labels an oplog record.
+type OpKind byte
+
+const (
+	// OpInsert records insert(key, val).
+	OpInsert OpKind = 1
+	// OpDelete records delete(key).
+	OpDelete OpKind = 2
+)
+
+// Op is one logical operation.
+type Op struct {
+	Kind OpKind
+	Key  int64
+	Val  uint64
+}
+
+const (
+	journalMagic = 0x4254424a // "BTBJ"
+	oplogMagic   = 0x4254424f // "BTBO"
+	journalHdr   = 4 + 8 + 8 + 8 + 64 + 4
+	opRecSize    = 1 + 8 + 8 + 4
+)
+
+// Journal couples a rollback journal and an oplog for one store.
+type Journal struct {
+	mu      sync.Mutex
+	store   *pagestore.Store
+	jf      *os.File
+	of      *os.File
+	jPath   string
+	oPath   string
+	syncOps bool
+
+	captured   map[pagestore.PageID]bool
+	checkpoint struct {
+		pages, freeHead, root pagestore.PageID
+		userData              [64]byte
+	}
+}
+
+// Open attaches a journal to the store, using path+".journal" and
+// path+".oplog". If the files hold a prior epoch's data, the caller must
+// run Recover (then replay the returned ops and Checkpoint) before using
+// the store. syncOps controls whether every logged operation is fsync'd
+// (durable per op) or left to the OS (durable at checkpoint).
+func Open(path string, store *pagestore.Store, syncOps bool) (*Journal, error) {
+	j := &Journal{
+		store:    store,
+		jPath:    path + ".journal",
+		oPath:    path + ".oplog",
+		syncOps:  syncOps,
+		captured: make(map[pagestore.PageID]bool),
+	}
+	var err error
+	j.jf, err = os.OpenFile(j.jPath, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	j.of, err = os.OpenFile(j.oPath, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		j.jf.Close()
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	return j, nil
+}
+
+// Close closes the journal files without checkpointing.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	err1 := j.jf.Close()
+	err2 := j.of.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// NeedsRecovery reports whether the journal holds a prior epoch
+// (a non-empty journal file).
+func (j *Journal) NeedsRecovery() (bool, error) {
+	st, err := j.jf.Stat()
+	if err != nil {
+		return false, err
+	}
+	return st.Size() > 0, nil
+}
+
+// Guard is the pagestore.WriteGuard: it captures the page's pre-image
+// (once per epoch) before the store overwrites it.
+func (j *Journal) Guard(id pagestore.PageID) error {
+	j.mu.Lock()
+	if j.captured[id] || id >= j.checkpoint.pages {
+		// Already journaled, or a page born after the checkpoint (the
+		// recovery truncate discards it).
+		j.mu.Unlock()
+		return nil
+	}
+	j.mu.Unlock()
+
+	// Read the pre-image without holding j.mu (Read takes the store lock).
+	img, err := j.store.Read(id)
+	if err != nil {
+		return fmt.Errorf("journal: capture page %d: %w", id, err)
+	}
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.captured[id] {
+		return nil
+	}
+	rec := make([]byte, 8+4+len(img)+4)
+	binary.LittleEndian.PutUint64(rec[0:], uint64(id))
+	binary.LittleEndian.PutUint32(rec[8:], uint32(len(img)))
+	copy(rec[12:], img)
+	binary.LittleEndian.PutUint32(rec[12+len(img):], crc32.ChecksumIEEE(rec[:12+len(img)]))
+	if _, err := j.jf.Seek(0, io.SeekEnd); err != nil {
+		return err
+	}
+	if _, err := j.jf.Write(rec); err != nil {
+		return err
+	}
+	// Write-ahead rule: the image must be durable before the page write.
+	if err := j.jf.Sync(); err != nil {
+		return err
+	}
+	j.captured[id] = true
+	return nil
+}
+
+// Append logs a logical operation.
+func (j *Journal) Append(op Op) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	rec := make([]byte, opRecSize)
+	rec[0] = byte(op.Kind)
+	binary.LittleEndian.PutUint64(rec[1:], uint64(op.Key))
+	binary.LittleEndian.PutUint64(rec[9:], op.Val)
+	binary.LittleEndian.PutUint32(rec[17:], crc32.ChecksumIEEE(rec[:17]))
+	if _, err := j.of.Seek(0, io.SeekEnd); err != nil {
+		return err
+	}
+	if _, err := j.of.Write(rec); err != nil {
+		return err
+	}
+	if j.syncOps {
+		return j.of.Sync()
+	}
+	return nil
+}
+
+// Checkpoint begins a fresh epoch: it snapshots the store's current meta
+// state into a new journal header (atomically, via rename) and truncates
+// the oplog. The caller must have flushed and fsync'd the store first.
+func (j *Journal) Checkpoint() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	pages, freeHead, root, userData := j.store.Snapshot()
+
+	hdr := make([]byte, journalHdr)
+	binary.LittleEndian.PutUint32(hdr[0:], journalMagic)
+	binary.LittleEndian.PutUint64(hdr[4:], uint64(pages))
+	binary.LittleEndian.PutUint64(hdr[12:], uint64(freeHead))
+	binary.LittleEndian.PutUint64(hdr[20:], uint64(root))
+	copy(hdr[28:], userData[:])
+	binary.LittleEndian.PutUint32(hdr[92:], crc32.ChecksumIEEE(hdr[:92]))
+
+	tmp := j.jPath + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := j.jf.Close(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := os.Rename(tmp, j.jPath); err != nil {
+		f.Close()
+		return err
+	}
+	j.jf = f
+
+	if err := j.of.Truncate(0); err != nil {
+		return err
+	}
+	if err := j.of.Sync(); err != nil {
+		return err
+	}
+
+	j.captured = make(map[pagestore.PageID]bool)
+	j.checkpoint.pages = pages
+	j.checkpoint.freeHead = freeHead
+	j.checkpoint.root = root
+	j.checkpoint.userData = userData
+	return nil
+}
+
+// Recover rewinds the store to the journaled checkpoint and returns the
+// logical operations to replay. A journal without a valid header (fresh
+// file) yields no restoration and no ops. Torn trailing records in either
+// file are ignored.
+func (j *Journal) Recover() ([]Op, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+
+	jbytes, err := readAll(j.jf)
+	if err != nil {
+		return nil, err
+	}
+	if len(jbytes) == 0 {
+		// Fresh journal: adopt the store's current state as the epoch base.
+		j.checkpoint.pages, j.checkpoint.freeHead, j.checkpoint.root, j.checkpoint.userData = j.store.Snapshot()
+		return nil, nil
+	}
+	if len(jbytes) < journalHdr {
+		return nil, errors.New("journal: truncated header")
+	}
+	if binary.LittleEndian.Uint32(jbytes[0:]) != journalMagic {
+		return nil, errors.New("journal: bad magic")
+	}
+	if crc32.ChecksumIEEE(jbytes[:92]) != binary.LittleEndian.Uint32(jbytes[92:]) {
+		return nil, errors.New("journal: corrupt header")
+	}
+	pages := pagestore.PageID(binary.LittleEndian.Uint64(jbytes[4:]))
+	freeHead := pagestore.PageID(binary.LittleEndian.Uint64(jbytes[12:]))
+	root := pagestore.PageID(binary.LittleEndian.Uint64(jbytes[20:]))
+	var userData [64]byte
+	copy(userData[:], jbytes[28:92])
+
+	// Restore complete page images (pre-images of post-checkpoint writes).
+	off := journalHdr
+	type image struct {
+		id   pagestore.PageID
+		data []byte
+	}
+	var images []image
+	for off+12 <= len(jbytes) {
+		id := pagestore.PageID(binary.LittleEndian.Uint64(jbytes[off:]))
+		n := int(binary.LittleEndian.Uint32(jbytes[off+8:]))
+		if n < 0 || n > pagestore.PageSize || off+12+n+4 > len(jbytes) {
+			break // torn tail
+		}
+		rec := jbytes[off : off+12+n]
+		want := binary.LittleEndian.Uint32(jbytes[off+12+n:])
+		if crc32.ChecksumIEEE(rec) != want {
+			break // torn tail
+		}
+		images = append(images, image{id: id, data: jbytes[off+12 : off+12+n]})
+		off += 12 + n + 4
+	}
+	// Truncate/restore meta first so restored writes land inside the file.
+	if err := j.store.Restore(pages, freeHead, root, userData); err != nil {
+		return nil, err
+	}
+	for _, img := range images {
+		if img.id >= pages {
+			continue // image of a page beyond the checkpoint (shouldn't happen)
+		}
+		if err := j.store.WriteRestored(img.id, img.data); err != nil {
+			return nil, err
+		}
+	}
+	j.checkpoint.pages = pages
+	j.checkpoint.freeHead = freeHead
+	j.checkpoint.root = root
+	j.checkpoint.userData = userData
+
+	// Parse the oplog, dropping a torn tail.
+	obytes, err := readAll(j.of)
+	if err != nil {
+		return nil, err
+	}
+	var ops []Op
+	for off := 0; off+opRecSize <= len(obytes); off += opRecSize {
+		rec := obytes[off : off+opRecSize]
+		if crc32.ChecksumIEEE(rec[:17]) != binary.LittleEndian.Uint32(rec[17:]) {
+			break
+		}
+		kind := OpKind(rec[0])
+		if kind != OpInsert && kind != OpDelete {
+			break
+		}
+		ops = append(ops, Op{
+			Kind: kind,
+			Key:  int64(binary.LittleEndian.Uint64(rec[1:])),
+			Val:  binary.LittleEndian.Uint64(rec[9:]),
+		})
+	}
+	return ops, nil
+}
+
+func readAll(f *os.File) ([]byte, error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	return io.ReadAll(f)
+}

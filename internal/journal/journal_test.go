@@ -1,0 +1,280 @@
+package journal
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"btreeperf/internal/pagestore"
+)
+
+func openPair(t *testing.T) (*pagestore.Store, *Journal, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "data.db")
+	st, err := pagestore.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := Open(path, st, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, j, path
+}
+
+func TestFreshJournalNoRecovery(t *testing.T) {
+	_, j, _ := openPair(t)
+	need, err := j.NeedsRecovery()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if need {
+		t.Fatal("fresh journal claims recovery needed")
+	}
+	ops, err := j.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 0 {
+		t.Fatalf("fresh recovery returned %d ops", len(ops))
+	}
+}
+
+func TestOplogRoundTrip(t *testing.T) {
+	st, j, _ := openPair(t)
+	if _, err := j.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	want := []Op{
+		{Kind: OpInsert, Key: 1, Val: 100},
+		{Kind: OpDelete, Key: 2},
+		{Kind: OpInsert, Key: -7, Val: 9},
+	}
+	for _, op := range want {
+		if err := j.Append(op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := j.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d ops, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("op %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	_ = st
+}
+
+func TestCheckpointTruncatesOplog(t *testing.T) {
+	_, j, _ := openPair(t)
+	j.Recover()
+	j.Checkpoint()
+	j.Append(Op{Kind: OpInsert, Key: 1, Val: 1})
+	if err := j.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	ops, err := j.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 0 {
+		t.Fatalf("%d ops survived a checkpoint", len(ops))
+	}
+}
+
+func TestTornOplogTailDropped(t *testing.T) {
+	_, j, path := openPair(t)
+	j.Recover()
+	j.Checkpoint()
+	for i := int64(0); i < 5; i++ {
+		j.Append(Op{Kind: OpInsert, Key: i, Val: uint64(i)})
+	}
+	// Tear the last record.
+	of, err := os.OpenFile(path+".oplog", os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _ := of.Stat()
+	of.Truncate(st.Size() - 3)
+	of.Close()
+
+	ops, err := j.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 4 {
+		t.Fatalf("recovered %d ops from torn log, want 4", len(ops))
+	}
+}
+
+func TestCorruptOplogRecordStopsReplay(t *testing.T) {
+	_, j, path := openPair(t)
+	j.Recover()
+	j.Checkpoint()
+	for i := int64(0); i < 5; i++ {
+		j.Append(Op{Kind: OpInsert, Key: i, Val: uint64(i)})
+	}
+	// Corrupt the middle record; replay must stop before it.
+	of, _ := os.OpenFile(path+".oplog", os.O_RDWR, 0)
+	of.WriteAt([]byte{0xEE}, 2*21+3)
+	of.Close()
+	ops, err := j.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 2 {
+		t.Fatalf("recovered %d ops past corruption, want 2", len(ops))
+	}
+}
+
+func TestPageRestore(t *testing.T) {
+	st, j, _ := openPair(t)
+	id, err := st.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Write(id, []byte("checkpoint state")); err != nil {
+		t.Fatal(err)
+	}
+	st.SetRoot(id)
+	j.Recover() // adopt current state as the epoch base
+	j.Checkpoint()
+	st.SetWriteGuard(j.Guard)
+
+	// Overwrite the page post-checkpoint; the guard captures the image.
+	if err := st.Write(id, []byte("dirty new state")); err != nil {
+		t.Fatal(err)
+	}
+	// Also grow the file.
+	id2, _ := st.Allocate()
+	st.Write(id2, []byte("post-checkpoint page"))
+
+	pagesBefore, _, _, _ := st.Snapshot()
+	if _, err := j.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := st.Read(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data[:16]) != "checkpoint state" {
+		t.Fatalf("page not restored: %q", data[:16])
+	}
+	pagesAfter, _, root, _ := st.Snapshot()
+	if pagesAfter >= pagesBefore {
+		t.Fatalf("file not truncated: %d -> %d", pagesBefore, pagesAfter)
+	}
+	if root != id {
+		t.Fatalf("root not restored: %d", root)
+	}
+}
+
+func TestGuardCapturesOncePerEpoch(t *testing.T) {
+	st, j, path := openPair(t)
+	id, _ := st.Allocate()
+	st.Write(id, []byte("v0"))
+	j.Recover()
+	j.Checkpoint()
+	st.SetWriteGuard(j.Guard)
+
+	st.Write(id, []byte("v1"))
+	sz1, _ := os.Stat(path + ".journal")
+	st.Write(id, []byte("v2"))
+	sz2, _ := os.Stat(path + ".journal")
+	if sz1.Size() != sz2.Size() {
+		t.Fatalf("second write re-journaled the page: %d -> %d", sz1.Size(), sz2.Size())
+	}
+	// Recovery restores v0, not v1.
+	j.Recover()
+	data, _ := st.Read(id)
+	if string(data[:2]) != "v0" {
+		t.Fatalf("restored %q, want v0", data[:2])
+	}
+}
+
+func TestFreshPagesNotJournaled(t *testing.T) {
+	st, j, path := openPair(t)
+	j.Recover()
+	j.Checkpoint()
+	st.SetWriteGuard(j.Guard)
+	id, _ := st.Allocate() // born after the checkpoint
+	st.Write(id, []byte("ephemeral"))
+	sz, _ := os.Stat(path + ".journal")
+	if sz.Size() != int64(journalHdr) {
+		t.Fatalf("fresh page write journaled: %d bytes", sz.Size())
+	}
+	// Recovery truncates it away.
+	j.Recover()
+	if _, err := st.Read(id); err == nil {
+		t.Fatal("post-checkpoint page survived recovery")
+	}
+}
+
+func TestJournalClose(t *testing.T) {
+	_, j, _ := openPair(t)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorruptJournalHeaderRejected(t *testing.T) {
+	_, j, path := openPair(t)
+	j.Recover()
+	j.Checkpoint()
+	// Corrupt the header.
+	jf, err := os.OpenFile(path+".journal", os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jf.WriteAt([]byte{0xAB}, 10)
+	jf.Close()
+	if _, err := j.Recover(); err == nil {
+		t.Fatal("corrupt journal header accepted")
+	}
+}
+
+func TestTruncatedJournalHeaderRejected(t *testing.T) {
+	_, j, path := openPair(t)
+	j.Recover()
+	j.Checkpoint()
+	if err := os.Truncate(path+".journal", 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Recover(); err == nil {
+		t.Fatal("truncated journal header accepted")
+	}
+}
+
+func TestTornJournalPageRecordDropped(t *testing.T) {
+	st, j, path := openPair(t)
+	id, _ := st.Allocate()
+	st.Write(id, []byte("base"))
+	j.Recover()
+	j.Checkpoint()
+	st.SetWriteGuard(j.Guard)
+	st.Write(id, []byte("new")) // journals the pre-image
+
+	// Tear the page record's tail: the write it guarded is assumed never
+	// to have happened (write-ahead), so recovery skips it.
+	fi, _ := os.Stat(path + ".journal")
+	os.Truncate(path+".journal", fi.Size()-5)
+	if _, err := j.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	// The page keeps its current ("new") content — no torn restore.
+	data, err := st.Read(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data[:3]) != "new" {
+		t.Fatalf("page = %q", data[:3])
+	}
+}

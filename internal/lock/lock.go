@@ -1,0 +1,130 @@
+// Package lock provides a strictly first-come-first-served reader/writer
+// mutex for real goroutines — the real-time counterpart of the FCFS lock
+// queues in the paper's model (and of des.RWLock in the simulator).
+//
+// Unlike sync.RWMutex, whose acquisition order under contention is
+// unspecified, FCFSRWMutex grants requests in arrival order: a reader that
+// arrives behind a queued writer waits for that writer even though it is
+// compatible with the current holders. This is the discipline the paper's
+// analysis assumes, and it is starvation-free for both classes.
+package lock
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// FCFSRWMutex is a fair FIFO reader/writer mutex. The zero value is ready
+// to use. It must not be copied after first use.
+type FCFSRWMutex struct {
+	mu      sync.Mutex
+	readers int  // active readers
+	writer  bool // active writer
+	queue   []*waiter
+
+	contendedR atomic.Int64
+	contendedW atomic.Int64
+}
+
+type waiter struct {
+	ready chan struct{}
+	write bool
+}
+
+// RLock acquires the lock shared. It blocks while a writer holds the lock
+// or any request (of either class) is queued ahead.
+func (l *FCFSRWMutex) RLock() {
+	l.mu.Lock()
+	if !l.writer && len(l.queue) == 0 {
+		l.readers++
+		l.mu.Unlock()
+		return
+	}
+	w := &waiter{ready: make(chan struct{}), write: false}
+	l.queue = append(l.queue, w)
+	l.mu.Unlock()
+	l.contendedR.Add(1)
+	<-w.ready
+}
+
+// RUnlock releases a shared hold.
+func (l *FCFSRWMutex) RUnlock() {
+	l.mu.Lock()
+	if l.readers <= 0 {
+		l.mu.Unlock()
+		panic("lock: RUnlock without RLock")
+	}
+	l.readers--
+	l.dispatchLocked()
+	l.mu.Unlock()
+}
+
+// Lock acquires the lock exclusive, in FIFO order.
+func (l *FCFSRWMutex) Lock() {
+	l.mu.Lock()
+	if !l.writer && l.readers == 0 && len(l.queue) == 0 {
+		l.writer = true
+		l.mu.Unlock()
+		return
+	}
+	w := &waiter{ready: make(chan struct{}), write: true}
+	l.queue = append(l.queue, w)
+	l.mu.Unlock()
+	l.contendedW.Add(1)
+	<-w.ready
+}
+
+// Unlock releases an exclusive hold.
+func (l *FCFSRWMutex) Unlock() {
+	l.mu.Lock()
+	if !l.writer {
+		l.mu.Unlock()
+		panic("lock: Unlock without Lock")
+	}
+	l.writer = false
+	l.dispatchLocked()
+	l.mu.Unlock()
+}
+
+// dispatchLocked grants the longest-waiting compatible prefix of the
+// queue: one writer, or a run of readers up to the first queued writer.
+// Called with l.mu held.
+func (l *FCFSRWMutex) dispatchLocked() {
+	if l.writer {
+		return
+	}
+	granted := 0
+	for _, w := range l.queue {
+		if w.write {
+			if granted == 0 && l.readers == 0 {
+				l.writer = true
+				close(w.ready)
+				granted = 1
+			}
+			break
+		}
+		l.readers++
+		close(w.ready)
+		granted++
+	}
+	if granted > 0 {
+		l.queue = l.queue[granted:]
+	}
+}
+
+// Contended reports how many acquisitions of each class had to queue.
+func (l *FCFSRWMutex) Contended() (r, w int64) {
+	return l.contendedR.Load(), l.contendedW.Load()
+}
+
+// TryLock acquires the exclusive lock only if it is immediately available
+// and no request is queued.
+func (l *FCFSRWMutex) TryLock() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.writer || l.readers > 0 || len(l.queue) > 0 {
+		return false
+	}
+	l.writer = true
+	return true
+}

@@ -1,0 +1,70 @@
+package pagestore
+
+// This file adds the hooks internal/journal needs to make a store
+// crash-recoverable: a write guard invoked before any user-page
+// overwrite, and snapshot/restore of the store's full meta state.
+
+// WriteGuard is called with the page id before Write or Free overwrites a
+// user page (never for the meta page or for fresh pages appended by
+// Allocate). A journal uses it to capture the page's prior image under the
+// write-ahead rule. The guard runs without the store's internal lock, so
+// it may call Read; the caller must not issue concurrent writes to the
+// same page (internal/diskbtree's buffer pool already serializes them).
+type WriteGuard func(PageID) error
+
+// SetWriteGuard installs the guard (nil disables it).
+func (s *Store) SetWriteGuard(g WriteGuard) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.guard = g
+}
+
+// guardFor fetches the current guard under the lock.
+func (s *Store) guardFor() WriteGuard {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.guard
+}
+
+// Snapshot returns the store's meta state: total pages, free-list head,
+// root pointer and user data.
+func (s *Store) Snapshot() (pages, freeHead, root PageID, userData [64]byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pages, s.freeHead, s.root, s.userData
+}
+
+// Restore rewinds the store to a snapshot: the file is truncated to the
+// snapshot's page count and the meta page rewritten. Page contents within
+// the retained range are NOT touched — the caller (the journal) restores
+// those from its page images first.
+func (s *Store) Restore(pages, freeHead, root PageID, userData [64]byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if pages < 1 {
+		pages = 1
+	}
+	if err := s.f.Truncate(int64(pages) * PageSize); err != nil {
+		return err
+	}
+	s.pages = pages
+	s.freeHead = freeHead
+	s.root = root
+	s.userData = userData
+	return s.writeMetaLocked()
+}
+
+// WriteRestored writes a page image during recovery, bypassing the guard.
+func (s *Store) WriteRestored(id PageID, payload []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.checkID(id); err != nil {
+		return err
+	}
+	if len(payload) > payloadSize {
+		return errOversize(len(payload))
+	}
+	buf := make([]byte, payloadSize)
+	copy(buf, payload)
+	return s.writePayloadLocked(id, buf)
+}

@@ -1,0 +1,160 @@
+// Package qmodel implements the approximate analysis of the FCFS
+// reader/writer queue from the appendix of Johnson & Shasha (PODS 1990),
+// originally derived in Johnson's SIGMETRICS '90 paper ("Approximate
+// analysis of reader and writer access to a shared resource").
+//
+// Readers arrive at rate λ_r and are served at rate μ_r sharing the
+// resource; writers arrive at rate λ_w and are served exclusively at rate
+// μ_w; grants are strictly FCFS. The analysis groups each writer with the
+// readers immediately ahead of it into an "aggregate customer" and yields:
+//
+//   - ρ_w  — the probability a writer is in the queue (Theorem 6's fixed
+//     point),
+//   - r_u  — the expected reader-drain wait seen by a writer that arrives
+//     while another writer is queued,
+//   - r_e  — the same when the queue held no writer on arrival,
+//   - T_a  — the aggregate customer service time
+//     1/μ_w + ρ_w·r_u + (1−ρ_w)·r_e.
+//
+// The package also provides the M/M/1 and M/G/1 waiting-time formulas the
+// paper's Theorems 3 and 4 are built on.
+package qmodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// Input are the four rate parameters of the FCFS R/W queue.
+type Input struct {
+	LambdaR float64 // reader arrival rate
+	LambdaW float64 // writer arrival rate
+	MuR     float64 // reader service rate
+	MuW     float64 // writer service rate
+}
+
+// Solution is the queue's operating point.
+type Solution struct {
+	RhoW   float64 // probability a writer is in the system
+	RU     float64 // reader drain given a preceding writer
+	RE     float64 // reader drain given an empty-of-writers queue
+	TA     float64 // aggregate customer service time
+	Stable bool    // false when no fixed point exists below 1
+}
+
+// Validate checks the input for usability.
+func (in Input) Validate() error {
+	if in.LambdaR < 0 || in.LambdaW < 0 {
+		return fmt.Errorf("qmodel: negative arrival rate %+v", in)
+	}
+	if in.LambdaR > 0 && in.MuR <= 0 {
+		return fmt.Errorf("qmodel: readers arrive but μ_r = %v", in.MuR)
+	}
+	if in.LambdaW > 0 && in.MuW <= 0 {
+		return fmt.Errorf("qmodel: writers arrive but μ_w = %v", in.MuW)
+	}
+	return nil
+}
+
+// rhs evaluates the right-hand side of Theorem 6's fixed point at ρ.
+func (in Input) rhs(rho float64) float64 {
+	if in.LambdaW == 0 {
+		return 0
+	}
+	t := 1 / in.MuW
+	if in.LambdaR > 0 {
+		t += rho / in.MuR * math.Log(1+rho*in.LambdaR/in.LambdaW)
+		t += (1 - rho) / in.MuR * math.Log(1+(1+rho)*in.LambdaR/(in.MuR+in.LambdaW))
+	}
+	return in.LambdaW * t
+}
+
+// Solve computes the queue's operating point. When the fixed point
+// ρ = rhs(ρ) has no solution in [0, 1), the queue is saturated: Solve
+// returns RhoW = 1 with Stable = false (r_u, r_e, T_a are still evaluated
+// at ρ = 1 so callers can inspect the limit).
+func Solve(in Input) (Solution, error) {
+	if err := in.Validate(); err != nil {
+		return Solution{}, err
+	}
+	if in.LambdaW == 0 {
+		// Readers share; no writer ever queues.
+		return Solution{RhoW: 0, RU: 0, RE: 0, TA: 0, Stable: true}, nil
+	}
+	// f(ρ) = ρ − rhs(ρ); f(0) < 0. A stable operating point is the
+	// smallest root in [0, 1). rhs is increasing in ρ, so bisection on
+	// [0, 1] is robust.
+	f := func(rho float64) float64 { return rho - in.rhs(rho) }
+	rho := 1.0
+	stable := false
+	if f(1) > 0 {
+		lo, hi := 0.0, 1.0
+		for i := 0; i < 100; i++ {
+			mid := (lo + hi) / 2
+			if f(mid) < 0 {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		rho = (lo + hi) / 2
+		stable = true
+	}
+	sol := Solution{RhoW: rho, Stable: stable}
+	if in.LambdaR > 0 {
+		sol.RU = math.Log(1+rho*in.LambdaR/in.LambdaW) / in.MuR
+		sol.RE = math.Log(1+(1+rho)*in.LambdaR/(in.MuR+in.LambdaW)) / in.MuR
+	}
+	sol.TA = 1/in.MuW + rho*sol.RU + (1-rho)*sol.RE
+	return sol, nil
+}
+
+// MM1Wait is the M/M/1 queueing delay for utilization rho and mean service
+// time ta: ρ·T/(1−ρ). It returns +Inf at or beyond saturation.
+func MM1Wait(rho, ta float64) float64 {
+	if rho >= 1 {
+		return math.Inf(1)
+	}
+	if rho < 0 {
+		return 0
+	}
+	return rho * ta / (1 - rho)
+}
+
+// MG1Wait is the Pollaczek–Khinchine mean waiting time
+// W = λ·E[X²] / (2(1−ρ)) for an M/G/1 queue with arrival rate lambda,
+// service second moment ex2, and utilization rho. It returns +Inf at or
+// beyond saturation.
+func MG1Wait(lambda, ex2, rho float64) float64 {
+	if rho >= 1 {
+		return math.Inf(1)
+	}
+	return lambda * ex2 / (2 * (1 - rho))
+}
+
+// Theorem3Moments computes the first and second moments of the
+// hyperexponential lock-service time of the paper's Theorem 3:
+//
+//	X = X_e + Bern(p_f)·X_l + M
+//
+// where X_e ~ exp(mean t_e) is the unconditional stage (node search plus
+// reader drain), X_l ~ exp(mean t_f) is the unsafe-child stage taken with
+// probability p_f, and M is the wait for the child's lock — a mixture that
+// with probability ρ_o is exp(mean 1/μ_o) (a writer was queued at the
+// child) and otherwise exp(mean r_e^child). The second moment is the
+// second derivative at 0 of the product-form Laplace transform, i.e. twice
+// the bracket of Theorem 3:
+//
+//	E[X²]/2 = t_o·t_e + p_f·t_f·t_e + t_e² + p_f·t_o·t_f
+//	        + ρ_o/μ_o² + p_f·t_f² + (1−ρ_o)·r_e².
+func Theorem3Moments(te, pf, tf, rhoO, muO, reChild float64) (mean, second float64) {
+	to := (1 - rhoO) * reChild
+	varTermO := (1 - rhoO) * reChild * reChild
+	if rhoO > 0 {
+		to += rhoO / muO
+		varTermO += rhoO / (muO * muO)
+	}
+	mean = te + pf*tf + to
+	second = 2 * (to*te + pf*tf*te + te*te + pf*to*tf + varTermO + pf*tf*tf)
+	return mean, second
+}

@@ -1,0 +1,266 @@
+package qmodel
+
+import (
+	"math"
+	"testing"
+
+	"btreeperf/internal/des"
+	"btreeperf/internal/xrand"
+)
+
+func TestValidate(t *testing.T) {
+	bad := []Input{
+		{LambdaR: -1, MuR: 1},
+		{LambdaW: -1, MuW: 1},
+		{LambdaR: 1, MuR: 0},
+		{LambdaW: 1, MuW: 0},
+	}
+	for _, in := range bad {
+		if _, err := Solve(in); err == nil {
+			t.Errorf("Solve(%+v) accepted invalid input", in)
+		}
+	}
+}
+
+func TestPureWriterReducesToMM1(t *testing.T) {
+	// With no readers the queue is M/M/1: ρ_w = λ_w/μ_w, T_a = 1/μ_w.
+	in := Input{LambdaW: 0.4, MuW: 1.0}
+	sol, err := Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Stable {
+		t.Fatal("underloaded M/M/1 reported unstable")
+	}
+	if math.Abs(sol.RhoW-0.4) > 1e-9 {
+		t.Fatalf("RhoW = %v, want 0.4", sol.RhoW)
+	}
+	if sol.RU != 0 || sol.RE != 0 {
+		t.Fatalf("reader drains %v/%v with no readers", sol.RU, sol.RE)
+	}
+	if math.Abs(sol.TA-1) > 1e-9 {
+		t.Fatalf("TA = %v, want 1", sol.TA)
+	}
+}
+
+func TestPureReaderNeverSaturates(t *testing.T) {
+	sol, err := Solve(Input{LambdaR: 1000, MuR: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Stable || sol.RhoW != 0 {
+		t.Fatalf("reader-only queue: %+v", sol)
+	}
+}
+
+func TestSaturationDetected(t *testing.T) {
+	sol, err := Solve(Input{LambdaW: 2, MuW: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Stable || sol.RhoW != 1 {
+		t.Fatalf("overloaded queue reported %+v", sol)
+	}
+}
+
+func TestReadersIncreaseRhoW(t *testing.T) {
+	base, _ := Solve(Input{LambdaW: 0.3, MuW: 1})
+	withReaders, _ := Solve(Input{LambdaR: 1, LambdaW: 0.3, MuR: 2, MuW: 1})
+	if withReaders.RhoW <= base.RhoW {
+		t.Fatalf("readers did not increase writer presence: %v vs %v",
+			withReaders.RhoW, base.RhoW)
+	}
+	if withReaders.RU <= 0 || withReaders.RE <= 0 {
+		t.Fatalf("reader drains should be positive: %+v", withReaders)
+	}
+	if withReaders.TA <= base.TA {
+		t.Fatalf("aggregate service should grow with readers")
+	}
+}
+
+func TestRhoWMonotoneInLambdaW(t *testing.T) {
+	prev := -1.0
+	for _, lw := range []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5} {
+		sol, err := Solve(Input{LambdaR: 0.5, LambdaW: lw, MuR: 2, MuW: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.RhoW <= prev {
+			t.Fatalf("RhoW not increasing at λ_w=%v: %v <= %v", lw, sol.RhoW, prev)
+		}
+		prev = sol.RhoW
+	}
+}
+
+func TestFixedPointConsistency(t *testing.T) {
+	in := Input{LambdaR: 0.8, LambdaW: 0.25, MuR: 1.5, MuW: 1.2}
+	sol, err := Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Stable {
+		t.Fatal("unexpected saturation")
+	}
+	if got := in.rhs(sol.RhoW); math.Abs(got-sol.RhoW) > 1e-9 {
+		t.Fatalf("fixed point residual: rhs(%v) = %v", sol.RhoW, got)
+	}
+}
+
+func TestMM1Wait(t *testing.T) {
+	if got := MM1Wait(0.5, 2); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("MM1Wait(0.5,2) = %v", got)
+	}
+	if !math.IsInf(MM1Wait(1, 1), 1) {
+		t.Fatal("MM1Wait at saturation should be +Inf")
+	}
+	if MM1Wait(-0.1, 1) != 0 {
+		t.Fatal("negative rho should clamp to 0")
+	}
+}
+
+func TestMG1Wait(t *testing.T) {
+	// For exponential service, M/G/1 reduces to M/M/1:
+	// E[X²] = 2/μ², W = λ·2/μ² / (2(1−ρ)) = ρ/(μ(1−ρ)).
+	lambda, mu := 0.5, 1.0
+	rho := lambda / mu
+	got := MG1Wait(lambda, 2/(mu*mu), rho)
+	want := rho / (mu * (1 - rho))
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("MG1Wait = %v, want %v", got, want)
+	}
+	if !math.IsInf(MG1Wait(1, 1, 1), 1) {
+		t.Fatal("MG1Wait at saturation should be +Inf")
+	}
+}
+
+func TestTheorem3MomentsDegenerate(t *testing.T) {
+	// With p_f = 0 and ρ_o = 0 the service is X_e + exp(re):
+	// mean te + re, E[X²] = 2(te² + re² + te·re).
+	mean, second := Theorem3Moments(2, 0, 99, 0, math.Inf(1), 3)
+	if math.Abs(mean-5) > 1e-12 {
+		t.Fatalf("mean = %v, want 5", mean)
+	}
+	want := 2 * (4.0 + 9.0 + 6.0)
+	if math.Abs(second-want) > 1e-12 {
+		t.Fatalf("second = %v, want %v", second, want)
+	}
+}
+
+func TestTheorem3MomentsMonteCarlo(t *testing.T) {
+	// Cross-check the closed form against direct sampling of the staged
+	// service time.
+	te, pf, tf, rhoO, muO, re := 1.0, 0.3, 4.0, 0.4, 0.5, 1.5
+	mean, second := Theorem3Moments(te, pf, tf, rhoO, muO, re)
+	src := xrand.New(31)
+	const n = 400000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		x := src.Exp(te)
+		if src.Bernoulli(pf) {
+			x += src.Exp(tf)
+		}
+		if src.Bernoulli(rhoO) {
+			x += src.Exp(1 / muO)
+		} else {
+			x += src.Exp(re)
+		}
+		sum += x
+		sumSq += x * x
+	}
+	if got := sum / n; math.Abs(got-mean) > 0.02*mean {
+		t.Fatalf("Monte Carlo mean %v vs closed form %v", got, mean)
+	}
+	if got := sumSq / n; math.Abs(got-second) > 0.05*second {
+		t.Fatalf("Monte Carlo E[X²] %v vs closed form %v", got, second)
+	}
+}
+
+// simulateQueue drives a des.RWLock with Poisson R/W arrivals and
+// exponential services, returning measured ρ_w and mean waits.
+func simulateQueue(in Input, n int, seed uint64) (rhoW, waitR, waitW float64) {
+	env := des.NewEnvironment()
+	l := des.NewRWLock(env, "q")
+	src := xrand.New(seed)
+	arrivals := src.Split(1)
+	classes := src.Split(2)
+	services := src.Split(3)
+	total := in.LambdaR + in.LambdaW
+	env.Spawn("arrivals", func(p *des.Proc) {
+		for i := 0; i < n; i++ {
+			p.Delay(arrivals.ExpRate(total))
+			isW := classes.Bernoulli(in.LambdaW / total)
+			var class des.Class
+			var svc float64
+			if isW {
+				class = des.Write
+				svc = services.Exp(1 / in.MuW)
+			} else {
+				class = des.Read
+				svc = services.Exp(1 / in.MuR)
+			}
+			env.Spawn("job", func(j *des.Proc) {
+				g := l.Acquire(j, class)
+				j.Delay(svc)
+				l.Release(g)
+			})
+		}
+	})
+	end := env.RunAll()
+	s := l.Snapshot(end)
+	return s.RhoW, s.MeanWaitR, s.MeanWaitW
+}
+
+// TestTheorem6AgainstSimulation validates the analytical ρ_w and the
+// aggregate-customer waiting-time construction against a direct simulation
+// of the FCFS R/W queue. The analysis is approximate; the paper reports
+// close agreement, so we allow moderate tolerances.
+func TestTheorem6AgainstSimulation(t *testing.T) {
+	cases := []Input{
+		{LambdaR: 0.6, LambdaW: 0.2, MuR: 2, MuW: 1},
+		{LambdaR: 1.5, LambdaW: 0.1, MuR: 2, MuW: 1},
+		{LambdaR: 0.3, LambdaW: 0.4, MuR: 1, MuW: 1},
+	}
+	for _, in := range cases {
+		sol, err := Solve(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sol.Stable {
+			t.Fatalf("case %+v unexpectedly saturated", in)
+		}
+		simRho, simWaitR, simWaitW := simulateQueue(in, 80000, 1234)
+
+		if math.Abs(sol.RhoW-simRho) > 0.08 {
+			t.Errorf("%+v: ρ_w analysis %v vs sim %v", in, sol.RhoW, simRho)
+		}
+		// Waiting times via the aggregate-customer M/M/1 view
+		// (the paper's Theorem 4): R = ρ_w·T_a/(1−ρ_w),
+		// W = R + ρ_w·r_u + (1−ρ_w)·r_e.
+		r := MM1Wait(sol.RhoW, sol.TA)
+		w := r + sol.RhoW*sol.RU + (1-sol.RhoW)*sol.RE
+		if rel := math.Abs(r-simWaitR) / (simWaitR + 0.05); rel > 0.35 {
+			t.Errorf("%+v: reader wait analysis %v vs sim %v", in, r, simWaitR)
+		}
+		if rel := math.Abs(w-simWaitW) / (simWaitW + 0.05); rel > 0.35 {
+			t.Errorf("%+v: writer wait analysis %v vs sim %v", in, w, simWaitW)
+		}
+	}
+}
+
+func TestSaturationMatchesSimulationBlowup(t *testing.T) {
+	// At a load the model calls unstable, the simulated queue's wait grows
+	// with the horizon (no steady state).
+	in := Input{LambdaR: 0.5, LambdaW: 1.2, MuR: 2, MuW: 1}
+	sol, err := Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Stable {
+		t.Fatalf("expected saturation: %+v", sol)
+	}
+	_, _, shortWait := simulateQueue(in, 2000, 5)
+	_, _, longWait := simulateQueue(in, 20000, 5)
+	if longWait < 2*shortWait {
+		t.Errorf("unstable queue wait did not grow: %v vs %v", shortWait, longWait)
+	}
+}

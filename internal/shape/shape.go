@@ -1,0 +1,195 @@
+// Package shape models the steady-state structure of a merge-at-empty
+// B⁺-tree under a mixed insert/delete workload, following Johnson & Shasha
+// ("Random B-trees with inserts and deletes" [9] and "Utilization of
+// B-trees with inserts, deletes and modifies" [10]). The PODS '90 framework
+// consumes these results as the structural parameters of its queueing
+// model:
+//
+//   - E(i)     — expected items per level-i node (the fanout above the
+//     leaves, the item count at the leaves, the actual child
+//     count at the root),
+//   - Pr[F(i)] — probability a level-i node is insert-unsafe (full),
+//   - Pr[Em(i)]— probability a level-i node is delete-unsafe
+//     (about to empty); ≈ 0 when inserts outnumber deletes.
+//
+// The constants are the paper's: leaf space utilization ≈ .68, interior
+// utilization ≈ .69 (ln 2), with Corollary 1's (1−2q)/(1−q) mix correction
+// on the leaf split probability, where q is the fraction of deletes among
+// update operations.
+package shape
+
+import (
+	"fmt"
+	"math"
+)
+
+// Utilization constants from [9,10].
+const (
+	LeafUtil     = 0.68 // leaf occupancy fraction
+	InteriorUtil = 0.69 // interior fanout fraction (≈ ln 2)
+)
+
+// Model is the analytical tree shape. Levels are numbered as in the paper:
+// leaves at 1, root at Height.
+type Model struct {
+	N      int // maximum items per node
+	Items  int // keys in the tree
+	Height int
+
+	// e[i], prF[i], prEm[i] are stored 1-indexed (index 0 unused).
+	e    []float64
+	prF  []float64
+	prEm []float64
+}
+
+// New derives the shape of a merge-at-empty B-tree holding items keys in
+// nodes of capacity n, built and operated under an operation mix with
+// insert and delete fractions qi and qd (qi + qd need not be 1; only their
+// ratio matters). It requires qi > 0 and qi >= qd: the framework's
+// restructuring results hold when inserts outnumber deletes.
+func New(items, n int, qi, qd float64) (*Model, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("shape: node capacity %d too small", n)
+	}
+	if items < 1 {
+		return nil, fmt.Errorf("shape: need at least 1 item")
+	}
+	if qi <= 0 || qd < 0 || qd > qi {
+		return nil, fmt.Errorf("shape: need qi > 0 and qi >= qd (got qi=%v qd=%v)", qi, qd)
+	}
+	m := &Model{N: n, Items: items}
+
+	// Node population per level: items/(LeafUtil·N) leaves, each interior
+	// level dividing by the interior fanout, until one node suffices.
+	if float64(items) <= float64(n) {
+		m.Height = 1
+		m.e = []float64{0, float64(items)}
+	} else {
+		counts := []float64{float64(items) / (LeafUtil * float64(n))}
+		for counts[len(counts)-1] > InteriorUtil*float64(n) {
+			counts = append(counts, counts[len(counts)-1]/(InteriorUtil*float64(n)))
+		}
+		// counts[k] nodes on level k+1; a root above them holds them all.
+		m.Height = len(counts) + 1
+		m.e = make([]float64, m.Height+1)
+		m.e[1] = LeafUtil * float64(n)
+		for i := 2; i < m.Height; i++ {
+			m.e[i] = InteriorUtil * float64(n)
+		}
+		root := counts[len(counts)-1]
+		if root < 2 {
+			root = 2
+		}
+		m.e[m.Height] = root
+	}
+
+	// Split probabilities: Corollary 1. q is the delete share of updates.
+	q := 0.0
+	if qi+qd > 0 {
+		q = qd / (qi + qd)
+	}
+	m.prF = make([]float64, m.Height+1)
+	m.prEm = make([]float64, m.Height+1)
+	m.prF[1] = (1 - 2*q) / ((1 - q) * LeafUtil * float64(n))
+	for i := 2; i <= m.Height; i++ {
+		m.prF[i] = 1 / (InteriorUtil * float64(n))
+	}
+	// Merge-at-empty with qi >= qd: leaf merges are almost never observed
+	// and propagating merges are "infinitely" rarer ([10]); the framework
+	// takes Pr[Em] = 0. SetPrEm allows sensitivity studies.
+	return m, nil
+}
+
+// NewWithHeight builds a shape with an explicit height (the paper's
+// figures fix "5 levels" or "4 levels"); the item count is back-derived so
+// that the root fanout comes out near rootFanout.
+func NewWithHeight(height, n int, rootFanout float64, qi, qd float64) (*Model, error) {
+	if height < 1 {
+		return nil, fmt.Errorf("shape: height %d", height)
+	}
+	items := rootFanout
+	for i := 2; i < height; i++ {
+		items *= InteriorUtil * float64(n)
+	}
+	if height > 1 {
+		items *= LeafUtil * float64(n)
+	}
+	m, err := New(int(math.Round(items)), n, qi, qd)
+	if err != nil {
+		return nil, err
+	}
+	if m.Height != height {
+		// Clamp: force the requested height with the requested root fanout.
+		m.Height = height
+		m.e = make([]float64, height+1)
+		m.e[1] = LeafUtil * float64(n)
+		for i := 2; i < height; i++ {
+			m.e[i] = InteriorUtil * float64(n)
+		}
+		if height > 1 {
+			m.e[height] = rootFanout
+		} else {
+			m.e[1] = rootFanout
+		}
+		prF := m.prF[1]
+		m.prF = make([]float64, height+1)
+		m.prEm = make([]float64, height+1)
+		m.prF[1] = prF
+		for i := 2; i <= height; i++ {
+			m.prF[i] = 1 / (InteriorUtil * float64(n))
+		}
+	}
+	return m, nil
+}
+
+// E returns the expected items of a level-i node: key count at the leaves
+// (i=1), child count (fanout) above.
+func (m *Model) E(i int) float64 {
+	m.check(i)
+	return m.e[i]
+}
+
+// PrF returns Pr[F(i)], the probability a level-i node is insert-unsafe.
+func (m *Model) PrF(i int) float64 {
+	m.check(i)
+	return m.prF[i]
+}
+
+// PrEm returns Pr[Em(i)], the probability a level-i node is delete-unsafe.
+func (m *Model) PrEm(i int) float64 {
+	m.check(i)
+	return m.prEm[i]
+}
+
+// SetPrEm overrides the delete-unsafe probability of level i for
+// sensitivity experiments.
+func (m *Model) SetPrEm(i int, p float64) {
+	m.check(i)
+	m.prEm[i] = p
+}
+
+// RootFanout returns E(Height).
+func (m *Model) RootFanout() float64 { return m.e[m.Height] }
+
+// ProdPrF returns ∏_{k=1..i} Pr[F(k)] — the probability that a split
+// starting at the leaves propagates through level i.
+func (m *Model) ProdPrF(i int) float64 {
+	m.check(i)
+	p := 1.0
+	for k := 1; k <= i; k++ {
+		p *= m.prF[k]
+	}
+	return p
+}
+
+func (m *Model) check(i int) {
+	if i < 1 || i > m.Height {
+		panic(fmt.Sprintf("shape: level %d outside [1, %d]", i, m.Height))
+	}
+}
+
+// String summarizes the model.
+func (m *Model) String() string {
+	return fmt.Sprintf("shape{N=%d items=%d h=%d rootFanout=%.2f PrF(1)=%.4f}",
+		m.N, m.Items, m.Height, m.RootFanout(), m.prF[1])
+}

@@ -1,0 +1,270 @@
+package shape
+
+import (
+	"math"
+	"testing"
+
+	"btreeperf/internal/btree"
+	"btreeperf/internal/xrand"
+)
+
+func TestPaperConfiguration(t *testing.T) {
+	// The paper's simulations: N=13, ~40,000 items → 5 levels, root with
+	// about 6 children.
+	m, err := New(40000, 13, 0.5, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Height != 5 {
+		t.Fatalf("height = %d, want 5", m.Height)
+	}
+	if rf := m.RootFanout(); rf < 4 || rf > 9 {
+		t.Fatalf("root fanout = %v, want ≈6", rf)
+	}
+	// Interior fanout .69N.
+	if got := m.E(3); math.Abs(got-0.69*13) > 1e-9 {
+		t.Fatalf("E(3) = %v", got)
+	}
+	// Leaf occupancy .68N.
+	if got := m.E(1); math.Abs(got-0.68*13) > 1e-9 {
+		t.Fatalf("E(1) = %v", got)
+	}
+}
+
+func TestCorollary1(t *testing.T) {
+	// Pure inserts: Pr[F(1)] = 1/(.68N).
+	m, _ := New(10000, 13, 1, 0)
+	if got, want := m.PrF(1), 1/(0.68*13); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("pure insert PrF(1) = %v, want %v", got, want)
+	}
+	// Mixed: q = qd/(qi+qd) = 2/7 → (1−2q)/(1−q) = (3/7)/(5/7) = 0.6.
+	m2, _ := New(10000, 13, 0.5, 0.2)
+	want := 0.6 / (0.68 * 13)
+	if got := m2.PrF(1); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("mixed PrF(1) = %v, want %v", got, want)
+	}
+	// Upper levels: 1/(.69N) regardless of mix.
+	if got, want := m2.PrF(3), 1/(0.69*13); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("PrF(3) = %v, want %v", got, want)
+	}
+	// More deletes → lower leaf split probability.
+	m3, _ := New(10000, 13, 0.4, 0.38)
+	if m3.PrF(1) >= m2.PrF(1) {
+		t.Fatalf("PrF(1) should fall as deletes rise: %v vs %v", m3.PrF(1), m2.PrF(1))
+	}
+}
+
+func TestPrEmDefaultsZero(t *testing.T) {
+	m, _ := New(10000, 13, 0.5, 0.2)
+	for i := 1; i <= m.Height; i++ {
+		if m.PrEm(i) != 0 {
+			t.Fatalf("PrEm(%d) = %v, want 0", i, m.PrEm(i))
+		}
+	}
+	m.SetPrEm(1, 0.01)
+	if m.PrEm(1) != 0.01 {
+		t.Fatal("SetPrEm did not stick")
+	}
+}
+
+func TestProdPrF(t *testing.T) {
+	m, _ := New(40000, 13, 1, 0)
+	want := m.PrF(1) * m.PrF(2) * m.PrF(3)
+	if got := m.ProdPrF(3); math.Abs(got-want) > 1e-15 {
+		t.Fatalf("ProdPrF(3) = %v, want %v", got, want)
+	}
+	if m.ProdPrF(1) != m.PrF(1) {
+		t.Fatal("ProdPrF(1) != PrF(1)")
+	}
+}
+
+func TestTinyTree(t *testing.T) {
+	m, err := New(5, 13, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Height != 1 || m.E(1) != 5 {
+		t.Fatalf("tiny tree: h=%d E(1)=%v", m.Height, m.E(1))
+	}
+}
+
+func TestHeightMonotoneInItems(t *testing.T) {
+	prev := 0
+	for _, items := range []int{10, 100, 1000, 10000, 100000, 1000000} {
+		m, err := New(items, 13, 0.5, 0.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Height < prev {
+			t.Fatalf("height decreased at %d items", items)
+		}
+		prev = m.Height
+	}
+	if prev < 5 {
+		t.Fatalf("1M items at N=13 should be at least 5 levels, got %d", prev)
+	}
+}
+
+func TestLargerNodesShrinkHeight(t *testing.T) {
+	m13, _ := New(40000, 13, 0.5, 0.2)
+	m59, _ := New(40000, 59, 0.5, 0.2)
+	if m59.Height >= m13.Height {
+		t.Fatalf("N=59 height %d should be below N=13 height %d", m59.Height, m13.Height)
+	}
+}
+
+func TestNewWithHeight(t *testing.T) {
+	// Paper Figure 16: N=59, 4 levels.
+	m, err := NewWithHeight(4, 59, 6, 0.5, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Height != 4 {
+		t.Fatalf("height = %d", m.Height)
+	}
+	if math.Abs(m.RootFanout()-6) > 3 {
+		t.Fatalf("root fanout = %v, want ≈6", m.RootFanout())
+	}
+	// Paper Figure 15: N=13, 5 levels.
+	m2, err := NewWithHeight(5, 13, 6, 0.5, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Height != 5 {
+		t.Fatalf("height = %d", m2.Height)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(100, 2, 1, 0); err == nil {
+		t.Error("capacity 2 accepted")
+	}
+	if _, err := New(0, 13, 1, 0); err == nil {
+		t.Error("0 items accepted")
+	}
+	if _, err := New(100, 13, 0, 0); err == nil {
+		t.Error("qi=0 accepted")
+	}
+	if _, err := New(100, 13, 0.2, 0.5); err == nil {
+		t.Error("qd>qi accepted")
+	}
+}
+
+func TestLevelBoundsPanic(t *testing.T) {
+	m, _ := New(40000, 13, 1, 0)
+	for _, i := range []int{0, m.Height + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("E(%d) did not panic", i)
+				}
+			}()
+			m.E(i)
+		}()
+	}
+}
+
+// TestAgainstEmpiricalTrees builds real merge-at-empty trees and compares
+// the model's height, root fanout, utilization and split rate predictions.
+func TestAgainstEmpiricalTrees(t *testing.T) {
+	cases := []struct {
+		n      int
+		target int
+		qi, qd float64
+	}{
+		{13, 40000, 0.5, 0.2}, // the paper's configuration
+		{13, 40000, 1.0, 0.0},
+		{59, 40000, 0.5, 0.2},
+		{7, 8000, 0.6, 0.3},
+	}
+	for _, c := range cases {
+		tr := btree.New(c.n, btree.MergeAtEmpty)
+		src := xrand.New(uint64(c.n)*31 + uint64(c.target))
+		inserts := int64(0)
+		var live []int64 // deletes must target existing keys ([10]'s model)
+		// Grow the tree with the mix until the target size is reached.
+		for tr.Len() < c.target {
+			if src.Float64() < c.qi/(c.qi+c.qd) || len(live) == 0 {
+				k := src.Int63n(1 << 31)
+				if tr.Insert(k, 0) {
+					inserts++
+					live = append(live, k)
+				}
+			} else {
+				i := src.IntN(len(live))
+				tr.Delete(live[i])
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+			}
+		}
+		m, err := New(tr.Len(), c.n, c.qi, c.qd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Height != tr.Height() {
+			t.Errorf("N=%d: model height %d, tree height %d", c.n, m.Height, tr.Height())
+		}
+		// Root fanout within a factor of ~2 (the root is the noisiest level).
+		rf := float64(tr.RootFanout())
+		if m.RootFanout() < rf/2.2 || m.RootFanout() > rf*2.2 {
+			t.Errorf("N=%d: model root fanout %.1f, tree %.0f", c.n, m.RootFanout(), rf)
+		}
+		// Per-level occupancy within 12%. The top two levels hold too few
+		// nodes for the asymptotic constants to apply; skip them.
+		for _, ls := range tr.StructureStats() {
+			if ls.Level >= tr.Height()-1 {
+				continue
+			}
+			want := m.E(ls.Level)
+			if math.Abs(ls.MeanItems-want)/want > 0.12 {
+				t.Errorf("N=%d level %d: occupancy %.2f, model %.2f", c.n, ls.Level, ls.MeanItems, want)
+			}
+		}
+		// Leaf split probability ≈ splits observed per insert. Only leaf
+		// splits dominate; allow a broad tolerance plus the upper-level
+		// contribution.
+		splitRate := float64(tr.Stats().Splits) / float64(inserts)
+		predicted := m.PrF(1) * (1 + m.PrF(2)) // leaf splits + immediate parents
+		if splitRate < predicted*0.6 || splitRate > predicted*1.6 {
+			t.Errorf("N=%d: split rate %.4f, model %.4f", c.n, splitRate, predicted)
+		}
+	}
+}
+
+func TestStringIsInformative(t *testing.T) {
+	m, _ := New(40000, 13, 0.5, 0.2)
+	s := m.String()
+	if len(s) == 0 || s[0] != 's' {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestNewWithHeightClampPath(t *testing.T) {
+	// Request a height the derived item count would not naturally give:
+	// a 2-level tree with an outsized root fanout triggers the clamp.
+	m, err := NewWithHeight(2, 13, 3, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Height != 2 {
+		t.Fatalf("height = %d", m.Height)
+	}
+	if math.Abs(m.RootFanout()-3) > 3 {
+		t.Fatalf("root fanout %v", m.RootFanout())
+	}
+	if m.PrF(1) <= 0 || m.PrF(2) <= 0 {
+		t.Fatal("split probabilities must be positive")
+	}
+	// Degenerate requests are rejected.
+	if _, err := NewWithHeight(0, 13, 6, 1, 0); err == nil {
+		t.Fatal("height 0 accepted")
+	}
+	// Height 1 (a root leaf).
+	m1, err := NewWithHeight(1, 13, 5, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Height != 1 || m1.E(1) <= 0 {
+		t.Fatalf("h=1 shape: %+v", m1)
+	}
+}

@@ -1,0 +1,346 @@
+package sim
+
+import (
+	"btreeperf/internal/btree"
+	"btreeperf/internal/core"
+	"btreeperf/internal/des"
+	"btreeperf/internal/workload"
+)
+
+// held is one lock retained by a lock-coupling update.
+type held struct {
+	node  *btree.Node
+	grant *des.Grant
+}
+
+// ---------------------------------------------------------------------------
+// Shared R-lock-coupled search (Naive Lock-coupling and Optimistic Descent
+// searches follow the identical protocol).
+
+// coupledSearch descends with R-lock coupling: the child is locked before
+// the parent's lock is released. It returns the operation's completion
+// time.
+func (s *session) coupledSearch(p *des.Proc, key int64) float64 {
+	n, g := s.lockRoot(p, readClass)
+	for {
+		s.access(p, n.Level())
+		if n.IsLeaf() {
+			n.LeafGet(key)
+			s.lockOf(n).Release(g)
+			return p.Now()
+		}
+		child := n.FindChild(key)
+		cg := s.lockOf(child).Acquire(p, des.Read)
+		s.lockOf(n).Release(g)
+		n, g = child, cg
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Naive Lock-coupling updates.
+
+// nlcUpdate descends placing W locks, releasing all ancestors whenever the
+// child is safe for the operation, then applies the leaf modification and
+// any restructuring under the retained locks.
+func (s *session) nlcUpdate(p *des.Proc, op workload.Op, key int64) float64 {
+	root, g := s.lockRoot(p, writeClass)
+	chain := []held{{root, g}}
+	n := root
+	for !n.IsLeaf() {
+		s.access(p, n.Level())
+		child := n.FindChild(key)
+		cg := s.lockOf(child).Acquire(p, des.Write)
+		safe := s.tree.InsertSafe(child)
+		if op == workload.Delete {
+			safe = s.tree.DeleteSafe(child)
+		}
+		if safe {
+			s.releaseAll(chain)
+			chain = chain[:0]
+		}
+		chain = append(chain, held{child, cg})
+		n = child
+	}
+	s.work(p, s.m())
+	if op == workload.Insert {
+		s.tree.LeafInsert(n, key, uint64(key))
+		s.propagateSplits(p, chain)
+	} else {
+		s.tree.LeafDelete(n, key)
+		s.propagateMerges(p, chain)
+	}
+	return s.finishUpdate(p, chain)
+}
+
+// propagateSplits splits overfull nodes bottom-up through the retained
+// lock chain; the topmost retained node is either safe (absorbs the split)
+// or the root (grows the tree).
+func (s *session) propagateSplits(p *des.Proc, chain []held) {
+	i := len(chain) - 1
+	node := chain[i].node
+	for s.tree.Overfull(node) {
+		s.work(p, s.sp(node.Level()))
+		sib, sep := s.tree.Split(node)
+		if i == 0 {
+			// The whole retained chain was unsafe up to the root.
+			s.tree.GrowRoot(node, sep, sib)
+			return
+		}
+		i--
+		node = chain[i].node
+		node.AddChild(sep, sib)
+	}
+}
+
+// propagateMerges removes emptied nodes bottom-up through the retained
+// chain (merge-at-empty), shrinking the root when the chain reaches it.
+func (s *session) propagateMerges(p *des.Proc, chain []held) {
+	i := len(chain) - 1
+	node := chain[i].node
+	for node.Items() == 0 && i > 0 {
+		s.work(p, s.mg(node.Level()))
+		parent := chain[i-1].node
+		s.tree.RemoveChild(parent, node)
+		i--
+		node = parent
+	}
+	if chain[0].node == s.tree.Root() {
+		s.tree.ShrinkRoot()
+	}
+}
+
+// finishUpdate applies the recovery protocol and releases the retained
+// chain: Naive recovery holds every retained W lock until commit;
+// Leaf-only releases the non-leaf locks first and holds only the leaf.
+// It returns the B-tree operation's logical completion time — the commit
+// retention that follows blocks other operations but is not part of this
+// operation's own index response time.
+func (s *session) finishUpdate(p *des.Proc, chain []held) float64 {
+	done := p.Now()
+	switch s.cfg.Recovery {
+	case core.NaiveRecovery:
+		p.Delay(s.cfg.TTrans)
+		s.releaseAll(chain)
+	case core.LeafOnly:
+		leaf := chain[len(chain)-1]
+		s.releaseAll(chain[:len(chain)-1])
+		p.Delay(s.cfg.TTrans)
+		s.lockOf(leaf.node).Release(leaf.grant)
+	default:
+		s.releaseAll(chain)
+	}
+	return done
+}
+
+func (s *session) releaseAll(chain []held) {
+	for _, h := range chain {
+		s.lockOf(h.node).Release(h.grant)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Two-Phase Locking (the paper's deferred extension): no lock is ever
+// released before the operation finishes.
+
+// twoPhaseSearch descends holding R locks on the whole path.
+func (s *session) twoPhaseSearch(p *des.Proc, key int64) float64 {
+	root, g := s.lockRoot(p, readClass)
+	chain := []held{{root, g}}
+	n := root
+	for {
+		s.access(p, n.Level())
+		if n.IsLeaf() {
+			n.LeafGet(key)
+			break
+		}
+		child := n.FindChild(key)
+		cg := s.lockOf(child).Acquire(p, des.Read)
+		chain = append(chain, held{child, cg})
+		n = child
+	}
+	done := p.Now()
+	s.releaseAll(chain)
+	return done
+}
+
+// twoPhaseUpdate descends holding W locks on the whole path, restructures
+// under them, and releases everything only at the end.
+func (s *session) twoPhaseUpdate(p *des.Proc, op workload.Op, key int64) float64 {
+	root, g := s.lockRoot(p, writeClass)
+	chain := []held{{root, g}}
+	n := root
+	for !n.IsLeaf() {
+		s.access(p, n.Level())
+		child := n.FindChild(key)
+		cg := s.lockOf(child).Acquire(p, des.Write)
+		chain = append(chain, held{child, cg})
+		n = child
+	}
+	s.work(p, s.m())
+	if op == workload.Insert {
+		s.tree.LeafInsert(n, key, uint64(key))
+		s.propagateSplits(p, chain)
+	} else {
+		s.tree.LeafDelete(n, key)
+		s.propagateMerges(p, chain)
+	}
+	return s.finishUpdate(p, chain)
+}
+
+// ---------------------------------------------------------------------------
+// Optimistic Descent updates.
+
+// odUpdate makes an optimistic first descent with R locks, W-locking only
+// the leaf (by lock coupling from its parent). If the leaf is unsafe it
+// releases everything and re-descends with the Naive Lock-coupling
+// protocol (a redo operation).
+func (s *session) odUpdate(p *des.Proc, op workload.Op, key int64) float64 {
+	n, g := s.lockRoot(p, firstClass)
+	for !n.IsLeaf() {
+		s.access(p, n.Level())
+		child := n.FindChild(key)
+		cg := s.lockOf(child).Acquire(p, firstClass(child))
+		s.lockOf(n).Release(g)
+		n, g = child, cg
+	}
+	safe := s.tree.InsertSafe(n)
+	if op == workload.Delete {
+		safe = s.tree.DeleteSafe(n)
+	}
+	if !safe {
+		// Inspect-and-release, then redo pessimistically.
+		s.access(p, 1)
+		s.lockOf(n).Release(g)
+		s.restarts++
+		return s.nlcUpdate(p, op, key)
+	}
+	s.work(p, s.m())
+	if op == workload.Insert {
+		s.tree.LeafInsert(n, key, uint64(key))
+	} else {
+		s.tree.LeafDelete(n, key)
+	}
+	return s.finishUpdate(p, []held{{n, g}})
+}
+
+// firstClass is the lock class an OD first descent places on a node:
+// R everywhere except the leaf.
+func firstClass(n *btree.Node) des.Class {
+	if n.IsLeaf() {
+		return des.Write
+	}
+	return des.Read
+}
+
+// ---------------------------------------------------------------------------
+// Link-type (Lehman–Yao) operations.
+
+// linkOp holds at most one lock at a time, using right links to recover
+// from concurrent splits. Updates W-lock only the nodes they modify.
+func (s *session) linkOp(p *des.Proc, op workload.Op, key int64) float64 {
+	// Descend with R locks, remembering the ancestor path for split repair.
+	var stack []*btree.Node
+	n := s.tree.Root()
+	for !n.IsLeaf() {
+		g := s.lockOf(n).Acquire(p, des.Read)
+		s.access(p, n.Level())
+		n, g = s.linkMoveRight(p, n, g, key, des.Read)
+		child := n.FindChild(key)
+		stack = append(stack, n)
+		s.lockOf(n).Release(g)
+		n = child
+	}
+
+	if op == workload.Search {
+		g := s.lockOf(n).Acquire(p, des.Read)
+		s.access(p, 1)
+		n, g = s.linkMoveRight(p, n, g, key, des.Read)
+		n.LeafGet(key)
+		s.lockOf(n).Release(g)
+		return p.Now()
+	}
+
+	g := s.lockOf(n).Acquire(p, des.Write)
+	s.work(p, s.m())
+	n, g = s.linkMoveRight(p, n, g, key, des.Write)
+
+	if op == workload.Delete {
+		// Merge-at-empty under the Link-type algorithm: emptied leaves stay
+		// in place (the paper ignores the vanishingly rare merges).
+		s.tree.LeafDelete(n, key)
+		return s.finishUpdate(p, []held{{n, g}})
+	}
+
+	s.tree.LeafInsert(n, key, uint64(key))
+	return s.linkRepairSplits(p, n, g, stack)
+}
+
+// linkMoveRight follows right links while key lies beyond the node's high
+// key, re-locking with the same class at each hop.
+func (s *session) linkMoveRight(p *des.Proc, n *btree.Node, g *des.Grant, key int64, class des.Class) (*btree.Node, *des.Grant) {
+	for !n.Covers(key) {
+		right := n.Right()
+		s.lockOf(n).Release(g)
+		s.crossings++
+		n = right
+		g = s.lockOf(n).Acquire(p, class)
+		s.access(p, n.Level())
+	}
+	return n, g
+}
+
+// linkRepairSplits performs half-splits bottom-up: while the current node
+// is overfull it is split under its own W lock, the lock released, and the
+// parent W-locked to insert the new (separator, sibling) pair. When no
+// split is needed the recovery protocol applies to the leaf lock (holding
+// more would break the one-lock-at-a-time discipline, so a splitting
+// insert releases promptly). Returns the logical completion time.
+func (s *session) linkRepairSplits(p *des.Proc, n *btree.Node, g *des.Grant, stack []*btree.Node) float64 {
+	if !s.tree.Overfull(n) {
+		return s.finishUpdate(p, []held{{n, g}})
+	}
+	for s.tree.Overfull(n) {
+		s.work(p, s.sp(n.Level()))
+		sib, sep := s.tree.Split(n)
+		if len(stack) == 0 && n == s.tree.Root() {
+			s.tree.GrowRoot(n, sep, sib)
+			break
+		}
+		level := n.Level() + 1
+		s.lockOf(n).Release(g)
+
+		var parent *btree.Node
+		if len(stack) > 0 {
+			parent = stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+		} else {
+			// The root grew since the descent began; locate the parent
+			// level from the current root.
+			parent = s.linkLocate(p, level, sep)
+		}
+		g = s.lockOf(parent).Acquire(p, des.Write)
+		s.access(p, level)
+		parent, g = s.linkMoveRight(p, parent, g, sep, des.Write)
+		s.work(p, s.mod(level))
+		parent.AddChild(sep, sib)
+		n = parent
+	}
+	s.lockOf(n).Release(g)
+	return p.Now()
+}
+
+// linkLocate descends from the current root to the node at the given level
+// responsible for key (used when the remembered ancestor path has been
+// outgrown by root splits).
+func (s *session) linkLocate(p *des.Proc, level int, key int64) *btree.Node {
+	n := s.tree.Root()
+	for n.Level() > level {
+		g := s.lockOf(n).Acquire(p, des.Read)
+		s.access(p, n.Level())
+		n, g = s.linkMoveRight(p, n, g, key, des.Read)
+		child := n.FindChild(key)
+		s.lockOf(n).Release(g)
+		n = child
+	}
+	return n
+}

@@ -1,0 +1,8 @@
+package sim
+
+// runCapture runs a simulation and returns the session so tests can
+// inspect the final tree.
+func runCapture(cfg Config) (*session, error) {
+	_, s, err := run(cfg)
+	return s, err
+}

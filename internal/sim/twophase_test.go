@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"testing"
+
+	"btreeperf/internal/core"
+)
+
+func TestTwoPhaseSimCompletes(t *testing.T) {
+	cfg := smallCfg(core.TwoPhase, 0.01)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Unstable || res.Completed != cfg.Ops {
+		t.Fatalf("completed=%d unstable=%v", res.Completed, res.Unstable)
+	}
+	if res.RespSearch.Mean <= 0 || res.RespInsert.Mean <= 0 {
+		t.Fatal("non-positive responses")
+	}
+}
+
+func TestTwoPhaseTreeInvariants(t *testing.T) {
+	cfg := smallCfg(core.TwoPhase, 0.05)
+	cfg.MaxInFlight = 100000
+	s, err := runCapture(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.tree.CheckInvariants(); err != nil {
+		t.Fatalf("tree corrupted: %v", err)
+	}
+}
+
+func TestTwoPhaseWorseThanNLCInSimulation(t *testing.T) {
+	// At an equal moderate load 2PL's responses exceed NLC's: the held
+	// root R/W locks serialize everything behind the slowest descent.
+	lambda := 0.15
+	tp, err := Run(smallCfg(core.TwoPhase, lambda))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nlc, err := Run(smallCfg(core.NLC, lambda))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.Unstable {
+		t.Skip("2PL already unstable at test load; ordering trivially holds")
+	}
+	if tp.RespInsert.Mean <= nlc.RespInsert.Mean {
+		t.Errorf("2PL insert %v should exceed NLC %v", tp.RespInsert.Mean, nlc.RespInsert.Mean)
+	}
+}
+
+func TestTwoPhaseSaturatesBeforeNLC(t *testing.T) {
+	// A load NLC carries comfortably overwhelms 2PL.
+	lambda := 0.45
+	tpCfg := smallCfg(core.TwoPhase, lambda)
+	tpCfg.MaxInFlight = 400
+	nlcCfg := smallCfg(core.NLC, lambda)
+	nlcCfg.MaxInFlight = 400
+	tp, err := Run(tpCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nlc, err := Run(nlcCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tp.Unstable {
+		t.Error("2PL stable at a load that should overwhelm it")
+	}
+	if nlc.Unstable {
+		t.Error("NLC unstable at a load it should carry")
+	}
+}

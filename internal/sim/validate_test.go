@@ -1,0 +1,206 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"btreeperf/internal/core"
+	"btreeperf/internal/shape"
+	"btreeperf/internal/workload"
+)
+
+// These tests reproduce the paper's central validation claim (§5.3,
+// Figures 3–8): the analytical framework and the simulator predict the
+// same response times. Agreement is tight at low and moderate loads and
+// loosens in the saturation knee, where the per-level Poisson assumption
+// underestimates the burstiness that lock coupling induces.
+
+// validationModel returns the paper-configuration analysis model.
+func validationModel(t *testing.T, d float64) core.Model {
+	t.Helper()
+	s, err := shape.New(40000, 13, 0.5, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.Model{Shape: s, Costs: core.PaperCosts(d)}
+}
+
+func runPoint(t *testing.T, a core.Algorithm, lambda float64) *Replicated {
+	t.Helper()
+	cfg := Paper(a, lambda, 5)
+	cfg.Ops = 6000
+	cfg.Warmup = 600
+	rep, err := RunSeeds(cfg, DefaultSeeds(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func relErr(a, b float64) float64 { return math.Abs(a-b) / b }
+
+func TestAnalysisMatchesSimulationModerateLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	m := validationModel(t, 5)
+	mix := core.Workload{Mix: workload.PaperMix}
+	for _, a := range []core.Algorithm{core.NLC, core.OD, core.Link} {
+		lmax, err := core.MaxThroughput(a, m, mix, 1e-4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lambda := 0.3 * lmax
+		if math.IsInf(lambda, 1) || lambda > 50 {
+			lambda = 50
+		}
+		res, err := core.Analyze(a, m, core.Workload{Lambda: lambda, Mix: workload.PaperMix})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := runPoint(t, a, lambda)
+		if rep.Unstable {
+			t.Fatalf("%v unstable at 0.3·λmax", a)
+		}
+		// The OD model underestimates knee-region contention (per-level
+		// Poisson assumption vs. lock-coupling burstiness); its tolerance
+		// is looser.
+		tol := 0.12
+		if a == core.OD {
+			tol = 0.20
+		}
+		if e := relErr(rep.RespSearch.Mean, res.RespSearch); e > tol {
+			t.Errorf("%v search: sim %.2f vs model %.2f (rel %.2f)", a, rep.RespSearch.Mean, res.RespSearch, e)
+		}
+		if e := relErr(rep.RespInsert.Mean, res.RespInsert); e > tol+0.03 {
+			t.Errorf("%v insert: sim %.2f vs model %.2f (rel %.2f)", a, rep.RespInsert.Mean, res.RespInsert, e)
+		}
+	}
+}
+
+func TestNLCAnalysisTracksKnee(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	m := validationModel(t, 5)
+	mix := core.Workload{Mix: workload.PaperMix}
+	lmax, err := core.MaxThroughput(core.NLC, m, mix, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At 0.6·λmax, responses agree within 15% and ρ_w within 0.08.
+	lambda := 0.6 * lmax
+	res, err := core.AnalyzeNLC(m, core.Workload{Lambda: lambda, Mix: workload.PaperMix})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := runPoint(t, core.NLC, lambda)
+	if e := relErr(rep.RespInsert.Mean, res.RespInsert); e > 0.15 {
+		t.Errorf("0.6·λmax insert: sim %.2f vs model %.2f", rep.RespInsert.Mean, res.RespInsert)
+	}
+	if d := math.Abs(rep.RootRhoW.Mean - res.RootRhoW()); d > 0.08 {
+		t.Errorf("0.6·λmax root ρ_w: sim %.3f vs model %.3f", rep.RootRhoW.Mean, res.RootRhoW())
+	}
+	// At 0.9·λmax both blow up; root ρ_w still agrees closely (Figure 10).
+	lambda = 0.9 * lmax
+	res, err = core.AnalyzeNLC(m, core.Workload{Lambda: lambda, Mix: workload.PaperMix})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep9 := runPoint(t, core.NLC, lambda)
+	if d := math.Abs(rep9.RootRhoW.Mean - res.RootRhoW()); d > 0.10 {
+		t.Errorf("0.9·λmax root ρ_w: sim %.3f vs model %.3f", rep9.RootRhoW.Mean, res.RootRhoW())
+	}
+	low := runPoint(t, core.NLC, 0.05*lmax)
+	if rep9.RespSearch.Mean < 2*low.RespSearch.Mean {
+		t.Errorf("no blow-up near saturation: %.2f vs low-load %.2f",
+			rep9.RespSearch.Mean, low.RespSearch.Mean)
+	}
+}
+
+func TestSimulatorConfirmsInstabilityBeyondModelMax(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	m := validationModel(t, 5)
+	mix := core.Workload{Mix: workload.PaperMix}
+	lmax, err := core.MaxThroughput(core.NLC, m, mix, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Paper(core.NLC, 2*lmax, 5)
+	cfg.Ops = 10000
+	cfg.MaxInFlight = 1000
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Unstable {
+		t.Fatalf("simulator stable at 2×model λmax (%v)", 2*lmax)
+	}
+}
+
+func TestRhoWGrowthMirrorsFigure10(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	// Root writer presence grows faster than linearly in λ for NLC.
+	m := validationModel(t, 5)
+	mix := core.Workload{Mix: workload.PaperMix}
+	lmax, err := core.MaxThroughput(core.NLC, m, mix, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := runPoint(t, core.NLC, 0.3*lmax)
+	r2 := runPoint(t, core.NLC, 0.75*lmax)
+	// Superlinear: 2.5× the rate should more than 2.5× ρ_w.
+	if r2.RootRhoW.Mean < 2.5*r1.RootRhoW.Mean {
+		t.Errorf("ρ_w growth sublinear: %.3f @0.3λmax vs %.3f @0.75λmax",
+			r1.RootRhoW.Mean, r2.RootRhoW.Mean)
+	}
+}
+
+func TestLevelWaitsMatchModel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	// Per-level W-lock waits from the simulator line up with the model's
+	// W(i) at a mid-range NLC load.
+	m := validationModel(t, 5)
+	mix := core.Workload{Mix: workload.PaperMix}
+	lmax, err := core.MaxThroughput(core.NLC, m, mix, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lambda := 0.5 * lmax
+	res, err := core.AnalyzeNLC(m, core.Workload{Lambda: lambda, Mix: workload.PaperMix})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Paper(core.NLC, lambda, 5)
+	cfg.Ops = 10000
+	simRes, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The root queue is where contention lives; compare there. The model
+	// underestimates the root wait and overestimates the level below
+	// (compensating biases — response times still agree), so the per-level
+	// check is a factor-2.5 agreement, not a percentage one.
+	rootSim := simRes.LevelWaits[len(simRes.LevelWaits)-1]
+	rootModel := res.Level(res.Levels[len(res.Levels)-1].Level)
+	if rootModel.W <= 0 {
+		t.Fatal("model reports zero root wait at half load")
+	}
+	if ratio := rootSim.MeanWaitW / rootModel.W; ratio > 2.5 || ratio < 0.4 {
+		t.Errorf("root W wait: sim %.3f vs model %.3f (ratio %.2f)", rootSim.MeanWaitW, rootModel.W, ratio)
+	}
+	// And both must grow with load.
+	resLow, err := core.AnalyzeNLC(m, core.Workload{Lambda: 0.2 * lmax, Mix: workload.PaperMix})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resLow.Level(resLow.Levels[len(resLow.Levels)-1].Level).W >= rootModel.W {
+		t.Error("model root wait not increasing in λ")
+	}
+}

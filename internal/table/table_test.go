@@ -1,0 +1,88 @@
+package table
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRender(t *testing.T) {
+	tb := New("Fig X", "lambda", "resp")
+	tb.Caption = "a caption"
+	tb.AddRow("0.1", "17.2")
+	tb.AddRow("0.2", "18.9")
+	var b strings.Builder
+	if err := tb.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Fig X", "a caption", "lambda", "resp", "17.2", "18.9", "---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderAlignment(t *testing.T) {
+	tb := New("", "a", "bbbbbb")
+	tb.AddRow("xxxxxx", "y")
+	var b strings.Builder
+	tb.Render(&b)
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	// Header, separator, one row — all the same display width.
+	if len(lines) != 3 {
+		t.Fatalf("lines: %q", lines)
+	}
+	if len(lines[0]) != len(lines[1]) || len(lines[1]) != len(lines[2]) {
+		t.Errorf("misaligned:\n%s", b.String())
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := New("t", "x", "y")
+	tb.AddRow("1", "2")
+	tb.AddRow("3", "4")
+	var b strings.Builder
+	if err := tb.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != "x,y\n1,2\n3,4\n" {
+		t.Fatalf("csv = %q", b.String())
+	}
+}
+
+func TestShortRowPadsAndLongRowPanics(t *testing.T) {
+	tb := New("t", "x", "y")
+	tb.AddRow("only")
+	if tb.Rows[0][1] != "" {
+		t.Fatal("short row not padded")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("long row did not panic")
+		}
+	}()
+	tb.AddRow("1", "2", "3")
+}
+
+func TestF(t *testing.T) {
+	cases := map[float64]string{
+		0:      "0",
+		12345:  "12345",
+		42.42:  "42.4",
+		1.2345: "1.234",
+		0.5:    "0.500",
+		0.0001: "1.00e-04",
+	}
+	for v, want := range cases {
+		if got := F(v); got != want {
+			t.Errorf("F(%v) = %q, want %q", v, got, want)
+		}
+	}
+	if F(math.Inf(1)) != "inf" || F(math.Inf(-1)) != "-inf" || F(math.NaN()) != "NaN" {
+		t.Error("special values")
+	}
+	if FE(1.5, 0.25) != "1.500±0.250" {
+		t.Errorf("FE = %q", FE(1.5, 0.25))
+	}
+}

@@ -1,0 +1,190 @@
+// Package workload generates the operation streams of the paper's
+// simulator (§4): a proportion mix of search / insert / delete operations
+// whose insert keys are drawn uniformly from a key space and whose delete
+// and search keys target the live key population, plus the tree
+// construction phase that builds the initial B-tree with the same
+// insert:delete proportion as the concurrent phase.
+package workload
+
+import (
+	"fmt"
+
+	"btreeperf/internal/btree"
+	"btreeperf/internal/xrand"
+)
+
+// Op is an operation kind.
+type Op int
+
+const (
+	// Search looks a key up.
+	Search Op = iota
+	// Insert adds a key.
+	Insert
+	// Delete removes a key.
+	Delete
+)
+
+func (o Op) String() string {
+	switch o {
+	case Search:
+		return "search"
+	case Insert:
+		return "insert"
+	case Delete:
+		return "delete"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// Mix holds the operation proportions q_s, q_i, q_d (must sum to 1).
+type Mix struct {
+	QS float64 // search fraction
+	QI float64 // insert fraction
+	QD float64 // delete fraction
+}
+
+// PaperMix is the proportion used in the paper's experiments:
+// q_s=.3, q_i=.5, q_d=.2.
+var PaperMix = Mix{QS: 0.3, QI: 0.5, QD: 0.2}
+
+// Validate checks the proportions.
+func (m Mix) Validate() error {
+	if m.QS < 0 || m.QI < 0 || m.QD < 0 {
+		return fmt.Errorf("workload: negative proportion %+v", m)
+	}
+	if s := m.QS + m.QI + m.QD; s < 0.999999 || s > 1.000001 {
+		return fmt.Errorf("workload: proportions sum to %v, want 1", s)
+	}
+	return nil
+}
+
+// UpdateShare returns q_i + q_d.
+func (m Mix) UpdateShare() float64 { return m.QI + m.QD }
+
+// KeyPool tracks the live key population with O(1) insertion and O(1)
+// uniform removal, so deletes and searches can target existing keys — the
+// regime Johnson & Shasha's shape results assume.
+type KeyPool struct {
+	keys []int64
+	pos  map[int64]int
+}
+
+// NewKeyPool returns an empty pool.
+func NewKeyPool() *KeyPool {
+	return &KeyPool{pos: make(map[int64]int)}
+}
+
+// Len returns the population size.
+func (kp *KeyPool) Len() int { return len(kp.keys) }
+
+// Add inserts k (a duplicate is a no-op).
+func (kp *KeyPool) Add(k int64) {
+	if _, ok := kp.pos[k]; ok {
+		return
+	}
+	kp.pos[k] = len(kp.keys)
+	kp.keys = append(kp.keys, k)
+}
+
+// Remove deletes k, reporting whether it was present.
+func (kp *KeyPool) Remove(k int64) bool {
+	i, ok := kp.pos[k]
+	if !ok {
+		return false
+	}
+	last := len(kp.keys) - 1
+	kp.keys[i] = kp.keys[last]
+	kp.pos[kp.keys[i]] = i
+	kp.keys = kp.keys[:last]
+	delete(kp.pos, k)
+	return true
+}
+
+// Pick returns a uniformly random live key without removing it.
+// ok is false when the pool is empty.
+func (kp *KeyPool) Pick(src *xrand.Source) (k int64, ok bool) {
+	if len(kp.keys) == 0 {
+		return 0, false
+	}
+	return kp.keys[src.IntN(len(kp.keys))], true
+}
+
+// Take removes and returns a uniformly random live key.
+func (kp *KeyPool) Take(src *xrand.Source) (k int64, ok bool) {
+	k, ok = kp.Pick(src)
+	if ok {
+		kp.Remove(k)
+	}
+	return k, ok
+}
+
+// Generator produces the concurrent-phase operation stream.
+type Generator struct {
+	mix      Mix
+	pool     *KeyPool
+	src      *xrand.Source
+	keySpace int64
+}
+
+// NewGenerator builds a generator over the given live-key pool. Insert
+// keys are uniform over [0, keySpace).
+func NewGenerator(mix Mix, pool *KeyPool, keySpace int64, src *xrand.Source) (*Generator, error) {
+	if err := mix.Validate(); err != nil {
+		return nil, err
+	}
+	if keySpace < 1 {
+		return nil, fmt.Errorf("workload: key space %d", keySpace)
+	}
+	return &Generator{mix: mix, pool: pool, src: src, keySpace: keySpace}, nil
+}
+
+// Next draws the next operation and its key. Deletes remove their target
+// from the pool immediately so concurrent deletes do not all chase the
+// same key; inserts add theirs. When the pool is empty a drawn delete or
+// search degrades to an insert.
+func (g *Generator) Next() (Op, int64) {
+	u := g.src.Float64()
+	switch {
+	case u < g.mix.QS:
+		if k, ok := g.pool.Pick(g.src); ok {
+			return Search, k
+		}
+	case u < g.mix.QS+g.mix.QD:
+		if k, ok := g.pool.Take(g.src); ok {
+			return Delete, k
+		}
+	}
+	k := g.src.Int63n(g.keySpace)
+	g.pool.Add(k)
+	return Insert, k
+}
+
+// Build constructs a merge-at-empty B-tree of about target keys using the
+// generator's insert:delete proportion (the paper's construction phase),
+// returning the tree and the resulting live-key pool.
+func Build(capacity, target int, mix Mix, keySpace int64, src *xrand.Source) (*btree.Tree, *KeyPool, error) {
+	if err := mix.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if mix.QI <= mix.QD {
+		return nil, nil, fmt.Errorf("workload: construction needs qi > qd to grow (qi=%v qd=%v)", mix.QI, mix.QD)
+	}
+	tr := btree.New(capacity, btree.MergeAtEmpty)
+	pool := NewKeyPool()
+	pIns := mix.QI / (mix.QI + mix.QD)
+	for tr.Len() < target {
+		if src.Float64() < pIns || pool.Len() == 0 {
+			k := src.Int63n(keySpace)
+			if tr.Insert(k, uint64(k)) {
+				pool.Add(k)
+			}
+		} else {
+			if k, ok := pool.Take(src); ok {
+				tr.Delete(k)
+			}
+		}
+	}
+	return tr, pool, nil
+}

@@ -1,0 +1,170 @@
+// Package xrand provides the random variates used throughout btreeperf:
+// exponential and hyperexponential service times, Poisson arrival gaps,
+// and reproducible, splittable random sources.
+//
+// Every stochastic component in the repository draws from an xrand.Source
+// seeded explicitly, so simulator runs are deterministic given a seed.
+package xrand
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// Source is a seeded random source with the variate generators needed by
+// the simulator and workload generators. It is NOT safe for concurrent use;
+// use Split to derive independent sources for concurrent consumers.
+type Source struct {
+	rng  *rand.Rand
+	seed uint64
+}
+
+// New returns a Source seeded with seed. Two Sources with the same seed
+// produce identical streams.
+func New(seed uint64) *Source {
+	return &Source{
+		rng:  rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)),
+		seed: seed,
+	}
+}
+
+// Seed returns the seed the Source was created with.
+func (s *Source) Seed() uint64 { return s.seed }
+
+// Split derives a new, statistically independent Source. The derived seed
+// mixes the parent seed with the supplied stream label so that the same
+// (seed, label) pair always yields the same stream.
+func (s *Source) Split(label uint64) *Source {
+	return New(mix(s.seed, label))
+}
+
+// mix is SplitMix64-style avalanche mixing of two 64-bit words.
+func mix(a, b uint64) uint64 {
+	z := a + 0x9e3779b97f4a7c15 + b*0xbf58476d1ce4e5b9
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// Float64 returns a uniform variate in [0, 1).
+func (s *Source) Float64() float64 { return s.rng.Float64() }
+
+// Uint64 returns a uniform 64-bit value.
+func (s *Source) Uint64() uint64 { return s.rng.Uint64() }
+
+// Int63n returns a uniform variate in [0, n). It panics if n <= 0.
+func (s *Source) Int63n(n int64) int64 { return s.rng.Int64N(n) }
+
+// IntN returns a uniform variate in [0, n). It panics if n <= 0.
+func (s *Source) IntN(n int) int { return s.rng.IntN(n) }
+
+// Exp returns an exponential variate with the given mean.
+// Exp(0) returns 0 so that zero-cost service times are representable.
+func (s *Source) Exp(mean float64) float64 {
+	if mean < 0 {
+		panic(fmt.Sprintf("xrand: negative exponential mean %v", mean))
+	}
+	if mean == 0 {
+		return 0
+	}
+	// Inverse transform; 1-U in (0,1] avoids log(0).
+	return -mean * math.Log(1-s.rng.Float64())
+}
+
+// ExpRate returns an exponential variate with the given rate (1/mean).
+func (s *Source) ExpRate(rate float64) float64 {
+	if rate <= 0 {
+		panic(fmt.Sprintf("xrand: non-positive exponential rate %v", rate))
+	}
+	return s.Exp(1 / rate)
+}
+
+// HyperExp returns a variate from a hyperexponential distribution: with
+// probability p[i] the sample is exponential with mean means[i].
+// The probabilities must sum to 1 (within 1e-9).
+func (s *Source) HyperExp(p, means []float64) float64 {
+	if len(p) != len(means) || len(p) == 0 {
+		panic("xrand: HyperExp needs matching non-empty probability and mean slices")
+	}
+	sum := 0.0
+	for _, pi := range p {
+		if pi < 0 {
+			panic("xrand: HyperExp negative probability")
+		}
+		sum += pi
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		panic(fmt.Sprintf("xrand: HyperExp probabilities sum to %v, want 1", sum))
+	}
+	u := s.rng.Float64()
+	acc := 0.0
+	for i, pi := range p {
+		acc += pi
+		if u < acc {
+			return s.Exp(means[i])
+		}
+	}
+	return s.Exp(means[len(means)-1])
+}
+
+// Bernoulli returns true with probability p.
+func (s *Source) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return s.rng.Float64() < p
+}
+
+// Choose returns an index in [0, len(weights)) drawn with probability
+// proportional to weights[i]. It panics on an empty or all-zero slice.
+func (s *Source) Choose(weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 {
+			panic("xrand: Choose negative weight")
+		}
+		total += w
+	}
+	if total <= 0 {
+		panic("xrand: Choose needs a positive total weight")
+	}
+	u := s.rng.Float64() * total
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		if u < acc {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// Perm returns a random permutation of [0, n).
+func (s *Source) Perm(n int) []int { return s.rng.Perm(n) }
+
+// SelfSimilar returns an index in [0, n) drawn from the self-similar
+// ("80/20") distribution: a (1−hot) fraction of draws lands in the first
+// hot·n indices, recursively at every scale (Gray et al.). hot must be in
+// (0, 0.5]; hot = 0.2 is the classic 80/20 rule, hot = 0.5 is uniform.
+func (s *Source) SelfSimilar(n int, hot float64) int {
+	if n <= 0 {
+		panic(fmt.Sprintf("xrand: SelfSimilar n = %d", n))
+	}
+	if hot <= 0 || hot > 0.5 {
+		panic(fmt.Sprintf("xrand: SelfSimilar hot = %v outside (0, 0.5]", hot))
+	}
+	// CDF F(x) = x^θ with θ = ln(1−hot)/ln(hot); invert by U^(1/θ).
+	theta := math.Log(1-hot) / math.Log(hot)
+	i := int(float64(n) * math.Pow(s.rng.Float64(), 1/theta))
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}

@@ -14,9 +14,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"btreeperf/internal/core"
 	"btreeperf/internal/shape"
+	"btreeperf/internal/sim"
 	"btreeperf/internal/table"
 	"btreeperf/internal/workload"
 )
@@ -37,8 +39,13 @@ func main() {
 		recovery   = flag.String("recovery", "none", "recovery protocol: none, leaf, naive (od only)")
 		ttrans     = flag.Float64("ttrans", 100, "transaction commit delay for recovery")
 		buffer     = flag.Float64("buffer", -1, "LRU buffer pool size in nodes (replaces -mem; -1 disables)")
+		simSeeds   = flag.Int("simulate", 0, "cross-check the point with N simulator replications (0 = model only)")
+		simOps     = flag.Int("simops", 10000, "operations per cross-check replication")
+		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0),
+			"replication worker pool size for -simulate (1 = sequential; results are identical either way)")
 	)
 	flag.Parse()
+	sim.SetParallelism(*parallel)
 
 	alg, err := parseAlg(*algName)
 	check(err)
@@ -89,6 +96,28 @@ func main() {
 
 	fmt.Printf("\nresponse times: search=%s insert=%s delete=%s (stable=%v)\n",
 		table.F(res.RespSearch), table.F(res.RespInsert), table.F(res.RespDelete), res.Stable)
+
+	if *simSeeds > 0 {
+		rec, err := parseRecovery(*recovery)
+		check(err)
+		cfg := sim.Paper(alg, *lambda, *disk)
+		cfg.NodeCap = *nodeCap
+		cfg.InitialItems = sh.Items
+		cfg.Mix = mix
+		cfg.Costs = costs
+		cfg.Recovery = rec
+		cfg.TTrans = *ttrans
+		cfg.Ops = *simOps
+		cfg.Warmup = *simOps / 10
+		rep, err := sim.RunSeeds(cfg, sim.DefaultSeeds(*simSeeds))
+		check(err)
+		fmt.Printf("simulator (%d seeds × %d ops, %d workers): search=%s insert=%s delete=%s ρ_w(root)=%s unstable=%v\n",
+			*simSeeds, *simOps, sim.Parallelism(),
+			table.FE(rep.RespSearch.Mean, rep.RespSearch.CI95),
+			table.FE(rep.RespInsert.Mean, rep.RespInsert.CI95),
+			table.FE(rep.RespDelete.Mean, rep.RespDelete.CI95),
+			table.FE(rep.RootRhoW.Mean, rep.RootRhoW.CI95), rep.Unstable)
+	}
 
 	mixOnly := core.Workload{Mix: mix}
 	lmax, err := core.MaxThroughput(alg, m, mixOnly, 1e-4)

@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"btreeperf/internal/core"
 	"btreeperf/internal/sim"
@@ -38,8 +39,11 @@ func main() {
 		qd       = flag.Float64("qd", 0.2, "delete fraction")
 		recovery = flag.String("recovery", "none", "recovery protocol: none, leaf, naive")
 		ttrans   = flag.Float64("ttrans", 0, "transaction commit delay for recovery")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0),
+			"replication worker pool size (1 = sequential; results are identical either way)")
 	)
 	flag.Parse()
+	sim.SetParallelism(*parallel)
 
 	alg, err := parseAlg(*algName)
 	check(err)

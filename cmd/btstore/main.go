@@ -91,8 +91,8 @@ func main() {
 		cs := tree.CacheStats()
 		splits, crossings := tree.Stats()
 		fmt.Printf("keys: %d\ncapacity: %d items/node\n", tree.Len(), tree.Cap())
-		fmt.Printf("buffer pool: %d/%d resident, hit ratio %.3f (%d hits, %d misses, %d evictions)\n",
-			cs.Resident, cs.Capacity, cs.HitRatio(), cs.Hits, cs.Misses, cs.Evictions)
+		fmt.Printf("buffer pool: %d/%d resident, hit ratio %s (%d hits, %d misses, %d evictions)\n",
+			cs.Resident, cs.Capacity, hitRatioCell(cs), cs.Hits, cs.Misses, cs.Evictions)
 		fmt.Printf("splits: %d   link crossings: %d\n", splits, crossings)
 	case "bench":
 		fs := flag.NewFlagSet("bench", flag.ExitOnError)
@@ -107,15 +107,28 @@ func main() {
 }
 
 func runBench(tree *btreeperf.DiskTree, n, workers int, reads float64) {
+	if workers < 1 {
+		workers = 1
+	}
+	if n > 0 && workers > n {
+		workers = n
+	}
 	start := time.Now()
 	var wg sync.WaitGroup
-	per := n / workers
+	// Spread the n % workers remainder over the first workers so exactly n
+	// operations run (n/workers alone would silently drop the remainder
+	// and overstate ops/s).
+	per, extra := n/workers, n%workers
 	for w := 0; w < workers; w++ {
+		ops := per
+		if w < extra {
+			ops++
+		}
 		wg.Add(1)
-		go func(w int) {
+		go func(w, ops int) {
 			defer wg.Done()
 			src := xrand.New(uint64(w)*2654435761 + 1)
-			for i := 0; i < per; i++ {
+			for i := 0; i < ops; i++ {
 				k := src.Int63n(1 << 40)
 				if src.Float64() < reads {
 					if _, _, err := tree.Search(k); err != nil {
@@ -125,16 +138,23 @@ func runBench(tree *btreeperf.DiskTree, n, workers int, reads float64) {
 					panic(err)
 				}
 			}
-		}(w)
+		}(w, ops)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
-	total := per * workers
 	cs := tree.CacheStats()
 	fmt.Printf("%d ops in %v: %.0f ops/s (%d workers, %.0f%% reads)\n",
-		total, elapsed.Round(time.Millisecond),
-		float64(total)/elapsed.Seconds(), workers, reads*100)
-	fmt.Printf("buffer pool hit ratio %.3f, %d keys in tree\n", cs.HitRatio(), tree.Len())
+		n, elapsed.Round(time.Millisecond),
+		float64(n)/elapsed.Seconds(), workers, reads*100)
+	fmt.Printf("buffer pool hit ratio %s, %d keys in tree\n", hitRatioCell(cs), tree.Len())
+}
+
+// hitRatioCell formats a hit ratio, or "n/a" before any access.
+func hitRatioCell(cs btreeperf.DiskCacheStats) string {
+	if cs.Hits+cs.Misses == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.3f", cs.HitRatio())
 }
 
 func parseKey(s string) int64 {

@@ -70,6 +70,12 @@ func (env *Environment) Spawn(name string, fn func(p *Proc)) *Proc {
 			delete(env.procs, p)
 			env.yielded <- struct{}{}
 		}()
+		// A process first resumed by Close/Shutdown (its start event never
+		// fired) must unwind immediately instead of running fn: killing an
+		// environment must not execute not-yet-started process bodies.
+		if env.killed {
+			panic(errKilled)
+		}
 		fn(p)
 	}()
 	env.Schedule(env.now, func() { env.unpark(p) })
@@ -108,10 +114,15 @@ func (env *Environment) RunAll() float64 {
 	return env.now
 }
 
-// Shutdown terminates all parked processes (their pending Delay/lock waits
-// panic internally and the goroutines exit). Call after Run when abandoning
-// a simulation early, e.g. when it is detected to be unstable.
-func (env *Environment) Shutdown() {
+// Close terminates the environment. Every live process — parked on a
+// Delay, waiting on a lock, or spawned but never started — is unwound via
+// the kill sentinel so its goroutine exits, and all pending events are
+// dropped (a stale event waking a dead process would otherwise block
+// forever on its resume channel). Close is idempotent and must be called
+// from scheduler context, i.e. not from within a running process. A run
+// that terminates early (an unstable abort, an error return) would
+// otherwise leak one parked goroutine per abandoned process.
+func (env *Environment) Close() {
 	env.killed = true
 	for len(env.procs) > 0 {
 		for p := range env.procs {
@@ -119,7 +130,16 @@ func (env *Environment) Shutdown() {
 			break // unpark may mutate the map; restart iteration
 		}
 	}
+	env.events = nil
 }
+
+// Shutdown terminates all parked processes (their pending Delay/lock waits
+// panic internally and the goroutines exit). Call after Run when abandoning
+// a simulation early, e.g. when it is detected to be unstable.
+//
+// Deprecated: use Close, which additionally drops pending events so the
+// environment cannot wake dead processes.
+func (env *Environment) Shutdown() { env.Close() }
 
 // unpark hands control to p until it parks again or finishes. Must only be
 // called from scheduler context (inside an event function).

@@ -152,7 +152,9 @@ func simRespOf(rep *sim.Replicated, op workload.Op) (mean, ci float64) {
 }
 
 // runCurve produces the analysis-vs-simulation response curve shared by
-// Figures 3–8.
+// Figures 3–8. Sweep points run concurrently under the sim worker pool;
+// rows are collected by point index, so the table is identical at any
+// worker count.
 func runCurve(a core.Algorithm, op workload.Op, d float64, lambdas []float64, o Options) (*table.Table, error) {
 	m, err := paperModel(d)
 	if err != nil {
@@ -160,25 +162,34 @@ func runCurve(a core.Algorithm, op workload.Op, d float64, lambdas []float64, o 
 	}
 	tb := table.New("",
 		"lambda", "model_resp", "sim_resp", "sim_ci95", "model_rho_w", "sim_rho_w", "stable")
-	for _, lambda := range lambdas {
+	rows := make([][]string, len(lambdas))
+	err = sim.ForEachPoint(len(lambdas), func(i int) error {
+		lambda := lambdas[i]
 		res, err := core.Analyze(a, m, core.Workload{Lambda: lambda, Mix: workload.PaperMix})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		cfg := sim.Paper(a, lambda, d)
 		cfg.Ops = o.Ops
 		cfg.Warmup = o.Ops / 10
 		rep, err := sim.RunSeeds(cfg, sim.DefaultSeeds(o.Seeds))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		simResp, simCI := simRespOf(rep, op)
 		stable := "yes"
 		if !res.Stable || rep.Unstable {
 			stable = "no"
 		}
-		tb.AddRow(table.F(lambda), table.F(respOf(res, op)), table.F(simResp),
-			table.F(simCI), table.F(res.RootRhoW()), table.F(rep.RootRhoW.Mean), stable)
+		rows[i] = []string{table.F(lambda), table.F(respOf(res, op)), table.F(simResp),
+			table.F(simCI), table.F(res.RootRhoW()), table.F(rep.RootRhoW.Mean), stable}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		tb.AddRow(row...)
 	}
 	return tb, nil
 }
@@ -249,25 +260,34 @@ func fig9(o Options) (*table.Table, error) {
 	}
 	tb := table.New("",
 		"lambda", "model_search", "sim_search", "model_insert", "sim_insert", "crossings_per_op")
-	for _, lambda := range lambdas {
+	rows := make([][]string, len(lambdas))
+	err = sim.ForEachPoint(len(lambdas), func(i int) error {
+		lambda := lambdas[i]
 		res, err := core.AnalyzeLink(m, core.Workload{Lambda: lambda, Mix: workload.PaperMix})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		cfg := sim.Paper(core.Link, lambda, 10)
 		cfg.Ops = o.Ops
 		cfg.Warmup = o.Ops / 10
 		rep, err := sim.RunSeeds(cfg, sim.DefaultSeeds(o.Seeds))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		var crossings, completed float64
 		for _, r := range rep.Results {
 			crossings += float64(r.LinkCrossings)
 			completed += float64(r.Completed)
 		}
-		tb.AddRow(table.F(lambda), table.F(res.RespSearch), table.F(rep.RespSearch.Mean),
-			table.F(res.RespInsert), table.F(rep.RespInsert.Mean), table.F(crossings/completed))
+		rows[i] = []string{table.F(lambda), table.F(res.RespSearch), table.F(rep.RespSearch.Mean),
+			table.F(res.RespInsert), table.F(rep.RespInsert.Mean), table.F(crossings / completed)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		tb.AddRow(row...)
 	}
 	return tb, nil
 }
@@ -284,20 +304,29 @@ func fig10(o Options) (*table.Table, error) {
 		return nil, err
 	}
 	tb := table.New("", "lambda", "model_rho_w", "sim_rho_w", "sim_ci95")
-	for _, lambda := range lambdas {
+	rows := make([][]string, len(lambdas))
+	err = sim.ForEachPoint(len(lambdas), func(i int) error {
+		lambda := lambdas[i]
 		res, err := core.AnalyzeNLC(m, core.Workload{Lambda: lambda, Mix: workload.PaperMix})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		cfg := sim.Paper(core.NLC, lambda, 5)
 		cfg.Ops = o.Ops
 		cfg.Warmup = o.Ops / 10
 		rep, err := sim.RunSeeds(cfg, sim.DefaultSeeds(o.Seeds))
 		if err != nil {
-			return nil, err
+			return err
 		}
-		tb.AddRow(table.F(lambda), table.F(res.RootRhoW()),
-			table.F(rep.RootRhoW.Mean), table.F(rep.RootRhoW.CI95))
+		rows[i] = []string{table.F(lambda), table.F(res.RootRhoW()),
+			table.F(rep.RootRhoW.Mean), table.F(rep.RootRhoW.CI95)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		tb.AddRow(row...)
 	}
 	return tb, nil
 }
@@ -356,12 +385,14 @@ func fig12(o Options) (*table.Table, error) {
 		}
 	}
 	tb := table.New("", "lambda", "nlc_model", "od_model", "link_model", "nlc_sim", "od_sim", "link_sim")
-	for _, lambda := range lambdas {
+	rows := make([][]string, len(lambdas))
+	err = sim.ForEachPoint(len(lambdas), func(i int) error {
+		lambda := lambdas[i]
 		row := []string{table.F(lambda)}
 		for _, a := range []core.Algorithm{core.NLC, core.OD, core.Link} {
 			res, err := core.Analyze(a, m, core.Workload{Lambda: lambda, Mix: workload.PaperMix})
 			if err != nil {
-				return nil, err
+				return err
 			}
 			row = append(row, table.F(res.RespInsert))
 		}
@@ -369,7 +400,7 @@ func fig12(o Options) (*table.Table, error) {
 			cell := "unstable"
 			res, err := core.Analyze(a, m, core.Workload{Lambda: lambda, Mix: workload.PaperMix})
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if res.Stable {
 				cfg := sim.Paper(a, lambda, 5)
@@ -377,7 +408,7 @@ func fig12(o Options) (*table.Table, error) {
 				cfg.Warmup = o.Ops / 10
 				rep, err := sim.RunSeeds(cfg, sim.DefaultSeeds(min(o.Seeds, 2)))
 				if err != nil {
-					return nil, err
+					return err
 				}
 				if rep.Unstable {
 					cell = "unstable"
@@ -387,6 +418,13 @@ func fig12(o Options) (*table.Table, error) {
 			}
 			row = append(row, cell)
 		}
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
 		tb.AddRow(row...)
 	}
 	return tb, nil
@@ -459,8 +497,10 @@ func figRecovery(nodeSize, height int) func(Options) (*table.Table, error) {
 		tb := table.New("",
 			"lambda", "none_model", "leaf_model", "naive_model", "none_sim", "leaf_sim", "naive_sim")
 		items := s.Items
-		for _, f := range sweep(o.Quick) {
-			lambda := f * naiveMax
+		fracs := sweep(o.Quick)
+		rows := make([][]string, len(fracs))
+		err = sim.ForEachPoint(len(fracs), func(i int) error {
+			lambda := fracs[i] * naiveMax
 			row := []string{table.F(lambda)}
 			opts := []core.ODOptions{
 				{Recovery: core.NoRecovery},
@@ -470,7 +510,7 @@ func figRecovery(nodeSize, height int) func(Options) (*table.Table, error) {
 			for _, op := range opts {
 				res, err := core.AnalyzeOD(m, core.Workload{Lambda: lambda, Mix: workload.PaperMix}, op)
 				if err != nil {
-					return nil, err
+					return err
 				}
 				row = append(row, table.F(res.RespInsert))
 			}
@@ -484,7 +524,7 @@ func figRecovery(nodeSize, height int) func(Options) (*table.Table, error) {
 				cfg.Warmup = o.Ops / 10
 				rep, err := sim.RunSeeds(cfg, sim.DefaultSeeds(min(o.Seeds, 3)))
 				if err != nil {
-					return nil, err
+					return err
 				}
 				if rep.Unstable {
 					row = append(row, "unstable")
@@ -492,6 +532,13 @@ func figRecovery(nodeSize, height int) func(Options) (*table.Table, error) {
 					row = append(row, table.F(rep.RespInsert.Mean))
 				}
 			}
+			rows[i] = row
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range rows {
 			tb.AddRow(row...)
 		}
 		return tb, nil

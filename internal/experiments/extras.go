@@ -124,23 +124,25 @@ func extBuffering(o Options) (*table.Table, error) {
 	}
 	tb := table.New("",
 		"pool_nodes", "hit_ratio", "nlc_max", "od_max", "model_search@0.1", "sim_search@0.1")
-	for _, pool := range pools {
+	rows := make([][]string, len(pools))
+	err = sim.ForEachPoint(len(pools), func(i int) error {
+		pool := pools[i]
 		costs, err := core.BufferedCosts(s, pool, base)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		m := core.Model{Shape: s, Costs: costs}
 		nlcMax, err := core.MaxThroughput(core.NLC, m, mix, 1e-4)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		odMax, err := core.MaxThroughput(core.OD, m, mix, 1e-4)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res, err := core.AnalyzeNLC(m, core.Workload{Lambda: 0.1, Mix: workload.PaperMix})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		cfg := sim.Paper(core.NLC, 0.1, 10)
 		cfg.Costs = costs
@@ -148,7 +150,7 @@ func extBuffering(o Options) (*table.Table, error) {
 		cfg.Warmup = o.Ops / 10
 		rep, err := sim.RunSeeds(cfg, sim.DefaultSeeds(min(o.Seeds, 2)))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		simCell := table.F(rep.RespSearch.Mean)
 		if rep.Unstable {
@@ -158,8 +160,15 @@ func extBuffering(o Options) (*table.Table, error) {
 		if !res.Stable {
 			modelCell = "unstable"
 		}
-		tb.AddRow(table.F(pool), table.F(core.ExpectedHitRatio(s, costs)),
-			table.F(nlcMax), table.F(odMax), modelCell, simCell)
+		rows[i] = []string{table.F(pool), table.F(core.ExpectedHitRatio(s, costs)),
+			table.F(nlcMax), table.F(odMax), modelCell, simCell}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		tb.AddRow(row...)
 	}
 	return tb, nil
 }
@@ -253,21 +262,26 @@ func extTwoPhase(o Options) (*table.Table, error) {
 	}
 	tb.AddRow(row...)
 
-	row = []string{fmt.Sprintf("sim_insert@λ=%s", table.F(lambda))}
-	for _, a := range algs {
-		cfg := sim.Paper(a, lambda, 5)
+	cells := make([]string, len(algs))
+	err = sim.ForEachPoint(len(algs), func(i int) error {
+		cfg := sim.Paper(algs[i], lambda, 5)
 		cfg.Ops = o.Ops
 		cfg.Warmup = o.Ops / 10
 		rep, err := sim.RunSeeds(cfg, sim.DefaultSeeds(min(o.Seeds, 3)))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if rep.Unstable {
-			row = append(row, "unstable")
+			cells[i] = "unstable"
 		} else {
-			row = append(row, table.F(rep.RespInsert.Mean))
+			cells[i] = table.F(rep.RespInsert.Mean)
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	row = append([]string{fmt.Sprintf("sim_insert@λ=%s", table.F(lambda))}, cells...)
 	tb.AddRow(row...)
 	return tb, nil
 }

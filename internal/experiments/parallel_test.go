@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"btreeperf/internal/sim"
+)
+
+// renderFig runs one figure and returns its rendered table bytes.
+func renderFig(t *testing.T, id string, o Options) []byte {
+	t.Helper()
+	f, ok := ByID(id)
+	if !ok {
+		t.Fatalf("figure %s missing", id)
+	}
+	tb, err := f.Run(o)
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var csv bytes.Buffer
+	if err := tb.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	return append(buf.Bytes(), csv.Bytes()...)
+}
+
+// TestFigureTablesDeterministicAcrossWorkers renders a simulation-backed
+// figure sequentially and under two parallel worker counts, asserting the
+// emitted tables (text and CSV) are byte-identical — the committed
+// results/ directory must not depend on -parallel.
+func TestFigureTablesDeterministicAcrossWorkers(t *testing.T) {
+	t.Cleanup(func() { sim.SetParallelism(1) })
+	o := Options{Quick: true, Seeds: 2, Ops: 500}
+
+	sim.SetParallelism(1)
+	want := renderFig(t, "fig10", o)
+
+	for _, workers := range []int{3, 5} {
+		sim.SetParallelism(workers)
+		got := renderFig(t, "fig10", o)
+		if !bytes.Equal(got, want) {
+			t.Errorf("fig10 output differs at %d workers:\n%s\nvs sequential:\n%s",
+				workers, got, want)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package sim
+
+// The package-level worker pool that fans independent simulation runs
+// (replications and sweep points) across OS threads. Replications are
+// embarrassingly parallel by construction — each owns its seed, its tree
+// and its DES environment, and the packages they touch hold no mutable
+// global state — so the only coordination needed is a bound on how many
+// execute at once and a deterministic, seed-ordered reduction of their
+// results.
+//
+// The pool is configured once at process start (SetParallelism, typically
+// from a CLI's -parallel flag) and gates every replication launched by
+// RunSeeds. Callers above the replication level (e.g. the per-figure
+// sweep loops in internal/experiments) run their points on plain
+// goroutines without holding a pool slot; only the leaf Run calls
+// acquire one, so nested fan-out cannot deadlock the pool.
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+var pool = struct {
+	mu  sync.Mutex
+	n   int
+	sem chan struct{}
+}{n: 1}
+
+// SetParallelism bounds the number of simulation runs executing
+// concurrently. n <= 0 selects runtime.GOMAXPROCS(0). With n == 1 (the
+// default) RunSeeds executes its replications strictly sequentially on
+// the calling goroutine, exactly as before the pool existed.
+func SetParallelism(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	pool.mu.Lock()
+	defer pool.mu.Unlock()
+	pool.n = n
+	if n > 1 {
+		pool.sem = make(chan struct{}, n)
+	} else {
+		pool.sem = nil
+	}
+}
+
+// Parallelism returns the configured worker count.
+func Parallelism() int {
+	pool.mu.Lock()
+	defer pool.mu.Unlock()
+	return pool.n
+}
+
+// slot returns the semaphore gating concurrent runs (nil when sequential).
+func slot() chan struct{} {
+	pool.mu.Lock()
+	defer pool.mu.Unlock()
+	return pool.sem
+}
+
+// Progress is a snapshot of the pool's activity counters, for CLI
+// observability (jobs completed/total and ops/sec lines).
+type Progress struct {
+	Queued int64 // replications enqueued by RunSeeds
+	Done   int64 // replications completed
+	Ops    int64 // simulated operations completed across replications
+}
+
+var progQueued, progDone, progOps atomic.Int64
+
+// PoolProgress snapshots the counters.
+func PoolProgress() Progress {
+	return Progress{
+		Queued: progQueued.Load(),
+		Done:   progDone.Load(),
+		Ops:    progOps.Load(),
+	}
+}
+
+// ResetPoolProgress zeroes the counters (e.g. between figures).
+func ResetPoolProgress() {
+	progQueued.Store(0)
+	progDone.Store(0)
+	progOps.Store(0)
+}
+
+// ForEachPoint runs fn(i) for every i in [0, n). When the pool is
+// parallel the points run concurrently on unpooled goroutines (each
+// point's replications still contend for pool slots individually); when
+// sequential they run in order on the calling goroutine. The returned
+// error is the lowest-index failure, so error reporting is deterministic
+// regardless of scheduling. fn must write its results into caller-owned,
+// index-addressed storage.
+func ForEachPoint(n int, fn func(i int) error) error {
+	if Parallelism() <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

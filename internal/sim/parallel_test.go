@@ -1,0 +1,172 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"btreeperf/internal/core"
+)
+
+// quickCfg is a small but non-trivial configuration for pool tests.
+func quickCfg() Config {
+	cfg := Paper(core.NLC, 0.3, 5)
+	cfg.InitialItems = 3000
+	cfg.Ops = 400
+	cfg.Warmup = 40
+	return cfg
+}
+
+// TestRunSeedsParallelDeterministic asserts the tentpole guarantee: the
+// aggregate of RunSeeds is byte-identical at any worker count, because
+// replications are independent and reduced in seed order.
+func TestRunSeedsParallelDeterministic(t *testing.T) {
+	t.Cleanup(func() { SetParallelism(1) })
+	cfg := quickCfg()
+	seeds := DefaultSeeds(5)
+
+	SetParallelism(1)
+	want, err := RunSeeds(cfg, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantText := renderReplicated(want)
+
+	for _, workers := range []int{4, 7} {
+		SetParallelism(workers)
+		got, err := RunSeeds(cfg, seeds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("parallel %d: Replicated differs from sequential run", workers)
+		}
+		if gotText := renderReplicated(got); gotText != wantText {
+			t.Errorf("parallel %d: rendered summary differs:\n%s\nvs\n%s", workers, gotText, wantText)
+		}
+	}
+}
+
+// renderReplicated formats every value in a Replicated (dereferencing the
+// per-seed results so the text is free of pointer addresses).
+func renderReplicated(rep *Replicated) string {
+	var b strings.Builder
+	for _, r := range rep.Results {
+		fmt.Fprintf(&b, "%+v\n", *r)
+	}
+	fmt.Fprintf(&b, "%+v %+v %+v %+v %v",
+		rep.RespSearch, rep.RespInsert, rep.RespDelete, rep.RootRhoW, rep.Unstable)
+	return b.String()
+}
+
+func TestPoolProgressCounters(t *testing.T) {
+	t.Cleanup(func() { SetParallelism(1) })
+	SetParallelism(2)
+	ResetPoolProgress()
+	cfg := quickCfg()
+	rep, err := RunSeeds(cfg, DefaultSeeds(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := PoolProgress()
+	if p.Queued != 3 || p.Done != 3 {
+		t.Errorf("progress queued/done = %d/%d, want 3/3", p.Queued, p.Done)
+	}
+	var completed int64
+	for _, r := range rep.Results {
+		completed += int64(r.Completed)
+	}
+	if p.Ops != completed {
+		t.Errorf("progress ops = %d, want %d", p.Ops, completed)
+	}
+	ResetPoolProgress()
+	if p := PoolProgress(); p != (Progress{}) {
+		t.Errorf("progress after reset = %+v", p)
+	}
+}
+
+func TestSetParallelismDefaults(t *testing.T) {
+	t.Cleanup(func() { SetParallelism(1) })
+	SetParallelism(0)
+	if got := Parallelism(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("SetParallelism(0) -> %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	SetParallelism(1)
+	if slot() != nil {
+		t.Error("sequential pool should have no semaphore")
+	}
+}
+
+func TestForEachPointOrderAndError(t *testing.T) {
+	t.Cleanup(func() { SetParallelism(1) })
+	for _, workers := range []int{1, 4} {
+		SetParallelism(workers)
+		out := make([]int, 8)
+		if err := ForEachPoint(len(out), func(i int) error {
+			out[i] = i * i
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+		err := ForEachPoint(6, func(i int) error {
+			if i >= 2 {
+				return fmt.Errorf("point %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "point 2 failed" {
+			t.Fatalf("workers=%d: err = %v, want lowest-index failure", workers, err)
+		}
+	}
+}
+
+// TestUnstableRunLeaksNoGoroutines drives the simulator into its
+// MaxInFlight unstable abort and asserts every DES process goroutine is
+// unwound (sim.run defers Environment.Close).
+func TestUnstableRunLeaksNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	cfg := quickCfg()
+	cfg.Lambda = 50 // far beyond NLC saturation
+	cfg.Ops = 2000
+	cfg.Warmup = 10
+	cfg.MaxInFlight = 25
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Unstable {
+		t.Fatal("run expected to be unstable")
+	}
+	for i := 0; i < 100; i++ {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines: %d before, %d after unstable run", before, runtime.NumGoroutine())
+}
+
+// Parallel replications must also wind down all their DES goroutines.
+func TestRunSeedsParallelLeaksNoGoroutines(t *testing.T) {
+	t.Cleanup(func() { SetParallelism(1) })
+	SetParallelism(4)
+	before := runtime.NumGoroutine()
+	if _, err := RunSeeds(quickCfg(), DefaultSeeds(4)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines: %d before, %d after parallel RunSeeds", before, runtime.NumGoroutine())
+}

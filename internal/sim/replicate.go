@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"sync"
 
 	"btreeperf/internal/stats"
 )
@@ -27,20 +28,53 @@ func (r *Replicated) RespMean() float64 {
 	return m.QS*r.RespSearch.Mean + m.QI*r.RespInsert.Mean + m.QD*r.RespDelete.Mean
 }
 
-// RunSeeds executes cfg once per seed and aggregates.
+// RunSeeds executes cfg once per seed and aggregates. Replications run
+// concurrently when the worker pool is parallel (SetParallelism); each
+// replication is fully independent — own seed, tree and DES environment —
+// and the reduction below consumes results in seed order, so the
+// aggregate is byte-identical to a sequential run at any worker count.
 func RunSeeds(cfg Config, seeds []uint64) (*Replicated, error) {
 	if len(seeds) == 0 {
 		return nil, fmt.Errorf("sim: no seeds")
 	}
-	rep := &Replicated{}
-	var search, insert, del, rho []float64
-	for _, seed := range seeds {
+	progQueued.Add(int64(len(seeds)))
+	results := make([]*Result, len(seeds))
+	errs := make([]error, len(seeds))
+	runOne := func(i int) {
 		c := cfg
-		c.Seed = seed
-		res, err := Run(c)
+		c.Seed = seeds[i]
+		results[i], errs[i] = Run(c)
+		progDone.Add(1)
+		if results[i] != nil {
+			progOps.Add(int64(results[i].Completed))
+		}
+	}
+	if sem := slot(); sem != nil && len(seeds) > 1 {
+		var wg sync.WaitGroup
+		for i := range seeds {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				runOne(i)
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		for i := range seeds {
+			runOne(i)
+		}
+	}
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
+	}
+
+	rep := &Replicated{}
+	var search, insert, del, rho []float64
+	for _, res := range results {
 		rep.Results = append(rep.Results, res)
 		rep.Unstable = rep.Unstable || res.Unstable
 		search = append(search, res.RespSearch.Mean)

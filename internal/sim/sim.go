@@ -202,6 +202,10 @@ func run(cfg Config) (*Result, *session, error) {
 		lockLevel: make(map[*des.RWLock]int),
 		svc:       root.Split(3),
 	}
+	// Unwind any process still parked when the run ends — on a normal
+	// drain there are none, but an early exit (unstable abort, panic)
+	// must not leak one goroutine per abandoned process.
+	defer s.env.Close()
 	// Response histogram spanning from zero to 200× the worst-case serial
 	// descent (responses beyond land in the overflow bucket and clip the
 	// high quantiles; Max is tracked exactly).

@@ -1,0 +1,223 @@
+// Command btload is a closed-loop load generator for btserved: n
+// connections each keep up to -depth requests pipelined, drawing
+// operations from the paper's search/insert/delete mix via independent
+// deterministic workload generators (workload.Generator.Split), and
+// report throughput plus latency quantiles.
+//
+//	btload -addr 127.0.0.1:9400 -conns 4 -depth 32 -duration 5s
+//	btload -addr 127.0.0.1:9400 -n 1000000 -qs .3 -qi .5 -qd .2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"btreeperf/internal/server"
+	"btreeperf/internal/workload"
+	"btreeperf/internal/xrand"
+)
+
+const maxSamplesPerConn = 1 << 21 // reservoir bound: 2Mi samples ≈ 16 MB
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:9400", "btserved address")
+		conns    = flag.Int("conns", 4, "concurrent connections")
+		depth    = flag.Int("depth", 32, "pipelined requests per connection (closed loop)")
+		duration = flag.Duration("duration", 5*time.Second, "run length (ignored when -n > 0)")
+		nOps     = flag.Int("n", 0, "total operations (0 = run for -duration)")
+		qs       = flag.Float64("qs", workload.PaperMix.QS, "search fraction")
+		qi       = flag.Float64("qi", workload.PaperMix.QI, "insert fraction")
+		qd       = flag.Float64("qd", workload.PaperMix.QD, "delete fraction")
+		keySpace = flag.Int64("keyspace", 1<<31, "insert keys drawn uniformly from [0, keyspace)")
+		seed     = flag.Uint64("seed", 1, "workload seed (fixed seed = reproducible op streams)")
+	)
+	flag.Parse()
+	if *conns < 1 || *depth < 1 {
+		fmt.Fprintln(os.Stderr, "btload: conns and depth must be >= 1")
+		os.Exit(2)
+	}
+
+	mix := workload.Mix{QS: *qs, QI: *qi, QD: *qd}
+	master, err := workload.NewGenerator(mix, workload.NewKeyPool(), *keySpace, xrand.New(*seed))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "btload:", err)
+		os.Exit(2)
+	}
+	gens := master.Split(*conns)
+
+	var (
+		stop       atomic.Bool
+		sent       atomic.Int64
+		recvd      atomic.Int64
+		latSum     atomic.Int64
+		hits       atomic.Int64
+		searches   atomic.Int64
+		inserts    atomic.Int64
+		deletes    atomic.Int64
+		sampleMu   sync.Mutex
+		allSamples [][]int64
+	)
+	quota := make([]int, *conns)
+	if *nOps > 0 {
+		per, extra := *nOps / *conns, *nOps%*conns
+		for i := range quota {
+			quota[i] = per
+			if i < extra {
+				quota[i]++
+			}
+		}
+	}
+
+	start := time.Now()
+	if *nOps <= 0 {
+		time.AfterFunc(*duration, func() { stop.Store(true) })
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, *conns)
+	for i := 0; i < *conns; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			samples, err := runConn(*addr, gens[i], *depth, quota[i], *nOps > 0,
+				xrand.New(*seed^uint64(i)*0x9e3779b97f4a7c15),
+				&stop, &sent, &recvd, &latSum, &hits, &searches, &inserts, &deletes)
+			if err != nil {
+				errs <- fmt.Errorf("conn %d: %w", i, err)
+				stop.Store(true)
+				return
+			}
+			sampleMu.Lock()
+			allSamples = append(allSamples, samples)
+			sampleMu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errs:
+		fmt.Fprintln(os.Stderr, "btload:", err)
+		os.Exit(1)
+	default:
+	}
+
+	n := recvd.Load()
+	fmt.Printf("btload: %d conns × depth %d against %s, mix s/i/d = %.2f/%.2f/%.2f, seed %d\n",
+		*conns, *depth, *addr, *qs, *qi, *qd, *seed)
+	fmt.Printf("%d ops in %v: %.0f ops/s\n",
+		n, elapsed.Round(time.Millisecond), float64(n)/elapsed.Seconds())
+	if n > 0 {
+		var lats []int64
+		for _, s := range allSamples {
+			lats = append(lats, s...)
+		}
+		sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+		q := func(p float64) float64 {
+			if len(lats) == 0 {
+				return 0
+			}
+			i := int(p * float64(len(lats)-1))
+			return float64(lats[i]) / 1e3
+		}
+		fmt.Printf("latency µs: mean %.1f p50 %.1f p95 %.1f p99 %.1f max %.1f\n",
+			float64(latSum.Load())/float64(n)/1e3, q(0.50), q(0.95), q(0.99), q(1))
+		sr := searches.Load()
+		hitPct := 0.0
+		if sr > 0 {
+			hitPct = 100 * float64(hits.Load()) / float64(sr)
+		}
+		fmt.Printf("ops: %d search (%.0f%% hit), %d insert, %d delete\n",
+			sr, hitPct, inserts.Load(), deletes.Load())
+	}
+}
+
+// runConn drives one connection: this goroutine generates and sends, a
+// second receives; the stamps channel both matches responses to send
+// times (responses arrive in order) and bounds the pipeline at depth.
+func runConn(addr string, gen *workload.Generator, depth, quota int, quotaMode bool,
+	rsv *xrand.Source, stop *atomic.Bool,
+	sent, recvd, latSum, hits, searches, inserts, deletes *atomic.Int64,
+) ([]int64, error) {
+	c, err := server.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+
+	stamps := make(chan [2]int64, depth) // (sendTime, opKind)
+	samples := make([]int64, 0, 1<<16)
+	recvErr := make(chan error, 1)
+	go func() {
+		seen := 0
+		for st := range stamps {
+			resp, err := c.Recv()
+			if err != nil {
+				recvErr <- err
+				// Unblock the sender, which may be parked on stamps.
+				for range stamps {
+				}
+				return
+			}
+			lat := time.Now().UnixNano() - st[0]
+			latSum.Add(lat)
+			recvd.Add(1)
+			if workload.Op(st[1]) == workload.Search && resp.Status == server.StatusOK {
+				hits.Add(1)
+			}
+			seen++
+			if len(samples) < maxSamplesPerConn {
+				samples = append(samples, lat)
+			} else if j := rsv.IntN(seen); j < maxSamplesPerConn {
+				samples[j] = lat
+			}
+		}
+		recvErr <- nil
+	}()
+
+	sentHere := 0
+	for !stop.Load() && (!quotaMode || sentHere < quota) {
+		op, key := gen.Next()
+		var req server.Request
+		switch op {
+		case workload.Search:
+			req = server.Request{Op: server.OpGet, Key: key}
+			searches.Add(1)
+		case workload.Insert:
+			req = server.Request{Op: server.OpPut, Key: key, Val: uint64(key)}
+			inserts.Add(1)
+		default:
+			req = server.Request{Op: server.OpDel, Key: key}
+			deletes.Add(1)
+		}
+		st := [2]int64{time.Now().UnixNano(), int64(op)}
+		if len(stamps) == cap(stamps) {
+			// Pipeline full: push buffered requests to the wire before
+			// blocking on a free slot, or the receiver would wait for
+			// responses to requests still sitting in the client buffer.
+			if err := c.Flush(); err != nil {
+				break
+			}
+		}
+		stamps <- st
+		if err := c.Send(req); err != nil {
+			break
+		}
+		sentHere++
+		if sentHere%64 == 0 {
+			if err := c.Flush(); err != nil {
+				break
+			}
+		}
+	}
+	c.Flush()
+	close(stamps)
+	err = <-recvErr
+	sent.Add(int64(sentHere))
+	return samples, err
+}

@@ -1,0 +1,98 @@
+// Command btserved serves the concurrent B-tree as a network key-value
+// store, with the paper's lock-queue telemetry measured live.
+//
+//	btserved -alg link-type -cap 64 -listen :9400 -http :9401 -workers 8
+//
+// The binary protocol (see internal/server) listens on -listen; the
+// telemetry endpoints /metrics and /debug/model listen on -http. The
+// server tracks, per tree level, the model's λ_r, λ_w, μ_r, μ_w, queue
+// waits, and ρ_w, evaluates the paper's queueing model at the measured
+// parameters, and warns once the root's writer utilization crosses .5 —
+// the effective maximum arrival rate of §6's rules of thumb.
+//
+// SIGINT/SIGTERM drain gracefully: accepted requests are answered before
+// the process exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"btreeperf/internal/cbtree"
+	"btreeperf/internal/server"
+)
+
+func main() {
+	var (
+		algName  = flag.String("alg", "link-type", "algorithm: lock-coupling, optimistic, link-type")
+		capacity = flag.Int("cap", 64, "node capacity (items per node)")
+		listen   = flag.String("listen", ":9400", "binary protocol listen address")
+		httpAddr = flag.String("http", ":9401", "telemetry listen address (/metrics, /debug/model); empty disables")
+		workers  = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		depth    = flag.Int("depth", 128, "per-connection pipeline bound")
+		prefill  = flag.Int("prefill", 0, "keys inserted before serving")
+	)
+	flag.Parse()
+
+	alg, err := parseAlg(*algName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "btserved:", err)
+		os.Exit(2)
+	}
+
+	s := server.New(server.Config{
+		Algorithm: alg,
+		Capacity:  *capacity,
+		Workers:   *workers,
+		Depth:     *depth,
+		Prefill:   *prefill,
+	})
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "btserved:", err)
+		os.Exit(1)
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer cancel()
+
+	if *httpAddr != "" {
+		hln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "btserved:", err)
+			os.Exit(1)
+		}
+		hs := &http.Server{Handler: s.Handler()}
+		go hs.Serve(hln)
+		defer hs.Close()
+		fmt.Fprintf(os.Stderr, "btserved: telemetry on http://%s/metrics and /debug/model\n", hln.Addr())
+	}
+
+	fmt.Fprintf(os.Stderr, "btserved: %s tree (cap %d, prefill %d) serving on %s\n",
+		alg, *capacity, *prefill, ln.Addr())
+	if err := s.Serve(ctx, ln); err != nil {
+		fmt.Fprintln(os.Stderr, "btserved:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "btserved: drained; %d keys in tree at exit\n", s.Tree().Len())
+}
+
+func parseAlg(name string) (cbtree.Algorithm, error) {
+	switch name {
+	case "lock-coupling", "lc", "naive":
+		return cbtree.LockCoupling, nil
+	case "optimistic", "opt":
+		return cbtree.Optimistic, nil
+	case "link-type", "link", "ly":
+		return cbtree.LinkType, nil
+	default:
+		return 0, fmt.Errorf("unknown algorithm %q (want lock-coupling, optimistic, or link-type)", name)
+	}
+}

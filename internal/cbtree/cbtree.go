@@ -132,6 +132,11 @@ type Tree struct {
 	splits    atomic.Int64
 	restarts  atomic.Int64
 	crossings atomic.Int64
+
+	// probe, when set (see Instrument), supplies the telemetry sink every
+	// newly created node's lock reports into, keyed by tree level. Written
+	// only while quiescent, read by concurrent splitters.
+	probe func(level int) lock.Probe
 }
 
 // New creates an empty tree whose nodes hold at most cap items (cap >= 3)
@@ -170,6 +175,33 @@ func (t *Tree) Stats() Stats {
 // and approximate under concurrent root splits.
 func (t *Tree) Height() int { return t.root.Load().level }
 
+// Instrument attaches per-level lock telemetry: sinkFor(level) returns the
+// probe that every node lock at that level reports into (level 1 is the
+// leaf level, the root has level == Height). Existing nodes are wired
+// immediately and nodes created by later splits inherit the sink, so the
+// whole tree stays covered as it grows.
+//
+// Instrument requires quiescence: no operations may be in flight while it
+// runs (call it right after building the tree, before serving). Passing
+// nil detaches future nodes but leaves existing nodes wired.
+func (t *Tree) Instrument(sinkFor func(level int) lock.Probe) {
+	t.probe = sinkFor
+	if sinkFor == nil {
+		return
+	}
+	t.instrumentAll(t.root.Load(), sinkFor)
+}
+
+// instrumentAll walks the quiescent tree attaching sinks. Every node is a
+// child of some parent (right-linked siblings included, once split repair
+// completes), so child recursion reaches all of them.
+func (t *Tree) instrumentAll(n *node, sinkFor func(level int) lock.Probe) {
+	n.mu.SetProbe(sinkFor(n.level))
+	for _, c := range n.children {
+		t.instrumentAll(c, sinkFor)
+	}
+}
+
 // insertSafe reports whether an insert cannot split n. Caller holds n.mu.
 func (t *Tree) insertSafe(n *node) bool { return n.items() < t.cap }
 
@@ -205,6 +237,9 @@ func writeIfLeaf(n *node) bool { return n.isLeaf() }
 func (t *Tree) split(n *node) (*node, int64) {
 	t.splits.Add(1)
 	sib := &node{level: n.level}
+	if t.probe != nil {
+		sib.mu.SetProbe(t.probe(sib.level))
+	}
 	var sep int64
 	if n.isLeaf() {
 		m := (len(n.keys) + 1) / 2
@@ -243,6 +278,9 @@ func (t *Tree) growRoot(old *node, sep int64, sib *node) {
 		level:    old.level + 1,
 		keys:     []int64{sep},
 		children: []*node{old, sib},
+	}
+	if t.probe != nil {
+		r.mu.SetProbe(t.probe(r.level))
 	}
 	if !t.root.CompareAndSwap(old, r) {
 		panic("cbtree: concurrent root replacement")

@@ -364,6 +364,9 @@ func (t *Tree) Range(lo, hi int64, fn func(key int64, val uint64) bool) {
 // are in flight while Compact runs.
 func (t *Tree) Compact() {
 	fresh := New(t.cap, t.alg)
+	if t.probe != nil {
+		fresh.Instrument(t.probe)
+	}
 	t.Range(-1<<63, 1<<63-1, func(k int64, v uint64) bool {
 		fresh.Insert(k, v)
 		return true

@@ -1,0 +1,102 @@
+package cbtree
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"btreeperf/internal/lock"
+	"btreeperf/internal/metrics"
+)
+
+// TestStatsConcurrentWithMutators exercises Stats, Len, and Height while
+// mutators run, for every algorithm. Run under -race (the CI race matrix
+// includes this package): any unsynchronized counter read shows up here.
+func TestStatsConcurrentWithMutators(t *testing.T) {
+	for _, alg := range []Algorithm{LockCoupling, Optimistic, LinkType} {
+		t.Run(alg.String(), func(t *testing.T) {
+			tr := New(8, alg)
+			var stop atomic.Bool
+			var wg sync.WaitGroup
+			for w := 0; w < 4; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < 3000; i++ {
+						k := int64(w*3000 + i)
+						tr.Insert(k, uint64(k))
+						if i%3 == 0 {
+							tr.Delete(k)
+						}
+						tr.Search(k)
+					}
+				}(w)
+			}
+			readerDone := make(chan struct{})
+			go func() {
+				defer close(readerDone)
+				var last Stats
+				for !stop.Load() {
+					s := tr.Stats()
+					if s.Splits < last.Splits || s.Restarts < last.Restarts || s.Crossings < last.Crossings {
+						t.Error("counters went backwards")
+						return
+					}
+					last = s
+					_ = tr.Len()
+					_ = tr.Height()
+				}
+			}()
+			wg.Wait()
+			stop.Store(true)
+			<-readerDone
+			if s := tr.Stats(); alg != LinkType && s.Crossings != 0 {
+				t.Errorf("%v recorded %d link crossings", alg, s.Crossings)
+			}
+		})
+	}
+}
+
+// TestInstrumentCoversAllLevels builds a multi-level tree, instruments it,
+// runs concurrent traffic, and checks that telemetry appears at every
+// level including the root, with balanced acquire/release counts.
+func TestInstrumentCoversAllLevels(t *testing.T) {
+	for _, alg := range []Algorithm{LockCoupling, Optimistic, LinkType} {
+		t.Run(alg.String(), func(t *testing.T) {
+			tr := New(4, alg)
+			for i := int64(0); i < 200; i++ {
+				tr.Insert(i, uint64(i))
+			}
+			probe := metrics.NewTreeProbe()
+			tr.Instrument(func(level int) lock.Probe { return probe.Level(level) })
+
+			var wg sync.WaitGroup
+			for w := 0; w < 4; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < 1000; i++ {
+						k := int64(200 + w*1000 + i)
+						tr.Insert(k, uint64(k))
+						tr.Search(k)
+					}
+				}(w)
+			}
+			wg.Wait()
+
+			snap := probe.Snapshot()
+			height := tr.Height()
+			if len(snap.Levels) < height {
+				t.Fatalf("telemetry at %d levels, tree height %d", len(snap.Levels), height)
+			}
+			for _, ls := range snap.Levels {
+				if ls.AcquiredR+ls.AcquiredW == 0 {
+					t.Errorf("level %d saw no acquisitions", ls.Level)
+				}
+				if got, want := ls.ReleasedR+ls.ReleasedW, ls.AcquiredR+ls.AcquiredW; got != want {
+					t.Errorf("level %d releases %d != acquisitions %d", ls.Level, got, want)
+				}
+			}
+		})
+	}
+}

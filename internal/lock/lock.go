@@ -7,12 +7,46 @@
 // arrives behind a queued writer waits for that writer even though it is
 // compatible with the current holders. This is the discipline the paper's
 // analysis assumes, and it is starvation-free for both classes.
+//
+// Because the lock queue IS the object the paper analyzes, the mutex also
+// measures itself: every instance counts acquisitions and accumulates
+// queue-wait nanoseconds per class (see WaitStats), and an optional Probe
+// can stream wait, hold-time, and writer-presence telemetry into a shared
+// per-level accumulator so a live system can estimate the model's λ_r,
+// λ_w, μ_r, μ_w, and ρ_w from its own lock queues.
 package lock
 
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 )
+
+// Probe receives telemetry from one or more FCFSRWMutexes (typically all
+// node locks of one B-tree level share a Probe). Implementations must be
+// safe for concurrent use and cheap: Held and WriterPresence are called
+// with the mutex's internal spinlock held.
+type Probe interface {
+	// Acquired is called once per acquisition. waitNs is the time the
+	// request spent queued; an uncontended acquire reports 0.
+	Acquired(write bool, waitNs int64)
+	// Held is called once per release with the lock-hold nanoseconds
+	// accrued by that class since the previous release (the integral of
+	// the active-holder count, so the per-class sum over all calls equals
+	// the sum of individual hold times and the call count equals the
+	// number of completed holds).
+	Held(write bool, heldNs int64)
+	// WriterPresence reports nanoseconds during which at least one writer
+	// was active or queued — the measured counterpart of the model's ρ_w
+	// when divided by elapsed wall-clock time.
+	WriterPresence(ns int64)
+}
+
+// monoBase anchors an allocation-free monotonic clock: time.Since on a
+// time.Time with a monotonic reading compiles to a nanotime call.
+var monoBase = time.Now()
+
+func nanotime() int64 { return int64(time.Since(monoBase)) }
 
 // FCFSRWMutex is a fair FIFO reader/writer mutex. The zero value is ready
 // to use. It must not be copied after first use.
@@ -22,13 +56,87 @@ type FCFSRWMutex struct {
 	writer  bool // active writer
 	queue   []*waiter
 
+	acquiredR  atomic.Int64
+	acquiredW  atomic.Int64
 	contendedR atomic.Int64
 	contendedW atomic.Int64
+	waitNsR    atomic.Int64
+	waitNsW    atomic.Int64
+
+	// Probe state, guarded by mu and active only when probe != nil.
+	probe      Probe
+	holdStamp  int64 // last transition of (readers, writer)
+	pendR      int64 // reader hold ns accrued since the last reader release
+	pendW      int64 // writer hold ns accrued since the last writer release
+	wPresent   int   // writers active or queued
+	wPresStamp int64 // when wPresent last rose above 0 or was last flushed
 }
 
 type waiter struct {
 	ready chan struct{}
 	write bool
+	t0    int64 // enqueue time (nanotime), for queue-wait measurement
+}
+
+// SetProbe attaches a telemetry probe. It must be called before the mutex
+// is used concurrently (e.g. right after creating the structure the lock
+// guards); passing nil detaches. The probe adds one clock read per
+// lock-state transition; without a probe only the always-on WaitStats
+// counters are maintained.
+func (l *FCFSRWMutex) SetProbe(p Probe) {
+	l.mu.Lock()
+	l.probe = p
+	// Re-anchor the integrals so a probe attached to a live lock does not
+	// inherit time accrued before attachment.
+	now := nanotime()
+	l.holdStamp = now
+	l.wPresStamp = now
+	l.pendR, l.pendW = 0, 0
+	l.wPresent = 0
+	if l.writer {
+		l.wPresent++
+	}
+	for _, w := range l.queue {
+		if w.write {
+			l.wPresent++
+		}
+	}
+	l.mu.Unlock()
+}
+
+// chargeHoldLocked accrues hold time for the classes active since the last
+// transition. Called with l.mu held, only when l.probe != nil.
+func (l *FCFSRWMutex) chargeHoldLocked(now int64) {
+	dt := now - l.holdStamp
+	if dt > 0 {
+		l.pendR += int64(l.readers) * dt
+		if l.writer {
+			l.pendW += dt
+		}
+	}
+	l.holdStamp = now
+}
+
+// writerArrivedLocked notes a writer entering the system (active or
+// queued), flushing the presence integral so it stays fresh under
+// sustained load. Called with l.mu held, only when l.probe != nil.
+func (l *FCFSRWMutex) writerArrivedLocked(now int64) {
+	if l.wPresent == 0 {
+		l.wPresStamp = now
+	} else {
+		l.probe.WriterPresence(now - l.wPresStamp)
+		l.wPresStamp = now
+	}
+	l.wPresent++
+}
+
+// writerGoneLocked notes a writer leaving the system (release, since a
+// queued writer always becomes active). Called with l.mu held, only when
+// l.probe != nil.
+func (l *FCFSRWMutex) writerGoneLocked(now int64) {
+	l.probe.WriterPresence(now - l.wPresStamp)
+	l.wPresStamp = now
+	l.wPresent--
 }
 
 // RLock acquires the lock shared. It blocks while a writer holds the lock
@@ -36,15 +144,31 @@ type waiter struct {
 func (l *FCFSRWMutex) RLock() {
 	l.mu.Lock()
 	if !l.writer && len(l.queue) == 0 {
+		if p := l.probe; p != nil {
+			l.chargeHoldLocked(nanotime())
+			l.readers++
+			l.mu.Unlock()
+			l.acquiredR.Add(1)
+			p.Acquired(false, 0)
+			return
+		}
 		l.readers++
 		l.mu.Unlock()
+		l.acquiredR.Add(1)
 		return
 	}
-	w := &waiter{ready: make(chan struct{}), write: false}
+	w := &waiter{ready: make(chan struct{}), write: false, t0: nanotime()}
 	l.queue = append(l.queue, w)
+	p := l.probe
 	l.mu.Unlock()
 	l.contendedR.Add(1)
 	<-w.ready
+	wait := nanotime() - w.t0
+	l.acquiredR.Add(1)
+	l.waitNsR.Add(wait)
+	if p != nil {
+		p.Acquired(false, wait)
+	}
 }
 
 // RUnlock releases a shared hold.
@@ -54,7 +178,14 @@ func (l *FCFSRWMutex) RUnlock() {
 		l.mu.Unlock()
 		panic("lock: RUnlock without RLock")
 	}
-	l.readers--
+	if p := l.probe; p != nil {
+		l.chargeHoldLocked(nanotime())
+		l.readers--
+		p.Held(false, l.pendR)
+		l.pendR = 0
+	} else {
+		l.readers--
+	}
 	l.dispatchLocked()
 	l.mu.Unlock()
 }
@@ -63,15 +194,36 @@ func (l *FCFSRWMutex) RUnlock() {
 func (l *FCFSRWMutex) Lock() {
 	l.mu.Lock()
 	if !l.writer && l.readers == 0 && len(l.queue) == 0 {
+		if p := l.probe; p != nil {
+			now := nanotime()
+			l.chargeHoldLocked(now)
+			l.writer = true
+			l.writerArrivedLocked(now)
+			l.mu.Unlock()
+			l.acquiredW.Add(1)
+			p.Acquired(true, 0)
+			return
+		}
 		l.writer = true
 		l.mu.Unlock()
+		l.acquiredW.Add(1)
 		return
 	}
-	w := &waiter{ready: make(chan struct{}), write: true}
+	w := &waiter{ready: make(chan struct{}), write: true, t0: nanotime()}
 	l.queue = append(l.queue, w)
+	p := l.probe
+	if p != nil {
+		l.writerArrivedLocked(w.t0)
+	}
 	l.mu.Unlock()
 	l.contendedW.Add(1)
 	<-w.ready
+	wait := nanotime() - w.t0
+	l.acquiredW.Add(1)
+	l.waitNsW.Add(wait)
+	if p != nil {
+		p.Acquired(true, wait)
+	}
 }
 
 // Unlock releases an exclusive hold.
@@ -81,7 +233,16 @@ func (l *FCFSRWMutex) Unlock() {
 		l.mu.Unlock()
 		panic("lock: Unlock without Lock")
 	}
-	l.writer = false
+	if p := l.probe; p != nil {
+		now := nanotime()
+		l.chargeHoldLocked(now)
+		l.writer = false
+		p.Held(true, l.pendW)
+		l.pendW = 0
+		l.writerGoneLocked(now)
+	} else {
+		l.writer = false
+	}
 	l.dispatchLocked()
 	l.mu.Unlock()
 }
@@ -97,11 +258,17 @@ func (l *FCFSRWMutex) dispatchLocked() {
 	for _, w := range l.queue {
 		if w.write {
 			if granted == 0 && l.readers == 0 {
+				if l.probe != nil {
+					l.chargeHoldLocked(nanotime())
+				}
 				l.writer = true
 				close(w.ready)
 				granted = 1
 			}
 			break
+		}
+		if l.probe != nil && granted == 0 {
+			l.chargeHoldLocked(nanotime())
 		}
 		l.readers++
 		close(w.ready)
@@ -117,14 +284,52 @@ func (l *FCFSRWMutex) Contended() (r, w int64) {
 	return l.contendedR.Load(), l.contendedW.Load()
 }
 
+// WaitStats is a snapshot of a mutex's always-on counters.
+type WaitStats struct {
+	AcquiredR  int64 // shared acquisitions
+	AcquiredW  int64 // exclusive acquisitions
+	ContendedR int64 // shared acquisitions that queued
+	ContendedW int64 // exclusive acquisitions that queued
+	WaitNsR    int64 // cumulative shared queue-wait nanoseconds
+	WaitNsW    int64 // cumulative exclusive queue-wait nanoseconds
+}
+
+// WaitStats returns a snapshot of the acquisition and queue-wait counters.
+// The fields are loaded individually, so the snapshot is not a consistent
+// cut under concurrent traffic — each counter is exact, their relative
+// skew is bounded by in-flight operations.
+func (l *FCFSRWMutex) WaitStats() WaitStats {
+	return WaitStats{
+		AcquiredR:  l.acquiredR.Load(),
+		AcquiredW:  l.acquiredW.Load(),
+		ContendedR: l.contendedR.Load(),
+		ContendedW: l.contendedW.Load(),
+		WaitNsR:    l.waitNsR.Load(),
+		WaitNsW:    l.waitNsW.Load(),
+	}
+}
+
 // TryLock acquires the exclusive lock only if it is immediately available
 // and no request is queued.
 func (l *FCFSRWMutex) TryLock() bool {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if l.writer || l.readers > 0 || len(l.queue) > 0 {
+		l.mu.Unlock()
 		return false
 	}
-	l.writer = true
+	p := l.probe
+	if p != nil {
+		now := nanotime()
+		l.chargeHoldLocked(now)
+		l.writer = true
+		l.writerArrivedLocked(now)
+	} else {
+		l.writer = true
+	}
+	l.mu.Unlock()
+	l.acquiredW.Add(1)
+	if p != nil {
+		p.Acquired(true, 0)
+	}
 	return true
 }

@@ -1,0 +1,421 @@
+// Package metrics is the live telemetry layer that turns the paper's
+// analytic quantities into measured ones. A TreeProbe holds one LevelStats
+// accumulator per B-tree level; every node lock of a level reports into
+// that level's accumulator through the lock.Probe interface, so a running
+// server observes — per level — the model's parameters directly from its
+// own lock queues:
+//
+//	λ_r, λ_w — lock arrival rates per class (acquisitions/second)
+//	μ_r, μ_w — lock service rates per class (completions per held-second)
+//	W_r, W_w — mean queue waits, plus log-bucketed wait histograms
+//	ρ_w      — fraction of time a writer is active or queued (the
+//	           root-level value is the paper's saturation gauge)
+//
+// Rates differences two snapshots into per-level rates over a window, and
+// Evaluate feeds those measured rates back into qmodel — the appendix's
+// FCFS reader/writer queue analysis — yielding the predicted operating
+// point next to the observed one.
+package metrics
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+
+	"btreeperf/internal/qmodel"
+)
+
+// HistBuckets is the number of log₂ nanosecond buckets in a Hist: bucket i
+// holds samples whose nanosecond value has bit length i, i.e. roughly
+// [2^(i−1), 2^i). Bucket 0 holds zero/negative samples; the last bucket
+// saturates (2^38 ns ≈ 4.6 min).
+const HistBuckets = 40
+
+// Hist is a lock-free histogram of durations with power-of-two buckets.
+// The zero value is ready to use; all methods are safe for concurrent use.
+type Hist struct {
+	buckets [HistBuckets]atomic.Int64
+}
+
+func bucketOf(ns int64) int {
+	if ns <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(ns))
+	if b >= HistBuckets {
+		b = HistBuckets - 1
+	}
+	return b
+}
+
+// Observe records a duration in nanoseconds.
+func (h *Hist) Observe(ns int64) {
+	h.buckets[bucketOf(ns)].Add(1)
+}
+
+// Snapshot copies the bucket counts.
+func (h *Hist) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	for i := range h.buckets {
+		s[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// HistSnapshot is an immutable copy of a Hist's bucket counts.
+type HistSnapshot [HistBuckets]int64
+
+// Sub returns the bucket-wise difference s − prev (the window histogram).
+func (s HistSnapshot) Sub(prev HistSnapshot) HistSnapshot {
+	var d HistSnapshot
+	for i := range s {
+		d[i] = s[i] - prev[i]
+	}
+	return d
+}
+
+// N returns the total sample count.
+func (s HistSnapshot) N() int64 {
+	var n int64
+	for _, c := range s {
+		n += c
+	}
+	return n
+}
+
+// Quantile returns an approximate q-quantile in nanoseconds, using the
+// geometric midpoint of the containing bucket. Empty snapshots yield 0.
+func (s HistSnapshot) Quantile(q float64) int64 {
+	n := s.N()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(n)
+	acc := 0.0
+	for i, c := range s {
+		acc += float64(c)
+		if acc >= target && c > 0 {
+			if i == 0 {
+				return 0
+			}
+			lo := int64(1) << (i - 1)
+			return lo + lo/2
+		}
+	}
+	return int64(1) << (HistBuckets - 1)
+}
+
+// LevelStats accumulates lock telemetry for one B-tree level. It
+// implements lock.Probe; share one instance across all node locks of a
+// level. The zero value is ready to use.
+type LevelStats struct {
+	acquiredR  atomic.Int64
+	acquiredW  atomic.Int64
+	contendedR atomic.Int64
+	contendedW atomic.Int64
+	waitNsR    atomic.Int64
+	waitNsW    atomic.Int64
+	heldNsR    atomic.Int64
+	heldNsW    atomic.Int64
+	releasedR  atomic.Int64
+	releasedW  atomic.Int64
+	presentNs  atomic.Int64
+	waitHistR  Hist
+	waitHistW  Hist
+}
+
+// Acquired implements lock.Probe.
+func (s *LevelStats) Acquired(write bool, waitNs int64) {
+	if write {
+		s.acquiredW.Add(1)
+		if waitNs > 0 {
+			s.contendedW.Add(1)
+			s.waitNsW.Add(waitNs)
+		}
+		s.waitHistW.Observe(waitNs)
+	} else {
+		s.acquiredR.Add(1)
+		if waitNs > 0 {
+			s.contendedR.Add(1)
+			s.waitNsR.Add(waitNs)
+		}
+		s.waitHistR.Observe(waitNs)
+	}
+}
+
+// Held implements lock.Probe.
+func (s *LevelStats) Held(write bool, heldNs int64) {
+	if write {
+		s.heldNsW.Add(heldNs)
+		s.releasedW.Add(1)
+	} else {
+		s.heldNsR.Add(heldNs)
+		s.releasedR.Add(1)
+	}
+}
+
+// WriterPresence implements lock.Probe.
+func (s *LevelStats) WriterPresence(ns int64) { s.presentNs.Add(ns) }
+
+// LevelSnapshot is a point-in-time copy of a LevelStats.
+type LevelSnapshot struct {
+	Level      int
+	AcquiredR  int64
+	AcquiredW  int64
+	ContendedR int64
+	ContendedW int64
+	WaitNsR    int64
+	WaitNsW    int64
+	HeldNsR    int64
+	HeldNsW    int64
+	ReleasedR  int64
+	ReleasedW  int64
+	PresentNs  int64
+	WaitHistR  HistSnapshot
+	WaitHistW  HistSnapshot
+}
+
+// Snapshot copies the counters. Fields are loaded individually: each is
+// exact, their mutual skew is bounded by in-flight operations.
+func (s *LevelStats) Snapshot() LevelSnapshot {
+	return LevelSnapshot{
+		AcquiredR:  s.acquiredR.Load(),
+		AcquiredW:  s.acquiredW.Load(),
+		ContendedR: s.contendedR.Load(),
+		ContendedW: s.contendedW.Load(),
+		WaitNsR:    s.waitNsR.Load(),
+		WaitNsW:    s.waitNsW.Load(),
+		HeldNsR:    s.heldNsR.Load(),
+		HeldNsW:    s.heldNsW.Load(),
+		ReleasedR:  s.releasedR.Load(),
+		ReleasedW:  s.releasedW.Load(),
+		PresentNs:  s.presentNs.Load(),
+		WaitHistR:  s.waitHistR.Snapshot(),
+		WaitHistW:  s.waitHistW.Snapshot(),
+	}
+}
+
+// MaxLevels bounds the tracked tree height; a realistic B-tree is far
+// shallower, and deeper levels would clamp into the top accumulator.
+const MaxLevels = 24
+
+// TreeProbe holds per-level accumulators for one tree. Level numbering
+// follows cbtree: 1 is the leaf level and the root has level == height.
+type TreeProbe struct {
+	levels [MaxLevels + 1]LevelStats
+	start  time.Time
+}
+
+// NewTreeProbe returns a probe anchored at the current time.
+func NewTreeProbe() *TreeProbe {
+	return &TreeProbe{start: time.Now()}
+}
+
+// Level returns the accumulator for a tree level (clamped to
+// [1, MaxLevels]), suitable for lock.FCFSRWMutex.SetProbe.
+func (p *TreeProbe) Level(level int) *LevelStats {
+	if level < 1 {
+		level = 1
+	}
+	if level > MaxLevels {
+		level = MaxLevels
+	}
+	return &p.levels[level]
+}
+
+// Start returns the probe's creation time.
+func (p *TreeProbe) Start() time.Time { return p.start }
+
+// Snapshot captures every level that has seen any traffic, in level order
+// (leaf first), stamped with the capture time.
+type Snapshot struct {
+	At     time.Time
+	Levels []LevelSnapshot
+}
+
+// Snapshot captures the probe.
+func (p *TreeProbe) Snapshot() Snapshot {
+	s := Snapshot{At: time.Now()}
+	for lv := 1; lv <= MaxLevels; lv++ {
+		ls := p.levels[lv].Snapshot()
+		if ls.AcquiredR == 0 && ls.AcquiredW == 0 {
+			continue
+		}
+		ls.Level = lv
+		s.Levels = append(s.Levels, ls)
+	}
+	return s
+}
+
+// LevelRates are the measured model parameters of one level over a window.
+type LevelRates struct {
+	Level     int
+	LambdaR   float64 // reader lock arrivals per second
+	LambdaW   float64 // writer lock arrivals per second
+	MuR       float64 // reader service rate (completions per held-second)
+	MuW       float64 // writer service rate
+	MeanHoldR float64 // seconds
+	MeanHoldW float64 // seconds
+	MeanWaitR float64 // seconds, over all acquisitions (0-wait included)
+	MeanWaitW float64 // seconds
+	RhoW      float64 // measured writer-presence fraction of the window
+	WaitHistR HistSnapshot
+	WaitHistW HistSnapshot
+	Acquired  int64 // total acquisitions in the window, both classes
+	Released  int64 // total releases in the window, both classes
+}
+
+// MeanHold returns the class-blended mean hold time in seconds, weighting
+// each class by its arrival rate.
+func (r LevelRates) MeanHold() float64 {
+	lam := r.LambdaR + r.LambdaW
+	if lam == 0 {
+		return 0
+	}
+	return (r.LambdaR*r.MeanHoldR + r.LambdaW*r.MeanHoldW) / lam
+}
+
+// Rates differences two snapshots of the same probe into per-level rates.
+// Levels absent from either snapshot are carried with whatever window
+// counts exist; a non-positive wall-clock window yields nil.
+func Rates(prev, cur Snapshot) []LevelRates {
+	dt := cur.At.Sub(prev.At).Seconds()
+	if dt <= 0 {
+		return nil
+	}
+	prevByLevel := make(map[int]LevelSnapshot, len(prev.Levels))
+	for _, ls := range prev.Levels {
+		prevByLevel[ls.Level] = ls
+	}
+	var out []LevelRates
+	for _, ls := range cur.Levels {
+		p := prevByLevel[ls.Level] // zero value when the level is new
+		d := LevelSnapshot{
+			AcquiredR: ls.AcquiredR - p.AcquiredR,
+			AcquiredW: ls.AcquiredW - p.AcquiredW,
+			WaitNsR:   ls.WaitNsR - p.WaitNsR,
+			WaitNsW:   ls.WaitNsW - p.WaitNsW,
+			HeldNsR:   ls.HeldNsR - p.HeldNsR,
+			HeldNsW:   ls.HeldNsW - p.HeldNsW,
+			ReleasedR: ls.ReleasedR - p.ReleasedR,
+			ReleasedW: ls.ReleasedW - p.ReleasedW,
+			PresentNs: ls.PresentNs - p.PresentNs,
+		}
+		r := LevelRates{
+			Level:     ls.Level,
+			LambdaR:   float64(d.AcquiredR) / dt,
+			LambdaW:   float64(d.AcquiredW) / dt,
+			RhoW:      float64(d.PresentNs) / 1e9 / dt,
+			WaitHistR: ls.WaitHistR.Sub(p.WaitHistR),
+			WaitHistW: ls.WaitHistW.Sub(p.WaitHistW),
+			Acquired:  d.AcquiredR + d.AcquiredW,
+			Released:  d.ReleasedR + d.ReleasedW,
+		}
+		if d.ReleasedR > 0 && d.HeldNsR > 0 {
+			r.MeanHoldR = float64(d.HeldNsR) / 1e9 / float64(d.ReleasedR)
+			r.MuR = 1 / r.MeanHoldR
+		}
+		if d.ReleasedW > 0 && d.HeldNsW > 0 {
+			r.MeanHoldW = float64(d.HeldNsW) / 1e9 / float64(d.ReleasedW)
+			r.MuW = 1 / r.MeanHoldW
+		}
+		if d.AcquiredR > 0 {
+			r.MeanWaitR = float64(d.WaitNsR) / 1e9 / float64(d.AcquiredR)
+		}
+		if d.AcquiredW > 0 {
+			r.MeanWaitW = float64(d.WaitNsW) / 1e9 / float64(d.AcquiredW)
+		}
+		if r.RhoW < 0 {
+			r.RhoW = 0
+		}
+		if r.RhoW > 1 {
+			r.RhoW = 1
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// ModelPoint pairs a level's measured rates with the queueing model
+// evaluated at those rates.
+type ModelPoint struct {
+	LevelRates
+	Sol       qmodel.Solution
+	Evaluated bool    // false when the window had no usable rates
+	PredWaitR float64 // predicted reader queue wait, seconds
+	PredWaitW float64 // predicted writer queue wait, seconds
+}
+
+// Evaluate solves the appendix's FCFS reader/writer queue at the measured
+// parameters of one level and derives first-order predicted waits: writers
+// wait behind earlier aggregate customers (M/M/1 on the aggregate stream,
+// the composition of the paper's §5), readers wait only when a writer is
+// in the system, for on the order of the aggregate service time.
+func Evaluate(r LevelRates) ModelPoint {
+	mp := ModelPoint{LevelRates: r}
+	if r.LambdaR+r.LambdaW == 0 {
+		return mp
+	}
+	in := qmodel.Input{LambdaR: r.LambdaR, LambdaW: r.LambdaW, MuR: r.MuR, MuW: r.MuW}
+	sol, err := qmodel.Solve(in)
+	if err != nil {
+		return mp
+	}
+	mp.Sol = sol
+	mp.Evaluated = true
+	if r.LambdaW > 0 {
+		rhoA := r.LambdaW * sol.TA
+		if rhoA > 1 {
+			rhoA = 1
+		}
+		mp.PredWaitW = qmodel.MM1Wait(rhoA, sol.TA)
+		if math.IsInf(mp.PredWaitW, 1) {
+			mp.PredWaitW = math.Inf(1)
+		}
+		mp.PredWaitR = sol.RhoW * sol.TA
+	}
+	return mp
+}
+
+// EvaluateAll maps Evaluate over per-level rates.
+func EvaluateAll(rates []LevelRates) []ModelPoint {
+	out := make([]ModelPoint, len(rates))
+	for i, r := range rates {
+		out[i] = Evaluate(r)
+	}
+	return out
+}
+
+// PredictedResponse composes the per-level model points into a predicted
+// mean operation response time (seconds): each level contributes its
+// blended queue wait plus blended hold time, weighted by how many lock
+// visits an operation makes there (level arrival rate over the operation
+// rate). opRate is the measured operations/second; a non-positive opRate
+// yields 0.
+func PredictedResponse(points []ModelPoint, opRate float64) float64 {
+	if opRate <= 0 {
+		return 0
+	}
+	total := 0.0
+	for _, p := range points {
+		lam := p.LambdaR + p.LambdaW
+		if lam == 0 {
+			continue
+		}
+		visits := lam / opRate
+		var wait float64
+		if p.Evaluated {
+			wait = (p.LambdaR*p.PredWaitR + p.LambdaW*p.PredWaitW) / lam
+		}
+		hold := (p.LambdaR*p.MeanHoldR + p.LambdaW*p.MeanHoldW) / lam
+		total += visits * (wait + hold)
+	}
+	return total
+}

@@ -1,0 +1,104 @@
+package server
+
+import (
+	"bufio"
+	"net"
+)
+
+// Client speaks the btserved wire protocol. It supports pipelining: one
+// goroutine may Send/Flush while another Recvs, and because the server
+// answers in request order the n-th Recv matches the n-th Send. A Client
+// is otherwise not safe for concurrent use.
+type Client struct {
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	wbuf []byte
+	rbuf []byte
+}
+
+// Dial connects to a btserved address.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	return &Client{
+		conn: conn,
+		br:   bufio.NewReaderSize(conn, 32<<10),
+		bw:   bufio.NewWriterSize(conn, 32<<10),
+		wbuf: make([]byte, 0, 32),
+		rbuf: make([]byte, MaxPayload),
+	}, nil
+}
+
+// Send buffers one request frame.
+func (c *Client) Send(req Request) error {
+	c.wbuf = AppendRequest(c.wbuf[:0], req)
+	_, err := c.bw.Write(c.wbuf)
+	return err
+}
+
+// Flush pushes buffered requests to the wire.
+func (c *Client) Flush() error { return c.bw.Flush() }
+
+// Recv reads the next in-order response.
+func (c *Client) Recv() (Response, error) {
+	return ReadResponse(c.br, c.rbuf)
+}
+
+// Do sends one request and waits for its response (no pipelining).
+func (c *Client) Do(req Request) (Response, error) {
+	if err := c.Send(req); err != nil {
+		return Response{}, err
+	}
+	if err := c.Flush(); err != nil {
+		return Response{}, err
+	}
+	return c.Recv()
+}
+
+// Get looks key up.
+func (c *Client) Get(key int64) (uint64, bool, error) {
+	resp, err := c.Do(Request{Op: OpGet, Key: key})
+	if err != nil {
+		return 0, false, err
+	}
+	return resp.Val, resp.Status == StatusOK, nil
+}
+
+// Put stores key→val, reporting whether the key was fresh.
+func (c *Client) Put(key int64, val uint64) (bool, error) {
+	resp, err := c.Do(Request{Op: OpPut, Key: key, Val: val})
+	if err != nil {
+		return false, err
+	}
+	return resp.Status == StatusOK, nil
+}
+
+// Del removes key, reporting whether it was present.
+func (c *Client) Del(key int64) (bool, error) {
+	resp, err := c.Do(Request{Op: OpDel, Key: key})
+	if err != nil {
+		return false, err
+	}
+	return resp.Status == StatusOK, nil
+}
+
+// CloseWrite half-closes the connection so the server drains in-flight
+// responses; pair with draining Recv until error.
+func (c *Client) CloseWrite() error {
+	if err := c.bw.Flush(); err != nil {
+		return err
+	}
+	if tc, ok := c.conn.(*net.TCPConn); ok {
+		return tc.CloseWrite()
+	}
+	return nil
+}
+
+// Close tears the connection down.
+func (c *Client) Close() error { return c.conn.Close() }

@@ -1,0 +1,275 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"sync"
+	"time"
+
+	"btreeperf/internal/metrics"
+	"btreeperf/internal/table"
+)
+
+// SaturationRho is the paper's §6 saturation threshold: the rules of
+// thumb define the effective maximum arrival rate λ_{ρ=.5} as the load at
+// which the root's writer utilization ρ_w reaches one half. A measured or
+// model root ρ_w at or past this value means the tree is at its effective
+// maximum throughput for the chosen algorithm and node size.
+const SaturationRho = 0.5
+
+// windowState differences probe snapshots between scrapes so each
+// endpoint reports rates over the interval since its previous scrape
+// (the first scrape covers the time since the server started).
+type windowState struct {
+	mu       sync.Mutex
+	prev     metrics.Snapshot
+	prevOps  int64
+	prevNs   int64
+	prevHist metrics.HistSnapshot
+}
+
+// window is one evaluated scrape interval.
+type window struct {
+	Dt        float64 // seconds
+	Rates     []metrics.LevelRates
+	OpRate    float64 // operations per second
+	Ops       int64   // operations in the window
+	ObsMeanNs float64 // observed mean per-op tree service time
+	OpHist    metrics.HistSnapshot
+}
+
+// advance captures a new snapshot and returns the window since the last.
+func (w *windowState) advance(s *Server) window {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.prev.At.IsZero() {
+		w.prev = metrics.Snapshot{At: s.start}
+	}
+	cur := s.probe.Snapshot()
+	ops := s.opCount.Load()
+	opNs := s.opNsSum.Load()
+	hist := s.opLat.Snapshot()
+
+	out := window{
+		Dt:     cur.At.Sub(w.prev.At).Seconds(),
+		Rates:  metrics.Rates(w.prev, cur),
+		Ops:    ops - w.prevOps,
+		OpHist: hist.Sub(w.prevHist),
+	}
+	if out.Dt > 0 {
+		out.OpRate = float64(out.Ops) / out.Dt
+	}
+	if out.Ops > 0 {
+		out.ObsMeanNs = float64(opNs-w.prevNs) / float64(out.Ops)
+	}
+	w.prev = cur
+	w.prevOps = ops
+	w.prevNs = opNs
+	w.prevHist = hist
+	return out
+}
+
+// rootRho returns the measured and model ρ_w at the root level, and
+// whether either crosses the saturation threshold.
+func rootRho(points []metrics.ModelPoint, height int) (measured, model float64, saturated bool) {
+	for _, p := range points {
+		if p.Level != height {
+			continue
+		}
+		measured = p.RhoW
+		if p.Evaluated {
+			model = p.Sol.RhoW
+		}
+	}
+	saturated = measured >= SaturationRho || model >= SaturationRho
+	return measured, model, saturated
+}
+
+// Handler returns the HTTP mux serving /metrics and /debug/model.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/model", s.handleModel)
+	return mux
+}
+
+// metricsJSON is the ?format=json shape of /metrics.
+type metricsJSON struct {
+	UptimeS   float64            `json:"uptime_s"`
+	Algorithm string             `json:"algorithm"`
+	Capacity  int                `json:"capacity"`
+	Keys      int                `json:"keys"`
+	Height    int                `json:"height"`
+	Workers   int                `json:"workers"`
+	Conns     int64              `json:"connections"`
+	WindowS   float64            `json:"window_s"`
+	OpsPerSec float64            `json:"ops_per_sec"`
+	Gets      int64              `json:"gets"`
+	Puts      int64              `json:"puts"`
+	Dels      int64              `json:"dels"`
+	BadReqs   int64              `json:"bad_requests"`
+	OpMeanUs  float64            `json:"op_mean_us"`
+	OpP50Us   float64            `json:"op_p50_us"`
+	OpP99Us   float64            `json:"op_p99_us"`
+	Splits    int64              `json:"splits"`
+	Restarts  int64              `json:"restarts"`
+	Crossings int64              `json:"crossings"`
+	RootRhoW  float64            `json:"root_rho_w"`
+	Saturated bool               `json:"saturated"`
+	Levels    []levelMetricsJSON `json:"levels"`
+}
+
+type levelMetricsJSON struct {
+	Level     int     `json:"level"`
+	Root      bool    `json:"root"`
+	LambdaR   float64 `json:"lambda_r"`
+	LambdaW   float64 `json:"lambda_w"`
+	MuR       float64 `json:"mu_r"`
+	MuW       float64 `json:"mu_w"`
+	HoldRUs   float64 `json:"hold_r_us"`
+	HoldWUs   float64 `json:"hold_w_us"`
+	WaitRUs   float64 `json:"wait_r_us"`
+	WaitWUs   float64 `json:"wait_w_us"`
+	WaitWP99  float64 `json:"wait_w_p99_us"`
+	RhoW      float64 `json:"rho_w"`
+	ModelRhoW float64 `json:"model_rho_w"`
+	Stable    bool    `json:"model_stable"`
+}
+
+func us(sec float64) float64 { return sec * 1e6 }
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	win := s.metricsWin.advance(s)
+	points := metrics.EvaluateAll(win.Rates)
+	height := s.tree.Height()
+	rhoMeas, rhoModel, saturated := rootRho(points, height)
+	ts := s.tree.Stats()
+
+	out := metricsJSON{
+		UptimeS:   time.Since(s.start).Seconds(),
+		Algorithm: s.tree.Algorithm().String(),
+		Capacity:  s.tree.Cap(),
+		Keys:      s.tree.Len(),
+		Height:    height,
+		Workers:   s.cfg.Workers,
+		Conns:     s.connsNow.Load(),
+		WindowS:   win.Dt,
+		OpsPerSec: win.OpRate,
+		Gets:      s.gets.Load(),
+		Puts:      s.puts.Load(),
+		Dels:      s.dels.Load(),
+		BadReqs:   s.badReqs.Load(),
+		OpMeanUs:  win.ObsMeanNs / 1e3,
+		OpP50Us:   float64(win.OpHist.Quantile(0.5)) / 1e3,
+		OpP99Us:   float64(win.OpHist.Quantile(0.99)) / 1e3,
+		Splits:    ts.Splits,
+		Restarts:  ts.Restarts,
+		Crossings: ts.Crossings,
+		RootRhoW:  math.Max(rhoMeas, rhoModel),
+		Saturated: saturated,
+	}
+	for _, p := range points {
+		lj := levelMetricsJSON{
+			Level:    p.Level,
+			Root:     p.Level == height,
+			LambdaR:  p.LambdaR,
+			LambdaW:  p.LambdaW,
+			MuR:      p.MuR,
+			MuW:      p.MuW,
+			HoldRUs:  us(p.MeanHoldR),
+			HoldWUs:  us(p.MeanHoldW),
+			WaitRUs:  us(p.MeanWaitR),
+			WaitWUs:  us(p.MeanWaitW),
+			WaitWP99: float64(p.WaitHistW.Quantile(0.99)) / 1e3,
+			RhoW:     p.RhoW,
+		}
+		if p.Evaluated {
+			lj.ModelRhoW = p.Sol.RhoW
+			lj.Stable = p.Sol.Stable
+		}
+		out.Levels = append(out.Levels, lj)
+	}
+
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(out)
+		return
+	}
+
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "btserved uptime_s=%.1f algorithm=%s cap=%d keys=%d height=%d workers=%d conns=%d\n",
+		out.UptimeS, out.Algorithm, out.Capacity, out.Keys, out.Height, out.Workers, out.Conns)
+	fmt.Fprintf(w, "ops window_s=%.2f rate=%.0f gets=%d puts=%d dels=%d bad=%d\n",
+		out.WindowS, out.OpsPerSec, out.Gets, out.Puts, out.Dels, out.BadReqs)
+	fmt.Fprintf(w, "op_latency_us mean=%.1f p50=%.1f p99=%.1f\n", out.OpMeanUs, out.OpP50Us, out.OpP99Us)
+	fmt.Fprintf(w, "tree splits=%d restarts=%d crossings=%d\n", out.Splits, out.Restarts, out.Crossings)
+	for _, l := range out.Levels {
+		role := "inner"
+		if l.Root {
+			role = "root"
+		} else if l.Level == 1 {
+			role = "leaf"
+		}
+		fmt.Fprintf(w, "level=%d role=%s lambda_r=%.0f lambda_w=%.0f mu_r=%.0f mu_w=%.0f hold_r_us=%.2f hold_w_us=%.2f wait_r_us=%.2f wait_w_us=%.2f wait_w_p99_us=%.1f rho_w=%.4f model_rho_w=%.4f stable=%v\n",
+			l.Level, role, l.LambdaR, l.LambdaW, l.MuR, l.MuW,
+			l.HoldRUs, l.HoldWUs, l.WaitRUs, l.WaitWUs, l.WaitWP99,
+			l.RhoW, l.ModelRhoW, l.Stable)
+	}
+	fmt.Fprintf(w, "saturation root_rho_w=%.4f threshold=%.2f saturated=%v\n",
+		out.RootRhoW, SaturationRho, out.Saturated)
+	if out.Saturated {
+		fmt.Fprintf(w, "WARNING: root writer utilization rho_w >= %.2f — the tree is past the paper's effective maximum arrival rate (§6, rules of thumb 1–4)\n", SaturationRho)
+	}
+}
+
+func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	win := s.modelWin.advance(s)
+	points := metrics.EvaluateAll(win.Rates)
+	height := s.tree.Height()
+	rhoMeas, rhoModel, saturated := rootRho(points, height)
+	predNs := metrics.PredictedResponse(points, win.OpRate) * 1e9
+
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "qmodel evaluated at measured parameters (window %.2fs, %d ops, %.0f ops/s, algorithm %s)\n\n",
+		win.Dt, win.Ops, win.OpRate, s.tree.Algorithm())
+
+	tb := table.New("per-level FCFS R/W queues (leaf=1 .. root)",
+		"level", "λ_r/s", "λ_w/s", "μ_r/s", "μ_w/s",
+		"ρ_w meas", "ρ_w model", "T_a µs", "W_w meas µs", "W_w pred µs", "stable")
+	for _, p := range points {
+		row := []string{
+			fmt.Sprintf("%d", p.Level),
+			table.F(p.LambdaR), table.F(p.LambdaW),
+			table.F(p.MuR), table.F(p.MuW),
+			table.F(p.RhoW),
+		}
+		if p.Evaluated {
+			row = append(row,
+				table.F(p.Sol.RhoW),
+				table.F(us(p.Sol.TA)),
+				table.F(us(p.MeanWaitW)),
+				table.F(us(p.PredWaitW)),
+				fmt.Sprintf("%v", p.Sol.Stable))
+		} else {
+			row = append(row, "-", "-", table.F(us(p.MeanWaitW)), "-", "-")
+		}
+		tb.AddRow(row...)
+	}
+	tb.Render(w)
+
+	fmt.Fprintf(w, "\nresponse time: observed mean %.1f µs, model predicted %.1f µs",
+		win.ObsMeanNs/1e3, predNs/1e3)
+	if win.ObsMeanNs > 0 && predNs > 0 {
+		ratio := predNs / win.ObsMeanNs
+		fmt.Fprintf(w, " (pred/obs = %.2f)", ratio)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "root rho_w: measured %.4f, model %.4f, threshold %.2f\n", rhoMeas, rhoModel, SaturationRho)
+	if saturated {
+		fmt.Fprintf(w, "WARNING: SATURATED — root writer utilization ρ_w >= %.2f, the paper's effective maximum arrival rate λ_{ρ=.5} (§6, rules of thumb 1–4). Raise node capacity (Optimistic/Link-type) or shard.\n", SaturationRho)
+	} else {
+		fmt.Fprintf(w, "root below the λ_{ρ=.5} saturation threshold\n")
+	}
+}

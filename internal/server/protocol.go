@@ -1,0 +1,178 @@
+// Package server is btserved's serving subsystem: a pipelined binary
+// key-value protocol over TCP in front of the concurrent B-tree, with the
+// paper's lock-queue telemetry measured live and exposed over HTTP.
+//
+// # Wire protocol
+//
+// Every message is a length-prefixed frame: a 4-byte big-endian payload
+// length followed by the payload. Requests carry an opcode, a key, and —
+// for puts — a value:
+//
+//	get:  op(1) key(8)
+//	put:  op(1) key(8) val(8)
+//	del:  op(1) key(8)
+//	ping: op(1)
+//
+// Responses carry a status byte, plus the value for a get hit:
+//
+//	hit:  status(1) val(8)
+//	else: status(1)
+//
+// Responses are returned in request order, so clients may pipeline any
+// number of requests on one connection without tagging them.
+package server
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Opcodes.
+const (
+	OpGet  byte = 1
+	OpPut  byte = 2
+	OpDel  byte = 3
+	OpPing byte = 4
+)
+
+// Statuses.
+const (
+	// StatusOK: get hit, fresh put, del of a present key, or ping.
+	StatusOK byte = 0
+	// StatusMiss: get or del of an absent key, or a put that replaced an
+	// existing key's value.
+	StatusMiss byte = 1
+	// StatusBadRequest: malformed or unknown request payload.
+	StatusBadRequest byte = 2
+)
+
+// MaxPayload bounds a frame payload; anything larger is a protocol error.
+const MaxPayload = 64
+
+// Request is one decoded client request.
+type Request struct {
+	Op  byte
+	Key int64
+	Val uint64
+}
+
+// Response is one decoded server response.
+type Response struct {
+	Status byte
+	HasVal bool
+	Val    uint64
+}
+
+// AppendRequest appends req's frame to dst.
+func AppendRequest(dst []byte, req Request) []byte {
+	n := 1 + 8
+	switch req.Op {
+	case OpPut:
+		n = 1 + 8 + 8
+	case OpPing:
+		n = 1
+	}
+	dst = binary.BigEndian.AppendUint32(dst, uint32(n))
+	dst = append(dst, req.Op)
+	if req.Op != OpPing {
+		dst = binary.BigEndian.AppendUint64(dst, uint64(req.Key))
+	}
+	if req.Op == OpPut {
+		dst = binary.BigEndian.AppendUint64(dst, req.Val)
+	}
+	return dst
+}
+
+// AppendResponse appends resp's frame to dst.
+func AppendResponse(dst []byte, resp Response) []byte {
+	n := 1
+	if resp.HasVal {
+		n = 1 + 8
+	}
+	dst = binary.BigEndian.AppendUint32(dst, uint32(n))
+	dst = append(dst, resp.Status)
+	if resp.HasVal {
+		dst = binary.BigEndian.AppendUint64(dst, resp.Val)
+	}
+	return dst
+}
+
+// readFrame reads one length-prefixed payload into buf (which must have
+// MaxPayload capacity), returning the payload slice. io.EOF is returned
+// unwrapped only when the stream ends cleanly between frames.
+func readFrame(br *bufio.Reader, buf []byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(br, hdr[:1]); err != nil {
+		return nil, err // clean EOF stays io.EOF
+	}
+	if _, err := io.ReadFull(br, hdr[1:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > MaxPayload {
+		return nil, fmt.Errorf("server: frame payload %d bytes (max %d)", n, MaxPayload)
+	}
+	payload := buf[:n]
+	if _, err := io.ReadFull(br, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return payload, nil
+}
+
+// ReadRequest reads and decodes one request frame. buf must have at least
+// MaxPayload capacity and is reused across calls.
+func ReadRequest(br *bufio.Reader, buf []byte) (Request, error) {
+	payload, err := readFrame(br, buf)
+	if err != nil {
+		return Request{}, err
+	}
+	var req Request
+	req.Op = payload[0]
+	switch req.Op {
+	case OpPing:
+		if len(payload) != 1 {
+			return Request{}, fmt.Errorf("server: ping with %d-byte payload", len(payload))
+		}
+	case OpGet, OpDel:
+		if len(payload) != 9 {
+			return Request{}, fmt.Errorf("server: op %d with %d-byte payload, want 9", req.Op, len(payload))
+		}
+		req.Key = int64(binary.BigEndian.Uint64(payload[1:9]))
+	case OpPut:
+		if len(payload) != 17 {
+			return Request{}, fmt.Errorf("server: put with %d-byte payload, want 17", len(payload))
+		}
+		req.Key = int64(binary.BigEndian.Uint64(payload[1:9]))
+		req.Val = binary.BigEndian.Uint64(payload[9:17])
+	default:
+		return Request{}, fmt.Errorf("server: unknown opcode %d", req.Op)
+	}
+	return req, nil
+}
+
+// ReadResponse reads and decodes one response frame. buf must have at
+// least MaxPayload capacity and is reused across calls.
+func ReadResponse(br *bufio.Reader, buf []byte) (Response, error) {
+	payload, err := readFrame(br, buf)
+	if err != nil {
+		return Response{}, err
+	}
+	resp := Response{Status: payload[0]}
+	switch len(payload) {
+	case 1:
+	case 9:
+		resp.HasVal = true
+		resp.Val = binary.BigEndian.Uint64(payload[1:9])
+	default:
+		return Response{}, fmt.Errorf("server: response with %d-byte payload", len(payload))
+	}
+	return resp, nil
+}

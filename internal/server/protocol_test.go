@@ -1,0 +1,82 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"testing"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	reqs := []Request{
+		{Op: OpGet, Key: 42},
+		{Op: OpPut, Key: -7, Val: 1<<63 + 9},
+		{Op: OpDel, Key: 1 << 40},
+		{Op: OpPing},
+		{Op: OpGet, Key: -1 << 62},
+	}
+	var wire []byte
+	for _, r := range reqs {
+		wire = AppendRequest(wire, r)
+	}
+	br := bufio.NewReader(bytes.NewReader(wire))
+	buf := make([]byte, MaxPayload)
+	for i, want := range reqs {
+		got, err := ReadRequest(br, buf)
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if want.Op != OpPut {
+			want.Val = 0
+		}
+		if got != want {
+			t.Fatalf("request %d: got %+v want %+v", i, got, want)
+		}
+	}
+	if _, err := ReadRequest(br, buf); err != io.EOF {
+		t.Fatalf("trailing read: %v, want io.EOF", err)
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	resps := []Response{
+		{Status: StatusOK, HasVal: true, Val: 12345},
+		{Status: StatusMiss},
+		{Status: StatusOK},
+		{Status: StatusBadRequest},
+	}
+	var wire []byte
+	for _, r := range resps {
+		wire = AppendResponse(wire, r)
+	}
+	br := bufio.NewReader(bytes.NewReader(wire))
+	buf := make([]byte, MaxPayload)
+	for i, want := range resps {
+		got, err := ReadResponse(br, buf)
+		if err != nil {
+			t.Fatalf("response %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("response %d: got %+v want %+v", i, got, want)
+		}
+	}
+}
+
+func TestMalformedFrames(t *testing.T) {
+	buf := make([]byte, MaxPayload)
+	cases := map[string][]byte{
+		"zero length":    {0, 0, 0, 0},
+		"oversized":      {0, 0, 10, 0},
+		"unknown opcode": {0, 0, 0, 1, 99},
+		"short get":      {0, 0, 0, 5, byte(OpGet), 1, 2, 3, 4},
+		"long ping":      {0, 0, 0, 2, byte(OpPing), 0},
+		"truncated":      {0, 0, 0, 9, byte(OpGet), 1, 2},
+	}
+	for name, wire := range cases {
+		if _, err := ReadRequest(bufio.NewReader(bytes.NewReader(wire)), buf); err == nil {
+			t.Errorf("%s: accepted", name)
+		} else if err == io.EOF {
+			t.Errorf("%s: clean EOF for a partial frame", name)
+		}
+	}
+}

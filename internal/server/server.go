@@ -1,0 +1,281 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"btreeperf/internal/cbtree"
+	"btreeperf/internal/lock"
+	"btreeperf/internal/metrics"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	Algorithm cbtree.Algorithm
+	Capacity  int // node capacity; default 64
+	Workers   int // worker-pool size; default GOMAXPROCS
+	Depth     int // per-connection pipeline bound; default 128
+	Prefill   int // keys inserted before serving; default 0
+}
+
+func (c *Config) fill() {
+	if c.Capacity == 0 {
+		c.Capacity = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Depth <= 0 {
+		c.Depth = 128
+	}
+}
+
+// job is one request in flight between a connection reader, a pool
+// worker, and the connection writer.
+type job struct {
+	req  Request
+	resp Response
+	done chan struct{}
+}
+
+// Server owns the tree, its telemetry probe, and the worker pool. Create
+// one with New, serve the binary protocol with Serve, and mount Handler
+// on an HTTP listener for /metrics and /debug/model.
+type Server struct {
+	cfg   Config
+	tree  *cbtree.Tree
+	probe *metrics.TreeProbe
+	work  chan *job
+
+	start    time.Time
+	opLat    metrics.Hist // per-op tree service time
+	opNsSum  atomic.Int64
+	opCount  atomic.Int64
+	gets     atomic.Int64
+	puts     atomic.Int64
+	dels     atomic.Int64
+	badReqs  atomic.Int64
+	connsNow atomic.Int64
+	connsTot atomic.Int64
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+
+	metricsWin windowState // /metrics scrape window
+	modelWin   windowState // /debug/model scrape window
+}
+
+// New builds the tree (prefilled if requested), instruments every node
+// lock with the per-level telemetry probe, and sizes the worker pool.
+func New(cfg Config) *Server {
+	cfg.fill()
+	s := &Server{
+		cfg:   cfg,
+		tree:  cbtree.New(cfg.Capacity, cfg.Algorithm),
+		probe: metrics.NewTreeProbe(),
+		work:  make(chan *job, 4*cfg.Workers),
+		start: time.Now(),
+		conns: make(map[net.Conn]struct{}),
+	}
+	for i := 0; i < cfg.Prefill; i++ {
+		// A simple odd multiplier scatters the prefill across the key
+		// space deterministically.
+		k := int64(uint64(i)*2654435761) % (1 << 40)
+		s.tree.Insert(k, uint64(i))
+	}
+	s.tree.Instrument(func(level int) lock.Probe { return s.probe.Level(level) })
+	return s
+}
+
+// Tree exposes the underlying tree (tests, stats).
+func (s *Server) Tree() *cbtree.Tree { return s.tree }
+
+// Probe exposes the telemetry probe.
+func (s *Server) Probe() *metrics.TreeProbe { return s.probe }
+
+// Serve accepts connections on ln until ctx is cancelled, then drains: it
+// stops accepting, lets every already-read request finish and its
+// response be written, and closes the connections. It returns nil on a
+// clean drain.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	var workerWG sync.WaitGroup
+	for i := 0; i < s.cfg.Workers; i++ {
+		workerWG.Add(1)
+		go func() {
+			defer workerWG.Done()
+			for j := range s.work {
+				t0 := time.Now()
+				j.resp = s.apply(j.req)
+				ns := time.Since(t0).Nanoseconds()
+				s.opLat.Observe(ns)
+				s.opNsSum.Add(ns)
+				s.opCount.Add(1)
+				close(j.done)
+			}
+		}()
+	}
+
+	stop := make(chan struct{})
+	var closeOnce sync.Once
+	shutdown := func() {
+		closeOnce.Do(func() {
+			close(stop)
+			ln.Close()
+			// Shut down the read side of every connection: readers see
+			// EOF, finish submitting what they already read, and the
+			// writers drain the pipeline.
+			s.connMu.Lock()
+			for c := range s.conns {
+				if tc, ok := c.(*net.TCPConn); ok {
+					tc.CloseRead()
+				} else {
+					c.SetReadDeadline(time.Now())
+				}
+			}
+			s.connMu.Unlock()
+		})
+	}
+	go func() {
+		<-ctx.Done()
+		shutdown()
+	}()
+
+	var connWG sync.WaitGroup
+	var acceptErr error
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-stop:
+			default:
+				acceptErr = err
+				shutdown()
+			}
+			break
+		}
+		s.connMu.Lock()
+		s.conns[conn] = struct{}{}
+		s.connMu.Unlock()
+		// A connection accepted while shutdown was iterating the map
+		// would miss its CloseRead; re-check now that it is registered.
+		select {
+		case <-stop:
+			if tc, ok := conn.(*net.TCPConn); ok {
+				tc.CloseRead()
+			} else {
+				conn.SetReadDeadline(time.Now())
+			}
+		default:
+		}
+		s.connsNow.Add(1)
+		s.connsTot.Add(1)
+		connWG.Add(1)
+		go func() {
+			defer connWG.Done()
+			s.handle(conn)
+			s.connMu.Lock()
+			delete(s.conns, conn)
+			s.connMu.Unlock()
+			s.connsNow.Add(-1)
+		}()
+	}
+
+	connWG.Wait()
+	close(s.work)
+	workerWG.Wait()
+	if acceptErr != nil && !errors.Is(acceptErr, net.ErrClosed) {
+		return fmt.Errorf("server: accept: %w", acceptErr)
+	}
+	return nil
+}
+
+// handle runs one connection: this goroutine reads and dispatches
+// requests, a second writes responses in request order. The pending
+// channel bounds the pipeline (backpressure) and carries ordering.
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	pending := make(chan *job, s.cfg.Depth)
+	writerDone := make(chan struct{})
+
+	go func() {
+		defer close(writerDone)
+		bw := bufio.NewWriterSize(conn, 32<<10)
+		buf := make([]byte, 0, 16)
+		for j := range pending {
+			<-j.done
+			buf = AppendResponse(buf[:0], j.resp)
+			if _, err := bw.Write(buf); err != nil {
+				// Keep consuming so the reader never blocks on pending.
+				for range pending {
+				}
+				return
+			}
+			if len(pending) == 0 {
+				if err := bw.Flush(); err != nil {
+					for range pending {
+					}
+					return
+				}
+			}
+		}
+		bw.Flush()
+	}()
+
+	br := bufio.NewReaderSize(conn, 32<<10)
+	buf := make([]byte, MaxPayload)
+	for {
+		req, err := ReadRequest(br, buf)
+		if err != nil {
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) && !errors.Is(err, io.ErrUnexpectedEOF) {
+				s.badReqs.Add(1)
+			}
+			break
+		}
+		j := &job{req: req, done: make(chan struct{})}
+		pending <- j
+		s.work <- j
+	}
+	close(pending)
+	<-writerDone
+}
+
+// apply executes one request against the tree.
+func (s *Server) apply(req Request) Response {
+	switch req.Op {
+	case OpGet:
+		s.gets.Add(1)
+		v, ok := s.tree.Search(req.Key)
+		if !ok {
+			return Response{Status: StatusMiss}
+		}
+		return Response{Status: StatusOK, HasVal: true, Val: v}
+	case OpPut:
+		s.puts.Add(1)
+		if s.tree.Insert(req.Key, req.Val) {
+			return Response{Status: StatusOK}
+		}
+		return Response{Status: StatusMiss}
+	case OpDel:
+		s.dels.Add(1)
+		if s.tree.Delete(req.Key) {
+			return Response{Status: StatusOK}
+		}
+		return Response{Status: StatusMiss}
+	case OpPing:
+		return Response{Status: StatusOK}
+	default:
+		s.badReqs.Add(1)
+		return Response{Status: StatusBadRequest}
+	}
+}

@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"testing"
+
+	"btreeperf/internal/xrand"
+)
+
+func newSplitParent(t *testing.T, seed uint64, prime int) *Generator {
+	t.Helper()
+	g, err := NewGenerator(PaperMix, NewKeyPool(), 1<<31, xrand.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < prime; i++ {
+		g.Next() // populate the parent pool so Split has keys to deal out
+	}
+	return g
+}
+
+// TestSplitReproducible verifies the satellite requirement: for a fixed
+// seed, a split run is reproducible — same children, same streams.
+func TestSplitReproducible(t *testing.T) {
+	const n, ops = 4, 2000
+	run := func() [][2]int64 {
+		children := newSplitParent(t, 42, 500).Split(n)
+		out := make([][2]int64, 0, n*ops)
+		for _, c := range children {
+			for i := 0; i < ops; i++ {
+				op, k := c.Next()
+				out = append(out, [2]int64{int64(op), k})
+			}
+		}
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("streams diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestSplitIndependentStreams checks that sibling generators do not mirror
+// each other's draws.
+func TestSplitIndependentStreams(t *testing.T) {
+	children := newSplitParent(t, 7, 0).Split(2)
+	same := 0
+	const ops = 1000
+	for i := 0; i < ops; i++ {
+		_, k0 := children[0].Next()
+		_, k1 := children[1].Next()
+		if k0 == k1 {
+			same++
+		}
+	}
+	if same > ops/100 {
+		t.Fatalf("%d/%d identical draws between siblings", same, ops)
+	}
+}
+
+// TestSplitDealsPool verifies the parent's live keys are partitioned, not
+// duplicated, across children.
+func TestSplitDealsPool(t *testing.T) {
+	parent := newSplitParent(t, 11, 1000)
+	parentKeys := parent.pool.Len()
+	if parentKeys == 0 {
+		t.Fatal("parent pool empty after priming")
+	}
+	children := parent.Split(3)
+	total := 0
+	seen := make(map[int64]bool)
+	for _, c := range children {
+		total += c.pool.Len()
+		for _, k := range c.pool.keys {
+			if seen[k] {
+				t.Fatalf("key %d dealt to two children", k)
+			}
+			seen[k] = true
+		}
+	}
+	if total != parentKeys {
+		t.Fatalf("children hold %d keys, parent had %d", total, parentKeys)
+	}
+	// Round-robin deal: children sizes differ by at most one.
+	for _, c := range children {
+		if d := c.pool.Len() - parentKeys/3; d < 0 || d > 1 {
+			t.Fatalf("uneven deal: child has %d of %d", c.pool.Len(), parentKeys)
+		}
+	}
+}
+
+func TestSplitValidation(t *testing.T) {
+	g := newSplitParent(t, 1, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Split(0) did not panic")
+		}
+	}()
+	g.Split(0)
+}

@@ -161,6 +161,32 @@ func (g *Generator) Next() (Op, int64) {
 	return Insert, k
 }
 
+// Split returns n deterministic, mutually independent generators, so n
+// concurrent consumers (e.g. load-generator connections) need not share
+// one generator behind a mutex. Each child draws from its own xrand stream
+// (derived from the parent's seed and the child index, so a fixed parent
+// seed always reproduces the same n streams) and owns a private key pool;
+// the parent's live keys are dealt round-robin across the children. The
+// parent must not be used after Split.
+func (g *Generator) Split(n int) []*Generator {
+	if n < 1 {
+		panic(fmt.Sprintf("workload: Split(%d)", n))
+	}
+	out := make([]*Generator, n)
+	for i := range out {
+		out[i] = &Generator{
+			mix:      g.mix,
+			pool:     NewKeyPool(),
+			src:      g.src.Split(uint64(i) + 1),
+			keySpace: g.keySpace,
+		}
+	}
+	for j, k := range g.pool.keys {
+		out[j%n].pool.Add(k)
+	}
+	return out
+}
+
 // Build constructs a merge-at-empty B-tree of about target keys using the
 // generator's insert:delete proportion (the paper's construction phase),
 // returning the tree and the resulting live-key pool.

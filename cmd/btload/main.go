@@ -6,17 +6,29 @@
 //
 //	btload -addr 127.0.0.1:9400 -conns 4 -depth 32 -duration 5s
 //	btload -addr 127.0.0.1:9400 -n 1000000 -qs .3 -qi .5 -qd .2
+//
+// With -chaos, each connection is wrapped in the internal/faults
+// injector (client-side chaos: latency, stalls, resets, truncated
+// writes, dropped dials) and the loop turns tolerant: connection
+// errors are absorbed by redialing, in-flight requests lost to a dead
+// connection are counted as errors, and Busy/Overload responses from a
+// shedding server are counted separately. The exit report then
+// includes error and shed counts and rates:
+//
+//	btload -addr 127.0.0.1:9400 -chaos 'preset=0.002,pdrop=0.05,seed=3'
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"btreeperf/internal/faults"
 	"btreeperf/internal/server"
 	"btreeperf/internal/workload"
 	"btreeperf/internal/xrand"
@@ -24,23 +36,52 @@ import (
 
 const maxSamplesPerConn = 1 << 21 // reservoir bound: 2Mi samples ≈ 16 MB
 
+// counters aggregates load statistics across connections.
+type counters struct {
+	sent     atomic.Int64
+	recvd    atomic.Int64
+	latSum   atomic.Int64
+	hits     atomic.Int64
+	searches atomic.Int64
+	inserts  atomic.Int64
+	deletes  atomic.Int64
+	shed     atomic.Int64 // Busy/Overload responses (server self-defense)
+	errs     atomic.Int64 // requests lost to connection failures
+	redials  atomic.Int64 // reconnects in tolerant (-chaos) mode
+}
+
 func main() {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:9400", "btserved address")
-		conns    = flag.Int("conns", 4, "concurrent connections")
-		depth    = flag.Int("depth", 32, "pipelined requests per connection (closed loop)")
-		duration = flag.Duration("duration", 5*time.Second, "run length (ignored when -n > 0)")
-		nOps     = flag.Int("n", 0, "total operations (0 = run for -duration)")
-		qs       = flag.Float64("qs", workload.PaperMix.QS, "search fraction")
-		qi       = flag.Float64("qi", workload.PaperMix.QI, "insert fraction")
-		qd       = flag.Float64("qd", workload.PaperMix.QD, "delete fraction")
-		keySpace = flag.Int64("keyspace", 1<<31, "insert keys drawn uniformly from [0, keyspace)")
-		seed     = flag.Uint64("seed", 1, "workload seed (fixed seed = reproducible op streams)")
+		addr      = flag.String("addr", "127.0.0.1:9400", "btserved address")
+		conns     = flag.Int("conns", 4, "concurrent connections")
+		depth     = flag.Int("depth", 32, "pipelined requests per connection (closed loop)")
+		duration  = flag.Duration("duration", 5*time.Second, "run length (ignored when -n > 0)")
+		nOps      = flag.Int("n", 0, "total operations (0 = run for -duration)")
+		qs        = flag.Float64("qs", workload.PaperMix.QS, "search fraction")
+		qi        = flag.Float64("qi", workload.PaperMix.QI, "insert fraction")
+		qd        = flag.Float64("qd", workload.PaperMix.QD, "delete fraction")
+		keySpace  = flag.Int64("keyspace", 1<<31, "insert keys drawn uniformly from [0, keyspace)")
+		seed      = flag.Uint64("seed", 1, "workload seed (fixed seed = reproducible op streams)")
+		chaosSpec = flag.String("chaos", "", "client-side fault spec (tolerant mode), e.g. 'preset=0.002,pdrop=0.05,seed=3'")
+		opTimeout = flag.Duration("op-timeout", 0, "per-op deadline on each connection (0 = none; -chaos defaults to 5s)")
 	)
 	flag.Parse()
 	if *conns < 1 || *depth < 1 {
 		fmt.Fprintln(os.Stderr, "btload: conns and depth must be >= 1")
 		os.Exit(2)
+	}
+
+	var inj *faults.Injector
+	if *chaosSpec != "" {
+		fc, err := faults.ParseSpec(*chaosSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "btload:", err)
+			os.Exit(2)
+		}
+		inj = faults.New(fc)
+		if *opTimeout == 0 {
+			*opTimeout = 5 * time.Second // a stalled chaos conn must not hang the run
+		}
 	}
 
 	mix := workload.Mix{QS: *qs, QI: *qi, QD: *qd}
@@ -53,13 +94,7 @@ func main() {
 
 	var (
 		stop       atomic.Bool
-		sent       atomic.Int64
-		recvd      atomic.Int64
-		latSum     atomic.Int64
-		hits       atomic.Int64
-		searches   atomic.Int64
-		inserts    atomic.Int64
-		deletes    atomic.Int64
+		ctr        counters
 		sampleMu   sync.Mutex
 		allSamples [][]int64
 	)
@@ -74,6 +109,21 @@ func main() {
 		}
 	}
 
+	dial := func() (*server.Client, error) {
+		conn, err := net.DialTimeout("tcp", *addr, 5*time.Second)
+		if err != nil {
+			return nil, err
+		}
+		if inj != nil {
+			if conn = inj.Conn(conn); conn == nil {
+				return nil, fmt.Errorf("chaos: connection dropped at dial")
+			}
+		}
+		c := server.NewClient(conn)
+		c.SetOpTimeout(*opTimeout)
+		return c, nil
+	}
+
 	start := time.Now()
 	if *nOps <= 0 {
 		time.AfterFunc(*duration, func() { stop.Store(true) })
@@ -85,9 +135,8 @@ func main() {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			samples, err := runConn(*addr, gens[i], *depth, quota[i], *nOps > 0,
-				xrand.New(*seed^uint64(i)*0x9e3779b97f4a7c15),
-				&stop, &sent, &recvd, &latSum, &hits, &searches, &inserts, &deletes)
+			samples, err := runConn(dial, gens[i], *depth, quota[i], *nOps > 0, inj != nil,
+				xrand.New(*seed^uint64(i)*0x9e3779b97f4a7c15), &stop, &ctr)
 			if err != nil {
 				errs <- fmt.Errorf("conn %d: %w", i, err)
 				stop.Store(true)
@@ -107,7 +156,7 @@ func main() {
 	default:
 	}
 
-	n := recvd.Load()
+	n := ctr.recvd.Load()
 	fmt.Printf("btload: %d conns × depth %d against %s, mix s/i/d = %.2f/%.2f/%.2f, seed %d\n",
 		*conns, *depth, *addr, *qs, *qi, *qd, *seed)
 	fmt.Printf("%d ops in %v: %.0f ops/s\n",
@@ -126,74 +175,137 @@ func main() {
 			return float64(lats[i]) / 1e3
 		}
 		fmt.Printf("latency µs: mean %.1f p50 %.1f p95 %.1f p99 %.1f max %.1f\n",
-			float64(latSum.Load())/float64(n)/1e3, q(0.50), q(0.95), q(0.99), q(1))
-		sr := searches.Load()
+			float64(ctr.latSum.Load())/float64(n)/1e3, q(0.50), q(0.95), q(0.99), q(1))
+		sr := ctr.searches.Load()
 		hitPct := 0.0
 		if sr > 0 {
-			hitPct = 100 * float64(hits.Load()) / float64(sr)
+			hitPct = 100 * float64(ctr.hits.Load()) / float64(sr)
 		}
 		fmt.Printf("ops: %d search (%.0f%% hit), %d insert, %d delete\n",
-			sr, hitPct, inserts.Load(), deletes.Load())
+			sr, hitPct, ctr.inserts.Load(), ctr.deletes.Load())
+	}
+	if shed := ctr.shed.Load(); shed > 0 || inj != nil {
+		sentN := ctr.sent.Load()
+		rate := func(c int64) float64 {
+			if sentN == 0 {
+				return 0
+			}
+			return 100 * float64(c) / float64(sentN)
+		}
+		fmt.Printf("shed: %d (%.2f%% of %d sent) — Busy/Overload from server self-defense\n",
+			shed, rate(shed), sentN)
+		if inj != nil {
+			e := ctr.errs.Load()
+			fmt.Printf("errors: %d (%.2f%% of sent), reconnects: %d\n", e, rate(e), ctr.redials.Load())
+			fmt.Printf("chaos injected: %s\n", inj.Stats())
+		}
 	}
 }
 
-// runConn drives one connection: this goroutine generates and sends, a
-// second receives; the stamps channel both matches responses to send
-// times (responses arrive in order) and bounds the pipeline at depth.
-func runConn(addr string, gen *workload.Generator, depth, quota int, quotaMode bool,
-	rsv *xrand.Source, stop *atomic.Bool,
-	sent, recvd, latSum, hits, searches, inserts, deletes *atomic.Int64,
+// runConn drives one connection slot: this goroutine generates and
+// sends, a second receives; the stamps channel both matches responses
+// to send times (responses arrive in order) and bounds the pipeline at
+// depth. In tolerant mode a connection failure is absorbed: in-flight
+// requests are counted as errors, the connection is redialed with
+// backoff, and the loop continues until stop/quota.
+func runConn(dial func() (*server.Client, error), gen *workload.Generator,
+	depth, quota int, quotaMode, tolerant bool,
+	rsv *xrand.Source, stop *atomic.Bool, ctr *counters,
 ) ([]int64, error) {
-	c, err := server.Dial(addr)
-	if err != nil {
-		return nil, err
-	}
-	defer c.Close()
-
-	stamps := make(chan [2]int64, depth) // (sendTime, opKind)
 	samples := make([]int64, 0, 1<<16)
-	recvErr := make(chan error, 1)
+	seen := 0
+	sentHere := 0
+	for !stop.Load() && (!quotaMode || sentHere < quota) {
+		c, err := dial()
+		if err != nil {
+			if !tolerant {
+				return samples, err
+			}
+			ctr.redials.Add(1)
+			time.Sleep(10 * time.Millisecond)
+			continue
+		}
+		did, lost, err := pump(c, gen, depth, quota-sentHere, quotaMode,
+			rsv, stop, ctr, &samples, &seen)
+		c.Close()
+		sentHere += did
+		if err != nil {
+			if !tolerant {
+				return samples, err
+			}
+			// Requests that were on the wire when the conn died never
+			// got answers: that is the error budget being spent.
+			ctr.errs.Add(int64(lost))
+			ctr.redials.Add(1)
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	ctr.sent.Add(int64(sentHere))
+	return samples, nil
+}
+
+// pump runs one connection until stop, quota, or a connection error.
+// It returns the number of requests sent and how many of those were
+// still unanswered when it stopped.
+func pump(c *server.Client, gen *workload.Generator, depth, quota int, quotaMode bool,
+	rsv *xrand.Source, stop *atomic.Bool, ctr *counters,
+	samples *[]int64, seen *int,
+) (did, lost int, err error) {
+	type recvResult struct {
+		err  error
+		lost int // in-flight requests that never got answers
+	}
+	stamps := make(chan [2]int64, depth) // (sendTime, opKind)
+	recvDone := make(chan recvResult, 1)
 	go func() {
-		seen := 0
 		for st := range stamps {
 			resp, err := c.Recv()
 			if err != nil {
-				recvErr <- err
-				// Unblock the sender, which may be parked on stamps.
+				// Unblock the sender, which may be parked on stamps,
+				// counting the in-flight requests that lost answers.
+				// The sender only stops once its own Send/Flush fails
+				// (or stop/quota), so draining to close cannot hang.
+				n := 1
 				for range stamps {
+					n++
 				}
+				recvDone <- recvResult{err: err, lost: n}
 				return
 			}
 			lat := time.Now().UnixNano() - st[0]
-			latSum.Add(lat)
-			recvd.Add(1)
-			if workload.Op(st[1]) == workload.Search && resp.Status == server.StatusOK {
-				hits.Add(1)
+			ctr.latSum.Add(lat)
+			ctr.recvd.Add(1)
+			switch resp.Status {
+			case server.StatusBusy, server.StatusOverload:
+				ctr.shed.Add(1)
+			case server.StatusOK:
+				if workload.Op(st[1]) == workload.Search {
+					ctr.hits.Add(1)
+				}
 			}
-			seen++
-			if len(samples) < maxSamplesPerConn {
-				samples = append(samples, lat)
-			} else if j := rsv.IntN(seen); j < maxSamplesPerConn {
-				samples[j] = lat
+			*seen++
+			if len(*samples) < maxSamplesPerConn {
+				*samples = append(*samples, lat)
+			} else if j := rsv.IntN(*seen); j < maxSamplesPerConn {
+				(*samples)[j] = lat
 			}
 		}
-		recvErr <- nil
+		recvDone <- recvResult{}
 	}()
 
-	sentHere := 0
-	for !stop.Load() && (!quotaMode || sentHere < quota) {
+	for !stop.Load() && (!quotaMode || did < quota) {
 		op, key := gen.Next()
 		var req server.Request
 		switch op {
 		case workload.Search:
 			req = server.Request{Op: server.OpGet, Key: key}
-			searches.Add(1)
+			ctr.searches.Add(1)
 		case workload.Insert:
 			req = server.Request{Op: server.OpPut, Key: key, Val: uint64(key)}
-			inserts.Add(1)
+			ctr.inserts.Add(1)
 		default:
 			req = server.Request{Op: server.OpDel, Key: key}
-			deletes.Add(1)
+			ctr.deletes.Add(1)
 		}
 		st := [2]int64{time.Now().UnixNano(), int64(op)}
 		if len(stamps) == cap(stamps) {
@@ -208,8 +320,8 @@ func runConn(addr string, gen *workload.Generator, depth, quota int, quotaMode b
 		if err := c.Send(req); err != nil {
 			break
 		}
-		sentHere++
-		if sentHere%64 == 0 {
+		did++
+		if did%64 == 0 {
 			if err := c.Flush(); err != nil {
 				break
 			}
@@ -217,7 +329,6 @@ func runConn(addr string, gen *workload.Generator, depth, quota int, quotaMode b
 	}
 	c.Flush()
 	close(stamps)
-	err = <-recvErr
-	sent.Add(int64(sentHere))
-	return samples, err
+	res := <-recvDone
+	return did, res.lost, res.err
 }

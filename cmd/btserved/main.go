@@ -4,11 +4,25 @@
 //	btserved -alg link-type -cap 64 -listen :9400 -http :9401 -workers 8
 //
 // The binary protocol (see internal/server) listens on -listen; the
-// telemetry endpoints /metrics and /debug/model listen on -http. The
-// server tracks, per tree level, the model's λ_r, λ_w, μ_r, μ_w, queue
-// waits, and ρ_w, evaluates the paper's queueing model at the measured
-// parameters, and warns once the root's writer utilization crosses .5 —
-// the effective maximum arrival rate of §6's rules of thumb.
+// telemetry endpoints /metrics, /debug/model, and /healthz listen on
+// -http. The server tracks, per tree level, the model's λ_r, λ_w, μ_r,
+// μ_w, queue waits, and ρ_w, evaluates the paper's queueing model at
+// the measured parameters, and warns once the root's writer utilization
+// crosses .5 — the effective maximum arrival rate of §6's rules of
+// thumb.
+//
+// The serving layer defends itself: connections past -max-conns are
+// refused with a Busy frame, idle or byte-trickling connections are
+// reaped after -idle-timeout, peers that stop draining responses are
+// cut after -write-timeout, a full worker queue sheds with Busy after
+// -admit-timeout, and the overload governor sheds update traffic with
+// Overload frames while measured root ρ_w stays above -governor-rho
+// (the paper's §6 saturation threshold), recovering hysteretically.
+//
+// -chaos wraps the listener in the internal/faults injector for
+// self-inflicted failure testing:
+//
+//	btserved -chaos 'latency=100us,preset=0.001,pdrop=0.01,seed=7'
 //
 // SIGINT/SIGTERM drain gracefully: accepted requests are answered before
 // the process exits.
@@ -23,8 +37,10 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"btreeperf/internal/cbtree"
+	"btreeperf/internal/faults"
 	"btreeperf/internal/server"
 )
 
@@ -33,10 +49,24 @@ func main() {
 		algName  = flag.String("alg", "link-type", "algorithm: lock-coupling, optimistic, link-type")
 		capacity = flag.Int("cap", 64, "node capacity (items per node)")
 		listen   = flag.String("listen", ":9400", "binary protocol listen address")
-		httpAddr = flag.String("http", ":9401", "telemetry listen address (/metrics, /debug/model); empty disables")
+		httpAddr = flag.String("http", ":9401", "telemetry listen address (/metrics, /debug/model, /healthz); empty disables")
 		workers  = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		depth    = flag.Int("depth", 128, "per-connection pipeline bound")
 		prefill  = flag.Int("prefill", 0, "keys inserted before serving")
+
+		maxConns     = flag.Int("max-conns", 0, "connection cap, refused with Busy past it (0 = unlimited)")
+		idleTimeout  = flag.Duration("idle-timeout", server.DefaultIdleTimeout, "reap connections idle this long (0 disables)")
+		writeTimeout = flag.Duration("write-timeout", server.DefaultWriteTimeout, "cut peers that stall response writes this long (0 disables)")
+		admitTimeout = flag.Duration("admit-timeout", server.DefaultAdmitTimeout, "shed Busy after waiting this long for a queue slot (0 = fail-fast)")
+		queueDepth   = flag.Int("queue-depth", 0, "worker queue bound (0 = 4x workers)")
+
+		govOff      = flag.Bool("governor-off", false, "disable the overload governor")
+		govRho      = flag.Float64("governor-rho", server.SaturationRho, "root rho_w above which update traffic is shed")
+		govExit     = flag.Float64("governor-exit-rho", 0, "root rho_w below which shedding may stop (0 = 0.8x governor-rho)")
+		govInterval = flag.Duration("governor-interval", 0, "rho_w sampling interval (0 = 250ms)")
+		govRecover  = flag.Int("governor-recover", 0, "consecutive below-exit samples before recovery (0 = 4)")
+
+		chaosSpec = flag.String("chaos", "", "fault-injection spec for the listener, e.g. 'latency=100us,preset=0.001,pdrop=0.01,seed=7'")
 	)
 	flag.Parse()
 
@@ -46,18 +76,51 @@ func main() {
 		os.Exit(2)
 	}
 
+	// CLI semantics: 0 disables a timeout. Config semantics: 0 means
+	// default, negative disables. Translate.
+	cliTimeout := func(d time.Duration) time.Duration {
+		if d == 0 {
+			return -1
+		}
+		return d
+	}
+
 	s := server.New(server.Config{
-		Algorithm: alg,
-		Capacity:  *capacity,
-		Workers:   *workers,
-		Depth:     *depth,
-		Prefill:   *prefill,
+		Algorithm:    alg,
+		Capacity:     *capacity,
+		Workers:      *workers,
+		Depth:        *depth,
+		Prefill:      *prefill,
+		MaxConns:     *maxConns,
+		IdleTimeout:  cliTimeout(*idleTimeout),
+		WriteTimeout: cliTimeout(*writeTimeout),
+		AdmitTimeout: cliTimeout(*admitTimeout), // CLI 0 = fail-fast = Config negative
+		QueueDepth:   *queueDepth,
+		Governor: server.GovernorConfig{
+			Disabled:     *govOff,
+			Rho:          *govRho,
+			ExitRho:      *govExit,
+			Interval:     *govInterval,
+			RecoverTicks: *govRecover,
+		},
 	})
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "btserved:", err)
 		os.Exit(1)
+	}
+
+	var inj *faults.Injector
+	if *chaosSpec != "" {
+		fc, err := faults.ParseSpec(*chaosSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "btserved:", err)
+			os.Exit(2)
+		}
+		inj = faults.New(fc)
+		ln = inj.Listener(ln)
+		fmt.Fprintf(os.Stderr, "btserved: chaos injection on: %s\n", *chaosSpec)
 	}
 
 	ctx, cancel := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -72,7 +135,7 @@ func main() {
 		hs := &http.Server{Handler: s.Handler()}
 		go hs.Serve(hln)
 		defer hs.Close()
-		fmt.Fprintf(os.Stderr, "btserved: telemetry on http://%s/metrics and /debug/model\n", hln.Addr())
+		fmt.Fprintf(os.Stderr, "btserved: telemetry on http://%s/metrics, /debug/model, /healthz\n", hln.Addr())
 	}
 
 	fmt.Fprintf(os.Stderr, "btserved: %s tree (cap %d, prefill %d) serving on %s\n",
@@ -80,6 +143,9 @@ func main() {
 	if err := s.Serve(ctx, ln); err != nil {
 		fmt.Fprintln(os.Stderr, "btserved:", err)
 		os.Exit(1)
+	}
+	if inj != nil {
+		fmt.Fprintf(os.Stderr, "btserved: chaos injected: %s\n", inj.Stats())
 	}
 	fmt.Fprintf(os.Stderr, "btserved: drained; %d keys in tree at exit\n", s.Tree().Len())
 }

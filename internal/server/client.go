@@ -3,18 +3,25 @@ package server
 import (
 	"bufio"
 	"net"
+	"time"
 )
 
 // Client speaks the btserved wire protocol. It supports pipelining: one
 // goroutine may Send/Flush while another Recvs, and because the server
 // answers in request order the n-th Recv matches the n-th Send. A Client
 // is otherwise not safe for concurrent use.
+//
+// With SetOpTimeout, every Recv (and the write side of Do) carries a
+// deadline, so a server that dies between Flush and response surfaces
+// os.ErrDeadlineExceeded instead of blocking forever; a connection
+// closed underneath a blocked Recv surfaces net.ErrClosed.
 type Client struct {
-	conn net.Conn
-	br   *bufio.Reader
-	bw   *bufio.Writer
-	wbuf []byte
-	rbuf []byte
+	conn      net.Conn
+	br        *bufio.Reader
+	bw        *bufio.Writer
+	wbuf      []byte
+	rbuf      []byte
+	opTimeout time.Duration
 }
 
 // Dial connects to a btserved address.
@@ -23,6 +30,21 @@ func Dial(addr string) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
+	return NewClient(conn), nil
+}
+
+// DialTimeout is Dial with a bound on connection establishment.
+func DialTimeout(addr string, d time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, d)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection (possibly decorated, e.g.
+// by internal/faults) in a Client.
+func NewClient(conn net.Conn) *Client {
 	if tc, ok := conn.(*net.TCPConn); ok {
 		tc.SetNoDelay(true)
 	}
@@ -32,8 +54,13 @@ func Dial(addr string) (*Client, error) {
 		bw:   bufio.NewWriterSize(conn, 32<<10),
 		wbuf: make([]byte, 0, 32),
 		rbuf: make([]byte, MaxPayload),
-	}, nil
+	}
 }
+
+// SetOpTimeout bounds every subsequent Recv (and Do's flush) with a
+// deadline; zero restores unbounded blocking. Set it before the client
+// is shared between a sending and a receiving goroutine.
+func (c *Client) SetOpTimeout(d time.Duration) { c.opTimeout = d }
 
 // Send buffers one request frame.
 func (c *Client) Send(req Request) error {
@@ -43,10 +70,20 @@ func (c *Client) Send(req Request) error {
 }
 
 // Flush pushes buffered requests to the wire.
-func (c *Client) Flush() error { return c.bw.Flush() }
+func (c *Client) Flush() error {
+	if c.opTimeout > 0 {
+		c.conn.SetWriteDeadline(time.Now().Add(c.opTimeout))
+	}
+	return c.bw.Flush()
+}
 
-// Recv reads the next in-order response.
+// Recv reads the next in-order response. Under SetOpTimeout it returns
+// os.ErrDeadlineExceeded when no response arrives in time; a Close from
+// another goroutine surfaces as net.ErrClosed.
 func (c *Client) Recv() (Response, error) {
+	if c.opTimeout > 0 {
+		c.conn.SetReadDeadline(time.Now().Add(c.opTimeout))
+	}
 	return ReadResponse(c.br, c.rbuf)
 }
 
@@ -94,8 +131,8 @@ func (c *Client) CloseWrite() error {
 	if err := c.bw.Flush(); err != nil {
 		return err
 	}
-	if tc, ok := c.conn.(*net.TCPConn); ok {
-		return tc.CloseWrite()
+	if cw, ok := c.conn.(interface{ CloseWrite() error }); ok {
+		return cw.CloseWrite()
 	}
 	return nil
 }

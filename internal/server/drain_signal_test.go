@@ -1,0 +1,84 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"testing"
+	"time"
+
+	"btreeperf/internal/cbtree"
+)
+
+// TestGracefulDrainOnSIGTERM exercises the real production shutdown
+// path — a SIGTERM delivered to the process, caught by
+// signal.NotifyContext exactly as cmd/btserved wires it — with requests
+// pipelined in flight, and asserts zero lost responses at both a serial
+// pipeline (depth 1) and a deep one (depth 128).
+func TestGracefulDrainOnSIGTERM(t *testing.T) {
+	for _, depth := range []int{1, 128} {
+		t.Run(fmt.Sprintf("depth=%d", depth), func(t *testing.T) {
+			s := New(Config{Algorithm: cbtree.LinkType, Depth: depth})
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM)
+			defer stop()
+			done := make(chan error, 1)
+			go func() { done <- s.Serve(ctx, ln) }()
+
+			c, err := Dial(ln.Addr().String())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+
+			// Keep the pipeline as full as the depth allows, then SIGTERM
+			// ourselves mid-flight.
+			sent := depth
+			for i := 0; i < sent; i++ {
+				if err := c.Send(Request{Op: OpPut, Key: int64(i), Val: uint64(i)}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := c.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+				t.Fatal(err)
+			}
+			select {
+			case <-ctx.Done():
+			case <-time.After(5 * time.Second):
+				t.Fatal("SIGTERM never reached NotifyContext")
+			}
+
+			c.SetOpTimeout(10 * time.Second)
+			got := 0
+			for ; got < sent; got++ {
+				if _, err := c.Recv(); err != nil {
+					break
+				}
+			}
+			if got != sent {
+				t.Fatalf("depth %d: %d of %d in-flight responses lost across SIGTERM drain", depth, sent-got, sent)
+			}
+			// And nothing extra dribbles in: the conn is closed.
+			if _, err := c.Recv(); err == nil {
+				t.Fatal("conn still open after drain")
+			}
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Fatalf("Serve: %v", err)
+				}
+			case <-time.After(10 * time.Second):
+				t.Fatal("Serve did not return after SIGTERM drain")
+			}
+		})
+	}
+}

@@ -1,0 +1,213 @@
+package server
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// GovState is the overload governor's health state, exposed on /healthz
+// and /metrics.
+type GovState int32
+
+const (
+	// GovOK: measured root ρ_w is comfortably below the threshold.
+	GovOK GovState = iota
+	// GovDegraded: ρ_w is between the exit and enter thresholds (on the
+	// way up, a warning; on the way down, the recovery step out of
+	// GovOverloaded). No traffic is shed.
+	GovDegraded
+	// GovOverloaded: ρ_w crossed the enter threshold; update traffic
+	// (puts and deletes) is shed with StatusOverload until ρ_w has
+	// stayed below the exit threshold for RecoverTicks intervals.
+	GovOverloaded
+)
+
+func (g GovState) String() string {
+	switch g {
+	case GovOK:
+		return "ok"
+	case GovDegraded:
+		return "degraded"
+	case GovOverloaded:
+		return "overloaded"
+	default:
+		return "unknown"
+	}
+}
+
+// GovernorConfig parameterizes the model-driven overload governor: a
+// background loop that watches the measured root writer utilization ρ_w
+// — the quantity the paper's §6 rules of thumb bound — and sheds update
+// traffic once it crosses the saturation threshold. Writers drive
+// saturation in all three algorithms, so shedding them first is what
+// restores the root's service capacity for reads.
+//
+// The governor is hysteretic in two ways: it enters shedding at Rho but
+// only leaves once ρ_w has stayed below ExitRho for RecoverTicks
+// consecutive intervals, and it passes through GovDegraded on the way
+// back to GovOK. Under a sustained overload this duty-cycles admission:
+// shed until the root cools off, re-admit, shed again — bounding root
+// ρ_w near the threshold instead of collapsing past it.
+type GovernorConfig struct {
+	Disabled     bool
+	Rho          float64       // enter threshold on root ρ_w; default SaturationRho (.5)
+	ExitRho      float64       // leave threshold; default 0.8·Rho
+	Interval     time.Duration // measurement interval; default 250ms
+	RecoverTicks int           // consecutive below-ExitRho intervals to stop shedding; default 4
+}
+
+func (c *GovernorConfig) fill() {
+	if c.Rho == 0 {
+		c.Rho = SaturationRho
+	}
+	if c.ExitRho == 0 {
+		c.ExitRho = 0.8 * c.Rho
+	}
+	if c.Interval == 0 {
+		c.Interval = 250 * time.Millisecond
+	}
+	if c.RecoverTicks == 0 {
+		c.RecoverTicks = 4
+	}
+}
+
+// GovStatus is a snapshot of the governor for telemetry.
+type GovStatus struct {
+	State        GovState
+	RootRhoW     float64 // last measured root ρ_w
+	Rho          float64 // enter threshold
+	ExitRho      float64
+	Transitions  int64 // state changes since start
+	ShedOverload int64 // updates shed with StatusOverload
+	ShedBusy     int64 // requests shed with StatusBusy
+	ConnRejects  int64 // connections refused at the MaxConns cap
+	Disabled     bool
+}
+
+// governor watches root ρ_w and flips the server's shedding switch.
+type governor struct {
+	cfg   GovernorConfig
+	s     *Server
+	win   windowState
+	state atomic.Int32
+	shed  atomic.Bool
+	rho   atomic.Uint64 // float64 bits of last measurement
+	trans atomic.Int64
+	below int // consecutive intervals below ExitRho while overloaded
+
+	stopCh chan struct{}
+
+	// rhoFn overrides the ρ_w source; tests only, set before Serve.
+	rhoFn func() float64
+}
+
+func newGovernor(s *Server, cfg GovernorConfig) *governor {
+	return &governor{cfg: cfg, s: s, stopCh: make(chan struct{})}
+}
+
+// shedding is the admission-path check: true while updates must be shed.
+func (g *governor) shedding() bool { return g.shed.Load() }
+
+// Status snapshots the governor and the server's shed counters.
+func (g *governor) Status() GovStatus {
+	return GovStatus{
+		State:        GovState(g.state.Load()),
+		RootRhoW:     math.Float64frombits(g.rho.Load()),
+		Rho:          g.cfg.Rho,
+		ExitRho:      g.cfg.ExitRho,
+		Transitions:  g.trans.Load(),
+		ShedOverload: g.s.shedOverload.Load(),
+		ShedBusy:     g.s.shedBusy.Load(),
+		ConnRejects:  g.s.connRejects.Load(),
+		Disabled:     g.cfg.Disabled,
+	}
+}
+
+// start launches the measurement loop; the returned channel closes when
+// the loop exits. Disabled governors return an already-closed channel.
+func (g *governor) start() <-chan struct{} {
+	done := make(chan struct{})
+	if g.cfg.Disabled {
+		close(done)
+		return done
+	}
+	go func() {
+		defer close(done)
+		t := time.NewTicker(g.cfg.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-g.stopCh:
+				return
+			case <-t.C:
+				g.tick(g.measure())
+			}
+		}
+	}()
+	return done
+}
+
+func (g *governor) stop() {
+	select {
+	case <-g.stopCh:
+	default:
+		close(g.stopCh)
+	}
+}
+
+// measure returns root ρ_w over the interval since the last measurement.
+func (g *governor) measure() float64 {
+	if g.rhoFn != nil {
+		return g.rhoFn()
+	}
+	win := g.win.advance(g.s)
+	height := g.s.tree.Height()
+	for _, r := range win.Rates {
+		if r.Level == height {
+			return r.RhoW
+		}
+	}
+	return 0
+}
+
+// tick advances the hysteretic state machine on one measurement.
+func (g *governor) tick(rho float64) {
+	g.rho.Store(math.Float64bits(rho))
+	st := GovState(g.state.Load())
+	next := st
+	switch st {
+	case GovOK:
+		switch {
+		case rho >= g.cfg.Rho:
+			next = GovOverloaded
+		case rho >= g.cfg.ExitRho:
+			next = GovDegraded
+		}
+	case GovDegraded:
+		switch {
+		case rho >= g.cfg.Rho:
+			next = GovOverloaded
+		case rho < g.cfg.ExitRho:
+			next = GovOK
+		}
+	case GovOverloaded:
+		if rho < g.cfg.ExitRho {
+			g.below++
+			if g.below >= g.cfg.RecoverTicks {
+				next = GovDegraded
+			}
+		} else {
+			g.below = 0
+		}
+	}
+	if next != st {
+		g.below = 0
+		g.state.Store(int32(next))
+		g.shed.Store(next == GovOverloaded)
+		g.trans.Add(1)
+	}
+}
+
+// Governor exposes the governor's status (telemetry, tests).
+func (s *Server) Governor() GovStatus { return s.gov.Status() }

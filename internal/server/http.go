@@ -87,38 +87,66 @@ func rootRho(points []metrics.ModelPoint, height int) (measured, model float64, 
 	return measured, model, saturated
 }
 
-// Handler returns the HTTP mux serving /metrics and /debug/model.
+// Handler returns the HTTP mux serving /metrics, /debug/model, and
+// /healthz.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/model", s.handleModel)
+	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
+}
+
+// handleHealthz reports the governor's view of the server: "ok" and
+// "degraded" answer 200, "overloaded" answers 503 so load balancers stop
+// routing new traffic while updates are being shed.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	g := s.Governor()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if g.State == GovOverloaded {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	fmt.Fprintln(w, g.State)
+	fmt.Fprintf(w, "root_rho_w=%.4f threshold=%.2f exit=%.2f shed_overload=%d shed_busy=%d conn_rejects=%d\n",
+		g.RootRhoW, g.Rho, g.ExitRho, g.ShedOverload, g.ShedBusy, g.ConnRejects)
 }
 
 // metricsJSON is the ?format=json shape of /metrics.
 type metricsJSON struct {
-	UptimeS   float64            `json:"uptime_s"`
-	Algorithm string             `json:"algorithm"`
-	Capacity  int                `json:"capacity"`
-	Keys      int                `json:"keys"`
-	Height    int                `json:"height"`
-	Workers   int                `json:"workers"`
-	Conns     int64              `json:"connections"`
-	WindowS   float64            `json:"window_s"`
-	OpsPerSec float64            `json:"ops_per_sec"`
-	Gets      int64              `json:"gets"`
-	Puts      int64              `json:"puts"`
-	Dels      int64              `json:"dels"`
-	BadReqs   int64              `json:"bad_requests"`
-	OpMeanUs  float64            `json:"op_mean_us"`
-	OpP50Us   float64            `json:"op_p50_us"`
-	OpP99Us   float64            `json:"op_p99_us"`
-	Splits    int64              `json:"splits"`
-	Restarts  int64              `json:"restarts"`
-	Crossings int64              `json:"crossings"`
-	RootRhoW  float64            `json:"root_rho_w"`
-	Saturated bool               `json:"saturated"`
-	Levels    []levelMetricsJSON `json:"levels"`
+	UptimeS   float64 `json:"uptime_s"`
+	Algorithm string  `json:"algorithm"`
+	Capacity  int     `json:"capacity"`
+	Keys      int     `json:"keys"`
+	Height    int     `json:"height"`
+	Workers   int     `json:"workers"`
+	Conns     int64   `json:"connections"`
+	WindowS   float64 `json:"window_s"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	Gets      int64   `json:"gets"`
+	Puts      int64   `json:"puts"`
+	Dels      int64   `json:"dels"`
+	BadReqs   int64   `json:"bad_requests"`
+	OpMeanUs  float64 `json:"op_mean_us"`
+	OpP50Us   float64 `json:"op_p50_us"`
+	OpP99Us   float64 `json:"op_p99_us"`
+	Splits    int64   `json:"splits"`
+	Restarts  int64   `json:"restarts"`
+	Crossings int64   `json:"crossings"`
+	RootRhoW  float64 `json:"root_rho_w"`
+	Saturated bool    `json:"saturated"`
+
+	Governor      string  `json:"governor"` // ok | degraded | overloaded | disabled
+	GovernorRhoW  float64 `json:"governor_rho_w"`
+	GovernorRho   float64 `json:"governor_threshold"`
+	GovernorExit  float64 `json:"governor_exit"`
+	GovernorFlips int64   `json:"governor_transitions"`
+	ShedOverload  int64   `json:"shed_overload"`
+	ShedBusy      int64   `json:"shed_busy"`
+	ConnRejects   int64   `json:"conn_rejects"`
+	ReadTimeouts  int64   `json:"read_timeouts"`
+	WriteTimeouts int64   `json:"write_timeouts"`
+
+	Levels []levelMetricsJSON `json:"levels"`
 }
 
 type levelMetricsJSON struct {
@@ -170,6 +198,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		RootRhoW:  math.Max(rhoMeas, rhoModel),
 		Saturated: saturated,
 	}
+	gov := s.Governor()
+	out.Governor = gov.State.String()
+	if gov.Disabled {
+		out.Governor = "disabled"
+	}
+	out.GovernorRhoW = gov.RootRhoW
+	out.GovernorRho = gov.Rho
+	out.GovernorExit = gov.ExitRho
+	out.GovernorFlips = gov.Transitions
+	out.ShedOverload = gov.ShedOverload
+	out.ShedBusy = gov.ShedBusy
+	out.ConnRejects = gov.ConnRejects
+	out.ReadTimeouts = s.readTimeouts.Load()
+	out.WriteTimeouts = s.writeTimeouts.Load()
 	for _, p := range points {
 		lj := levelMetricsJSON{
 			Level:    p.Level,
@@ -217,6 +259,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			l.HoldRUs, l.HoldWUs, l.WaitRUs, l.WaitWUs, l.WaitWP99,
 			l.RhoW, l.ModelRhoW, l.Stable)
 	}
+	fmt.Fprintf(w, "governor state=%s rho_w=%.4f threshold=%.2f exit=%.2f transitions=%d shed_overload=%d shed_busy=%d conn_rejects=%d read_timeouts=%d write_timeouts=%d\n",
+		out.Governor, out.GovernorRhoW, out.GovernorRho, out.GovernorExit,
+		out.GovernorFlips, out.ShedOverload, out.ShedBusy, out.ConnRejects,
+		out.ReadTimeouts, out.WriteTimeouts)
 	fmt.Fprintf(w, "saturation root_rho_w=%.4f threshold=%.2f saturated=%v\n",
 		out.RootRhoW, SaturationRho, out.Saturated)
 	if out.Saturated {

@@ -46,7 +46,22 @@ const (
 	StatusMiss byte = 1
 	// StatusBadRequest: malformed or unknown request payload.
 	StatusBadRequest byte = 2
+	// StatusBusy: the server refused the request for capacity reasons —
+	// the connection cap was hit (sent once, then the conn closes) or the
+	// worker queue stayed full past the admission timeout. Retryable.
+	StatusBusy byte = 3
+	// StatusOverload: the overload governor is shedding update traffic
+	// because the measured root writer utilization ρ_w crossed the
+	// saturation threshold (§6's λ_{ρ=.5}). Only puts and deletes are
+	// shed; retry after backing off.
+	StatusOverload byte = 4
 )
+
+// Retryable reports whether a response status signals a transient
+// capacity condition the client may retry after backing off.
+func Retryable(status byte) bool {
+	return status == StatusBusy || status == StatusOverload
+}
 
 // MaxPayload bounds a frame payload; anything larger is a protocol error.
 const MaxPayload = 64

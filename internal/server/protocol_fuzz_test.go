@@ -1,0 +1,85 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzReadRequest feeds arbitrary bytes through the request decoder: it
+// must never panic, must consume any stream to either EOF or a non-nil
+// error, and anything it does decode must re-encode to an identical
+// decode (round-trip closure).
+func FuzzReadRequest(f *testing.F) {
+	for _, req := range []Request{
+		{Op: OpGet, Key: 42},
+		{Op: OpPut, Key: -7, Val: 1<<63 + 9},
+		{Op: OpDel, Key: 1 << 40},
+		{Op: OpPing},
+	} {
+		f.Add(AppendRequest(nil, req))
+	}
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1})
+	f.Add([]byte{0, 0, 0, 9, byte(OpGet), 1, 2})
+	f.Add([]byte{0, 0, 0, 1, 99})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		br := bufio.NewReader(bytes.NewReader(data))
+		buf := make([]byte, MaxPayload)
+		for {
+			req, err := ReadRequest(br, buf)
+			if err != nil {
+				if err == io.EOF && br.Buffered() > 0 {
+					t.Fatalf("clean EOF with %d bytes unconsumed", br.Buffered())
+				}
+				return // any error is fine; hanging or panicking is not
+			}
+			wire := AppendRequest(nil, req)
+			got, err := ReadRequest(bufio.NewReader(bytes.NewReader(wire)), make([]byte, MaxPayload))
+			if err != nil {
+				t.Fatalf("re-decode of %+v: %v", req, err)
+			}
+			if got != req {
+				t.Fatalf("round trip drifted: %+v -> %+v", req, got)
+			}
+		}
+	})
+}
+
+// FuzzReadResponse is the same property for the response decoder.
+func FuzzReadResponse(f *testing.F) {
+	for _, resp := range []Response{
+		{Status: StatusOK, HasVal: true, Val: 12345},
+		{Status: StatusMiss},
+		{Status: StatusBusy},
+		{Status: StatusOverload},
+	} {
+		f.Add(AppendResponse(nil, resp))
+	}
+	f.Add([]byte{0, 0, 0, 2, 0, 0})
+	f.Add([]byte{0, 0, 1, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		br := bufio.NewReader(bytes.NewReader(data))
+		buf := make([]byte, MaxPayload)
+		for {
+			resp, err := ReadResponse(br, buf)
+			if err != nil {
+				if err == io.EOF && br.Buffered() > 0 {
+					t.Fatalf("clean EOF with %d bytes unconsumed", br.Buffered())
+				}
+				return
+			}
+			wire := AppendResponse(nil, resp)
+			got, err := ReadResponse(bufio.NewReader(bytes.NewReader(wire)), make([]byte, MaxPayload))
+			if err != nil {
+				t.Fatalf("re-decode of %+v: %v", resp, err)
+			}
+			if got != resp {
+				t.Fatalf("round trip drifted: %+v -> %+v", resp, got)
+			}
+		}
+	})
+}

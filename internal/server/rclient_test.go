@@ -1,0 +1,230 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"os"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"btreeperf/internal/cbtree"
+)
+
+// scriptedServer runs handler once per accepted connection on an
+// ephemeral port and returns the address; cleanup via t.Cleanup.
+func scriptedServer(t *testing.T, handler func(conn int, c net.Conn)) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for i := 0; ; i++ {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go handler(i, c)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// answer responds with status to every request on c.
+func answer(c net.Conn, status func(n int) byte) {
+	defer c.Close()
+	br := bufio.NewReader(c)
+	buf := make([]byte, MaxPayload)
+	for n := 0; ; n++ {
+		if _, err := ReadRequest(br, buf); err != nil {
+			return
+		}
+		if _, err := c.Write(AppendResponse(nil, Response{Status: status(n)})); err != nil {
+			return
+		}
+	}
+}
+
+// TestClientRecvDeadline is the regression for the hang: the server
+// accepts and reads but never answers; Recv must fail with a deadline
+// error instead of blocking forever.
+func TestClientRecvDeadline(t *testing.T) {
+	addr := scriptedServer(t, func(_ int, c net.Conn) {
+		defer c.Close()
+		buf := make([]byte, 1024)
+		for {
+			if _, err := c.Read(buf); err != nil {
+				return
+			}
+		}
+	})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetOpTimeout(100 * time.Millisecond)
+	t0 := time.Now()
+	_, err = c.Do(Request{Op: OpPing})
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("Do on a mute server: %v, want deadline exceeded", err)
+	}
+	if d := time.Since(t0); d > 2*time.Second {
+		t.Fatalf("deadline took %v to fire", d)
+	}
+}
+
+// TestClientRecvClosed: a Close from another goroutine surfaces
+// net.ErrClosed out of a blocked Recv, not a hang or a panic.
+func TestClientRecvClosed(t *testing.T) {
+	addr := scriptedServer(t, func(_ int, c net.Conn) {
+		defer c.Close()
+		buf := make([]byte, 1024)
+		for {
+			if _, err := c.Read(buf); err != nil {
+				return
+			}
+		}
+	})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := c.Recv()
+		errCh <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	c.Close()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, net.ErrClosed) {
+			t.Fatalf("Recv after Close: %v, want net.ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Recv still blocked after Close")
+	}
+}
+
+// TestRClientRetriesBusy: a Busy answer is retried and the retry
+// succeeds; the caller never sees the shed.
+func TestRClientRetriesBusy(t *testing.T) {
+	addr := scriptedServer(t, func(_ int, c net.Conn) {
+		answer(c, func(n int) byte {
+			if n == 0 {
+				return StatusBusy
+			}
+			return StatusOK
+		})
+	})
+	rc, err := DialResilient(addr, RetryConfig{BaseBackoff: time.Millisecond, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	if err := rc.Ping(); err != nil {
+		t.Fatalf("Ping through one Busy: %v", err)
+	}
+	st := rc.Stats()
+	if st.Retries != 1 || st.ShedResponses != 1 {
+		t.Fatalf("stats %+v, want exactly one retry of one shed response", st)
+	}
+}
+
+// TestRClientReconnects: a connection killed mid-stream is redialed
+// transparently.
+func TestRClientReconnects(t *testing.T) {
+	var conns atomic.Int64
+	addr := scriptedServer(t, func(i int, c net.Conn) {
+		conns.Add(1)
+		if i == 0 { // the conn serving the first op: kill it unanswered
+			br := bufio.NewReader(c)
+			ReadRequest(br, make([]byte, MaxPayload))
+			if tc, ok := c.(*net.TCPConn); ok {
+				tc.SetLinger(0)
+			}
+			c.Close()
+			return
+		}
+		answer(c, func(int) byte { return StatusOK })
+	})
+	rc, err := DialResilient(addr, RetryConfig{
+		OpTimeout: 200 * time.Millisecond, BaseBackoff: time.Millisecond, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	if err := rc.Ping(); err != nil {
+		t.Fatalf("Ping across a reset: %v", err)
+	}
+	if st := rc.Stats(); st.Reconnects == 0 {
+		t.Fatalf("stats %+v, want a reconnect", st)
+	}
+	if conns.Load() < 2 {
+		t.Fatalf("server saw %d conns, want >= 2", conns.Load())
+	}
+}
+
+// TestRClientBudgetBoundsRetryStorm: with the server shedding every
+// request, retries stop once the budget is spent — the client cannot
+// amplify an overload indefinitely.
+func TestRClientBudgetBoundsRetryStorm(t *testing.T) {
+	var reqs atomic.Int64
+	addr := scriptedServer(t, func(_ int, c net.Conn) {
+		answer(c, func(int) byte { reqs.Add(1); return StatusOverload })
+	})
+	rc, err := DialResilient(addr, RetryConfig{
+		MaxAttempts: 100, // budget, not attempts, must be the binding cap
+		BaseBackoff: time.Millisecond,
+		BudgetRatio: 0.5, BudgetBurst: 3,
+		Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+
+	const ops = 10
+	for i := 0; i < ops; i++ {
+		if _, err := rc.Put(int64(i), 1); !errors.Is(err, ErrShed) {
+			t.Fatalf("op %d on all-shedding server: %v, want ErrShed", i, err)
+		}
+	}
+	st := rc.Stats()
+	if st.BudgetStops == 0 {
+		t.Fatalf("stats %+v: budget never became the binding constraint", st)
+	}
+	// ops requests + at most burst + ratio-earned retries.
+	maxReqs := int64(ops + 3 + ops/2 + 1)
+	if got := reqs.Load(); got > maxReqs {
+		t.Fatalf("server saw %d requests for %d ops — retry amplification past the budget (max %d)", got, ops, maxReqs)
+	}
+	if st.FinalShed != ops {
+		t.Fatalf("stats %+v, want %d final sheds", st, ops)
+	}
+}
+
+// TestRClientAgainstRealServer: end-to-end sanity on the actual Server.
+func TestRClientAgainstRealServer(t *testing.T) {
+	_, addr, shutdown := startServer(t, Config{Algorithm: cbtree.LinkType})
+	defer shutdown()
+	rc, err := DialResilient(addr, RetryConfig{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	if fresh, err := rc.Put(10, 100); err != nil || !fresh {
+		t.Fatalf("put: %v fresh=%v", err, fresh)
+	}
+	if v, ok, err := rc.Get(10); err != nil || !ok || v != 100 {
+		t.Fatalf("get: v=%d ok=%v err=%v", v, ok, err)
+	}
+	if ok, err := rc.Del(10); err != nil || !ok {
+		t.Fatalf("del: %v ok=%v", err, ok)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -17,6 +18,14 @@ import (
 	"btreeperf/internal/metrics"
 )
 
+// Default self-defense settings (Config zero values resolve to these;
+// a negative duration disables that guard).
+const (
+	DefaultIdleTimeout  = 5 * time.Minute
+	DefaultWriteTimeout = 30 * time.Second
+	DefaultAdmitTimeout = 100 * time.Millisecond
+)
+
 // Config parameterizes a Server.
 type Config struct {
 	Algorithm cbtree.Algorithm
@@ -24,6 +33,18 @@ type Config struct {
 	Workers   int // worker-pool size; default GOMAXPROCS
 	Depth     int // per-connection pipeline bound; default 128
 	Prefill   int // keys inserted before serving; default 0
+
+	// Self-defense. Zero values resolve to the Default* constants;
+	// negative durations disable the guard.
+	MaxConns     int           // concurrent connection cap; 0 = unlimited
+	IdleTimeout  time.Duration // per-read deadline: a conn that sends no complete frame within it is closed
+	WriteTimeout time.Duration // per-write deadline: a peer that won't drain responses is closed
+	AdmitTimeout time.Duration // how long a request may wait for a worker-queue slot before StatusBusy
+	QueueDepth   int           // worker job-queue bound; default 4*Workers
+
+	// Governor configures the model-driven overload governor; see
+	// GovernorConfig.
+	Governor GovernorConfig
 }
 
 func (c *Config) fill() {
@@ -36,6 +57,19 @@ func (c *Config) fill() {
 	if c.Depth <= 0 {
 		c.Depth = 128
 	}
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = DefaultIdleTimeout
+	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = DefaultWriteTimeout
+	}
+	if c.AdmitTimeout == 0 {
+		c.AdmitTimeout = DefaultAdmitTimeout
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	c.Governor.fill()
 }
 
 // job is one request in flight between a connection reader, a pool
@@ -66,6 +100,19 @@ type Server struct {
 	connsNow atomic.Int64
 	connsTot atomic.Int64
 
+	// Self-defense counters.
+	connRejects   atomic.Int64 // conns refused with StatusBusy at the cap
+	shedBusy      atomic.Int64 // requests shed with StatusBusy (queue full)
+	shedOverload  atomic.Int64 // updates shed with StatusOverload (governor)
+	readTimeouts  atomic.Int64 // conns reaped by the idle/read deadline
+	writeTimeouts atomic.Int64 // conns reaped by the write deadline
+
+	gov     *governor
+	stopped atomic.Bool
+
+	// testApplyDelay slows apply down; set before Serve, tests only.
+	testApplyDelay time.Duration
+
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
 
@@ -81,10 +128,11 @@ func New(cfg Config) *Server {
 		cfg:   cfg,
 		tree:  cbtree.New(cfg.Capacity, cfg.Algorithm),
 		probe: metrics.NewTreeProbe(),
-		work:  make(chan *job, 4*cfg.Workers),
+		work:  make(chan *job, cfg.QueueDepth),
 		start: time.Now(),
 		conns: make(map[net.Conn]struct{}),
 	}
+	s.gov = newGovernor(s, cfg.Governor)
 	for i := 0; i < cfg.Prefill; i++ {
 		// A simple odd multiplier scatters the prefill across the key
 		// space deterministically.
@@ -101,10 +149,30 @@ func (s *Server) Tree() *cbtree.Tree { return s.tree }
 // Probe exposes the telemetry probe.
 func (s *Server) Probe() *metrics.TreeProbe { return s.probe }
 
+// closeRead shuts down the read side of a connection so its reader sees
+// EOF after draining buffered data. Conns without a CloseRead method
+// (tests' pipes) fall back to an immediate read deadline.
+func closeRead(c net.Conn) {
+	if cr, ok := c.(interface{ CloseRead() error }); ok {
+		cr.CloseRead()
+		return
+	}
+	c.SetReadDeadline(time.Now())
+}
+
 // Serve accepts connections on ln until ctx is cancelled, then drains: it
 // stops accepting, lets every already-read request finish and its
 // response be written, and closes the connections. It returns nil on a
 // clean drain.
+//
+// Admission is bounded end to end: at most MaxConns connections (excess
+// conns get one StatusBusy frame and are closed), at most Depth requests
+// pipelined per connection, and at most QueueDepth requests queued for
+// the worker pool — a request that cannot get a queue slot within
+// AdmitTimeout is answered StatusBusy in order, so a full queue sheds
+// load instead of deadlocking or growing without bound. When the
+// overload governor is shedding, puts and deletes are answered
+// StatusOverload without touching the tree.
 func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	var workerWG sync.WaitGroup
 	for i := 0; i < s.cfg.Workers; i++ {
@@ -123,10 +191,13 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 		}()
 	}
 
+	govDone := s.gov.start()
+
 	stop := make(chan struct{})
 	var closeOnce sync.Once
 	shutdown := func() {
 		closeOnce.Do(func() {
+			s.stopped.Store(true)
 			close(stop)
 			ln.Close()
 			// Shut down the read side of every connection: readers see
@@ -134,11 +205,7 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 			// writers drain the pipeline.
 			s.connMu.Lock()
 			for c := range s.conns {
-				if tc, ok := c.(*net.TCPConn); ok {
-					tc.CloseRead()
-				} else {
-					c.SetReadDeadline(time.Now())
-				}
+				closeRead(c)
 			}
 			s.connMu.Unlock()
 		})
@@ -161,6 +228,19 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 			}
 			break
 		}
+		if s.cfg.MaxConns > 0 && s.connsNow.Load() >= int64(s.cfg.MaxConns) {
+			// Over the cap: tell the peer why before hanging up, without
+			// letting a slow peer stall the accept loop.
+			s.connRejects.Add(1)
+			connWG.Add(1)
+			go func(c net.Conn) {
+				defer connWG.Done()
+				defer c.Close()
+				c.SetWriteDeadline(time.Now().Add(2 * time.Second))
+				c.Write(AppendResponse(nil, Response{Status: StatusBusy}))
+			}(conn)
+			continue
+		}
 		s.connMu.Lock()
 		s.conns[conn] = struct{}{}
 		s.connMu.Unlock()
@@ -168,11 +248,7 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 		// would miss its CloseRead; re-check now that it is registered.
 		select {
 		case <-stop:
-			if tc, ok := conn.(*net.TCPConn); ok {
-				tc.CloseRead()
-			} else {
-				conn.SetReadDeadline(time.Now())
-			}
+			closeRead(conn)
 		default:
 		}
 		s.connsNow.Add(1)
@@ -191,6 +267,8 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	connWG.Wait()
 	close(s.work)
 	workerWG.Wait()
+	s.gov.stop()
+	<-govDone
 	if acceptErr != nil && !errors.Is(acceptErr, net.ErrClosed) {
 		return fmt.Errorf("server: accept: %w", acceptErr)
 	}
@@ -200,6 +278,13 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 // handle runs one connection: this goroutine reads and dispatches
 // requests, a second writes responses in request order. The pending
 // channel bounds the pipeline (backpressure) and carries ordering.
+//
+// Self-defense per connection: every frame read carries an IdleTimeout
+// deadline (reaping idle peers and slow-loris byte-trickling alike),
+// every response write carries a WriteTimeout deadline (reaping peers
+// that pipeline requests but never drain responses), and requests that
+// cannot be admitted to the worker queue within AdmitTimeout are
+// answered StatusBusy in request order.
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
 	if tc, ok := conn.(*net.TCPConn); ok {
@@ -210,21 +295,32 @@ func (s *Server) handle(conn net.Conn) {
 
 	go func() {
 		defer close(writerDone)
+		bail := func(err error) {
+			if errors.Is(err, os.ErrDeadlineExceeded) {
+				s.writeTimeouts.Add(1)
+			}
+			// Kill the conn so the reader unblocks, then keep consuming
+			// so the reader never blocks on pending.
+			conn.Close()
+			for j := range pending {
+				<-j.done
+			}
+		}
 		bw := bufio.NewWriterSize(conn, 32<<10)
 		buf := make([]byte, 0, 16)
 		for j := range pending {
 			<-j.done
 			buf = AppendResponse(buf[:0], j.resp)
+			if s.cfg.WriteTimeout > 0 {
+				conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+			}
 			if _, err := bw.Write(buf); err != nil {
-				// Keep consuming so the reader never blocks on pending.
-				for range pending {
-				}
+				bail(err)
 				return
 			}
 			if len(pending) == 0 {
 				if err := bw.Flush(); err != nil {
-					for range pending {
-					}
+					bail(err)
 					return
 				}
 			}
@@ -235,23 +331,72 @@ func (s *Server) handle(conn net.Conn) {
 	br := bufio.NewReaderSize(conn, 32<<10)
 	buf := make([]byte, MaxPayload)
 	for {
+		// Arm the idle deadline covering the whole next frame, unless the
+		// server is draining (drain relies on reading buffered requests
+		// out before EOF; see closeRead).
+		if s.cfg.IdleTimeout > 0 && !s.stopped.Load() {
+			conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		}
 		req, err := ReadRequest(br, buf)
 		if err != nil {
-			if err != io.EOF && !errors.Is(err, net.ErrClosed) && !errors.Is(err, io.ErrUnexpectedEOF) {
+			switch {
+			case errors.Is(err, os.ErrDeadlineExceeded):
+				if !s.stopped.Load() {
+					s.readTimeouts.Add(1)
+				}
+			case err != io.EOF && !errors.Is(err, net.ErrClosed) && !errors.Is(err, io.ErrUnexpectedEOF):
 				s.badReqs.Add(1)
 			}
 			break
 		}
 		j := &job{req: req, done: make(chan struct{})}
+		switch {
+		case s.gov.shedding() && (req.Op == OpPut || req.Op == OpDel):
+			// The governor is shedding update traffic: answer without
+			// touching the tree so writers stop driving root ρ_w.
+			s.shedOverload.Add(1)
+			j.resp = Response{Status: StatusOverload}
+			close(j.done)
+		default:
+			if !s.admit(j) {
+				s.shedBusy.Add(1)
+				j.resp = Response{Status: StatusBusy}
+				close(j.done)
+			}
+		}
 		pending <- j
-		s.work <- j
 	}
 	close(pending)
 	<-writerDone
 }
 
+// admit places j on the worker queue, waiting at most AdmitTimeout for a
+// slot when the queue is full. It reports false when the request must be
+// shed (the caller answers StatusBusy).
+func (s *Server) admit(j *job) bool {
+	select {
+	case s.work <- j:
+		return true
+	default:
+	}
+	if s.cfg.AdmitTimeout <= 0 {
+		return false // fail-fast admission
+	}
+	t := time.NewTimer(s.cfg.AdmitTimeout)
+	defer t.Stop()
+	select {
+	case s.work <- j:
+		return true
+	case <-t.C:
+		return false
+	}
+}
+
 // apply executes one request against the tree.
 func (s *Server) apply(req Request) Response {
+	if s.testApplyDelay > 0 {
+		time.Sleep(s.testApplyDelay)
+	}
 	switch req.Op {
 	case OpGet:
 		s.gets.Add(1)

@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Chaos test for the serving path's self-defense: start btserved with
+# the internal/faults injector active on its listener (latency, stalls,
+# mid-stream resets, truncated frames, dropped accepts), drive it with
+# btload in tolerant -chaos mode, and assert that
+#
+#   1. the server stays healthy: /healthz answers "ok" during and after
+#      the storm, and SIGTERM still drains cleanly;
+#   2. the client's error budget holds: requests lost to injected
+#      connection failures stay under 1% of requests sent.
+#
+#   scripts/chaos.sh            # ~10 s, one server run
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+bin="$(mktemp -d)"
+trap 'kill "${spid:-}" 2>/dev/null || true; rm -rf "$bin"' EXIT
+
+go build -o "$bin/btserved" ./cmd/btserved
+go build -o "$bin/btload" ./cmd/btload
+
+listen=127.0.0.1:9490
+http=127.0.0.1:9491
+
+"$bin/btserved" -alg link-type -listen "$listen" -http "$http" -prefill 20000 \
+  -max-conns 256 -idle-timeout 30s -write-timeout 5s \
+  -chaos 'latency=20us,pstall=0.0002,stall=5ms,preset=0.0002,ptrunc=0.0002,pdrop=0.01,seed=11' \
+  2>"$bin/serv.log" &
+spid=$!
+
+for _ in $(seq 50); do
+  curl -sf "http://$http/healthz" >/dev/null 2>&1 && break
+  sleep 0.2
+done
+
+"$bin/btload" -addr "$listen" -conns 4 -depth 16 -duration 5s \
+  -chaos 'latency=20us,pdrop=0.01,seed=5' | tee "$bin/load.out" &
+lpid=$!
+
+# Mid-storm health probe.
+sleep 2
+mid="$(curl -sf "http://$http/healthz" | head -1)"
+[ "$mid" = ok ] || [ "$mid" = degraded ] || {
+  echo "FAIL: /healthz mid-storm said '$mid'" >&2; exit 1; }
+
+wait "$lpid" || { echo "FAIL: btload exited nonzero" >&2; exit 1; }
+
+# Post-storm the server must be fully healthy.
+post="$(curl -sf "http://$http/healthz" | head -1)"
+[ "$post" = ok ] || { echo "FAIL: /healthz post-storm said '$post'" >&2; exit 1; }
+
+# Client error budget: lost requests under 1% of sent.
+awk '
+  /^[0-9]+ ops in / { ops = $1 }
+  /^errors: / { errs = $2; sub(/\(/, "", $3); pct = $3 + 0; found = 1 }
+  END {
+    if (!found)    { print "FAIL: btload printed no error report" > "/dev/stderr"; exit 1 }
+    if (ops + 0 == 0) { print "FAIL: btload completed no ops" > "/dev/stderr"; exit 1 }
+    if (pct >= 1)  { print "FAIL: client error rate " pct "% >= 1% budget" > "/dev/stderr"; exit 1 }
+    print "ok: " ops " ops through chaos, " errs " lost (" pct "%)"
+  }' "$bin/load.out"
+
+kill -TERM "$spid"
+wait "$spid" || { echo "FAIL: btserved exited nonzero after chaos" >&2; exit 1; }
+grep -q drained "$bin/serv.log" || {
+  echo "FAIL: btserved did not drain cleanly after chaos" >&2; exit 1; }
+grep -q 'chaos injected' "$bin/serv.log" || {
+  echo "FAIL: server-side injector reported no activity" >&2; exit 1; }
+
+echo "chaos: server stayed healthy and drained; client error budget held"

@@ -1,0 +1,162 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// stable JSON document suitable for committing as a tracked benchmark
+// baseline and for machine comparison across runs:
+//
+//	go test ./internal/server -bench . -benchmem -count 3 | benchjson -note "..." > results/BENCH_serving.json
+//
+// Every metric go test printed (ns/op, B/op, allocs/op, and custom
+// b.ReportMetric units such as p50_us) is carried through. Repeated runs
+// of the same benchmark (-count > 1) are collapsed to their per-metric
+// median, so a committed baseline is robust to one noisy run; ops_per_sec
+// is derived from the median ns/op. The raw text input remains the
+// benchstat-comparable record — this JSON is the tracked summary.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+type benchmark struct {
+	Name      string             `json:"name"`
+	Runs      int                `json:"runs"`
+	OpsPerSec float64            `json:"ops_per_sec,omitempty"`
+	Metrics   map[string]float64 `json:"metrics"`
+}
+
+type report struct {
+	Note       string      `json:"note,omitempty"`
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	Benchmarks []benchmark `json:"benchmarks"`
+}
+
+func main() {
+	note := flag.String("note", "", "free-form provenance note embedded in the report")
+	flag.Parse()
+
+	rep := report{Note: *note}
+	samples := map[string]map[string][]float64{} // name -> unit -> values
+	var order []string
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			rep.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			name, units := parseBenchLine(line)
+			if name == "" {
+				continue
+			}
+			if _, seen := samples[name]; !seen {
+				samples[name] = map[string][]float64{}
+				order = append(order, name)
+			}
+			for unit, v := range units {
+				samples[name][unit] = append(samples[name][unit], v)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(order) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	for _, name := range order {
+		b := benchmark{Name: name, Metrics: map[string]float64{}}
+		for unit, vals := range samples[name] {
+			if len(vals) > b.Runs {
+				b.Runs = len(vals)
+			}
+			b.Metrics[unit] = median(vals)
+		}
+		if ns := b.Metrics["ns/op"]; ns > 0 {
+			b.OpsPerSec = 1e9 / ns
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+	sort.Slice(rep.Benchmarks, func(i, j int) bool {
+		return rep.Benchmarks[i].Name < rep.Benchmarks[j].Name
+	})
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseBenchLine parses one result line:
+//
+//	BenchmarkX/sub-4  1234  987 ns/op  22 B/op  0 allocs/op  145.2 p50_us
+//
+// i.e. a name, an iteration count, then (value, unit) pairs — whatever
+// metrics the run reported, in any order.
+func parseBenchLine(line string) (string, map[string]float64) {
+	f := strings.Fields(line)
+	if len(f) < 4 || len(f)%2 != 0 {
+		return "", nil
+	}
+	name := strings.TrimSuffix(f[0], fmt.Sprintf("-%d", numCPUSuffix(f[0])))
+	units := map[string]float64{}
+	iters, err := strconv.ParseFloat(f[1], 64)
+	if err != nil {
+		return "", nil
+	}
+	units["iterations"] = iters
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return "", nil
+		}
+		units[f[i+1]] = v
+	}
+	return name, units
+}
+
+// numCPUSuffix extracts the trailing -N GOMAXPROCS tag from a benchmark
+// name, or 0 if there is none (the -0 suffix never occurs, so TrimSuffix
+// with it is a no-op).
+func numCPUSuffix(name string) int {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return 0
+	}
+	n, err := strconv.Atoi(name[i+1:])
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+func median(vals []float64) float64 {
+	s := append([]float64(nil), vals...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}

@@ -1,11 +1,23 @@
-// Command btload is a closed-loop load generator for btserved: n
-// connections each keep up to -depth requests pipelined, drawing
-// operations from the paper's search/insert/delete mix via independent
-// deterministic workload generators (workload.Generator.Split), and
-// report throughput plus latency quantiles.
+// Command btload is a load generator for btserved: n connections each
+// keep up to -depth requests pipelined, drawing operations from the
+// paper's search/insert/delete mix via independent deterministic
+// workload generators (workload.Generator.Split), and report throughput
+// plus latency quantiles.
 //
 //	btload -addr 127.0.0.1:9400 -conns 4 -depth 32 -duration 5s
 //	btload -addr 127.0.0.1:9400 -n 1000000 -qs .3 -qi .5 -qd .2
+//
+// By default the loop is closed: each connection sends as fast as its
+// pipeline window allows, so offered load adapts to the server. With
+// -rate λ the loop is open: arrivals form a Poisson process at λ ops/s
+// total (exponential interarrival gaps split evenly across connections,
+// matching the paper's arrival model), latencies are measured from each
+// request's scheduled arrival time (so queueing delay from a lagging
+// sender — coordinated omission — is charged to the server, not hidden),
+// and the exit report prints the applied arrival rate next to the target
+// so saturation is visible:
+//
+//	btload -addr 127.0.0.1:9400 -conns 4 -rate 200000 -duration 10s
 //
 // With -chaos, each connection is wrapped in the internal/faults
 // injector (client-side chaos: latency, stalls, resets, truncated
@@ -57,6 +69,7 @@ func main() {
 		depth     = flag.Int("depth", 32, "pipelined requests per connection (closed loop)")
 		duration  = flag.Duration("duration", 5*time.Second, "run length (ignored when -n > 0)")
 		nOps      = flag.Int("n", 0, "total operations (0 = run for -duration)")
+		rate      = flag.Float64("rate", 0, "open-loop Poisson arrival rate, total ops/s across connections (0 = closed loop)")
 		qs        = flag.Float64("qs", workload.PaperMix.QS, "search fraction")
 		qi        = flag.Float64("qi", workload.PaperMix.QI, "insert fraction")
 		qd        = flag.Float64("qd", workload.PaperMix.QD, "delete fraction")
@@ -70,6 +83,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "btload: conns and depth must be >= 1")
 		os.Exit(2)
 	}
+	if *rate < 0 {
+		fmt.Fprintln(os.Stderr, "btload: rate must be >= 0")
+		os.Exit(2)
+	}
+	perConnRate := *rate / float64(*conns)
 
 	var inj *faults.Injector
 	if *chaosSpec != "" {
@@ -136,7 +154,7 @@ func main() {
 		go func(i int) {
 			defer wg.Done()
 			samples, err := runConn(dial, gens[i], *depth, quota[i], *nOps > 0, inj != nil,
-				xrand.New(*seed^uint64(i)*0x9e3779b97f4a7c15), &stop, &ctr)
+				perConnRate, xrand.New(*seed^uint64(i)*0x9e3779b97f4a7c15), &stop, &ctr)
 			if err != nil {
 				errs <- fmt.Errorf("conn %d: %w", i, err)
 				stop.Store(true)
@@ -157,10 +175,19 @@ func main() {
 	}
 
 	n := ctr.recvd.Load()
-	fmt.Printf("btload: %d conns × depth %d against %s, mix s/i/d = %.2f/%.2f/%.2f, seed %d\n",
-		*conns, *depth, *addr, *qs, *qi, *qd, *seed)
+	loop := "closed loop"
+	if *rate > 0 {
+		loop = fmt.Sprintf("open loop λ=%.0f/s", *rate)
+	}
+	fmt.Printf("btload: %d conns × depth %d against %s (%s), mix s/i/d = %.2f/%.2f/%.2f, seed %d\n",
+		*conns, *depth, *addr, loop, *qs, *qi, *qd, *seed)
 	fmt.Printf("%d ops in %v: %.0f ops/s\n",
 		n, elapsed.Round(time.Millisecond), float64(n)/elapsed.Seconds())
+	if *rate > 0 {
+		applied := float64(ctr.sent.Load()) / elapsed.Seconds()
+		fmt.Printf("arrivals: target %.0f/s, applied %.0f/s (%.1f%%)\n",
+			*rate, applied, 100*applied/(*rate))
+	}
 	if n > 0 {
 		var lats []int64
 		for _, s := range allSamples {
@@ -210,7 +237,7 @@ func main() {
 // backoff, and the loop continues until stop/quota.
 func runConn(dial func() (*server.Client, error), gen *workload.Generator,
 	depth, quota int, quotaMode, tolerant bool,
-	rsv *xrand.Source, stop *atomic.Bool, ctr *counters,
+	rate float64, rsv *xrand.Source, stop *atomic.Bool, ctr *counters,
 ) ([]int64, error) {
 	samples := make([]int64, 0, 1<<16)
 	seen := 0
@@ -226,7 +253,7 @@ func runConn(dial func() (*server.Client, error), gen *workload.Generator,
 			continue
 		}
 		did, lost, err := pump(c, gen, depth, quota-sentHere, quotaMode,
-			rsv, stop, ctr, &samples, &seen)
+			rate, rsv, stop, ctr, &samples, &seen)
 		c.Close()
 		sentHere += did
 		if err != nil {
@@ -247,8 +274,14 @@ func runConn(dial func() (*server.Client, error), gen *workload.Generator,
 // pump runs one connection until stop, quota, or a connection error.
 // It returns the number of requests sent and how many of those were
 // still unanswered when it stopped.
+//
+// With rate > 0 the loop is open: sends are paced to a Poisson schedule
+// at that rate, the schedule keeps advancing even when the sender lags
+// (arrivals are never silently dropped or deferred), and each request is
+// stamped with its scheduled arrival time so measured latency includes
+// any delay between scheduled and actual send.
 func pump(c *server.Client, gen *workload.Generator, depth, quota int, quotaMode bool,
-	rsv *xrand.Source, stop *atomic.Bool, ctr *counters,
+	rate float64, rsv *xrand.Source, stop *atomic.Bool, ctr *counters,
 	samples *[]int64, seen *int,
 ) (did, lost int, err error) {
 	type recvResult struct {
@@ -293,6 +326,7 @@ func pump(c *server.Client, gen *workload.Generator, depth, quota int, quotaMode
 		recvDone <- recvResult{}
 	}()
 
+	next := time.Now().UnixNano() // open-loop arrival schedule cursor
 	for !stop.Load() && (!quotaMode || did < quota) {
 		op, key := gen.Next()
 		var req server.Request
@@ -307,7 +341,21 @@ func pump(c *server.Client, gen *workload.Generator, depth, quota int, quotaMode
 			req = server.Request{Op: server.OpDel, Key: key}
 			ctr.deletes.Add(1)
 		}
-		st := [2]int64{time.Now().UnixNano(), int64(op)}
+		stampNs := time.Now().UnixNano()
+		if rate > 0 {
+			next += int64(rsv.ExpRate(rate) * 1e9)
+			if d := next - stampNs; d > 0 {
+				// Push buffered requests to the wire before parking: a
+				// paced gap must not leave arrivals sitting in the client
+				// buffer waiting for the every-64 flush.
+				if err := c.Flush(); err != nil {
+					break
+				}
+				time.Sleep(time.Duration(d))
+			}
+			stampNs = next // latency from scheduled, not actual, send
+		}
+		st := [2]int64{stampNs, int64(op)}
 		if len(stamps) == cap(stamps) {
 			// Pipeline full: push buffered requests to the wire before
 			// blocking on a free slot, or the receiver would wait for

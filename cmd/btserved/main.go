@@ -19,6 +19,11 @@
 // Overload frames while measured root ρ_w stays above -governor-rho
 // (the paper's §6 saturation threshold), recovering hysteretically.
 //
+// -pprof mounts net/http/pprof on the telemetry server (/debug/pprof/),
+// exposing CPU, heap, goroutine, mutex, and block profiles of the live
+// serving path; -pprof-block-rate and -pprof-mutex-frac turn on the
+// runtime's block and mutex sampling for the latter two.
+//
 // -chaos wraps the listener in the internal/faults injector for
 // self-inflicted failure testing:
 //
@@ -36,6 +41,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -53,6 +59,11 @@ func main() {
 		workers  = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		depth    = flag.Int("depth", 128, "per-connection pipeline bound")
 		prefill  = flag.Int("prefill", 0, "keys inserted before serving")
+		maxBatch = flag.Int("max-batch", 0, "max requests dispatched to the worker pool as one batch (0 = default)")
+
+		pprofOn        = flag.Bool("pprof", false, "mount net/http/pprof on the telemetry server under /debug/pprof/")
+		pprofBlockRate = flag.Int("pprof-block-rate", 0, "block profile rate in ns per sampled blocking event (0 disables; needs -pprof)")
+		pprofMutexFrac = flag.Int("pprof-mutex-frac", 0, "mutex profile sampling: 1/n contention events recorded (0 disables; needs -pprof)")
 
 		maxConns     = flag.Int("max-conns", 0, "connection cap, refused with Busy past it (0 = unlimited)")
 		idleTimeout  = flag.Duration("idle-timeout", server.DefaultIdleTimeout, "reap connections idle this long (0 disables)")
@@ -91,6 +102,7 @@ func main() {
 		Workers:      *workers,
 		Depth:        *depth,
 		Prefill:      *prefill,
+		MaxBatch:     *maxBatch,
 		MaxConns:     *maxConns,
 		IdleTimeout:  cliTimeout(*idleTimeout),
 		WriteTimeout: cliTimeout(*writeTimeout),
@@ -132,7 +144,19 @@ func main() {
 			fmt.Fprintln(os.Stderr, "btserved:", err)
 			os.Exit(1)
 		}
-		hs := &http.Server{Handler: s.Handler()}
+		handler := s.Handler()
+		if *pprofOn {
+			handler = s.HandlerWithProfiling()
+			if *pprofBlockRate > 0 {
+				runtime.SetBlockProfileRate(*pprofBlockRate)
+			}
+			if *pprofMutexFrac > 0 {
+				runtime.SetMutexProfileFraction(*pprofMutexFrac)
+			}
+			fmt.Fprintf(os.Stderr, "btserved: pprof on http://%s/debug/pprof/ (block-rate=%d mutex-frac=%d)\n",
+				hln.Addr(), *pprofBlockRate, *pprofMutexFrac)
+		}
+		hs := &http.Server{Handler: handler}
 		go hs.Serve(hln)
 		defer hs.Close()
 		fmt.Fprintf(os.Stderr, "btserved: telemetry on http://%s/metrics, /debug/model, /healthz\n", hln.Addr())

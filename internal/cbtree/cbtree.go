@@ -93,12 +93,50 @@ func (n *node) items() int {
 // high-key test). Caller must hold n.mu.
 func (n *node) covers(key int64) bool { return !n.hasHigh || key < n.high }
 
+// linearScanMax is the node occupancy below which key search scans
+// sequentially: for a handful of keys a branch-predictable linear scan
+// beats binary search's data-dependent probes. From linearScanMax up —
+// the serving default capacity 64 included — search is binary. The two
+// implementations are cross-checked against each other in search_test.go.
+const linearScanMax = 16
+
 // childIndex returns the child slot routing key. Caller must hold n.mu.
 func (n *node) childIndex(key int64) int {
-	lo, hi := 0, len(n.keys)
+	if len(n.keys) < linearScanMax {
+		return routeLinear(n.keys, key)
+	}
+	return routeBinary(n.keys, key)
+}
+
+// keyIndex locates key in a leaf, returning its slot (or the slot it
+// would occupy) and whether it is present. Caller must hold n.mu.
+func (n *node) keyIndex(key int64) (int, bool) {
+	var lo int
+	if len(n.keys) < linearScanMax {
+		lo = lowerBoundLinear(n.keys, key)
+	} else {
+		lo = lowerBoundBinary(n.keys, key)
+	}
+	return lo, lo < len(n.keys) && n.keys[lo] == key
+}
+
+// routeLinear returns the number of separators ≤ key (the child slot
+// routing key) by sequential scan.
+func routeLinear(keys []int64, key int64) int {
+	for i, k := range keys {
+		if key < k {
+			return i
+		}
+	}
+	return len(keys)
+}
+
+// routeBinary is routeLinear by binary search.
+func routeBinary(keys []int64, key int64) int {
+	lo, hi := 0, len(keys)
 	for lo < hi {
 		mid := (lo + hi) / 2
-		if key < n.keys[mid] {
+		if key < keys[mid] {
 			hi = mid
 		} else {
 			lo = mid + 1
@@ -107,18 +145,29 @@ func (n *node) childIndex(key int64) int {
 	return lo
 }
 
-// keyIndex locates key in a leaf. Caller must hold n.mu.
-func (n *node) keyIndex(key int64) (int, bool) {
-	lo, hi := 0, len(n.keys)
+// lowerBoundLinear returns the first slot whose key is ≥ key by
+// sequential scan.
+func lowerBoundLinear(keys []int64, key int64) int {
+	for i, k := range keys {
+		if k >= key {
+			return i
+		}
+	}
+	return len(keys)
+}
+
+// lowerBoundBinary is lowerBoundLinear by binary search.
+func lowerBoundBinary(keys []int64, key int64) int {
+	lo, hi := 0, len(keys)
 	for lo < hi {
 		mid := (lo + hi) / 2
-		if n.keys[mid] < key {
+		if keys[mid] < key {
 			lo = mid + 1
 		} else {
 			hi = mid
 		}
 	}
-	return lo, lo < len(n.keys) && n.keys[lo] == key
+	return lo
 }
 
 // Tree is a concurrent B⁺-tree. Create one with New. All methods are safe

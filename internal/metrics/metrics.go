@@ -54,6 +54,13 @@ func (h *Hist) Observe(ns int64) {
 	h.buckets[bucketOf(ns)].Add(1)
 }
 
+// ObserveN records n samples of the same duration with one atomic add —
+// the batched serving path attributes a batch's amortized per-op service
+// time to all of its operations at once.
+func (h *Hist) ObserveN(ns int64, n int64) {
+	h.buckets[bucketOf(ns)].Add(n)
+}
+
 // Snapshot copies the bucket counts.
 func (h *Hist) Snapshot() HistSnapshot {
 	var s HistSnapshot

@@ -1,0 +1,113 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"testing"
+)
+
+// Allocation regression tests: the wire codec and the pooled batch path
+// must stay allocation-free in steady state, or the serving fast path
+// silently regresses. testing.AllocsPerRun catches that at test time
+// instead of at the next benchmark run. Skipped under -race, whose
+// instrumentation allocates on its own schedule.
+
+func skipUnderRace(t *testing.T) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+}
+
+func TestAppendRequestAllocs(t *testing.T) {
+	skipUnderRace(t)
+	buf := make([]byte, 0, 32)
+	reqs := []Request{
+		{Op: OpGet, Key: 12345678},
+		{Op: OpPut, Key: 12345678, Val: 87654321},
+		{Op: OpDel, Key: -5},
+		{Op: OpPing},
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		for _, req := range reqs {
+			buf = AppendRequest(buf[:0], req)
+		}
+	}); n != 0 {
+		t.Errorf("AppendRequest: %v allocs/op, want 0", n)
+	}
+}
+
+func TestAppendResponseAllocs(t *testing.T) {
+	skipUnderRace(t)
+	buf := make([]byte, 0, 16)
+	resps := []Response{
+		{Status: StatusOK, HasVal: true, Val: 87654321},
+		{Status: StatusMiss},
+		{Status: StatusBusy},
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		for _, resp := range resps {
+			buf = AppendResponse(buf[:0], resp)
+		}
+	}); n != 0 {
+		t.Errorf("AppendResponse: %v allocs/op, want 0", n)
+	}
+}
+
+func TestReadRequestAllocs(t *testing.T) {
+	skipUnderRace(t)
+	frame := AppendRequest(nil, Request{Op: OpPut, Key: 12345678, Val: 87654321})
+	src := bytes.NewReader(frame)
+	br := bufio.NewReaderSize(src, 1<<10)
+	buf := make([]byte, MaxPayload)
+	if n := testing.AllocsPerRun(100, func() {
+		src.Reset(frame)
+		br.Reset(src)
+		if _, err := ReadRequest(br, buf); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("ReadRequest: %v allocs/op, want 0", n)
+	}
+}
+
+func TestReadResponseAllocs(t *testing.T) {
+	skipUnderRace(t)
+	frame := AppendResponse(nil, Response{Status: StatusOK, HasVal: true, Val: 87654321})
+	src := bytes.NewReader(frame)
+	br := bufio.NewReaderSize(src, 1<<10)
+	buf := make([]byte, MaxPayload)
+	if n := testing.AllocsPerRun(100, func() {
+		src.Reset(frame)
+		br.Reset(src)
+		if _, err := ReadResponse(br, buf); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("ReadResponse: %v allocs/op, want 0", n)
+	}
+}
+
+// TestBatchPathAllocs exercises the pooled batch lifecycle exactly as the
+// connection reader and writer do: get a slab from the pool, append jobs,
+// complete, wait, recycle. After a warm-up round sizes the pooled slab,
+// the cycle must not allocate.
+func TestBatchPathAllocs(t *testing.T) {
+	skipUnderRace(t)
+	const jobs = DefaultMaxBatch
+	cycle := func() {
+		bt := getBatch()
+		for i := 0; i < jobs; i++ {
+			j := bt.add()
+			j.req = Request{Op: OpGet, Key: int64(i)}
+			j.resp = Response{Status: StatusOK}
+		}
+		bt.complete()
+		bt.wait()
+		putBatch(bt)
+	}
+	cycle() // warm up: grow the slab to capacity once
+	if n := testing.AllocsPerRun(100, cycle); n != 0 {
+		t.Errorf("batch get/add/complete/wait/put cycle: %v allocs/op, want 0", n)
+	}
+}

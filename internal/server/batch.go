@@ -1,0 +1,75 @@
+package server
+
+import "sync"
+
+// The batched serving fast path.
+//
+// The old request path heap-allocated a job and a done channel per
+// request and crossed the worker queue one operation at a time, so at
+// high pipeline depth the serving scaffolding — allocator, scheduler,
+// channel handoffs — cost more than the tree. The fast path amortizes
+// all of it across pipeline depth: the connection reader decodes every
+// frame already buffered on the wire into one pooled batch (a slab of
+// jobs, no per-request channels), the batch crosses the worker queue as
+// a single unit, the worker executes its jobs in slab order, completion
+// is one token on the batch's reused ready channel, and the writer
+// coalesces the whole batch's responses into one buffered write. In the
+// steady state nothing on this path allocates: batches and their job
+// slabs are recycled through a sync.Pool.
+
+// job is one request in flight inside a batch. Requests whose response
+// was decided at admission time (governor or queue shedding) carry
+// skip=true and are not executed by the worker.
+type job struct {
+	req  Request
+	resp Response
+	skip bool
+}
+
+// batch is one reader→worker→writer unit of pipelined requests, in
+// request order. The ready channel (capacity 1, reused across the
+// batch's pooled lifetimes) carries the single completion token from
+// the worker — or from the admission path, for fully-shed batches — to
+// the connection writer.
+type batch struct {
+	jobs  []job
+	nexec int // jobs the worker must execute (len(jobs) minus skips)
+	ready chan struct{}
+}
+
+var batchPool = sync.Pool{
+	New: func() any {
+		return &batch{ready: make(chan struct{}, 1)}
+	},
+}
+
+// getBatch returns an empty batch; its job slab keeps the capacity it
+// grew to in earlier lives, so steady-state accumulation never allocates.
+func getBatch() *batch {
+	b := batchPool.Get().(*batch)
+	b.jobs = b.jobs[:0]
+	b.nexec = 0
+	return b
+}
+
+// putBatch recycles b. The caller must hold the completion token (have
+// returned from wait), so no worker can still touch the slab.
+func putBatch(b *batch) { batchPool.Put(b) }
+
+// add appends one zeroed job slot and returns it for in-place decoding.
+func (b *batch) add() *job {
+	if n := len(b.jobs); n < cap(b.jobs) {
+		b.jobs = b.jobs[:n+1]
+		b.jobs[n] = job{}
+	} else {
+		b.jobs = append(b.jobs, job{})
+	}
+	return &b.jobs[len(b.jobs)-1]
+}
+
+// complete hands the batch to its writer. Called exactly once per fill,
+// by the worker that executed it or by the admission path that shed it.
+func (b *batch) complete() { b.ready <- struct{}{} }
+
+// wait blocks until the batch's responses are all in place.
+func (b *batch) wait() { <-b.ready }

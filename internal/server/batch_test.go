@@ -1,0 +1,113 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"testing"
+
+	"btreeperf/internal/cbtree"
+)
+
+// TestResponseOrderAcrossDepths checks the acceptance invariant of the
+// batched pipeline: responses come back in request order at every
+// combination of pipeline depth and batch bound, including the degenerate
+// ones (depth 1 = one batch in flight, max-batch 1 = every batch a single
+// job). Each get's value encodes its key, so any reordering anywhere in
+// the reader → worker → writer pipeline is caught.
+func TestResponseOrderAcrossDepths(t *testing.T) {
+	for _, depth := range []int{1, 2, 16, 128} {
+		for _, maxBatch := range []int{1, 4, 32} {
+			t.Run(fmt.Sprintf("depth=%d/maxBatch=%d", depth, maxBatch), func(t *testing.T) {
+				t.Parallel()
+				_, addr, shutdown := startServer(t, Config{
+					Algorithm: cbtree.LinkType, Depth: depth, MaxBatch: maxBatch,
+				})
+				defer shutdown()
+				c, err := Dial(addr)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer c.Close()
+
+				const n = 2000
+				done := make(chan struct{})
+				go func() {
+					defer close(done)
+					for i := 0; i < n; i++ {
+						c.Send(Request{Op: OpPut, Key: int64(i), Val: uint64(i)*7 + 1})
+						if i%3 == 0 {
+							c.Flush() // vary framing so batches split unevenly
+						}
+					}
+					for i := 0; i < n; i++ {
+						c.Send(Request{Op: OpGet, Key: int64(i)})
+					}
+					c.Flush()
+				}()
+				for i := 0; i < n; i++ {
+					resp, err := c.Recv()
+					if err != nil {
+						t.Fatalf("put resp %d: %v", i, err)
+					}
+					if resp.Status != StatusOK {
+						t.Fatalf("put %d: status %d", i, resp.Status)
+					}
+				}
+				for i := 0; i < n; i++ {
+					resp, err := c.Recv()
+					if err != nil {
+						t.Fatalf("get resp %d: %v", i, err)
+					}
+					if !resp.HasVal || resp.Val != uint64(i)*7+1 {
+						t.Fatalf("get %d: %+v (responses out of request order)", i, resp)
+					}
+				}
+				<-done
+			})
+		}
+	}
+}
+
+// BenchmarkBatchDispatch measures the batch handoff alone — queue
+// admission, worker apply, completion signal — without the network or
+// codec, by feeding pooled batches of gets straight into the worker
+// queue. ns/op is per request; the spread across batch sizes is the
+// per-batch overhead being amortized.
+func BenchmarkBatchDispatch(b *testing.B) {
+	for _, size := range []int{1, 8, DefaultMaxBatch} {
+		b.Run(fmt.Sprintf("batch=%d", size), func(b *testing.B) {
+			s := New(Config{Algorithm: cbtree.LinkType, Prefill: benchPrefill})
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			done := make(chan error, 1)
+			go func() { done <- s.Serve(ctx, ln) }()
+			defer func() {
+				cancel()
+				if err := <-done; err != nil {
+					b.Errorf("Serve: %v", err)
+				}
+			}()
+
+			rng := uint64(1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for n := 0; n < b.N; {
+				bt := getBatch()
+				for i := 0; i < size && n < b.N; i++ {
+					rng = rng*6364136223846793005 + 1442695040888963407
+					j := bt.add()
+					j.req = Request{Op: OpGet, Key: benchKey((rng >> 33) % benchPrefill)}
+					bt.nexec++
+					n++
+				}
+				s.work <- bt
+				bt.wait()
+				putBatch(bt)
+			}
+		})
+	}
+}

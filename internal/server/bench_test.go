@@ -1,0 +1,181 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"sort"
+	"testing"
+	"time"
+
+	"btreeperf/internal/cbtree"
+)
+
+// Protocol micro-benchmarks: encode and decode must be zero-allocation so
+// the per-request serving path stays allocation-free end to end.
+
+func BenchmarkAppendRequest(b *testing.B) {
+	buf := make([]byte, 0, 32)
+	req := Request{Op: OpPut, Key: 12345678, Val: 87654321}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = AppendRequest(buf[:0], req)
+	}
+	_ = buf
+}
+
+func BenchmarkAppendResponse(b *testing.B) {
+	buf := make([]byte, 0, 16)
+	resp := Response{Status: StatusOK, HasVal: true, Val: 87654321}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = AppendResponse(buf[:0], resp)
+	}
+	_ = buf
+}
+
+func BenchmarkReadRequest(b *testing.B) {
+	frame := AppendRequest(nil, Request{Op: OpPut, Key: 12345678, Val: 87654321})
+	src := bytes.NewReader(frame)
+	br := bufio.NewReaderSize(src, 1<<10)
+	buf := make([]byte, MaxPayload)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		src.Reset(frame)
+		br.Reset(src)
+		if _, err := ReadRequest(br, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadResponse(b *testing.B) {
+	frame := AppendResponse(nil, Response{Status: StatusOK, HasVal: true, Val: 87654321})
+	src := bytes.NewReader(frame)
+	br := bufio.NewReaderSize(src, 1<<10)
+	buf := make([]byte, MaxPayload)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		src.Reset(frame)
+		br.Reset(src)
+		if _, err := ReadResponse(br, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServeLoopback is the end-to-end serving benchmark: a real TCP
+// loopback connection driving a pipelined mixed workload (50% get,
+// 25% put, 25% del) against a prefilled tree, for each algorithm and
+// pipeline depth. ns/op is the inverse of serving throughput; p50_us and
+// p99_us are sampled pipelined response times. allocs/op covers the whole
+// process (client and server share it), so 0 here means the steady-state
+// request path on both sides is allocation-free.
+func BenchmarkServeLoopback(b *testing.B) {
+	for _, alg := range []cbtree.Algorithm{cbtree.LockCoupling, cbtree.Optimistic, cbtree.LinkType} {
+		for _, depth := range []int{1, 16, 128} {
+			b.Run(fmt.Sprintf("%s/depth=%d", alg, depth), func(b *testing.B) {
+				benchServeLoopback(b, alg, depth)
+			})
+		}
+	}
+}
+
+const benchPrefill = 1 << 17
+
+// benchKey mirrors the server's deterministic prefill scatter so gets and
+// dels mostly hit existing keys.
+func benchKey(i uint64) int64 {
+	return int64(i*2654435761) % (1 << 40)
+}
+
+func benchServeLoopback(b *testing.B, alg cbtree.Algorithm, depth int) {
+	benchServeLoopbackMB(b, alg, depth, 0)
+}
+
+func benchServeLoopbackMB(b *testing.B, alg cbtree.Algorithm, depth, maxBatch int) {
+	s := New(Config{Algorithm: alg, Capacity: 64, Depth: depth, Prefill: benchPrefill, MaxBatch: maxBatch})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(ctx, ln) }()
+	defer func() {
+		cancel()
+		if err := <-done; err != nil {
+			b.Errorf("Serve: %v", err)
+		}
+	}()
+
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+
+	// Preallocate everything the measurement loop touches: the send-stamp
+	// ring (latency sampling), the latency sample reservoir, and the rng
+	// state, so allocs/op reflects the serving path alone.
+	const sampleEvery = 16
+	// The stamp ring is 2×depth so a slot is never overwritten while its
+	// response (at most depth behind) is still outstanding.
+	stamps := make([]int64, 2*depth)
+	samples := make([]int64, 0, b.N/sampleEvery+1)
+	rng := uint64(1)
+	nextReq := func(seq int) Request {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		r := rng >> 33
+		switch seq % 4 {
+		case 0, 1:
+			return Request{Op: OpGet, Key: benchKey(r % benchPrefill)}
+		case 2:
+			return Request{Op: OpPut, Key: int64(r) % (1 << 40), Val: r}
+		default:
+			return Request{Op: OpDel, Key: benchKey(r % benchPrefill)}
+		}
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	sent, recvd := 0, 0
+	for recvd < b.N {
+		// Fill the window, then drain half of it, keeping the pipeline
+		// between depth/2 and depth outstanding.
+		for sent < b.N && sent-recvd < depth {
+			if sent%sampleEvery == 0 {
+				stamps[sent%(2*depth)] = time.Now().UnixNano()
+			}
+			if err := c.Send(nextReq(sent)); err != nil {
+				b.Fatal(err)
+			}
+			sent++
+		}
+		if err := c.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		drain := (sent - recvd + 1) / 2
+		for j := 0; j < drain; j++ {
+			if _, err := c.Recv(); err != nil {
+				b.Fatal(err)
+			}
+			if recvd%sampleEvery == 0 {
+				samples = append(samples, time.Now().UnixNano()-stamps[recvd%(2*depth)])
+			}
+			recvd++
+		}
+	}
+	b.StopTimer()
+
+	if len(samples) > 0 {
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		q := func(p float64) float64 {
+			return float64(samples[int(p*float64(len(samples)-1))]) / 1e3
+		}
+		b.ReportMetric(q(0.50), "p50_us")
+		b.ReportMetric(q(0.99), "p99_us")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"net/http/pprof"
 	"sync"
 	"time"
 
@@ -89,11 +90,28 @@ func rootRho(points []metrics.ModelPoint, height int) (measured, model float64, 
 
 // Handler returns the HTTP mux serving /metrics, /debug/model, and
 // /healthz.
-func (s *Server) Handler() http.Handler {
+func (s *Server) Handler() http.Handler { return s.handler(false) }
+
+// HandlerWithProfiling is Handler plus net/http/pprof mounted under
+// /debug/pprof/, exposing the CPU, heap, goroutine, mutex, and block
+// profiles on the telemetry listener. Mutex and block profiles are empty
+// unless the process also sets runtime.SetMutexProfileFraction and
+// runtime.SetBlockProfileRate (btserved's -pprof-mutex-frac and
+// -pprof-block-rate flags).
+func (s *Server) HandlerWithProfiling() http.Handler { return s.handler(true) }
+
+func (s *Server) handler(profiled bool) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/model", s.handleModel)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	if profiled {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 

@@ -114,29 +114,47 @@ func AppendResponse(dst []byte, resp Response) []byte {
 	return dst
 }
 
+// readFull is io.ReadFull on the concrete *bufio.Reader: going through
+// io.ReadFull's io.Reader parameter would force the destination slice to
+// escape to the heap (one allocation per frame on the serving hot path).
+// The destination here is always a caller-owned reusable buffer.
+func readFull(br *bufio.Reader, p []byte) error {
+	n := 0
+	for n < len(p) {
+		m, err := br.Read(p[n:])
+		n += m
+		if err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return err
+		}
+	}
+	return nil
+}
+
 // readFrame reads one length-prefixed payload into buf (which must have
 // MaxPayload capacity), returning the payload slice. io.EOF is returned
 // unwrapped only when the stream ends cleanly between frames.
+//
+// The header is read with Peek+Discard rather than into a local array:
+// bufio can pass a Read destination through to the underlying io.Reader,
+// so a local header buffer would escape to the heap on every frame.
 func readFrame(br *bufio.Reader, buf []byte) ([]byte, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(br, hdr[:1]); err != nil {
-		return nil, err // clean EOF stays io.EOF
-	}
-	if _, err := io.ReadFull(br, hdr[1:]); err != nil {
-		if err == io.EOF {
+	hdr, err := br.Peek(4)
+	if err != nil {
+		if err == io.EOF && len(hdr) > 0 {
 			err = io.ErrUnexpectedEOF
 		}
-		return nil, err
+		return nil, err // clean EOF between frames stays io.EOF
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
+	n := binary.BigEndian.Uint32(hdr)
 	if n == 0 || n > MaxPayload {
 		return nil, fmt.Errorf("server: frame payload %d bytes (max %d)", n, MaxPayload)
 	}
+	br.Discard(4)
 	payload := buf[:n]
-	if _, err := io.ReadFull(br, payload); err != nil {
-		if err == io.EOF {
-			err = io.ErrUnexpectedEOF
-		}
+	if err := readFull(br, payload); err != nil {
 		return nil, err
 	}
 	return payload, nil

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Serving-path benchmark baseline: runs the protocol codec, batch
+# dispatch, and end-to-end loopback serving benchmarks and writes the
+# tracked JSON baseline (median of -count runs per metric, plus
+# allocs/op and sampled p50/p99 response times).
+#
+#   scripts/bench.sh                 # full baseline, -count=3 (~5 min)
+#   scripts/bench.sh -quick          # one short pass, for CI smoke
+#
+# The raw `go test -bench` text (benchstat-comparable) goes to stdout
+# and to $BENCH_RAW if set; the JSON summary goes to
+# results/BENCH_serving.json (override with $BENCH_OUT).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+count=3
+benchtime=1s
+if [[ "${1:-}" == "-quick" ]]; then
+  count=1
+  benchtime=0.2s
+fi
+out="${BENCH_OUT:-results/BENCH_serving.json}"
+raw="${BENCH_RAW:-$(mktemp)}"
+
+go test ./internal/server -run '^$' \
+  -bench 'BenchmarkAppendRequest|BenchmarkAppendResponse|BenchmarkReadRequest|BenchmarkReadResponse|BenchmarkBatchDispatch|BenchmarkServeLoopback' \
+  -benchmem -benchtime "$benchtime" -count "$count" | tee "$raw"
+
+go run ./cmd/benchjson \
+  -note "scripts/bench.sh: count=$count benchtime=$benchtime; ServeLoopback is a mixed get/put/del pipeline over loopback TCP, client and server in one process" \
+  <"$raw" >"$out"
+echo "wrote $out"

@@ -1,0 +1,295 @@
+package main
+
+// Acked-durability audit mode. `btload -audit FILE` drives a puts-only
+// workload with unique keys and appends one "key value" line to FILE for
+// every put the server ACKNOWLEDGED. The harness then kill -9s the
+// server, restarts it (running recovery), and `btload -audit-verify
+// FILE` replays the file as gets: every recorded key must be present
+// with its recorded value, because an acknowledgment from a durable
+// server is a promise the write survives a crash.
+//
+// Keys are disjoint across connections (key = keystart + seq*conns +
+// connID) and across kill cycles (each cycle passes a fresh -keystart),
+// so verification is exact: no same-key reordering across the server's
+// worker pool can change the final value. Values are derived from the
+// key (val = key * auditValMul), so the file itself carries enough to
+// verify without trusting btload's memory.
+//
+// In audit mode a dead connection is the expected outcome — the server
+// was kill -9ed mid-run — so btload flushes the audit file and exits 0.
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"btreeperf/internal/server"
+)
+
+const auditValMul = 0x9E3779B97F4A7C15
+
+func auditVal(key int64) uint64 { return uint64(key) * auditValMul }
+
+// auditLog serializes acked-write records to the audit file.
+type auditLog struct {
+	mu sync.Mutex
+	bw *bufio.Writer
+	f  *os.File
+	n  int64
+}
+
+func openAuditLog(path string) (*auditLog, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &auditLog{f: f, bw: bufio.NewWriter(f)}, nil
+}
+
+func (a *auditLog) record(key int64, val uint64) {
+	a.mu.Lock()
+	fmt.Fprintf(a.bw, "%d %d\n", key, val)
+	a.n++
+	a.mu.Unlock()
+}
+
+func (a *auditLog) close() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if err := a.bw.Flush(); err != nil {
+		return err
+	}
+	return a.f.Close()
+}
+
+// runAudit drives conns pipelined put streams until duration elapses or
+// the server goes away, recording every acked put. Exit status 0 covers
+// both endings; only a local failure (cannot write the audit file) is an
+// error.
+func runAudit(dial func() (*server.Client, error), path string,
+	conns, depth int, keystart int64, duration time.Duration) int {
+	alog, err := openAuditLog(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "btload:", err)
+		return 1
+	}
+
+	var stop atomic.Bool
+	time.AfterFunc(duration, func() { stop.Store(true) })
+	var sent, acked, unacked atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < conns; i++ {
+		wg.Add(1)
+		go func(connID int) {
+			defer wg.Done()
+			a, u, s := auditConn(dial, alog, connID, conns, depth, keystart, &stop)
+			acked.Add(a)
+			unacked.Add(u)
+			sent.Add(s)
+		}(i)
+	}
+	wg.Wait()
+
+	if err := alog.close(); err != nil {
+		fmt.Fprintln(os.Stderr, "btload: audit file:", err)
+		return 1
+	}
+	fmt.Printf("btload audit: %d puts sent, %d acked (recorded to %s), %d shed/unacked\n",
+		sent.Load(), acked.Load(), path, unacked.Load())
+	return 0
+}
+
+// auditConn runs one connection's put stream: the sender pipelines up to
+// depth puts, the receiver matches in-order responses to their keys and
+// records the acked ones. It ends at stop or on the first connection
+// error (the kill).
+func auditConn(dial func() (*server.Client, error), alog *auditLog,
+	connID, conns, depth int, keystart int64, stop *atomic.Bool) (acked, unacked, sent int64) {
+	// The server may be mid-restart or behind a faulty listener; give the
+	// dial a few tries before giving up on this cycle.
+	var c *server.Client
+	var err error
+	for try := 0; try < 20 && !stop.Load(); try++ {
+		if c, err = dial(); err == nil {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if c == nil {
+		return 0, 0, 0
+	}
+	defer c.Close()
+
+	// The receiver owns the ack/unack tallies and hands them back over
+	// done; on a Recv error it drains keys (which the sender closes once
+	// its own Send/Flush fails) counting everything in flight as
+	// unacknowledged — exactly the writes a kill is allowed to lose.
+	keys := make(chan int64, depth)
+	done := make(chan [2]int64, 1)
+	go func() {
+		var a, u int64
+		for key := range keys {
+			resp, err := c.Recv()
+			if err != nil {
+				u++
+				for range keys {
+					u++
+				}
+				done <- [2]int64{a, u}
+				return
+			}
+			// StatusOK and StatusMiss both mean the put applied AND its
+			// batch's fsync returned: a durable ack. Busy/Overload/Unavail
+			// mean the server refused it — not a promise, not recorded.
+			if resp.Status == server.StatusOK || resp.Status == server.StatusMiss {
+				alog.record(key, auditVal(key))
+				a++
+			} else {
+				u++
+			}
+		}
+		done <- [2]int64{a, u}
+	}()
+
+	var seq int64
+	for !stop.Load() {
+		key := keystart + seq*int64(conns) + int64(connID)
+		if len(keys) == cap(keys) {
+			// Pipeline full: push buffered puts to the wire before
+			// blocking, or the receiver would wait on responses to
+			// requests still sitting in the client buffer.
+			if err := c.Flush(); err != nil {
+				break
+			}
+		}
+		keys <- key
+		if err := c.Send(server.Request{Op: server.OpPut, Key: key, Val: auditVal(key)}); err != nil {
+			break
+		}
+		seq++
+		if seq%64 == 0 {
+			if err := c.Flush(); err != nil {
+				break
+			}
+		}
+	}
+	c.Flush()
+	close(keys)
+	r := <-done
+	return r[0], r[1], seq
+}
+
+// runVerify replays an audit file against a (recovered) server: every
+// recorded key must be present with its recorded value. Exits non-zero
+// on any lost or corrupted acked write — the harness's zero-loss budget.
+func runVerify(dial func() (*server.Client, error), path string, conns, depth int) int {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "btload:", err)
+		return 1
+	}
+	defer f.Close()
+	type rec struct {
+		key int64
+		val uint64
+	}
+	var recs []rec
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var r rec
+		if _, err := fmt.Sscanf(sc.Text(), "%d %d", &r.key, &r.val); err != nil {
+			fmt.Fprintf(os.Stderr, "btload: bad audit line %q: %v\n", sc.Text(), err)
+			return 1
+		}
+		recs = append(recs, r)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "btload:", err)
+		return 1
+	}
+
+	var lost, wrong, checked atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	per := (len(recs) + conns - 1) / conns
+	for i := 0; i < conns && i*per < len(recs); i++ {
+		part := recs[i*per : min(len(recs), (i+1)*per)]
+		wg.Add(1)
+		go func(part []rec) {
+			defer wg.Done()
+			c, err := dial()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "btload:", err)
+				failed.Store(true)
+				return
+			}
+			defer c.Close()
+			// Pipelined gets: send runs ahead of recv by at most depth.
+			inFlight := 0
+			next := 0
+			recvOne := func(r rec) bool {
+				resp, err := c.Recv()
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "btload: verify recv:", err)
+					failed.Store(true)
+					return false
+				}
+				checked.Add(1)
+				switch {
+				case resp.Status != server.StatusOK:
+					lost.Add(1)
+				case resp.Val != r.val:
+					wrong.Add(1)
+				}
+				return true
+			}
+			for _, r := range part {
+				if inFlight == depth {
+					if !recvOne(part[next]) {
+						return
+					}
+					next++
+					inFlight--
+				}
+				if err := c.Send(server.Request{Op: server.OpGet, Key: r.key}); err != nil {
+					fmt.Fprintln(os.Stderr, "btload: verify send:", err)
+					failed.Store(true)
+					return
+				}
+				inFlight++
+				if inFlight == depth {
+					if err := c.Flush(); err != nil {
+						fmt.Fprintln(os.Stderr, "btload: verify flush:", err)
+						failed.Store(true)
+						return
+					}
+				}
+			}
+			if err := c.Flush(); err != nil {
+				fmt.Fprintln(os.Stderr, "btload: verify flush:", err)
+				failed.Store(true)
+				return
+			}
+			for ; next < len(part); next++ {
+				if !recvOne(part[next]) {
+					return
+				}
+			}
+		}(part)
+	}
+	wg.Wait()
+
+	fmt.Printf("btload audit-verify: %d acked writes checked, %d lost, %d corrupted\n",
+		checked.Load(), lost.Load(), wrong.Load())
+	if failed.Load() || checked.Load() != int64(len(recs)) {
+		fmt.Fprintln(os.Stderr, "btload: verification incomplete")
+		return 1
+	}
+	if lost.Load() > 0 || wrong.Load() > 0 {
+		return 1
+	}
+	return 0
+}

@@ -76,7 +76,11 @@ func main() {
 		keySpace  = flag.Int64("keyspace", 1<<31, "insert keys drawn uniformly from [0, keyspace)")
 		seed      = flag.Uint64("seed", 1, "workload seed (fixed seed = reproducible op streams)")
 		chaosSpec = flag.String("chaos", "", "client-side fault spec (tolerant mode), e.g. 'preset=0.002,pdrop=0.05,seed=3'")
-		opTimeout = flag.Duration("op-timeout", 0, "per-op deadline on each connection (0 = none; -chaos defaults to 5s)")
+		opTimeout = flag.Duration("op-timeout", 0, "per-op deadline on each connection (0 = none; -chaos and -audit default to 5s)")
+
+		audit       = flag.String("audit", "", "acked-durability audit mode: record every acknowledged put to this file (see audit.go)")
+		auditVerify = flag.String("audit-verify", "", "verify a recorded audit file against a recovered server; non-zero exit on any lost acked write")
+		keystart    = flag.Int64("keystart", 0, "first key of the audit key range (give each kill cycle a disjoint range)")
 	)
 	flag.Parse()
 	if *conns < 1 || *depth < 1 {
@@ -140,6 +144,18 @@ func main() {
 		c := server.NewClient(conn)
 		c.SetOpTimeout(*opTimeout)
 		return c, nil
+	}
+
+	if *audit != "" || *auditVerify != "" {
+		if *opTimeout == 0 {
+			// A Recv against a kill -9ed server whose conn never RSTs must
+			// not hang the audit run.
+			*opTimeout = 5 * time.Second
+		}
+		if *audit != "" {
+			os.Exit(runAudit(dial, *audit, *conns, *depth, *keystart, *duration))
+		}
+		os.Exit(runVerify(dial, *auditVerify, *conns, *depth))
 	}
 
 	start := time.Now()

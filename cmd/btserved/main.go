@@ -78,6 +78,12 @@ func main() {
 		govRecover  = flag.Int("governor-recover", 0, "consecutive below-exit samples before recovery (0 = 4)")
 
 		chaosSpec = flag.String("chaos", "", "fault-injection spec for the listener, e.g. 'latency=100us,preset=0.001,pdrop=0.01,seed=7'")
+
+		engineName = flag.String("engine", "mem", "storage engine: mem (volatile) or disk (durable, group-committed)")
+		path       = flag.String("path", "", "disk engine data file (required with -engine disk)")
+		fsyncMode  = flag.String("fsync", "batch", "disk engine fsync policy: batch (group commit, one fsync per batch) or op (fsync every mutation)")
+		ckptOps    = flag.Int64("checkpoint-ops", 0, "disk engine: mutations between stop-the-world checkpoints (0 = default 262144, negative disables)")
+		cacheNodes = flag.Int("cache-nodes", 0, "disk engine buffer-pool size in nodes (0 = default 4096)")
 	)
 	flag.Parse()
 
@@ -96,8 +102,37 @@ func main() {
 		return d
 	}
 
+	var eng server.Engine
+	var diskEng *server.DiskEngine
+	switch *engineName {
+	case "mem":
+	case "disk":
+		if *fsyncMode != "batch" && *fsyncMode != "op" {
+			fmt.Fprintf(os.Stderr, "btserved: -fsync %q (want batch or op)\n", *fsyncMode)
+			os.Exit(2)
+		}
+		diskEng, err = server.NewDiskEngine(server.DiskEngineConfig{
+			Path:          *path,
+			Cap:           *capacity,
+			CacheNodes:    *cacheNodes,
+			SyncEveryOp:   *fsyncMode == "op",
+			CheckpointOps: *ckptOps,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "btserved:", err)
+			os.Exit(1)
+		}
+		eng = diskEng
+		fmt.Fprintf(os.Stderr, "btserved: disk engine at %s: %d keys, %d ops recovered, fsync=%s\n",
+			*path, diskEng.Len(), diskEng.Recovered(), *fsyncMode)
+	default:
+		fmt.Fprintf(os.Stderr, "btserved: unknown engine %q (want mem or disk)\n", *engineName)
+		os.Exit(2)
+	}
+
 	s := server.New(server.Config{
 		Algorithm:    alg,
+		Engine:       eng,
 		Capacity:     *capacity,
 		Workers:      *workers,
 		Depth:        *depth,
@@ -171,7 +206,13 @@ func main() {
 	if inj != nil {
 		fmt.Fprintf(os.Stderr, "btserved: chaos injected: %s\n", inj.Stats())
 	}
-	fmt.Fprintf(os.Stderr, "btserved: drained; %d keys in tree at exit\n", s.Tree().Len())
+	if diskEng != nil {
+		if err := diskEng.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "btserved: engine close:", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "btserved: drained; %d keys in tree at exit\n", s.Engine().Len())
 }
 
 func parseAlg(name string) (cbtree.Algorithm, error) {

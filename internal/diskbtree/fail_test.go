@@ -1,0 +1,242 @@
+package diskbtree
+
+// Failpoint regression tests: the fsyncgate poisoning contract, a
+// crash-at-every-syscall sweep of acked durability, and a torn-oplog
+// sweep that truncates the log at every byte offset.
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"btreeperf/internal/journal"
+	"btreeperf/internal/pagestore"
+)
+
+// TestFsyncPoisoning is the fsyncgate regression at the tree level: after
+// one failed oplog fsync no operation may ever report success again. A
+// retried fsync that "succeeds" proves nothing about the dirty data the
+// kernel dropped, so the only safe behavior is fail-stop.
+func TestFsyncPoisoning(t *testing.T) {
+	open := func(fs pagestore.FS) *Tree {
+		tr, err := Open(filepath.Join(t.TempDir(), "t.db"),
+			Options{Cap: 8, CacheNodes: 16, Durable: true, FS: fs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	// Probe run: count the fsyncs issued by open + 3 inserts, so the plan
+	// can target exactly the group-commit fsync that follows them.
+	probe := pagestore.NewFailFS(nil, pagestore.FailPlan{})
+	pt := open(probe)
+	for i := int64(0); i < 3; i++ {
+		if _, err := pt.Insert(i, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	target := probe.Syncs() + 1
+
+	fs := pagestore.NewFailFS(nil, pagestore.FailPlan{FailSyncAt: target})
+	tr := open(fs)
+	for i := int64(0); i < 3; i++ {
+		if _, err := tr.Insert(i, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Commit(); !errors.Is(err, pagestore.ErrInjected) {
+		t.Fatalf("Commit = %v, want the injected fsync failure", err)
+	}
+	// Sticky from here on: the disk would now accept every syscall, but
+	// nothing may be acknowledged.
+	if err := tr.Commit(); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("second Commit = %v, want ErrPoisoned", err)
+	} else if !errors.Is(err, pagestore.ErrInjected) {
+		t.Fatalf("poison lost its cause: %v", err)
+	}
+	if _, err := tr.Insert(99, 1); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("Insert after poison = %v, want ErrPoisoned", err)
+	}
+	if _, _, err := tr.Search(1); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("Search after poison = %v, want ErrPoisoned", err)
+	}
+	if _, err := tr.Delete(1); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("Delete after poison = %v, want ErrPoisoned", err)
+	}
+	if err := tr.Sync(); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("Sync after poison = %v, want ErrPoisoned", err)
+	}
+	if err := tr.Close(); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("Close after poison = %v, want ErrPoisoned", err)
+	}
+}
+
+// TestCrashSweepAckedDurability crashes a commit-per-op workload at every
+// mutating syscall of its trace and checks the one-sided durability
+// contract after each: every operation whose Commit returned nil before
+// the crash is present after recovery (unacked operations may or may not
+// be).
+func TestCrashSweepAckedDurability(t *testing.T) {
+	opts := func(fs pagestore.FS) Options {
+		return Options{Cap: 5, CacheNodes: 8, Durable: true, FS: fs}
+	}
+	// A cleanly shut-down base tree; each crash trial starts from a copy.
+	base := filepath.Join(t.TempDir(), "tree.db")
+	bt, err := Open(base, opts(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 10; i++ {
+		if _, err := bt.Insert(i, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bt.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	workload := func(tr *Tree) (acked []int64) {
+		for i := int64(0); i < 25; i++ {
+			k := 100 + i*3
+			if _, err := tr.Insert(k, uint64(k)*7); err != nil {
+				return
+			}
+			if err := tr.Commit(); err != nil {
+				return
+			}
+			acked = append(acked, k)
+		}
+		return
+	}
+
+	// Probe run to learn the workload's full syscall count.
+	probe := pagestore.NewFailFS(nil, pagestore.FailPlan{})
+	ppath := copyCrashState(t, base, t.TempDir())
+	ptr, err := Open(ppath, opts(probe))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(workload(ptr)); got != 25 {
+		t.Fatalf("probe acked %d/25 ops", got)
+	}
+	ptr.Close()
+	total := probe.Ops()
+	if total < 25 {
+		t.Fatalf("implausible syscall count %d", total)
+	}
+
+	for n := int64(1); n <= total; n++ {
+		path := copyCrashState(t, base, t.TempDir())
+		fs := pagestore.NewFailFS(nil, pagestore.FailPlan{CrashAt: n})
+		var acked []int64
+		if tr, err := Open(path, opts(fs)); err == nil {
+			acked = workload(tr)
+			tr.Close() // errors after a crash; the real descriptors still close
+		}
+		if !fs.Crashed() {
+			t.Fatalf("crash point %d/%d never fired", n, total)
+		}
+		// The simulated process is gone; reopen the frozen files for real.
+		rec, err := Open(path, opts(nil))
+		if err != nil {
+			t.Fatalf("crash at syscall %d: reopen failed: %v", n, err)
+		}
+		if err := rec.CheckInvariants(); err != nil {
+			t.Fatalf("crash at syscall %d: recovered tree corrupt: %v", n, err)
+		}
+		for i := int64(0); i < 10; i++ {
+			v, ok, err := rec.Search(i)
+			if err != nil || !ok || v != uint64(i) {
+				t.Fatalf("crash at syscall %d: base key %d = %d,%v,%v", n, i, v, ok, err)
+			}
+		}
+		for _, k := range acked {
+			v, ok, err := rec.Search(k)
+			if err != nil || !ok || v != uint64(k)*7 {
+				t.Fatalf("crash at syscall %d: acked key %d lost (= %d,%v,%v)", n, k, v, ok, err)
+			}
+		}
+		rec.Close()
+	}
+	t.Logf("swept %d crash points", total)
+}
+
+// TestTornOplogTailSweep truncates the oplog at every byte offset — not
+// just record boundaries — and verifies recovery keeps exactly the fully
+// written records and drops exactly the torn one. A corrupt-byte variant
+// flips each byte of the final record and expects the CRC framing to
+// reject it.
+func TestTornOplogTailSweep(t *testing.T) {
+	const n = 12
+	path := filepath.Join(t.TempDir(), "tree.db")
+	tr, err := Open(path, Options{Cap: 8, CacheNodes: 16, Durable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < n; i++ {
+		if _, err := tr.Insert(i, uint64(i)+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	crashed := copyCrashState(t, path, t.TempDir())
+
+	st, err := os.Stat(crashed + ".oplog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() != n*journal.OpRecSize {
+		t.Fatalf("oplog is %d bytes, want %d (n*%d): record framing changed?",
+			st.Size(), n*journal.OpRecSize, journal.OpRecSize)
+	}
+
+	verify := func(trial string, wantLen int, why string) {
+		rec, err := Open(trial, Options{Cap: 8, CacheNodes: 16, Durable: true})
+		if err != nil {
+			t.Fatalf("%s: reopen failed: %v", why, err)
+		}
+		defer rec.Close()
+		if err := rec.CheckInvariants(); err != nil {
+			t.Fatalf("%s: recovered tree corrupt: %v", why, err)
+		}
+		if rec.Len() != wantLen {
+			t.Fatalf("%s: Len = %d, want %d", why, rec.Len(), wantLen)
+		}
+		for i := int64(0); i < n; i++ {
+			v, ok, err := rec.Search(i)
+			if err != nil {
+				t.Fatalf("%s: Search(%d): %v", why, i, err)
+			}
+			if wantOk := i < int64(wantLen); ok != wantOk || (ok && v != uint64(i)+1) {
+				t.Fatalf("%s: key %d = %d,%v, want present=%v", why, i, v, ok, wantOk)
+			}
+		}
+	}
+
+	for cut := int64(0); cut <= st.Size(); cut++ {
+		trial := copyCrashState(t, crashed, t.TempDir())
+		if err := os.Truncate(trial+".oplog", cut); err != nil {
+			t.Fatal(err)
+		}
+		verify(trial, int(cut/journal.OpRecSize), "cut at byte "+strconv.FormatInt(cut, 10))
+	}
+
+	for off := int64((n - 1) * journal.OpRecSize); off < st.Size(); off++ {
+		trial := copyCrashState(t, crashed, t.TempDir())
+		f, err := os.OpenFile(trial+".oplog", os.O_RDWR, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b [1]byte
+		if _, err := f.ReadAt(b[:], off); err != nil {
+			t.Fatal(err)
+		}
+		b[0] ^= 0xA5
+		if _, err := f.WriteAt(b[:], off); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		verify(trial, n-1, "flip at byte "+strconv.FormatInt(off, 10))
+	}
+}

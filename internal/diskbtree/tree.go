@@ -2,12 +2,20 @@ package diskbtree
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"sync/atomic"
 
 	"btreeperf/internal/journal"
 	"btreeperf/internal/pagestore"
 )
+
+// ErrPoisoned is wrapped by every operation on a tree that has seen a
+// storage failure. A failed page write or oplog fsync leaves the on-disk
+// state unknowable (the kernel may have dropped the dirty data — the
+// fsyncgate failure mode), so the tree fail-stops: nothing after the
+// first storage error is ever acknowledged.
+var ErrPoisoned = errors.New("diskbtree: tree poisoned by an earlier storage failure")
 
 // Tree is a disk-backed concurrent B⁺-tree under the Lehman–Yao protocol.
 // Create or reopen one with Open; see the package comment for the
@@ -22,9 +30,32 @@ type Tree struct {
 	jnl       *journal.Journal // nil when not durable
 	replaying bool             // recovery replay in progress; skip oplog appends
 
+	fail atomic.Pointer[treeFault] // sticky first storage failure
+
 	splits    atomic.Int64
 	crossings atomic.Int64
 	recovered atomic.Int64 // operations replayed at the last Open
+}
+
+type treeFault struct{ err error }
+
+// Poisoned returns the sticky storage failure wrapped in ErrPoisoned, or
+// nil while the tree is healthy.
+func (t *Tree) Poisoned() error {
+	if f := t.fail.Load(); f != nil {
+		return fmt.Errorf("%w: %w", ErrPoisoned, f.err)
+	}
+	return nil
+}
+
+// poison records err as the sticky failure (first one wins) and returns
+// err unchanged.
+func (t *Tree) poison(err error) error {
+	if err == nil {
+		return nil
+	}
+	t.fail.CompareAndSwap(nil, &treeFault{err: err})
+	return err
 }
 
 // Options configures Open.
@@ -40,8 +71,11 @@ type Options struct {
 	Durable bool
 	// SyncOps, with Durable, fsyncs the oplog on every Insert/Delete so
 	// each acknowledged operation survives a crash (slower). Without it,
-	// operations are durable at the next Sync.
+	// operations are durable at the next Commit or Sync (group commit).
 	SyncOps bool
+	// FS overrides the file layer for the store and journal (failpoint
+	// testing). Nil means the real filesystem.
+	FS pagestore.FS
 }
 
 // Open opens (creating if necessary) a tree stored at path.
@@ -55,7 +89,7 @@ func Open(path string, opts Options) (*Tree, error) {
 	if opts.CacheNodes == 0 {
 		opts.CacheNodes = 1024
 	}
-	store, err := pagestore.Open(path)
+	store, err := pagestore.OpenFS(path, opts.FS)
 	if err != nil {
 		return nil, err
 	}
@@ -75,7 +109,7 @@ func Open(path string, opts Options) (*Tree, error) {
 			return nil, err
 		}
 		if opts.Durable {
-			if err := t.attachJournal(path, opts.SyncOps); err != nil {
+			if err := t.attachJournal(path, opts.SyncOps, opts.FS); err != nil {
 				store.Close()
 				return nil, err
 			}
@@ -92,7 +126,7 @@ func Open(path string, opts Options) (*Tree, error) {
 		return nil, fmt.Errorf("diskbtree: store was created with capacity %d, not %d", storedCap, opts.Cap)
 	}
 	if opts.Durable {
-		if err := t.attachJournal(path, opts.SyncOps); err != nil {
+		if err := t.attachJournal(path, opts.SyncOps, opts.FS); err != nil {
 			store.Close()
 			return nil, err
 		}
@@ -102,8 +136,8 @@ func Open(path string, opts Options) (*Tree, error) {
 
 // attachJournal opens the journal, recovers a prior epoch if one exists,
 // and installs the write guard.
-func (t *Tree) attachJournal(path string, syncOps bool) error {
-	j, err := journal.Open(path, t.store, syncOps)
+func (t *Tree) attachJournal(path string, syncOps bool, fs pagestore.FS) error {
+	j, err := journal.OpenFS(path, t.store, syncOps, fs)
 	if err != nil {
 		return err
 	}
@@ -127,9 +161,9 @@ func (t *Tree) attachJournal(path string, syncOps bool) error {
 		var err error
 		switch op.Kind {
 		case journal.OpInsert:
-			_, err = t.Insert(op.Key, op.Val)
+			_, err = t.insert(op.Key, op.Val)
 		case journal.OpDelete:
-			_, err = t.Delete(op.Key)
+			_, err = t.del(op.Key)
 		}
 		if err != nil {
 			t.replaying = false
@@ -160,8 +194,15 @@ func (t *Tree) persistMeta() error {
 
 // Sync flushes all dirty nodes and the meta page to the file; with a
 // durable tree it then checkpoints the journal, opening a fresh epoch.
-// The tree must be quiescent.
+// The tree must be quiescent. A storage failure poisons the tree.
 func (t *Tree) Sync() error {
+	if err := t.Poisoned(); err != nil {
+		return err
+	}
+	return t.poison(t.sync())
+}
+
+func (t *Tree) sync() error {
 	if err := t.cache.flush(); err != nil {
 		return err
 	}
@@ -177,9 +218,34 @@ func (t *Tree) Sync() error {
 	return nil
 }
 
+// Commit makes every operation applied before the call durable without
+// checkpointing: one oplog fsync covers all of them (group commit —
+// concurrent committers piggyback on each other's fsyncs; see
+// journal.Commit). Unlike Sync it is safe to call concurrently with
+// other operations. Non-durable trees return nil. A failed fsync
+// poisons the tree: no acknowledgment may ever follow it.
+func (t *Tree) Commit() error {
+	if err := t.Poisoned(); err != nil {
+		return err
+	}
+	if t.jnl == nil {
+		return nil
+	}
+	return t.poison(t.jnl.Commit())
+}
+
 // Close syncs and closes the underlying store. The tree must be quiescent.
+// A poisoned tree skips the sync — the on-disk state is already
+// unknowable — releases its descriptors, and returns the sticky error.
 func (t *Tree) Close() error {
-	if err := t.Sync(); err != nil {
+	if err := t.Poisoned(); err != nil {
+		if t.jnl != nil {
+			t.jnl.Close()
+		}
+		t.store.Close()
+		return err
+	}
+	if err := t.poison(t.sync()); err != nil {
 		t.store.Close()
 		return err
 	}
@@ -192,6 +258,16 @@ func (t *Tree) Close() error {
 	return t.store.Close()
 }
 
+// DurabilityStats reports oplog progress on a durable tree: operations
+// appended and fsync-covered this epoch, the oplog size in bytes, and
+// group-commit fsyncs issued. Zeroes on a non-durable tree.
+func (t *Tree) DurabilityStats() (appended, synced, oplogBytes, commits int64) {
+	if t.jnl == nil {
+		return 0, 0, 0, 0
+	}
+	return t.jnl.Stats()
+}
+
 // logOp appends a logical operation to the oplog (durable trees only).
 func (t *Tree) logOp(kind journal.OpKind, key int64, val uint64) error {
 	if t.jnl == nil || t.replaying {
@@ -202,6 +278,20 @@ func (t *Tree) logOp(kind journal.OpKind, key int64, val uint64) error {
 
 // Len returns the number of keys.
 func (t *Tree) Len() int { return int(t.size.Load()) }
+
+// Height returns the number of levels (1 = a lone leaf root). It reads
+// the root's level field; 0 is returned if the root page is unreadable.
+func (t *Tree) Height() int {
+	f, err := t.cache.get(t.rootID())
+	if err != nil {
+		return 0
+	}
+	f.n.mu.RLock()
+	h := f.n.level
+	f.n.mu.RUnlock()
+	t.cache.put(f, false)
+	return h
+}
 
 // Cap returns the node capacity.
 func (t *Tree) Cap() int { return t.cap }
@@ -312,6 +402,14 @@ func (t *Tree) descend(key int64, wantStack bool) (pagestore.PageID, []pagestore
 
 // Search returns the value stored under key.
 func (t *Tree) Search(key int64) (uint64, bool, error) {
+	if err := t.Poisoned(); err != nil {
+		return 0, false, err
+	}
+	v, ok, err := t.search(key)
+	return v, ok, t.poison(err)
+}
+
+func (t *Tree) search(key int64) (uint64, bool, error) {
 	id, _, err := t.descend(key, false)
 	if err != nil {
 		return 0, false, err
@@ -333,8 +431,17 @@ func (t *Tree) Search(key int64) (uint64, bool, error) {
 	return v, ok, nil
 }
 
-// Insert stores key→val; a fresh insertion reports true.
+// Insert stores key→val; a fresh insertion reports true. A storage
+// failure poisons the tree: every later operation returns ErrPoisoned.
 func (t *Tree) Insert(key int64, val uint64) (bool, error) {
+	if err := t.Poisoned(); err != nil {
+		return false, err
+	}
+	ok, err := t.insert(key, val)
+	return ok, t.poison(err)
+}
+
+func (t *Tree) insert(key int64, val uint64) (bool, error) {
 	id, stack, err := t.descend(key, true)
 	if err != nil {
 		return false, err
@@ -483,8 +590,17 @@ func (t *Tree) locate(level int, key int64) (pagestore.PageID, error) {
 }
 
 // Delete removes key, reporting whether it was present. Emptied leaves
-// stay in place (lazy merge-at-empty).
+// stay in place (lazy merge-at-empty). A storage failure poisons the
+// tree: every later operation returns ErrPoisoned.
 func (t *Tree) Delete(key int64) (bool, error) {
+	if err := t.Poisoned(); err != nil {
+		return false, err
+	}
+	ok, err := t.del(key)
+	return ok, t.poison(err)
+}
+
+func (t *Tree) del(key int64) (bool, error) {
 	id, _, err := t.descend(key, false)
 	if err != nil {
 		return false, err
@@ -512,6 +628,13 @@ func (t *Tree) Delete(key int64) (bool, error) {
 // Range calls fn for each key in [lo, hi] ascending, stopping early if fn
 // returns false. It walks the leaf chain with latch coupling.
 func (t *Tree) Range(lo, hi int64, fn func(key int64, val uint64) bool) error {
+	if err := t.Poisoned(); err != nil {
+		return err
+	}
+	return t.poison(t.rangeScan(lo, hi, fn))
+}
+
+func (t *Tree) rangeScan(lo, hi int64, fn func(key int64, val uint64) bool) error {
 	id, _, err := t.descend(lo, false)
 	if err != nil {
 		return err

@@ -19,6 +19,24 @@
 //
 // A checkpoint (flush pages → fsync data → reset journal atomically via
 // rename → truncate oplog) bounds both files.
+//
+// # Durability points and group commit
+//
+// Appended operations are durable only once an oplog fsync covers them:
+// per operation when syncOps is set, or at the next Commit otherwise.
+// Commit implements group commit — one fsync covers every record appended
+// before it, concurrent committers piggyback on each other's fsyncs — so
+// a serving layer can acknowledge a whole pipelined batch after a single
+// disk barrier.
+//
+// # Fail-stop on storage errors
+//
+// After any write or fsync failure on either file, the journal poisons
+// itself: every later Append, Commit, Guard, and Checkpoint returns the
+// sticky first error. A failed fsync leaves the kernel free to have
+// dropped the dirty pages whose writeback failed, so retrying the fsync
+// and getting success proves nothing (the fsyncgate failure mode) — the
+// only sound reaction is to stop acknowledging writes for good.
 package journal
 
 import (
@@ -29,6 +47,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
 
 	"btreeperf/internal/pagestore"
 )
@@ -57,15 +76,33 @@ const (
 	opRecSize    = 1 + 8 + 8 + 4
 )
 
+// OpRecSize is the size in bytes of one encoded oplog record.
+const OpRecSize = opRecSize
+
+// ErrPoisoned is wrapped by every operation on a journal that has seen a
+// storage failure.
+var ErrPoisoned = errors.New("journal: poisoned by an earlier storage failure")
+
 // Journal couples a rollback journal and an oplog for one store.
 type Journal struct {
 	mu      sync.Mutex
 	store   *pagestore.Store
-	jf      *os.File
-	of      *os.File
+	fs      pagestore.FS
+	jf      pagestore.File
+	of      pagestore.File
 	jPath   string
 	oPath   string
 	syncOps bool
+
+	// Group-commit state. Lock order: syncMu before mu, never the
+	// reverse. appendSeq/oplogBytes are guarded by mu; syncSeq by syncMu.
+	syncMu   sync.Mutex
+	appendSeq  int64 // records appended this epoch
+	syncSeq    int64 // records covered by the last oplog fsync
+	oplogBytes int64
+	commits    atomic.Int64 // fsyncs issued by Commit (group commits)
+
+	fail atomic.Pointer[failure] // sticky first storage failure
 
 	captured   map[pagestore.PageID]bool
 	checkpoint struct {
@@ -74,25 +111,37 @@ type Journal struct {
 	}
 }
 
+type failure struct{ err error }
+
 // Open attaches a journal to the store, using path+".journal" and
 // path+".oplog". If the files hold a prior epoch's data, the caller must
 // run Recover (then replay the returned ops and Checkpoint) before using
 // the store. syncOps controls whether every logged operation is fsync'd
-// (durable per op) or left to the OS (durable at checkpoint).
+// (durable per op) or left to Commit/Checkpoint (group commit).
 func Open(path string, store *pagestore.Store, syncOps bool) (*Journal, error) {
+	return OpenFS(path, store, syncOps, nil)
+}
+
+// OpenFS is Open through an explicit pagestore.FS (nil = OSFS) — the
+// injection point for failpoint testing.
+func OpenFS(path string, store *pagestore.Store, syncOps bool, fs pagestore.FS) (*Journal, error) {
+	if fs == nil {
+		fs = pagestore.OSFS
+	}
 	j := &Journal{
 		store:    store,
+		fs:       fs,
 		jPath:    path + ".journal",
 		oPath:    path + ".oplog",
 		syncOps:  syncOps,
 		captured: make(map[pagestore.PageID]bool),
 	}
 	var err error
-	j.jf, err = os.OpenFile(j.jPath, os.O_RDWR|os.O_CREATE, 0o644)
+	j.jf, err = fs.OpenFile(j.jPath, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("journal: %w", err)
 	}
-	j.of, err = os.OpenFile(j.oPath, os.O_RDWR|os.O_CREATE, 0o644)
+	j.of, err = fs.OpenFile(j.oPath, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		j.jf.Close()
 		return nil, fmt.Errorf("journal: %w", err)
@@ -112,6 +161,23 @@ func (j *Journal) Close() error {
 	return err2
 }
 
+// Failed returns the sticky first storage failure, or nil.
+func (j *Journal) Failed() error {
+	if f := j.fail.Load(); f != nil {
+		return fmt.Errorf("%w: %w", ErrPoisoned, f.err)
+	}
+	return nil
+}
+
+// poison records err as the sticky failure (first one wins) and returns it.
+func (j *Journal) poison(err error) error {
+	if err == nil {
+		return nil
+	}
+	j.fail.CompareAndSwap(nil, &failure{err: err})
+	return err
+}
+
 // NeedsRecovery reports whether the journal holds a prior epoch
 // (a non-empty journal file).
 func (j *Journal) NeedsRecovery() (bool, error) {
@@ -125,6 +191,9 @@ func (j *Journal) NeedsRecovery() (bool, error) {
 // Guard is the pagestore.WriteGuard: it captures the page's pre-image
 // (once per epoch) before the store overwrites it.
 func (j *Journal) Guard(id pagestore.PageID) error {
+	if err := j.Failed(); err != nil {
+		return err
+	}
 	j.mu.Lock()
 	if j.captured[id] || id >= j.checkpoint.pages {
 		// Already journaled, or a page born after the checkpoint (the
@@ -151,44 +220,117 @@ func (j *Journal) Guard(id pagestore.PageID) error {
 	copy(rec[12:], img)
 	binary.LittleEndian.PutUint32(rec[12+len(img):], crc32.ChecksumIEEE(rec[:12+len(img)]))
 	if _, err := j.jf.Seek(0, io.SeekEnd); err != nil {
-		return err
+		return j.poison(err)
 	}
 	if _, err := j.jf.Write(rec); err != nil {
-		return err
+		return j.poison(err)
 	}
 	// Write-ahead rule: the image must be durable before the page write.
 	if err := j.jf.Sync(); err != nil {
-		return err
+		return j.poison(err)
 	}
 	j.captured[id] = true
 	return nil
 }
 
-// Append logs a logical operation.
+// Append logs a logical operation. With syncOps the record is durable on
+// return; otherwise it is durable at the next Commit (or Checkpoint).
 func (j *Journal) Append(op Op) error {
+	if err := j.Failed(); err != nil {
+		return err
+	}
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	rec := make([]byte, opRecSize)
 	rec[0] = byte(op.Kind)
 	binary.LittleEndian.PutUint64(rec[1:], uint64(op.Key))
 	binary.LittleEndian.PutUint64(rec[9:], op.Val)
 	binary.LittleEndian.PutUint32(rec[17:], crc32.ChecksumIEEE(rec[:17]))
 	if _, err := j.of.Seek(0, io.SeekEnd); err != nil {
-		return err
+		j.mu.Unlock()
+		return j.poison(err)
 	}
 	if _, err := j.of.Write(rec); err != nil {
-		return err
+		j.mu.Unlock()
+		return j.poison(err)
 	}
+	j.appendSeq++
+	j.oplogBytes += opRecSize
+	j.mu.Unlock()
 	if j.syncOps {
-		return j.of.Sync()
+		j.syncMu.Lock()
+		defer j.syncMu.Unlock()
+		// Read the covered sequence BEFORE the fsync: records appended by
+		// racing writers after the fsync starts are not covered by it.
+		j.mu.Lock()
+		covered := j.appendSeq
+		j.mu.Unlock()
+		if err := j.of.Sync(); err != nil {
+			return j.poison(err)
+		}
+		if covered > j.syncSeq {
+			j.syncSeq = covered
+		}
 	}
 	return nil
 }
 
+// Commit makes every record appended before the call durable: group
+// commit. If a concurrent Commit's fsync already covered this caller's
+// records, it returns without touching the disk; otherwise one fsync
+// covers everything appended so far, including records raced in by other
+// appenders. After a failed fsync the journal is poisoned — the records
+// may or may not be on disk, and no later Commit may claim otherwise.
+func (j *Journal) Commit() error {
+	if err := j.Failed(); err != nil {
+		return err
+	}
+	j.mu.Lock()
+	target := j.appendSeq
+	j.mu.Unlock()
+
+	j.syncMu.Lock()
+	defer j.syncMu.Unlock()
+	if err := j.Failed(); err != nil {
+		return err // poisoned while we waited for the leader's fsync
+	}
+	if j.syncSeq >= target {
+		return nil // a concurrent commit's fsync covered us
+	}
+	j.mu.Lock()
+	covered := j.appendSeq
+	j.mu.Unlock()
+	if err := j.of.Sync(); err != nil {
+		return j.poison(err)
+	}
+	j.commits.Add(1)
+	j.syncSeq = covered
+	return nil
+}
+
+// Stats reports durability progress for the current epoch: records
+// appended, records covered by an oplog fsync, current oplog size in
+// bytes, and group-commit fsyncs issued.
+func (j *Journal) Stats() (appended, synced, oplogBytes, commits int64) {
+	j.syncMu.Lock()
+	synced = j.syncSeq
+	j.syncMu.Unlock()
+	j.mu.Lock()
+	appended = j.appendSeq
+	oplogBytes = j.oplogBytes
+	j.mu.Unlock()
+	return appended, synced, oplogBytes, j.commits.Load()
+}
+
 // Checkpoint begins a fresh epoch: it snapshots the store's current meta
 // state into a new journal header (atomically, via rename) and truncates
-// the oplog. The caller must have flushed and fsync'd the store first.
+// the oplog. The caller must have flushed and fsync'd the store first,
+// and must ensure no Append or Commit runs concurrently.
 func (j *Journal) Checkpoint() error {
+	if err := j.Failed(); err != nil {
+		return err
+	}
+	j.syncMu.Lock()
+	defer j.syncMu.Unlock()
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	pages, freeHead, root, userData := j.store.Snapshot()
@@ -202,34 +344,37 @@ func (j *Journal) Checkpoint() error {
 	binary.LittleEndian.PutUint32(hdr[92:], crc32.ChecksumIEEE(hdr[:92]))
 
 	tmp := j.jPath + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	f, err := j.fs.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
-		return err
+		return j.poison(err)
 	}
 	if _, err := f.Write(hdr); err != nil {
 		f.Close()
-		return err
+		return j.poison(err)
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		return err
+		return j.poison(err)
 	}
 	if err := j.jf.Close(); err != nil {
 		f.Close()
-		return err
+		return j.poison(err)
 	}
-	if err := os.Rename(tmp, j.jPath); err != nil {
+	if err := j.fs.Rename(tmp, j.jPath); err != nil {
 		f.Close()
-		return err
+		return j.poison(err)
 	}
 	j.jf = f
 
 	if err := j.of.Truncate(0); err != nil {
-		return err
+		return j.poison(err)
 	}
 	if err := j.of.Sync(); err != nil {
-		return err
+		return j.poison(err)
 	}
+	j.appendSeq = 0
+	j.syncSeq = 0
+	j.oplogBytes = 0
 
 	j.captured = make(map[pagestore.PageID]bool)
 	j.checkpoint.pages = pages
@@ -314,9 +459,18 @@ func (j *Journal) Recover() ([]Op, error) {
 	if err != nil {
 		return nil, err
 	}
+	return DecodeOps(obytes), nil
+}
+
+// DecodeOps parses oplog bytes into the valid prefix of logical
+// operations, stopping at the first torn, corrupt, or unknown record —
+// the crash-recovery contract for a log whose tail may have been in
+// flight. It never fails: invalid input yields a shorter (possibly
+// empty) prefix.
+func DecodeOps(b []byte) []Op {
 	var ops []Op
-	for off := 0; off+opRecSize <= len(obytes); off += opRecSize {
-		rec := obytes[off : off+opRecSize]
+	for off := 0; off+opRecSize <= len(b); off += opRecSize {
+		rec := b[off : off+opRecSize]
 		if crc32.ChecksumIEEE(rec[:17]) != binary.LittleEndian.Uint32(rec[17:]) {
 			break
 		}
@@ -330,10 +484,20 @@ func (j *Journal) Recover() ([]Op, error) {
 			Val:  binary.LittleEndian.Uint64(rec[9:]),
 		})
 	}
-	return ops, nil
+	return ops
 }
 
-func readAll(f *os.File) ([]byte, error) {
+// AppendEncodedOp appends op's wire encoding to dst (tests, tooling).
+func AppendEncodedOp(dst []byte, op Op) []byte {
+	var rec [opRecSize]byte
+	rec[0] = byte(op.Kind)
+	binary.LittleEndian.PutUint64(rec[1:], uint64(op.Key))
+	binary.LittleEndian.PutUint64(rec[9:], op.Val)
+	binary.LittleEndian.PutUint32(rec[17:], crc32.ChecksumIEEE(rec[:17]))
+	return append(dst, rec[:]...)
+}
+
+func readAll(f pagestore.File) ([]byte, error) {
 	if _, err := f.Seek(0, io.SeekStart); err != nil {
 		return nil, err
 	}

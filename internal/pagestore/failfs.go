@@ -1,0 +1,249 @@
+package pagestore
+
+// FailFS is the storage counterpart of internal/faults: a deterministic
+// failpoint layer under the pagestore and journal. It wraps another FS
+// (usually OSFS) and injects the failure modes real disks and kernels
+// exhibit:
+//
+//   - torn / short writes: the Nth write persists only a prefix of its
+//     payload, then errors (a crash or I/O error mid-write);
+//   - fsync errors: the Nth Sync fails — the fsyncgate scenario, where
+//     previously written data may or may not be durable and the only
+//     safe reaction is to stop acknowledging;
+//   - crash-at-Nth-syscall: after N mutating syscalls everything, reads
+//     included, fails with ErrCrashed and nothing further reaches the
+//     wrapped FS — the on-disk state is frozen exactly as a kill -9
+//     at that syscall would leave it, so a test can reopen the real
+//     files with OSFS and check recovery.
+//
+// Mutating syscalls (Write, WriteAt, Truncate, Sync, Rename) share one
+// global 1-based counter across every file opened through the FailFS, so
+// a deterministic workload can be crash-swept at every prefix of its
+// syscall trace.
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// ErrInjected is the error injected by a planned write or sync failure.
+var ErrInjected = errors.New("pagestore: injected I/O fault")
+
+// ErrCrashed is returned by every operation after the crash point.
+var ErrCrashed = errors.New("pagestore: simulated crash (process is gone)")
+
+// FailPlan schedules faults against the shared mutating-syscall counter.
+// Zero values mean "never".
+type FailPlan struct {
+	// FailWriteAt makes the mutating syscall with this 1-based index fail
+	// with ErrInjected, if it is a Write/WriteAt: only the first TornBytes
+	// bytes of the payload are persisted (0 = nothing lands — a pure short
+	// write). If the syscall at that index is not a write it is unaffected.
+	FailWriteAt int64
+	TornBytes   int
+
+	// FailSyncAt makes the Nth Sync (counted separately, 1-based) fail
+	// with ErrInjected. The file contents are left as the kernel had them:
+	// nothing is durably guaranteed either way — exactly the contract a
+	// failed fsync gives.
+	FailSyncAt int64
+
+	// CrashAt freezes the world at the mutating syscall with this 1-based
+	// index: that syscall and everything after it (reads too) fail with
+	// ErrCrashed and never reach the wrapped FS.
+	CrashAt int64
+}
+
+// FailFS wraps an FS with the plan. Safe for concurrent use.
+type FailFS struct {
+	inner FS
+	mu    sync.Mutex
+	plan  FailPlan
+
+	ops     int64 // mutating syscalls observed
+	syncs   int64 // Syncs observed
+	crashed bool
+}
+
+// NewFailFS wraps inner (nil = OSFS) with plan.
+func NewFailFS(inner FS, plan FailPlan) *FailFS {
+	if inner == nil {
+		inner = OSFS
+	}
+	return &FailFS{inner: inner, plan: plan}
+}
+
+// Ops returns the number of mutating syscalls observed so far. A test can
+// run a workload once with an inert plan to learn its syscall count, then
+// crash-sweep every prefix.
+func (fs *FailFS) Ops() int64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.ops
+}
+
+// Syncs returns the number of Sync calls observed so far (the counter
+// FailSyncAt is matched against).
+func (fs *FailFS) Syncs() int64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.syncs
+}
+
+// Crashed reports whether the crash point has been reached.
+func (fs *FailFS) Crashed() bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.crashed
+}
+
+// mutOp accounts one mutating syscall. It returns (allow, err): err when
+// the syscall must fail outright, allow = payload prefix length to
+// persist when a torn write fires (-1 = persist everything).
+func (fs *FailFS) mutOp(isWrite bool, payloadLen int) (int, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.crashed {
+		return 0, ErrCrashed
+	}
+	fs.ops++
+	if fs.plan.CrashAt > 0 && fs.ops >= fs.plan.CrashAt {
+		fs.crashed = true
+		return 0, ErrCrashed
+	}
+	if isWrite && fs.plan.FailWriteAt > 0 && fs.ops == fs.plan.FailWriteAt {
+		torn := fs.plan.TornBytes
+		if torn > payloadLen {
+			torn = payloadLen
+		}
+		return torn, ErrInjected
+	}
+	return -1, nil
+}
+
+// syncOp accounts one Sync (which is also a mutating syscall for the
+// crash counter).
+func (fs *FailFS) syncOp() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.crashed {
+		return ErrCrashed
+	}
+	fs.ops++
+	fs.syncs++
+	if fs.plan.CrashAt > 0 && fs.ops >= fs.plan.CrashAt {
+		fs.crashed = true
+		return ErrCrashed
+	}
+	if fs.plan.FailSyncAt > 0 && fs.syncs == fs.plan.FailSyncAt {
+		return ErrInjected
+	}
+	return nil
+}
+
+// readOp gates non-mutating syscalls: they pass until the crash.
+func (fs *FailFS) readOp() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.crashed {
+		return ErrCrashed
+	}
+	return nil
+}
+
+// OpenFile opens through the wrapped FS, returning a fault-injecting File.
+func (fs *FailFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if err := fs.readOp(); err != nil {
+		return nil, err
+	}
+	f, err := fs.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &failFile{fs: fs, f: f}, nil
+}
+
+// Rename counts as a mutating syscall.
+func (fs *FailFS) Rename(oldpath, newpath string) error {
+	if _, err := fs.mutOp(false, 0); err != nil {
+		return err
+	}
+	return fs.inner.Rename(oldpath, newpath)
+}
+
+// failFile routes every syscall through the FailFS's plan.
+type failFile struct {
+	fs *FailFS
+	f  File
+}
+
+func (f *failFile) write(p []byte, do func(q []byte) (int, error)) (int, error) {
+	allow, err := f.fs.mutOp(true, len(p))
+	if err != nil {
+		if errors.Is(err, ErrInjected) && allow > 0 {
+			// Torn write: a prefix lands before the failure.
+			if n, werr := do(p[:allow]); werr != nil {
+				return n, werr
+			}
+			return allow, fmt.Errorf("torn write after %d/%d bytes: %w", allow, len(p), err)
+		}
+		return 0, err
+	}
+	return do(p)
+}
+
+func (f *failFile) Write(p []byte) (int, error) {
+	return f.write(p, func(q []byte) (int, error) { return f.f.Write(q) })
+}
+
+func (f *failFile) WriteAt(p []byte, off int64) (int, error) {
+	return f.write(p, func(q []byte) (int, error) { return f.f.WriteAt(q, off) })
+}
+
+func (f *failFile) Truncate(size int64) error {
+	if _, err := f.fs.mutOp(false, 0); err != nil {
+		return err
+	}
+	return f.f.Truncate(size)
+}
+
+func (f *failFile) Sync() error {
+	if err := f.fs.syncOp(); err != nil {
+		return err
+	}
+	return f.f.Sync()
+}
+
+func (f *failFile) Read(p []byte) (int, error) {
+	if err := f.fs.readOp(); err != nil {
+		return 0, err
+	}
+	return f.f.Read(p)
+}
+
+func (f *failFile) ReadAt(p []byte, off int64) (int, error) {
+	if err := f.fs.readOp(); err != nil {
+		return 0, err
+	}
+	return f.f.ReadAt(p, off)
+}
+
+func (f *failFile) Seek(offset int64, whence int) (int64, error) {
+	if err := f.fs.readOp(); err != nil {
+		return 0, err
+	}
+	return f.f.Seek(offset, whence)
+}
+
+func (f *failFile) Stat() (os.FileInfo, error) {
+	if err := f.fs.readOp(); err != nil {
+		return nil, err
+	}
+	return f.f.Stat()
+}
+
+// Close always reaches the real file, even after a crash: the simulated
+// process is gone, but the test process must not leak descriptors.
+func (f *failFile) Close() error { return f.f.Close() }

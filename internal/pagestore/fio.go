@@ -1,0 +1,46 @@
+package pagestore
+
+// This file abstracts the store's file I/O behind small FS/File
+// interfaces so tests can inject storage faults (see FailFS). The store
+// itself, and internal/journal on top of it, only ever touch the disk
+// through these interfaces; production code uses OSFS, the passthrough
+// to the os package.
+
+import (
+	"io"
+	"os"
+)
+
+// File is the slice of *os.File the storage layer needs. Implementations
+// must be safe for the same concurrent use *os.File allows (independent
+// ReadAt/WriteAt; Seek+Read/Write externally serialized by the caller).
+type File interface {
+	io.ReaderAt
+	io.WriterAt
+	io.Reader
+	io.Writer
+	io.Seeker
+	io.Closer
+	Truncate(size int64) error
+	Sync() error
+	Stat() (os.FileInfo, error)
+}
+
+// FS opens files and renames paths. It is the seam where tests inject
+// torn writes, fsync failures, and simulated crashes underneath the
+// pagestore and journal.
+type FS interface {
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	Rename(oldpath, newpath string) error
+}
+
+// OSFS is the production FS: a passthrough to the os package.
+var OSFS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }

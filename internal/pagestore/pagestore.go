@@ -34,7 +34,7 @@ const metaMagic = 0x42545045 // "BTPE"
 // Store is a page file. Create or open one with Open.
 type Store struct {
 	mu       sync.Mutex
-	f        *os.File
+	f        File
 	pages    PageID   // total pages including meta
 	freeHead PageID   // head of the free list (0 = empty)
 	root     PageID   // caller-managed root pointer stored in the meta page
@@ -50,8 +50,15 @@ func errOversize(n int) error {
 }
 
 // Open opens (creating if necessary) the page store at path.
-func Open(path string) (*Store, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+func Open(path string) (*Store, error) { return OpenFS(path, OSFS) }
+
+// OpenFS is Open through an explicit FS — the injection point for the
+// failpoint layer (FailFS) in crash and fault tests. fs nil means OSFS.
+func OpenFS(path string, fs FS) (*Store, error) {
+	if fs == nil {
+		fs = OSFS
+	}
+	f, err := fs.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("pagestore: %w", err)
 	}

@@ -162,7 +162,7 @@ func (g *governor) measure() float64 {
 		return g.rhoFn()
 	}
 	win := g.win.advance(g.s)
-	height := g.s.tree.Height()
+	height := g.s.eng.Height()
 	for _, r := range win.Rates {
 		if r.Level == height {
 			return r.RhoW

@@ -115,12 +115,22 @@ func (s *Server) handler(profiled bool) http.Handler {
 	return mux
 }
 
-// handleHealthz reports the governor's view of the server: "ok" and
-// "degraded" answer 200, "overloaded" answers 503 so load balancers stop
-// routing new traffic while updates are being shed.
+// handleHealthz reports the server's health: "ok" and "degraded" answer
+// 200; "overloaded" (governor shedding) and "poisoned" (the storage
+// engine fail-stopped after an I/O error) answer 503 so load balancers
+// stop routing traffic. A poisoned engine never recovers in-process —
+// the report stays 503 until the operator restarts the server, which
+// re-runs recovery from the last durable state.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	g := s.Governor()
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if perr := s.eng.Poisoned(); perr != nil {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "poisoned")
+		fmt.Fprintf(w, "engine=%s error=%q commit_fails=%d unavail=%d\n",
+			s.eng.Kind(), perr, s.commitFails.Load(), s.unavail.Load())
+		return
+	}
 	if g.State == GovOverloaded {
 		w.WriteHeader(http.StatusServiceUnavailable)
 	}
@@ -152,6 +162,18 @@ type metricsJSON struct {
 	Crossings int64   `json:"crossings"`
 	RootRhoW  float64 `json:"root_rho_w"`
 	Saturated bool    `json:"saturated"`
+
+	Engine        string `json:"engine"` // mem | disk
+	Poisoned      bool   `json:"poisoned"`
+	Recovered     int64  `json:"recovered_ops"`
+	OplogAppended int64  `json:"oplog_appended"`
+	OplogSynced   int64  `json:"oplog_synced"`
+	OplogBytes    int64  `json:"oplog_bytes"`
+	Fsyncs        int64  `json:"group_commit_fsyncs"`
+	Checkpoints   int64  `json:"checkpoints"`
+	CheckpointLag int64  `json:"checkpoint_lag"`
+	CommitFails   int64  `json:"commit_fails"`
+	Unavail       int64  `json:"unavail"`
 
 	Governor      string  `json:"governor"` // ok | degraded | overloaded | disabled
 	GovernorRhoW  float64 `json:"governor_rho_w"`
@@ -189,15 +211,15 @@ func us(sec float64) float64 { return sec * 1e6 }
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	win := s.metricsWin.advance(s)
 	points := metrics.EvaluateAll(win.Rates)
-	height := s.tree.Height()
+	height := s.eng.Height()
 	rhoMeas, rhoModel, saturated := rootRho(points, height)
-	ts := s.tree.Stats()
+	es := s.eng.Stats()
 
 	out := metricsJSON{
 		UptimeS:   time.Since(s.start).Seconds(),
-		Algorithm: s.tree.Algorithm().String(),
-		Capacity:  s.tree.Cap(),
-		Keys:      s.tree.Len(),
+		Algorithm: s.eng.Algorithm(),
+		Capacity:  s.eng.Cap(),
+		Keys:      s.eng.Len(),
 		Height:    height,
 		Workers:   s.cfg.Workers,
 		Conns:     s.connsNow.Load(),
@@ -210,11 +232,23 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		OpMeanUs:  win.ObsMeanNs / 1e3,
 		OpP50Us:   float64(win.OpHist.Quantile(0.5)) / 1e3,
 		OpP99Us:   float64(win.OpHist.Quantile(0.99)) / 1e3,
-		Splits:    ts.Splits,
-		Restarts:  ts.Restarts,
-		Crossings: ts.Crossings,
+		Splits:    es.Splits,
+		Restarts:  es.Restarts,
+		Crossings: es.Crossings,
 		RootRhoW:  math.Max(rhoMeas, rhoModel),
 		Saturated: saturated,
+
+		Engine:        s.eng.Kind(),
+		Poisoned:      s.eng.Poisoned() != nil,
+		Recovered:     es.Recovered,
+		OplogAppended: es.Appended,
+		OplogSynced:   es.Synced,
+		OplogBytes:    es.OplogBytes,
+		Fsyncs:        es.Fsyncs,
+		Checkpoints:   es.Checkpoints,
+		CheckpointLag: es.CheckpointLag,
+		CommitFails:   s.commitFails.Load(),
+		Unavail:       s.unavail.Load(),
 	}
 	gov := s.Governor()
 	out.Governor = gov.State.String()
@@ -265,6 +299,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		out.WindowS, out.OpsPerSec, out.Gets, out.Puts, out.Dels, out.BadReqs)
 	fmt.Fprintf(w, "op_latency_us mean=%.1f p50=%.1f p99=%.1f\n", out.OpMeanUs, out.OpP50Us, out.OpP99Us)
 	fmt.Fprintf(w, "tree splits=%d restarts=%d crossings=%d\n", out.Splits, out.Restarts, out.Crossings)
+	fmt.Fprintf(w, "engine kind=%s poisoned=%v recovered=%d oplog_appended=%d oplog_synced=%d oplog_bytes=%d fsyncs=%d checkpoints=%d checkpoint_lag=%d commit_fails=%d unavail=%d\n",
+		out.Engine, out.Poisoned, out.Recovered, out.OplogAppended, out.OplogSynced,
+		out.OplogBytes, out.Fsyncs, out.Checkpoints, out.CheckpointLag, out.CommitFails, out.Unavail)
 	for _, l := range out.Levels {
 		role := "inner"
 		if l.Root {
@@ -291,13 +328,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 	win := s.modelWin.advance(s)
 	points := metrics.EvaluateAll(win.Rates)
-	height := s.tree.Height()
+	height := s.eng.Height()
 	rhoMeas, rhoModel, saturated := rootRho(points, height)
 	predNs := metrics.PredictedResponse(points, win.OpRate) * 1e9
 
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintf(w, "qmodel evaluated at measured parameters (window %.2fs, %d ops, %.0f ops/s, algorithm %s)\n\n",
-		win.Dt, win.Ops, win.OpRate, s.tree.Algorithm())
+		win.Dt, win.Ops, win.OpRate, s.eng.Algorithm())
 
 	tb := table.New("per-level FCFS R/W queues (leaf=1 .. root)",
 		"level", "λ_r/s", "λ_w/s", "μ_r/s", "μ_w/s",

@@ -55,6 +55,12 @@ const (
 	// saturation threshold (§6's λ_{ρ=.5}). Only puts and deletes are
 	// shed; retry after backing off.
 	StatusOverload byte = 4
+	// StatusUnavail: the storage engine refused the operation — a failed
+	// group-commit fsync or an earlier storage error has poisoned it
+	// (fail stop: nothing is acknowledged that a crash could lose). Not
+	// retryable on this server; the operation was NOT made durable even
+	// if it briefly applied in memory.
+	StatusUnavail byte = 5
 )
 
 // Retryable reports whether a response status signals a transient

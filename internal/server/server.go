@@ -54,6 +54,13 @@ type Config struct {
 	// Governor configures the model-driven overload governor; see
 	// GovernorConfig.
 	Governor GovernorConfig
+
+	// Engine selects the storage engine. Nil builds the default
+	// in-memory engine from Algorithm/Capacity; a *DiskEngine makes the
+	// server durable: each batch's mutations are acknowledged only after
+	// the engine's group-commit fsync returns. Algorithm and Capacity
+	// are ignored when an Engine is supplied.
+	Engine Engine
 }
 
 func (c *Config) fill() {
@@ -89,7 +96,8 @@ func (c *Config) fill() {
 // on an HTTP listener for /metrics and /debug/model.
 type Server struct {
 	cfg   Config
-	tree  *cbtree.Tree
+	tree  *cbtree.Tree // nil unless the engine is the in-memory one
+	eng   Engine
 	probe *metrics.TreeProbe
 	work  chan *batch
 
@@ -103,6 +111,10 @@ type Server struct {
 	badReqs  atomic.Int64
 	connsNow atomic.Int64
 	connsTot atomic.Int64
+
+	// Durability counters.
+	commitFails atomic.Int64 // batches whose group commit failed
+	unavail     atomic.Int64 // requests answered StatusUnavail
 
 	// Self-defense counters.
 	connRejects   atomic.Int64 // conns refused with StatusBusy at the cap
@@ -130,24 +142,40 @@ func New(cfg Config) *Server {
 	cfg.fill()
 	s := &Server{
 		cfg:   cfg,
-		tree:  cbtree.New(cfg.Capacity, cfg.Algorithm),
 		probe: metrics.NewTreeProbe(),
 		work:  make(chan *batch, cfg.QueueDepth),
 		start: time.Now(),
 		conns: make(map[net.Conn]struct{}),
+	}
+	if cfg.Engine != nil {
+		s.eng = cfg.Engine
+	} else {
+		s.tree = cbtree.New(cfg.Capacity, cfg.Algorithm)
+		s.eng = &memEngine{t: s.tree}
 	}
 	s.gov = newGovernor(s, cfg.Governor)
 	for i := 0; i < cfg.Prefill; i++ {
 		// A simple odd multiplier scatters the prefill across the key
 		// space deterministically.
 		k := int64(uint64(i)*2654435761) % (1 << 40)
-		s.tree.Insert(k, uint64(i))
+		if _, err := s.eng.Put(k, uint64(i)); err != nil {
+			break // the engine is poisoned; Serve will answer StatusUnavail
+		}
 	}
-	s.tree.Instrument(func(level int) lock.Probe { return s.probe.Level(level) })
+	if cfg.Prefill > 0 {
+		s.eng.Commit()
+	}
+	if s.tree != nil {
+		s.tree.Instrument(func(level int) lock.Probe { return s.probe.Level(level) })
+	}
 	return s
 }
 
-// Tree exposes the underlying tree (tests, stats).
+// Engine exposes the storage engine (telemetry, tests).
+func (s *Server) Engine() Engine { return s.eng }
+
+// Tree exposes the underlying in-memory tree (tests, stats); nil when
+// the server runs on another engine.
 func (s *Server) Tree() *cbtree.Tree { return s.tree }
 
 // Probe exposes the telemetry probe.
@@ -197,6 +225,23 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 					}
 					j.resp = s.apply(j.req, &tally)
 				}
+				if tally.puts+tally.dels > 0 {
+					// Group commit: one engine fsync covers every mutation
+					// in the batch; their OK responses are withheld until
+					// it returns. On failure nothing is acknowledged — the
+					// engine is poisoned (fail stop), so rewriting the
+					// batch's mutation responses to StatusUnavail closes
+					// the last window where an ack could outrun the disk.
+					if err := s.eng.Commit(); err != nil {
+						s.commitFails.Add(1)
+						for i := range bt.jobs {
+							j := &bt.jobs[i]
+							if !j.skip && (j.req.Op == OpPut || j.req.Op == OpDel) {
+								j.resp = Response{Status: StatusUnavail}
+							}
+						}
+					}
+				}
 				if n := tally.gets + tally.puts + tally.dels + tally.pings + tally.bad; n > 0 {
 					ns := time.Since(t0).Nanoseconds()
 					// The histogram records the batch's amortized per-op
@@ -216,6 +261,9 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 					}
 					if tally.bad > 0 {
 						s.badReqs.Add(tally.bad)
+					}
+					if tally.unavail > 0 {
+						s.unavail.Add(tally.unavail)
 					}
 				}
 				bt.complete()
@@ -542,11 +590,13 @@ func (s *Server) admit(bt *batch, admitTimer **time.Timer) bool {
 // opTally is a worker-local count of the ops executed in one batch,
 // flushed to the server's shared counters once per batch.
 type opTally struct {
-	gets, puts, dels, pings, bad int64
+	gets, puts, dels, pings, bad, unavail int64
 }
 
-// apply executes one request against the tree, recording it in the
-// worker's batch tally.
+// apply executes one request against the engine, recording it in the
+// worker's batch tally. Engine errors (a poisoned disk engine) answer
+// StatusUnavail: the server keeps the wire protocol up but acknowledges
+// nothing it cannot guarantee.
 func (s *Server) apply(req Request, t *opTally) Response {
 	if s.testApplyDelay > 0 {
 		time.Sleep(s.testApplyDelay)
@@ -554,20 +604,34 @@ func (s *Server) apply(req Request, t *opTally) Response {
 	switch req.Op {
 	case OpGet:
 		t.gets++
-		v, ok := s.tree.Search(req.Key)
+		v, ok, err := s.eng.Get(req.Key)
+		if err != nil {
+			t.unavail++
+			return Response{Status: StatusUnavail}
+		}
 		if !ok {
 			return Response{Status: StatusMiss}
 		}
 		return Response{Status: StatusOK, HasVal: true, Val: v}
 	case OpPut:
 		t.puts++
-		if s.tree.Insert(req.Key, req.Val) {
+		ok, err := s.eng.Put(req.Key, req.Val)
+		if err != nil {
+			t.unavail++
+			return Response{Status: StatusUnavail}
+		}
+		if ok {
 			return Response{Status: StatusOK}
 		}
 		return Response{Status: StatusMiss}
 	case OpDel:
 		t.dels++
-		if s.tree.Delete(req.Key) {
+		ok, err := s.eng.Del(req.Key)
+		if err != nil {
+			t.unavail++
+			return Response{Status: StatusUnavail}
+		}
+		if ok {
 			return Response{Status: StatusOK}
 		}
 		return Response{Status: StatusMiss}

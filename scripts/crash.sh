@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# Acked-durability kill harness: the end-to-end check that no write the
+# server acknowledged is ever lost to a crash.
+#
+# Each cycle starts btserved on the disk engine (recovering whatever the
+# previous kill left behind), drives it with `btload -audit` — a
+# puts-only workload that appends every ACKNOWLEDGED write to an audit
+# file — and kill -9s the server mid-load. btload must absorb the dead
+# connections and exit 0. After all cycles a final server runs recovery
+# one last time and `btload -audit-verify` replays the audit file as
+# gets: every acked write must be present with its recorded value. The
+# loss budget is zero.
+#
+# Mild network chaos (injected latency + resets) runs on the server's
+# listener throughout, so the kills land while connections are already
+# misbehaving.
+#
+#   scripts/crash.sh              # 25 cycles, ~45 s
+#   CYCLES=5 scripts/crash.sh     # quicker local run
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+cycles="${CYCLES:-25}"
+bin="$(mktemp -d)"
+trap 'kill -9 "${spid:-}" 2>/dev/null || true; rm -rf "$bin"' EXIT
+
+go build -o "$bin/btserved" ./cmd/btserved
+go build -o "$bin/btload" ./cmd/btload
+
+listen=127.0.0.1:9470
+http=127.0.0.1:9471
+db="$bin/tree.db"
+audit="$bin/audit.log"
+chaos='latency=50us,preset=0.0005,seed=11'
+
+# start_server [chaos-spec] — no argument serves a clean listener (the
+# final verification pass must not have its gets reset mid-replay).
+start_server() {
+  local chaosflags=()
+  [ $# -gt 0 ] && chaosflags=(-chaos "$1")
+  "$bin/btserved" -engine disk -path "$db" -cap 64 \
+    -listen "$listen" -http "$http" "${chaosflags[@]}" \
+    >>"$bin/serv.log" 2>&1 &
+  spid=$!
+  for _ in $(seq 100); do
+    curl -sf "http://$http/healthz" >/dev/null 2>&1 && return 0
+    kill -0 "$spid" 2>/dev/null || { echo "FAIL: btserved died on startup" >&2; tail "$bin/serv.log" >&2; exit 1; }
+    sleep 0.1
+  done
+  echo "FAIL: btserved never became healthy" >&2; exit 1
+}
+
+# Deterministic "random-ish" kill delays, cycling so kills land at
+# different phases of the load: mid-rampup, steady state, etc.
+delays=(0.30 0.70 0.45 1.00 0.25 0.85 0.55 0.40 0.90 0.60)
+
+for ((i = 0; i < cycles; i++)); do
+  start_server "$chaos"
+  # A disjoint key range per cycle keeps every audited write unique.
+  "$bin/btload" -addr "$listen" -audit "$audit" -keystart "$((i * 10000000))" \
+    -conns 4 -depth 128 -duration 30s >>"$bin/load.log" 2>&1 &
+  lpid=$!
+  sleep "${delays[$((i % ${#delays[@]}))]}"
+  kill -9 "$spid"
+  wait "$spid" 2>/dev/null || true
+  wait "$lpid" || { echo "FAIL: btload did not survive the kill (cycle $i)" >&2; tail "$bin/load.log" >&2; exit 1; }
+done
+
+acked="$(wc -l <"$audit")"
+floor="$((cycles * 50))"
+[ "$acked" -ge "$floor" ] || {
+  echo "FAIL: only $acked acked writes across $cycles cycles (floor $floor) — the harness is not exercising the ack path" >&2
+  exit 1
+}
+
+# Final recovery, then replay the whole audit file. Zero-loss budget.
+start_server
+grep -q 'ops recovered' "$bin/serv.log" || {
+  echo "FAIL: server never reported recovery" >&2; exit 1; }
+"$bin/btload" -addr "$listen" -audit-verify "$audit" -conns 4 -depth 128 | tee "$bin/verify.out" || {
+  echo "FAIL: acked writes lost after $cycles kill -9 cycles" >&2
+  tail "$bin/serv.log" >&2
+  exit 1
+}
+
+kill -TERM "$spid"
+wait "$spid" || { echo "FAIL: final btserved exited nonzero" >&2; exit 1; }
+
+echo "crash: $cycles kill -9 cycles, $acked acked writes, zero lost"

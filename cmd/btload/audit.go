@@ -165,10 +165,14 @@ func auditConn(dial func() (*server.Client, error), alog *auditLog,
 				break
 			}
 		}
-		keys <- key
+		// Send before enqueueing the key: the receiver treats every entry
+		// on keys as an in-flight put, so a key whose Send failed would be
+		// tallied unacked (and inflate "puts sent") for a request that
+		// never left the client.
 		if err := c.Send(server.Request{Op: server.OpPut, Key: key, Val: auditVal(key)}); err != nil {
 			break
 		}
+		keys <- key
 		seq++
 		if seq%64 == 0 {
 			if err := c.Flush(); err != nil {

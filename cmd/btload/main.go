@@ -380,10 +380,15 @@ func pump(c *server.Client, gen *workload.Generator, depth, quota int, quotaMode
 				break
 			}
 		}
-		stamps <- st
+		// Send before stamping: a stamp must only ever exist for a request
+		// that actually reached the wire path, or a failed Send would
+		// leave a phantom stamp for the receiver to count as a lost
+		// in-flight request — an op charged to the error budget (and to
+		// lost+recvd accounting) that was never sent at all.
 		if err := c.Send(req); err != nil {
 			break
 		}
+		stamps <- st
 		did++
 		if did%64 == 0 {
 			if err := c.Flush(); err != nil {

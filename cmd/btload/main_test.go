@@ -1,0 +1,154 @@
+package main
+
+// Regression tests for tolerant-mode error accounting: when a connection
+// dies mid-stream, every sent-but-unanswered request must be counted as
+// lost exactly once, and a request whose Send failed must not be counted
+// at all. The fake servers below answer a fixed number of requests and
+// then kill the connection abruptly (RST via SO_LINGER 0), the same
+// failure shape a kill -9 or chaos reset produces.
+
+import (
+	"bufio"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"btreeperf/internal/server"
+	"btreeperf/internal/workload"
+	"btreeperf/internal/xrand"
+)
+
+// rstServer accepts one connection, answers exactly answerN requests,
+// then resets the connection. Returning 0 for answerN resets on the
+// first read.
+func rstServer(t *testing.T, answerN int) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				if tc, ok := conn.(*net.TCPConn); ok {
+					tc.SetLinger(0) // close sends RST: in-flight data is torn down
+				}
+				br := bufio.NewReader(conn)
+				buf := make([]byte, server.MaxPayload)
+				out := make([]byte, 0, 16)
+				for i := 0; i < answerN; i++ {
+					if _, err := server.ReadRequest(br, buf); err != nil {
+						return
+					}
+					out = server.AppendResponse(out[:0], server.Response{Status: server.StatusOK})
+					if _, err := conn.Write(out); err != nil {
+						return
+					}
+				}
+				// Drain whatever is queued without answering, briefly, so
+				// the client's sends succeed before the reset.
+				conn.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+				for {
+					if _, err := server.ReadRequest(br, buf); err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func testGen(t *testing.T) *workload.Generator {
+	t.Helper()
+	gen, err := workload.NewGenerator(workload.PaperMix, workload.NewKeyPool(), 1<<20, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gen
+}
+
+// TestPumpAccountingOnConnLoss kills the connection after k answered
+// requests and checks the books balance: recvd + lost == did. The
+// send-before-stamp order makes the invariant structural: a stamp can
+// only exist for a request Send accepted, so a failed Send can never
+// leave a phantom stamp for the receiver to count as a lost in-flight
+// op (the old stamp-first order relied on Send never failing between
+// explicit Flushes — true for today's frame sizes, but one buffer-size
+// or frame-format change away from double counting).
+func TestPumpAccountingOnConnLoss(t *testing.T) {
+	for _, answerN := range []int{0, 1, 7, 40} {
+		var ctr counters
+		var stop atomic.Bool
+		addr := rstServer(t, answerN)
+		conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := server.NewClient(conn)
+		c.SetOpTimeout(2 * time.Second)
+
+		samples := make([]int64, 0, 1024)
+		seen := 0
+		did, lost, pumpErr := pump(c, testGen(t), 16, 0, false, 0,
+			xrand.New(2), &stop, &ctr, &samples, &seen)
+		c.Close()
+
+		if pumpErr == nil {
+			t.Fatalf("answerN=%d: pump returned no error against a resetting server", answerN)
+		}
+		recvd := ctr.recvd.Load()
+		if int64(did) != recvd+int64(lost) {
+			t.Errorf("answerN=%d: sent %d, recvd %d, lost %d: %d ops unaccounted (double- or phantom-counted)",
+				answerN, did, recvd, lost, int64(did)-recvd-int64(lost))
+		}
+		if lost < 0 || int64(lost) > int64(did) {
+			t.Errorf("answerN=%d: lost %d of %d sent: phantom loss for an unsent request", answerN, lost, did)
+		}
+	}
+}
+
+// TestRunConnTolerantErrorBudget runs the full tolerant redial loop
+// against a server that answers a few ops then resets, every cycle. The
+// error budget must never exceed what was actually sent, and
+// recvd + errs must equal sent exactly — the invariant the chaos
+// harness's <1% client-error budget is measured against.
+func TestRunConnTolerantErrorBudget(t *testing.T) {
+	var ctr counters
+	var stop atomic.Bool
+	addr := rstServer(t, 25)
+	time.AfterFunc(600*time.Millisecond, func() { stop.Store(true) })
+
+	dial := func() (*server.Client, error) {
+		conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+		if err != nil {
+			return nil, err
+		}
+		c := server.NewClient(conn)
+		c.SetOpTimeout(2 * time.Second)
+		return c, nil
+	}
+	if _, err := runConn(dial, testGen(t), 16, 0, false, true, 0,
+		xrand.New(3), &stop, &ctr); err != nil {
+		t.Fatalf("tolerant runConn returned error: %v", err)
+	}
+
+	sent, recvd, errs := ctr.sent.Load(), ctr.recvd.Load(), ctr.errs.Load()
+	if ctr.redials.Load() == 0 {
+		t.Fatal("no redials: the fake server never reset the connection")
+	}
+	if recvd+errs != sent {
+		t.Errorf("sent %d, recvd %d, errs %d: books off by %d (a lost op counted twice, or a phantom)",
+			sent, recvd, errs, sent-recvd-errs)
+	}
+	if errs > sent {
+		t.Errorf("errs %d > sent %d: error budget charged for unsent requests", errs, sent)
+	}
+}

@@ -41,6 +41,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"syscall"
 	"time"
@@ -56,7 +57,8 @@ func main() {
 		capacity = flag.Int("cap", 64, "node capacity (items per node)")
 		listen   = flag.String("listen", ":9400", "binary protocol listen address")
 		httpAddr = flag.String("http", ":9401", "telemetry listen address (/metrics, /debug/model, /healthz); empty disables")
-		workers  = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		shards   = flag.Int("shards", 1, "keyspace shards, each an independent engine with its own worker pool and governor")
+		workers  = flag.Int("workers", 0, "worker pool size per shard (0 = GOMAXPROCS/shards)")
 		depth    = flag.Int("depth", 128, "per-connection pipeline bound")
 		prefill  = flag.Int("prefill", 0, "keys inserted before serving")
 		maxBatch = flag.Int("max-batch", 0, "max requests dispatched to the worker pool as one batch (0 = default)")
@@ -102,8 +104,16 @@ func main() {
 		return d
 	}
 
-	var eng server.Engine
-	var diskEng *server.DiskEngine
+	if *shards < 1 {
+		fmt.Fprintf(os.Stderr, "btserved: -shards %d (want >= 1)\n", *shards)
+		os.Exit(2)
+	}
+
+	// Disk mode builds one engine per shard. A single shard keeps the
+	// legacy layout (-path is the data file); with -shards=N the path is
+	// a directory holding one subdirectory per shard, so each shard gets
+	// its own pagestore and group-commit journal.
+	var engines []server.Engine
 	switch *engineName {
 	case "mem":
 	case "disk":
@@ -111,28 +121,39 @@ func main() {
 			fmt.Fprintf(os.Stderr, "btserved: -fsync %q (want batch or op)\n", *fsyncMode)
 			os.Exit(2)
 		}
-		diskEng, err = server.NewDiskEngine(server.DiskEngineConfig{
-			Path:          *path,
-			Cap:           *capacity,
-			CacheNodes:    *cacheNodes,
-			SyncEveryOp:   *fsyncMode == "op",
-			CheckpointOps: *ckptOps,
-		})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "btserved:", err)
-			os.Exit(1)
+		for i := 0; i < *shards; i++ {
+			p := *path
+			if *shards > 1 {
+				dir := filepath.Join(*path, fmt.Sprintf("shard-%d", i))
+				if err := os.MkdirAll(dir, 0o755); err != nil {
+					fmt.Fprintln(os.Stderr, "btserved:", err)
+					os.Exit(1)
+				}
+				p = filepath.Join(dir, "tree.db")
+			}
+			diskEng, err := server.NewDiskEngine(server.DiskEngineConfig{
+				Path:          p,
+				Cap:           *capacity,
+				CacheNodes:    *cacheNodes,
+				SyncEveryOp:   *fsyncMode == "op",
+				CheckpointOps: *ckptOps,
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "btserved:", err)
+				os.Exit(1)
+			}
+			engines = append(engines, diskEng)
+			fmt.Fprintf(os.Stderr, "btserved: disk engine at %s: %d keys, %d ops recovered, fsync=%s\n",
+				p, diskEng.Len(), diskEng.Recovered(), *fsyncMode)
 		}
-		eng = diskEng
-		fmt.Fprintf(os.Stderr, "btserved: disk engine at %s: %d keys, %d ops recovered, fsync=%s\n",
-			*path, diskEng.Len(), diskEng.Recovered(), *fsyncMode)
 	default:
 		fmt.Fprintf(os.Stderr, "btserved: unknown engine %q (want mem or disk)\n", *engineName)
 		os.Exit(2)
 	}
 
-	s := server.New(server.Config{
+	cfg := server.Config{
 		Algorithm:    alg,
-		Engine:       eng,
+		Shards:       *shards,
 		Capacity:     *capacity,
 		Workers:      *workers,
 		Depth:        *depth,
@@ -150,7 +171,15 @@ func main() {
 			Interval:     *govInterval,
 			RecoverTicks: *govRecover,
 		},
-	})
+	}
+	switch len(engines) {
+	case 0:
+	case 1:
+		cfg.Engine = engines[0]
+	default:
+		cfg.Engines = engines
+	}
+	s := server.New(cfg)
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
@@ -173,6 +202,7 @@ func main() {
 	ctx, cancel := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer cancel()
 
+	var hs *http.Server
 	if *httpAddr != "" {
 		hln, err := net.Listen("tcp", *httpAddr)
 		if err != nil {
@@ -191,14 +221,13 @@ func main() {
 			fmt.Fprintf(os.Stderr, "btserved: pprof on http://%s/debug/pprof/ (block-rate=%d mutex-frac=%d)\n",
 				hln.Addr(), *pprofBlockRate, *pprofMutexFrac)
 		}
-		hs := &http.Server{Handler: handler}
+		hs = &http.Server{Handler: handler}
 		go hs.Serve(hln)
-		defer hs.Close()
 		fmt.Fprintf(os.Stderr, "btserved: telemetry on http://%s/metrics, /debug/model, /healthz\n", hln.Addr())
 	}
 
-	fmt.Fprintf(os.Stderr, "btserved: %s tree (cap %d, prefill %d) serving on %s\n",
-		alg, *capacity, *prefill, ln.Addr())
+	fmt.Fprintf(os.Stderr, "btserved: %s tree (cap %d, prefill %d, shards %d) serving on %s\n",
+		alg, *capacity, *prefill, s.NumShards(), ln.Addr())
 	if err := s.Serve(ctx, ln); err != nil {
 		fmt.Fprintln(os.Stderr, "btserved:", err)
 		os.Exit(1)
@@ -206,13 +235,20 @@ func main() {
 	if inj != nil {
 		fmt.Fprintf(os.Stderr, "btserved: chaos injected: %s\n", inj.Stats())
 	}
-	if diskEng != nil {
-		if err := diskEng.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "btserved: engine close:", err)
-			os.Exit(1)
-		}
+	// Shutdown order matters: stop the telemetry listener before closing
+	// the engines, so no new scrape can begin against a closing engine
+	// (Server.Close additionally excludes any scrape already in flight
+	// via the lifecycle lock). Serve has already drained — every acked
+	// batch's group commit returned before it did.
+	if hs != nil {
+		hs.Close()
 	}
-	fmt.Fprintf(os.Stderr, "btserved: drained; %d keys in tree at exit\n", s.Engine().Len())
+	keys := s.Len()
+	if err := s.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "btserved: engine close:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "btserved: drained; %d keys in tree at exit\n", keys)
 }
 
 func parseAlg(name string) (cbtree.Algorithm, error) {

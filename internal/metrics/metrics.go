@@ -82,6 +82,15 @@ func (s HistSnapshot) Sub(prev HistSnapshot) HistSnapshot {
 	return d
 }
 
+// Add returns the bucket-wise sum s + o (merging shards' histograms).
+func (s HistSnapshot) Add(o HistSnapshot) HistSnapshot {
+	var d HistSnapshot
+	for i := range s {
+		d[i] = s[i] + o[i]
+	}
+	return d
+}
+
 // N returns the total sample count.
 func (s HistSnapshot) N() int64 {
 	var n int64

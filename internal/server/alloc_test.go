@@ -95,19 +95,32 @@ func TestReadResponseAllocs(t *testing.T) {
 func TestBatchPathAllocs(t *testing.T) {
 	skipUnderRace(t)
 	const jobs = DefaultMaxBatch
-	cycle := func() {
-		bt := getBatch()
-		for i := 0; i < jobs; i++ {
-			j := bt.add()
-			j.req = Request{Op: OpGet, Key: int64(i)}
-			j.resp = Response{Status: StatusOK}
+	for _, nShards := range []int{1, 4} {
+		cycle := func() {
+			bt := getBatch(nShards)
+			for i := 0; i < jobs; i++ {
+				j := bt.add()
+				j.req = Request{Op: OpGet, Key: int64(i)}
+				j.resp = Response{Status: StatusOK}
+				j.shard = int32(shardIndex(int64(i), nShards))
+				bt.nexecSh[j.shard]++
+			}
+			involved := int32(0)
+			for _, n := range bt.nexecSh {
+				if n > 0 {
+					involved++
+				}
+			}
+			bt.arm(involved)
+			for i := int32(0); i < involved; i++ {
+				bt.completeOne()
+			}
+			bt.wait()
+			putBatch(bt)
 		}
-		bt.complete()
-		bt.wait()
-		putBatch(bt)
-	}
-	cycle() // warm up: grow the slab to capacity once
-	if n := testing.AllocsPerRun(100, cycle); n != 0 {
-		t.Errorf("batch get/add/complete/wait/put cycle: %v allocs/op, want 0", n)
+		cycle() // warm up: grow the slabs to capacity once
+		if n := testing.AllocsPerRun(100, cycle); n != 0 {
+			t.Errorf("shards=%d: batch get/add/complete/wait/put cycle: %v allocs/op, want 0", nShards, n)
+		}
 	}
 }

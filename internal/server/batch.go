@@ -1,6 +1,9 @@
 package server
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // The batched serving fast path.
 //
@@ -16,25 +19,35 @@ import "sync"
 // coalesces the whole batch's responses into one buffered write. In the
 // steady state nothing on this path allocates: batches and their job
 // slabs are recycled through a sync.Pool.
+//
+// With a sharded server the batch is still the unit of pipelining: the
+// reader stamps each job with its key's shard and the batch is handed to
+// every involved shard's worker queue. Each shard's worker executes only
+// its own jobs (disjoint slab entries, so no coordination is needed) and
+// retires one completion; the writer's token fires when the last shard
+// finishes. A single-shard server degenerates to exactly the old
+// one-dispatch one-token path.
 
 // job is one request in flight inside a batch. Requests whose response
 // was decided at admission time (governor or queue shedding) carry
 // skip=true and are not executed by the worker.
 type job struct {
-	req  Request
-	resp Response
-	skip bool
+	req   Request
+	resp  Response
+	shard int32 // owning shard, stamped by the connection reader
+	skip  bool
 }
 
 // batch is one reader→worker→writer unit of pipelined requests, in
 // request order. The ready channel (capacity 1, reused across the
-// batch's pooled lifetimes) carries the single completion token from
-// the worker — or from the admission path, for fully-shed batches — to
-// the connection writer.
+// batch's pooled lifetimes) carries the single completion token to the
+// connection writer once every armed completion has been retired.
 type batch struct {
-	jobs  []job
-	nexec int // jobs the worker must execute (len(jobs) minus skips)
-	ready chan struct{}
+	jobs    []job
+	nexec   int     // jobs the workers must execute (len(jobs) minus skips)
+	nexecSh []int32 // per-shard executable counts; len = server shard count
+	pending atomic.Int32
+	ready   chan struct{}
 }
 
 var batchPool = sync.Pool{
@@ -43,12 +56,22 @@ var batchPool = sync.Pool{
 	},
 }
 
-// getBatch returns an empty batch; its job slab keeps the capacity it
-// grew to in earlier lives, so steady-state accumulation never allocates.
-func getBatch() *batch {
+// getBatch returns an empty batch sized for nShards; its job slab and
+// shard-count slab keep the capacity they grew to in earlier lives, so
+// steady-state accumulation never allocates.
+func getBatch(nShards int) *batch {
 	b := batchPool.Get().(*batch)
 	b.jobs = b.jobs[:0]
 	b.nexec = 0
+	if cap(b.nexecSh) < nShards {
+		b.nexecSh = make([]int32, nShards)
+	} else {
+		b.nexecSh = b.nexecSh[:nShards]
+		for i := range b.nexecSh {
+			b.nexecSh[i] = 0
+		}
+	}
+	b.pending.Store(0)
 	return b
 }
 
@@ -67,9 +90,19 @@ func (b *batch) add() *job {
 	return &b.jobs[len(b.jobs)-1]
 }
 
-// complete hands the batch to its writer. Called exactly once per fill,
-// by the worker that executed it or by the admission path that shed it.
-func (b *batch) complete() { b.ready <- struct{}{} }
+// arm sets how many completions the batch waits for: one per shard it
+// was dispatched to (or one, for a batch answered on the admission
+// path). Must be called before the first dispatch.
+func (b *batch) arm(n int32) { b.pending.Store(n) }
+
+// completeOne retires one armed completion; the last one hands the batch
+// to its writer. The atomic add is the synchronization edge that makes
+// every shard's response writes visible to the writer.
+func (b *batch) completeOne() {
+	if b.pending.Add(-1) == 0 {
+		b.ready <- struct{}{}
+	}
+}
 
 // wait blocks until the batch's responses are all in place.
 func (b *batch) wait() { <-b.ready }

@@ -96,15 +96,17 @@ func BenchmarkBatchDispatch(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for n := 0; n < b.N; {
-				bt := getBatch()
+				bt := getBatch(1)
 				for i := 0; i < size && n < b.N; i++ {
 					rng = rng*6364136223846793005 + 1442695040888963407
 					j := bt.add()
 					j.req = Request{Op: OpGet, Key: benchKey((rng >> 33) % benchPrefill)}
 					bt.nexec++
+					bt.nexecSh[0]++
 					n++
 				}
-				s.work <- bt
+				bt.arm(1)
+				s.shards[0].work <- bt
 				bt.wait()
 				putBatch(bt)
 			}

@@ -96,7 +96,29 @@ func benchServeLoopback(b *testing.B, alg cbtree.Algorithm, depth int) {
 }
 
 func benchServeLoopbackMB(b *testing.B, alg cbtree.Algorithm, depth, maxBatch int) {
-	s := New(Config{Algorithm: alg, Capacity: 64, Depth: depth, Prefill: benchPrefill, MaxBatch: maxBatch})
+	benchServeLoopbackCfg(b, Config{Algorithm: alg, Capacity: 64, Depth: depth, Prefill: benchPrefill, MaxBatch: maxBatch})
+}
+
+// BenchmarkServeLoopbackSharded is the shard-count sweep on the mixed
+// depth-128 workload: the same client stream fanned across N independent
+// engines by the hash router. On a multi-core runner throughput should
+// scale near-linearly until the cores run out; shards=1 must match
+// BenchmarkServeLoopback's link-type/depth=128 case (the N=1 path is the
+// unsharded one).
+func BenchmarkServeLoopbackSharded(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("link-type/depth=128/shards=%d", shards), func(b *testing.B) {
+			benchServeLoopbackCfg(b, Config{
+				Algorithm: cbtree.LinkType, Capacity: 64, Depth: 128,
+				Prefill: benchPrefill, Shards: shards,
+			})
+		})
+	}
+}
+
+func benchServeLoopbackCfg(b *testing.B, cfg Config) {
+	depth := cfg.Depth
+	s := New(cfg)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		b.Fatal(err)

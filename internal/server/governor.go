@@ -43,6 +43,10 @@ func (g GovState) String() string {
 // saturation in all three algorithms, so shedding them first is what
 // restores the root's service capacity for reads.
 //
+// Every shard runs its own governor against its own root: saturation is
+// a per-tree phenomenon in the model, so a hot shard sheds its own
+// update traffic while the others keep serving at full admission.
+//
 // The governor is hysteretic in two ways: it enters shedding at Rho but
 // only leaves once ρ_w has stayed below ExitRho for RecoverTicks
 // consecutive intervals, and it passes through GovDegraded on the way
@@ -72,23 +76,26 @@ func (c *GovernorConfig) fill() {
 	}
 }
 
-// GovStatus is a snapshot of the governor for telemetry.
+// GovStatus is a snapshot of a governor for telemetry. Server.Governor
+// returns the merged view across shards; shard blocks report each
+// governor individually.
 type GovStatus struct {
 	State        GovState
-	RootRhoW     float64 // last measured root ρ_w
+	RootRhoW     float64 // last measured root ρ_w (merged view: max over shards)
 	Rho          float64 // enter threshold
 	ExitRho      float64
-	Transitions  int64 // state changes since start
-	ShedOverload int64 // updates shed with StatusOverload
-	ShedBusy     int64 // requests shed with StatusBusy
-	ConnRejects  int64 // connections refused at the MaxConns cap
+	Transitions  int64 // state changes since start (merged view: summed)
+	ShedOverload int64 // updates shed with StatusOverload (merged view: summed)
+	ShedBusy     int64 // requests shed with StatusBusy (merged view: summed)
+	ConnRejects  int64 // connections refused at the MaxConns cap (server-wide)
 	Disabled     bool
 }
 
-// governor watches root ρ_w and flips the server's shedding switch.
+// governor watches one shard's root ρ_w and flips that shard's shedding
+// switch.
 type governor struct {
 	cfg   GovernorConfig
-	s     *Server
+	sh    *shard
 	win   windowState
 	state atomic.Int32
 	shed  atomic.Bool
@@ -102,14 +109,14 @@ type governor struct {
 	rhoFn func() float64
 }
 
-func newGovernor(s *Server, cfg GovernorConfig) *governor {
-	return &governor{cfg: cfg, s: s, stopCh: make(chan struct{})}
+func newGovernor(sh *shard, cfg GovernorConfig) *governor {
+	return &governor{cfg: cfg, sh: sh, stopCh: make(chan struct{})}
 }
 
 // shedding is the admission-path check: true while updates must be shed.
 func (g *governor) shedding() bool { return g.shed.Load() }
 
-// Status snapshots the governor and the server's shed counters.
+// Status snapshots the governor and its shard's shed counters.
 func (g *governor) Status() GovStatus {
 	return GovStatus{
 		State:        GovState(g.state.Load()),
@@ -117,9 +124,9 @@ func (g *governor) Status() GovStatus {
 		Rho:          g.cfg.Rho,
 		ExitRho:      g.cfg.ExitRho,
 		Transitions:  g.trans.Load(),
-		ShedOverload: g.s.shedOverload.Load(),
-		ShedBusy:     g.s.shedBusy.Load(),
-		ConnRejects:  g.s.connRejects.Load(),
+		ShedOverload: g.sh.shedOverload.Load(),
+		ShedBusy:     g.sh.shedBusy.Load(),
+		ConnRejects:  g.sh.srv.connRejects.Load(),
 		Disabled:     g.cfg.Disabled,
 	}
 }
@@ -156,13 +163,14 @@ func (g *governor) stop() {
 	}
 }
 
-// measure returns root ρ_w over the interval since the last measurement.
+// measure returns the shard's root ρ_w over the interval since the last
+// measurement.
 func (g *governor) measure() float64 {
 	if g.rhoFn != nil {
 		return g.rhoFn()
 	}
-	win := g.win.advance(g.s)
-	height := g.s.eng.Height()
+	win := g.win.advance(g.sh)
+	height := g.sh.eng.Height()
 	for _, r := range win.Rates {
 		if r.Level == height {
 			return r.RhoW
@@ -209,5 +217,25 @@ func (g *governor) tick(rho float64) {
 	}
 }
 
-// Governor exposes the governor's status (telemetry, tests).
-func (s *Server) Governor() GovStatus { return s.gov.Status() }
+// Governor exposes the merged governor status (telemetry, tests): the
+// worst state across shards, the hottest root ρ_w, and the shed counters
+// summed. A single-shard server's merged view is exactly its shard's.
+func (s *Server) Governor() GovStatus {
+	st := s.shards[0].gov.Status()
+	for _, sh := range s.shards[1:] {
+		o := sh.gov.Status()
+		if o.State > st.State {
+			st.State = o.State
+		}
+		if o.RootRhoW > st.RootRhoW {
+			st.RootRhoW = o.RootRhoW
+		}
+		st.Transitions += o.Transitions
+		st.ShedOverload += o.ShedOverload
+		st.ShedBusy += o.ShedBusy
+	}
+	return st
+}
+
+// ShardGovernor exposes one shard's governor status.
+func (s *Server) ShardGovernor(i int) GovStatus { return s.shards[i].gov.Status() }

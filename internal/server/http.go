@@ -17,11 +17,13 @@ import (
 // thumb define the effective maximum arrival rate λ_{ρ=.5} as the load at
 // which the root's writer utilization ρ_w reaches one half. A measured or
 // model root ρ_w at or past this value means the tree is at its effective
-// maximum throughput for the chosen algorithm and node size.
+// maximum throughput for the chosen algorithm and node size. Sharding
+// multiplies the ceiling, not the threshold: each shard's root saturates
+// independently at this same value.
 const SaturationRho = 0.5
 
-// windowState differences probe snapshots between scrapes so each
-// endpoint reports rates over the interval since its previous scrape
+// windowState differences one shard's probe snapshots between scrapes so
+// each endpoint reports rates over the interval since its previous scrape
 // (the first scrape covers the time since the server started).
 type windowState struct {
 	mu       sync.Mutex
@@ -41,17 +43,18 @@ type window struct {
 	OpHist    metrics.HistSnapshot
 }
 
-// advance captures a new snapshot and returns the window since the last.
-func (w *windowState) advance(s *Server) window {
+// advance captures a new snapshot of the shard and returns the window
+// since the last.
+func (w *windowState) advance(sh *shard) window {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.prev.At.IsZero() {
-		w.prev = metrics.Snapshot{At: s.start}
+		w.prev = metrics.Snapshot{At: sh.srv.start}
 	}
-	cur := s.probe.Snapshot()
-	ops := s.opCount.Load()
-	opNs := s.opNsSum.Load()
-	hist := s.opLat.Snapshot()
+	cur := sh.probe.Snapshot()
+	ops := sh.opCount.Load()
+	opNs := sh.opNsSum.Load()
+	hist := sh.opLat.Snapshot()
 
 	out := window{
 		Dt:     cur.At.Sub(w.prev.At).Seconds(),
@@ -88,6 +91,40 @@ func rootRho(points []metrics.ModelPoint, height int) (measured, model float64, 
 	return measured, model, saturated
 }
 
+// shardScrape is one shard's fully evaluated scrape: its window, its
+// model points, and its engine stats, captured together so the per-shard
+// and merged views of one HTTP response agree with each other.
+type shardScrape struct {
+	sh        *shard
+	win       window
+	points    []metrics.ModelPoint
+	height    int
+	es        EngineStats
+	poisoned  bool
+	rhoMeas   float64
+	rhoModel  float64
+	saturated bool
+}
+
+// scrape advances the selected window of every shard and evaluates the
+// model at each shard's measured parameters.
+func (s *Server) scrape(winOf func(*shard) *windowState) []shardScrape {
+	out := make([]shardScrape, len(s.shards))
+	for i, sh := range s.shards {
+		sc := shardScrape{
+			sh:       sh,
+			win:      winOf(sh).advance(sh),
+			height:   sh.eng.Height(),
+			es:       sh.eng.Stats(),
+			poisoned: sh.eng.Poisoned() != nil,
+		}
+		sc.points = metrics.EvaluateAll(sc.win.Rates)
+		sc.rhoMeas, sc.rhoModel, sc.saturated = rootRho(sc.points, sc.height)
+		out[i] = sc
+	}
+	return out
+}
+
 // Handler returns the HTTP mux serving /metrics, /debug/model, and
 // /healthz.
 func (s *Server) Handler() http.Handler { return s.handler(false) }
@@ -102,9 +139,9 @@ func (s *Server) HandlerWithProfiling() http.Handler { return s.handler(true) }
 
 func (s *Server) handler(profiled bool) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", s.handleMetrics)
-	mux.HandleFunc("/debug/model", s.handleModel)
-	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.guarded(s.handleMetrics))
+	mux.HandleFunc("/debug/model", s.guarded(s.handleModel))
+	mux.HandleFunc("/healthz", s.guarded(s.handleHealthz))
 	if profiled {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -115,20 +152,54 @@ func (s *Server) handler(profiled bool) http.Handler {
 	return mux
 }
 
+// guarded wraps a telemetry handler in the server's lifecycle lock: the
+// scrape holds the read side for its full duration, so Server.Close (the
+// write side) cannot close an engine out from under a handler mid-scrape,
+// and scrapes arriving after Close answer 503 without touching any
+// engine.
+func (s *Server) guarded(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.lifeMu.RLock()
+		defer s.lifeMu.RUnlock()
+		if s.closed {
+			http.Error(w, "server closed", http.StatusServiceUnavailable)
+			return
+		}
+		h(w, r)
+	}
+}
+
 // handleHealthz reports the server's health: "ok" and "degraded" answer
-// 200; "overloaded" (governor shedding) and "poisoned" (the storage
-// engine fail-stopped after an I/O error) answer 503 so load balancers
-// stop routing traffic. A poisoned engine never recovers in-process —
-// the report stays 503 until the operator restarts the server, which
-// re-runs recovery from the last durable state.
+// 200; "overloaded" (any shard's governor shedding) and "poisoned" (any
+// shard's storage engine fail-stopped after an I/O error) answer 503 so
+// load balancers stop routing traffic. A poisoned engine never recovers
+// in-process — the report stays 503 until the operator restarts the
+// server, which re-runs recovery from the last durable state. One bad
+// shard is enough to fail aggregate health: clients cannot steer keys
+// away from it, so the node as a whole cannot honor its contract.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	g := s.Governor()
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	if perr := s.eng.Poisoned(); perr != nil {
+	var poisoned []int
+	for i, sh := range s.shards {
+		if sh.eng.Poisoned() != nil {
+			poisoned = append(poisoned, i)
+		}
+	}
+	if len(poisoned) > 0 {
 		w.WriteHeader(http.StatusServiceUnavailable)
 		fmt.Fprintln(w, "poisoned")
-		fmt.Fprintf(w, "engine=%s error=%q commit_fails=%d unavail=%d\n",
-			s.eng.Kind(), perr, s.commitFails.Load(), s.unavail.Load())
+		for _, i := range poisoned {
+			sh := s.shards[i]
+			perr := sh.eng.Poisoned()
+			if len(s.shards) > 1 {
+				fmt.Fprintf(w, "shard=%d engine=%s error=%q commit_fails=%d unavail=%d\n",
+					i, sh.eng.Kind(), perr, sh.commitFails.Load(), sh.unavail.Load())
+			} else {
+				fmt.Fprintf(w, "engine=%s error=%q commit_fails=%d unavail=%d\n",
+					sh.eng.Kind(), perr, sh.commitFails.Load(), sh.unavail.Load())
+			}
+		}
 		return
 	}
 	if g.State == GovOverloaded {
@@ -137,13 +208,25 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, g.State)
 	fmt.Fprintf(w, "root_rho_w=%.4f threshold=%.2f exit=%.2f shed_overload=%d shed_busy=%d conn_rejects=%d\n",
 		g.RootRhoW, g.Rho, g.ExitRho, g.ShedOverload, g.ShedBusy, g.ConnRejects)
+	if len(s.shards) > 1 {
+		for i, sh := range s.shards {
+			gs := sh.gov.Status()
+			fmt.Fprintf(w, "shard=%d state=%s rho_w=%.4f shed_overload=%d shed_busy=%d\n",
+				i, gs.State, gs.RootRhoW, gs.ShedOverload, gs.ShedBusy)
+		}
+	}
 }
 
-// metricsJSON is the ?format=json shape of /metrics.
+// metricsJSON is the ?format=json shape of /metrics. On a multi-shard
+// server the top-level fields are the merged view (counts summed, root
+// ρ_w the max over shards, histograms merged) and ShardBlocks carries
+// each shard's own block; a single-shard server reports its one shard at
+// the top level, with no shard blocks, exactly as before sharding.
 type metricsJSON struct {
 	UptimeS   float64 `json:"uptime_s"`
 	Algorithm string  `json:"algorithm"`
 	Capacity  int     `json:"capacity"`
+	Shards    int     `json:"shards"`
 	Keys      int     `json:"keys"`
 	Height    int     `json:"height"`
 	Workers   int     `json:"workers"`
@@ -187,6 +270,38 @@ type metricsJSON struct {
 	WriteTimeouts int64   `json:"write_timeouts"`
 
 	Levels []levelMetricsJSON `json:"levels"`
+
+	ShardBlocks []shardMetricsJSON `json:"shard_blocks,omitempty"`
+}
+
+// shardMetricsJSON is one shard's block on a multi-shard /metrics.
+type shardMetricsJSON struct {
+	Shard        int     `json:"shard"`
+	Keys         int     `json:"keys"`
+	Height       int     `json:"height"`
+	WindowS      float64 `json:"window_s"`
+	OpsPerSec    float64 `json:"ops_per_sec"`
+	Gets         int64   `json:"gets"`
+	Puts         int64   `json:"puts"`
+	Dels         int64   `json:"dels"`
+	OpMeanUs     float64 `json:"op_mean_us"`
+	OpP50Us      float64 `json:"op_p50_us"`
+	OpP99Us      float64 `json:"op_p99_us"`
+	Splits       int64   `json:"splits"`
+	Restarts     int64   `json:"restarts"`
+	Crossings    int64   `json:"crossings"`
+	RootRhoW     float64 `json:"root_rho_w"`
+	ModelRhoW    float64 `json:"model_rho_w"`
+	Saturated    bool    `json:"saturated"`
+	Poisoned     bool    `json:"poisoned"`
+	CommitFails  int64   `json:"commit_fails"`
+	Unavail      int64   `json:"unavail"`
+	Governor     string  `json:"governor"`
+	GovernorRhoW float64 `json:"governor_rho_w"`
+	ShedOverload int64   `json:"shed_overload"`
+	ShedBusy     int64   `json:"shed_busy"`
+
+	Levels []levelMetricsJSON `json:"levels"`
 }
 
 type levelMetricsJSON struct {
@@ -208,62 +323,9 @@ type levelMetricsJSON struct {
 
 func us(sec float64) float64 { return sec * 1e6 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	win := s.metricsWin.advance(s)
-	points := metrics.EvaluateAll(win.Rates)
-	height := s.eng.Height()
-	rhoMeas, rhoModel, saturated := rootRho(points, height)
-	es := s.eng.Stats()
-
-	out := metricsJSON{
-		UptimeS:   time.Since(s.start).Seconds(),
-		Algorithm: s.eng.Algorithm(),
-		Capacity:  s.eng.Cap(),
-		Keys:      s.eng.Len(),
-		Height:    height,
-		Workers:   s.cfg.Workers,
-		Conns:     s.connsNow.Load(),
-		WindowS:   win.Dt,
-		OpsPerSec: win.OpRate,
-		Gets:      s.gets.Load(),
-		Puts:      s.puts.Load(),
-		Dels:      s.dels.Load(),
-		BadReqs:   s.badReqs.Load(),
-		OpMeanUs:  win.ObsMeanNs / 1e3,
-		OpP50Us:   float64(win.OpHist.Quantile(0.5)) / 1e3,
-		OpP99Us:   float64(win.OpHist.Quantile(0.99)) / 1e3,
-		Splits:    es.Splits,
-		Restarts:  es.Restarts,
-		Crossings: es.Crossings,
-		RootRhoW:  math.Max(rhoMeas, rhoModel),
-		Saturated: saturated,
-
-		Engine:        s.eng.Kind(),
-		Poisoned:      s.eng.Poisoned() != nil,
-		Recovered:     es.Recovered,
-		OplogAppended: es.Appended,
-		OplogSynced:   es.Synced,
-		OplogBytes:    es.OplogBytes,
-		Fsyncs:        es.Fsyncs,
-		Checkpoints:   es.Checkpoints,
-		CheckpointLag: es.CheckpointLag,
-		CommitFails:   s.commitFails.Load(),
-		Unavail:       s.unavail.Load(),
-	}
-	gov := s.Governor()
-	out.Governor = gov.State.String()
-	if gov.Disabled {
-		out.Governor = "disabled"
-	}
-	out.GovernorRhoW = gov.RootRhoW
-	out.GovernorRho = gov.Rho
-	out.GovernorExit = gov.ExitRho
-	out.GovernorFlips = gov.Transitions
-	out.ShedOverload = gov.ShedOverload
-	out.ShedBusy = gov.ShedBusy
-	out.ConnRejects = gov.ConnRejects
-	out.ReadTimeouts = s.readTimeouts.Load()
-	out.WriteTimeouts = s.writeTimeouts.Load()
+// levelJSON converts one shard's model points, marking the shard's root.
+func levelJSON(points []metrics.ModelPoint, height int) []levelMetricsJSON {
+	var out []levelMetricsJSON
 	for _, p := range points {
 		lj := levelMetricsJSON{
 			Level:    p.Level,
@@ -283,7 +345,234 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			lj.ModelRhoW = p.Sol.RhoW
 			lj.Stable = p.Sol.Stable
 		}
-		out.Levels = append(out.Levels, lj)
+		out = append(out, lj)
+	}
+	return out
+}
+
+// mergeLevels folds every shard's model points into one per-level view:
+// arrival rates sum (total offered load at that depth across shards),
+// service rates and holds are arrival-weighted means, and both measured
+// and model ρ_w take the max over shards — the merged gauge answers "is
+// any root at this depth saturated", which is what sharding makes the
+// operative question. Stable is the conjunction over evaluated shards.
+func mergeLevels(scrapes []shardScrape) []levelMetricsJSON {
+	maxH := 0
+	for _, sc := range scrapes {
+		for _, p := range sc.points {
+			if p.Level > maxH {
+				maxH = p.Level
+			}
+		}
+	}
+	var out []levelMetricsJSON
+	for lvl := 1; lvl <= maxH; lvl++ {
+		m := levelMetricsJSON{Level: lvl, Stable: true}
+		var wsum, muR, muW, holdR, holdW, waitR, waitW float64
+		var hist metrics.HistSnapshot
+		found, anyEval := false, false
+		for _, sc := range scrapes {
+			for _, p := range sc.points {
+				if p.Level != lvl {
+					continue
+				}
+				found = true
+				wgt := p.LambdaR + p.LambdaW
+				if wgt <= 0 {
+					wgt = 1
+				}
+				wsum += wgt
+				m.LambdaR += p.LambdaR
+				m.LambdaW += p.LambdaW
+				muR += wgt * p.MuR
+				muW += wgt * p.MuW
+				holdR += wgt * us(p.MeanHoldR)
+				holdW += wgt * us(p.MeanHoldW)
+				waitR += wgt * us(p.MeanWaitR)
+				waitW += wgt * us(p.MeanWaitW)
+				hist = hist.Add(p.WaitHistW)
+				if p.RhoW > m.RhoW {
+					m.RhoW = p.RhoW
+				}
+				m.Root = m.Root || p.Level == sc.height
+				if p.Evaluated {
+					anyEval = true
+					if p.Sol.RhoW > m.ModelRhoW {
+						m.ModelRhoW = p.Sol.RhoW
+					}
+					m.Stable = m.Stable && p.Sol.Stable
+				}
+			}
+		}
+		if !found {
+			continue
+		}
+		if wsum > 0 {
+			m.MuR = muR / wsum
+			m.MuW = muW / wsum
+			m.HoldRUs = holdR / wsum
+			m.HoldWUs = holdW / wsum
+			m.WaitRUs = waitR / wsum
+			m.WaitWUs = waitW / wsum
+		}
+		m.WaitWP99 = float64(hist.Quantile(0.99)) / 1e3
+		if !anyEval {
+			m.Stable = false
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	scrapes := s.scrape(func(sh *shard) *windowState { return &sh.metricsWin })
+	single := len(scrapes) == 1
+
+	// Merged view: counts and rates sum across shards; height, window,
+	// and root ρ_w take the max; the op histogram is the bucket-wise sum.
+	var (
+		keys, height                        int
+		dt, opRate, opNsSum                 float64
+		ops, gets, puts, dels, opBad        int64
+		splits, restarts, crossings         int64
+		recovered, appended, synced, oplogB int64
+		fsyncs, checkpoints, ckptLag        int64
+		commitFails, unavail                int64
+		rhoMeas, rhoModel                   float64
+		saturated, poisoned                 bool
+		hist                                metrics.HistSnapshot
+	)
+	for _, sc := range scrapes {
+		keys += sc.sh.eng.Len()
+		if sc.height > height {
+			height = sc.height
+		}
+		if sc.win.Dt > dt {
+			dt = sc.win.Dt
+		}
+		opRate += sc.win.OpRate
+		ops += sc.win.Ops
+		opNsSum += sc.win.ObsMeanNs * float64(sc.win.Ops)
+		hist = hist.Add(sc.win.OpHist)
+		gets += sc.sh.gets.Load()
+		puts += sc.sh.puts.Load()
+		dels += sc.sh.dels.Load()
+		opBad += sc.sh.opBad.Load()
+		splits += sc.es.Splits
+		restarts += sc.es.Restarts
+		crossings += sc.es.Crossings
+		recovered += sc.es.Recovered
+		appended += sc.es.Appended
+		synced += sc.es.Synced
+		oplogB += sc.es.OplogBytes
+		fsyncs += sc.es.Fsyncs
+		checkpoints += sc.es.Checkpoints
+		ckptLag += sc.es.CheckpointLag
+		commitFails += sc.sh.commitFails.Load()
+		unavail += sc.sh.unavail.Load()
+		if sc.rhoMeas > rhoMeas {
+			rhoMeas = sc.rhoMeas
+		}
+		if sc.rhoModel > rhoModel {
+			rhoModel = sc.rhoModel
+		}
+		saturated = saturated || sc.saturated
+		poisoned = poisoned || sc.poisoned
+	}
+	meanNs := 0.0
+	if ops > 0 {
+		meanNs = opNsSum / float64(ops)
+	}
+
+	eng0 := s.shards[0].eng
+	out := metricsJSON{
+		UptimeS:   time.Since(s.start).Seconds(),
+		Algorithm: eng0.Algorithm(),
+		Capacity:  eng0.Cap(),
+		Shards:    len(s.shards),
+		Keys:      keys,
+		Height:    height,
+		Workers:   s.cfg.Workers,
+		Conns:     s.connsNow.Load(),
+		WindowS:   dt,
+		OpsPerSec: opRate,
+		Gets:      gets,
+		Puts:      puts,
+		Dels:      dels,
+		BadReqs:   s.badReqs.Load() + opBad,
+		OpMeanUs:  meanNs / 1e3,
+		OpP50Us:   float64(hist.Quantile(0.5)) / 1e3,
+		OpP99Us:   float64(hist.Quantile(0.99)) / 1e3,
+		Splits:    splits,
+		Restarts:  restarts,
+		Crossings: crossings,
+		RootRhoW:  math.Max(rhoMeas, rhoModel),
+		Saturated: saturated,
+
+		Engine:        eng0.Kind(),
+		Poisoned:      poisoned,
+		Recovered:     recovered,
+		OplogAppended: appended,
+		OplogSynced:   synced,
+		OplogBytes:    oplogB,
+		Fsyncs:        fsyncs,
+		Checkpoints:   checkpoints,
+		CheckpointLag: ckptLag,
+		CommitFails:   commitFails,
+		Unavail:       unavail,
+	}
+	gov := s.Governor()
+	out.Governor = gov.State.String()
+	if gov.Disabled {
+		out.Governor = "disabled"
+	}
+	out.GovernorRhoW = gov.RootRhoW
+	out.GovernorRho = gov.Rho
+	out.GovernorExit = gov.ExitRho
+	out.GovernorFlips = gov.Transitions
+	out.ShedOverload = gov.ShedOverload
+	out.ShedBusy = gov.ShedBusy
+	out.ConnRejects = gov.ConnRejects
+	out.ReadTimeouts = s.readTimeouts.Load()
+	out.WriteTimeouts = s.writeTimeouts.Load()
+	if single {
+		out.Levels = levelJSON(scrapes[0].points, scrapes[0].height)
+	} else {
+		out.Levels = mergeLevels(scrapes)
+		for i, sc := range scrapes {
+			gs := sc.sh.gov.Status()
+			govName := gs.State.String()
+			if gs.Disabled {
+				govName = "disabled"
+			}
+			out.ShardBlocks = append(out.ShardBlocks, shardMetricsJSON{
+				Shard:        i,
+				Keys:         sc.sh.eng.Len(),
+				Height:       sc.height,
+				WindowS:      sc.win.Dt,
+				OpsPerSec:    sc.win.OpRate,
+				Gets:         sc.sh.gets.Load(),
+				Puts:         sc.sh.puts.Load(),
+				Dels:         sc.sh.dels.Load(),
+				OpMeanUs:     sc.win.ObsMeanNs / 1e3,
+				OpP50Us:      float64(sc.win.OpHist.Quantile(0.5)) / 1e3,
+				OpP99Us:      float64(sc.win.OpHist.Quantile(0.99)) / 1e3,
+				Splits:       sc.es.Splits,
+				Restarts:     sc.es.Restarts,
+				Crossings:    sc.es.Crossings,
+				RootRhoW:     sc.rhoMeas,
+				ModelRhoW:    sc.rhoModel,
+				Saturated:    sc.saturated,
+				Poisoned:     sc.poisoned,
+				CommitFails:  sc.sh.commitFails.Load(),
+				Unavail:      sc.sh.unavail.Load(),
+				Governor:     govName,
+				GovernorRhoW: gs.RootRhoW,
+				ShedOverload: gs.ShedOverload,
+				ShedBusy:     gs.ShedBusy,
+				Levels:       levelJSON(sc.points, sc.height),
+			})
+		}
 	}
 
 	if r.URL.Query().Get("format") == "json" {
@@ -293,8 +582,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintf(w, "btserved uptime_s=%.1f algorithm=%s cap=%d keys=%d height=%d workers=%d conns=%d\n",
-		out.UptimeS, out.Algorithm, out.Capacity, out.Keys, out.Height, out.Workers, out.Conns)
+	if single {
+		fmt.Fprintf(w, "btserved uptime_s=%.1f algorithm=%s cap=%d keys=%d height=%d workers=%d conns=%d\n",
+			out.UptimeS, out.Algorithm, out.Capacity, out.Keys, out.Height, out.Workers, out.Conns)
+	} else {
+		fmt.Fprintf(w, "btserved uptime_s=%.1f algorithm=%s cap=%d keys=%d height=%d workers=%d conns=%d shards=%d\n",
+			out.UptimeS, out.Algorithm, out.Capacity, out.Keys, out.Height, out.Workers, out.Conns, out.Shards)
+	}
 	fmt.Fprintf(w, "ops window_s=%.2f rate=%.0f gets=%d puts=%d dels=%d bad=%d\n",
 		out.WindowS, out.OpsPerSec, out.Gets, out.Puts, out.Dels, out.BadReqs)
 	fmt.Fprintf(w, "op_latency_us mean=%.1f p50=%.1f p99=%.1f\n", out.OpMeanUs, out.OpP50Us, out.OpP99Us)
@@ -302,6 +596,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "engine kind=%s poisoned=%v recovered=%d oplog_appended=%d oplog_synced=%d oplog_bytes=%d fsyncs=%d checkpoints=%d checkpoint_lag=%d commit_fails=%d unavail=%d\n",
 		out.Engine, out.Poisoned, out.Recovered, out.OplogAppended, out.OplogSynced,
 		out.OplogBytes, out.Fsyncs, out.Checkpoints, out.CheckpointLag, out.CommitFails, out.Unavail)
+	if !single {
+		// Per-shard ρ_w gauges: one line per shard with its own root
+		// utilization, model prediction, governor, and shed counters.
+		for _, b := range out.ShardBlocks {
+			fmt.Fprintf(w, "shard=%d keys=%d height=%d rate=%.0f root_rho_w=%.4f model_rho_w=%.4f saturated=%v governor=%s poisoned=%v shed_overload=%d shed_busy=%d commit_fails=%d unavail=%d\n",
+				b.Shard, b.Keys, b.Height, b.OpsPerSec, b.RootRhoW, b.ModelRhoW,
+				b.Saturated, b.Governor, b.Poisoned, b.ShedOverload, b.ShedBusy,
+				b.CommitFails, b.Unavail)
+		}
+	}
 	for _, l := range out.Levels {
 		role := "inner"
 		if l.Root {
@@ -325,21 +629,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
-	win := s.modelWin.advance(s)
-	points := metrics.EvaluateAll(win.Rates)
-	height := s.eng.Height()
-	rhoMeas, rhoModel, saturated := rootRho(points, height)
-	predNs := metrics.PredictedResponse(points, win.OpRate) * 1e9
-
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintf(w, "qmodel evaluated at measured parameters (window %.2fs, %d ops, %.0f ops/s, algorithm %s)\n\n",
-		win.Dt, win.Ops, win.OpRate, s.eng.Algorithm())
-
+// modelSection renders one shard's predicted-vs-measured table.
+func modelSection(w http.ResponseWriter, sc shardScrape) {
 	tb := table.New("per-level FCFS R/W queues (leaf=1 .. root)",
 		"level", "λ_r/s", "λ_w/s", "μ_r/s", "μ_w/s",
 		"ρ_w meas", "ρ_w model", "T_a µs", "W_w meas µs", "W_w pred µs", "stable")
-	for _, p := range points {
+	for _, p := range sc.points {
 		row := []string{
 			fmt.Sprintf("%d", p.Level),
 			table.F(p.LambdaR), table.F(p.LambdaW),
@@ -360,17 +655,63 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 	}
 	tb.Render(w)
 
+	predNs := metrics.PredictedResponse(sc.points, sc.win.OpRate) * 1e9
 	fmt.Fprintf(w, "\nresponse time: observed mean %.1f µs, model predicted %.1f µs",
-		win.ObsMeanNs/1e3, predNs/1e3)
-	if win.ObsMeanNs > 0 && predNs > 0 {
-		ratio := predNs / win.ObsMeanNs
+		sc.win.ObsMeanNs/1e3, predNs/1e3)
+	if sc.win.ObsMeanNs > 0 && predNs > 0 {
+		ratio := predNs / sc.win.ObsMeanNs
 		fmt.Fprintf(w, " (pred/obs = %.2f)", ratio)
 	}
 	fmt.Fprintln(w)
-	fmt.Fprintf(w, "root rho_w: measured %.4f, model %.4f, threshold %.2f\n", rhoMeas, rhoModel, SaturationRho)
-	if saturated {
-		fmt.Fprintf(w, "WARNING: SATURATED — root writer utilization ρ_w >= %.2f, the paper's effective maximum arrival rate λ_{ρ=.5} (§6, rules of thumb 1–4). Raise node capacity (Optimistic/Link-type) or shard.\n", SaturationRho)
-	} else {
-		fmt.Fprintf(w, "root below the λ_{ρ=.5} saturation threshold\n")
+	fmt.Fprintf(w, "root rho_w: measured %.4f, model %.4f, threshold %.2f\n", sc.rhoMeas, sc.rhoModel, SaturationRho)
+}
+
+func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	scrapes := s.scrape(func(sh *shard) *windowState { return &sh.modelWin })
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+
+	if len(scrapes) == 1 {
+		sc := scrapes[0]
+		fmt.Fprintf(w, "qmodel evaluated at measured parameters (window %.2fs, %d ops, %.0f ops/s, algorithm %s)\n\n",
+			sc.win.Dt, sc.win.Ops, sc.win.OpRate, sc.sh.eng.Algorithm())
+		modelSection(w, sc)
+		if sc.saturated {
+			fmt.Fprintf(w, "WARNING: SATURATED — root writer utilization ρ_w >= %.2f, the paper's effective maximum arrival rate λ_{ρ=.5} (§6, rules of thumb 1–4). Raise node capacity (Optimistic/Link-type) or shard.\n", SaturationRho)
+		} else {
+			fmt.Fprintf(w, "root below the λ_{ρ=.5} saturation threshold\n")
+		}
+		return
+	}
+
+	// Multi-shard: the model is a per-tree model, so each shard gets its
+	// own evaluation at its own measured parameters, followed by the
+	// aggregate verdict.
+	var totOps int64
+	var totRate float64
+	saturatedShards := 0
+	for _, sc := range scrapes {
+		totOps += sc.win.Ops
+		totRate += sc.win.OpRate
+		if sc.saturated {
+			saturatedShards++
+		}
+	}
+	fmt.Fprintf(w, "qmodel evaluated per shard at measured parameters (%d shards, %d ops, %.0f ops/s aggregate, algorithm %s)\n",
+		len(scrapes), totOps, totRate, scrapes[0].sh.eng.Algorithm())
+	for i, sc := range scrapes {
+		fmt.Fprintf(w, "\n--- shard %d (window %.2fs, %d ops, %.0f ops/s) ---\n\n",
+			i, sc.win.Dt, sc.win.Ops, sc.win.OpRate)
+		modelSection(w, sc)
+		if sc.saturated {
+			fmt.Fprintf(w, "shard %d SATURATED: root ρ_w >= %.2f\n", i, SaturationRho)
+		} else {
+			fmt.Fprintf(w, "shard %d below the λ_{ρ=.5} saturation threshold\n", i)
+		}
+	}
+	fmt.Fprintf(w, "\naggregate: %d/%d shards saturated\n", saturatedShards, len(scrapes))
+	if saturatedShards == len(scrapes) {
+		fmt.Fprintf(w, "WARNING: SATURATED — every shard's root is past λ_{ρ=.5} (§6, rules of thumb 1–4). Raise node capacity (Optimistic/Link-type) or add shards.\n")
+	} else if saturatedShards > 0 {
+		fmt.Fprintf(w, "WARNING: partial saturation — the hottest shard's root is past λ_{ρ=.5}; the hash router cannot steer keys away from it\n")
 	}
 }

@@ -372,7 +372,7 @@ func TestGovernorShedsWritesAndRecovers(t *testing.T) {
 	})
 	var rho atomic.Uint64
 	setRho := func(v float64) { rho.Store(uint64(v * 1e6)) }
-	s.gov.rhoFn = func() float64 { return float64(rho.Load()) / 1e6 }
+	s.shards[0].gov.rhoFn = func() float64 { return float64(rho.Load()) / 1e6 }
 	setRho(0.01)
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")

@@ -38,7 +38,8 @@ const DefaultMaxBatch = 32
 type Config struct {
 	Algorithm cbtree.Algorithm
 	Capacity  int // node capacity; default 64
-	Workers   int // worker-pool size; default GOMAXPROCS
+	Shards    int // keyspace shards, each an independent engine; default 1
+	Workers   int // worker-pool size per shard; default ceil(GOMAXPROCS/Shards)
 	Depth     int // per-connection pipeline bound; default 128
 	Prefill   int // keys inserted before serving; default 0
 	MaxBatch  int // max requests per worker-pool dispatch; default DefaultMaxBatch
@@ -49,26 +50,39 @@ type Config struct {
 	IdleTimeout  time.Duration // per-read deadline: a conn that sends no complete frame within it is closed
 	WriteTimeout time.Duration // per-write deadline: a peer that won't drain responses is closed
 	AdmitTimeout time.Duration // how long a batch may wait for a worker-queue slot before StatusBusy
-	QueueDepth   int           // worker queue bound, in batches; default 4*Workers
+	QueueDepth   int           // worker queue bound per shard, in batches; default 4*Workers
 
-	// Governor configures the model-driven overload governor; see
-	// GovernorConfig.
+	// Governor configures the model-driven overload governor; each shard
+	// runs its own instance against its own root ρ_w. See GovernorConfig.
 	Governor GovernorConfig
 
-	// Engine selects the storage engine. Nil builds the default
-	// in-memory engine from Algorithm/Capacity; a *DiskEngine makes the
-	// server durable: each batch's mutations are acknowledged only after
-	// the engine's group-commit fsync returns. Algorithm and Capacity
-	// are ignored when an Engine is supplied.
+	// Engine selects the storage engine of a single-shard server. Nil
+	// builds the default in-memory engine from Algorithm/Capacity; a
+	// *DiskEngine makes the server durable: each batch's mutations are
+	// acknowledged only after the engine's group-commit fsync returns.
+	// Algorithm and Capacity are ignored when an Engine is supplied.
 	Engine Engine
+
+	// Engines supplies one engine per shard and overrides both Engine
+	// and Shards (the shard count becomes len(Engines)). The keyspace is
+	// hash-partitioned across them; every engine must be the same kind.
+	Engines []Engine
 }
 
 func (c *Config) fill() {
 	if c.Capacity == 0 {
 		c.Capacity = 64
 	}
+	if len(c.Engines) > 0 {
+		c.Shards = len(c.Engines)
+	} else if c.Engine != nil {
+		c.Shards = 1
+	}
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
 	if c.Workers <= 0 {
-		c.Workers = runtime.GOMAXPROCS(0)
+		c.Workers = (runtime.GOMAXPROCS(0) + c.Shards - 1) / c.Shards
 	}
 	if c.Depth <= 0 {
 		c.Depth = 128
@@ -91,39 +105,27 @@ func (c *Config) fill() {
 	c.Governor.fill()
 }
 
-// Server owns the tree, its telemetry probe, and the worker pool. Create
+// Server owns the shard set — each shard an independent engine with its
+// own telemetry probe, worker pool, and overload governor — plus the
+// connection layer that routes each request's key to its shard. Create
 // one with New, serve the binary protocol with Serve, and mount Handler
-// on an HTTP listener for /metrics and /debug/model.
+// on an HTTP listener for /metrics and /debug/model. A single-shard
+// server behaves exactly like the pre-sharding one.
 type Server struct {
-	cfg   Config
-	tree  *cbtree.Tree // nil unless the engine is the in-memory one
-	eng   Engine
-	probe *metrics.TreeProbe
-	work  chan *batch
+	cfg    Config
+	shards []*shard
 
 	start    time.Time
-	opLat    metrics.Hist // per-op tree service time
-	opNsSum  atomic.Int64
-	opCount  atomic.Int64
-	gets     atomic.Int64
-	puts     atomic.Int64
-	dels     atomic.Int64
-	badReqs  atomic.Int64
+	badReqs  atomic.Int64 // malformed frames (wire-level; op-level bads are per shard)
 	connsNow atomic.Int64
 	connsTot atomic.Int64
 
-	// Durability counters.
-	commitFails atomic.Int64 // batches whose group commit failed
-	unavail     atomic.Int64 // requests answered StatusUnavail
-
-	// Self-defense counters.
+	// Self-defense counters (connection-level; shed counters are per
+	// shard).
 	connRejects   atomic.Int64 // conns refused with StatusBusy at the cap
-	shedBusy      atomic.Int64 // requests shed with StatusBusy (queue full)
-	shedOverload  atomic.Int64 // updates shed with StatusOverload (governor)
 	readTimeouts  atomic.Int64 // conns reaped by the idle/read deadline
 	writeTimeouts atomic.Int64 // conns reaped by the write deadline
 
-	gov     *governor
 	stopped atomic.Bool
 
 	// testApplyDelay slows apply down; set before Serve, tests only.
@@ -132,54 +134,110 @@ type Server struct {
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
 
-	metricsWin windowState // /metrics scrape window
-	modelWin   windowState // /debug/model scrape window
+	// lifeMu orders engine shutdown against the telemetry handlers:
+	// handlers hold the read side for the duration of a scrape, Close
+	// holds the write side while closing the engines, and closed makes
+	// every later scrape answer without touching an engine.
+	lifeMu sync.RWMutex
+	closed bool
 }
 
-// New builds the tree (prefilled if requested), instruments every node
-// lock with the per-level telemetry probe, and sizes the worker pool.
+// New builds the shard set (prefilled if requested), instruments every
+// in-memory node lock with its shard's per-level telemetry probe, and
+// sizes the per-shard worker pools.
 func New(cfg Config) *Server {
 	cfg.fill()
 	s := &Server{
 		cfg:   cfg,
-		probe: metrics.NewTreeProbe(),
-		work:  make(chan *batch, cfg.QueueDepth),
 		start: time.Now(),
 		conns: make(map[net.Conn]struct{}),
 	}
-	if cfg.Engine != nil {
-		s.eng = cfg.Engine
-	} else {
-		s.tree = cbtree.New(cfg.Capacity, cfg.Algorithm)
-		s.eng = &memEngine{t: s.tree}
+	s.shards = make([]*shard, cfg.Shards)
+	for i := range s.shards {
+		sh := &shard{
+			id:    i,
+			srv:   s,
+			probe: metrics.NewTreeProbe(),
+			work:  make(chan *batch, cfg.QueueDepth),
+		}
+		switch {
+		case len(cfg.Engines) > 0:
+			sh.eng = cfg.Engines[i]
+		case cfg.Engine != nil:
+			sh.eng = cfg.Engine
+		default:
+			sh.tree = cbtree.New(cfg.Capacity, cfg.Algorithm)
+			sh.eng = &memEngine{t: sh.tree}
+		}
+		sh.gov = newGovernor(sh, cfg.Governor)
+		s.shards[i] = sh
 	}
-	s.gov = newGovernor(s, cfg.Governor)
 	for i := 0; i < cfg.Prefill; i++ {
 		// A simple odd multiplier scatters the prefill across the key
-		// space deterministically.
+		// space deterministically; the router then scatters the keys
+		// across shards.
 		k := int64(uint64(i)*2654435761) % (1 << 40)
-		if _, err := s.eng.Put(k, uint64(i)); err != nil {
+		sh := s.shards[s.shardIdx(k)]
+		if _, err := sh.eng.Put(k, uint64(i)); err != nil {
 			break // the engine is poisoned; Serve will answer StatusUnavail
 		}
 	}
 	if cfg.Prefill > 0 {
-		s.eng.Commit()
+		for _, sh := range s.shards {
+			sh.eng.Commit()
+		}
 	}
-	if s.tree != nil {
-		s.tree.Instrument(func(level int) lock.Probe { return s.probe.Level(level) })
+	for _, sh := range s.shards {
+		if sh.tree != nil {
+			probe := sh.probe
+			sh.tree.Instrument(func(level int) lock.Probe { return probe.Level(level) })
+		}
 	}
 	return s
 }
 
-// Engine exposes the storage engine (telemetry, tests).
-func (s *Server) Engine() Engine { return s.eng }
+// NumShards returns the shard count.
+func (s *Server) NumShards() int { return len(s.shards) }
 
-// Tree exposes the underlying in-memory tree (tests, stats); nil when
-// the server runs on another engine.
-func (s *Server) Tree() *cbtree.Tree { return s.tree }
+// Engine exposes shard 0's storage engine (telemetry, tests). Multi-
+// shard servers have one engine per shard; see Len for the merged size.
+func (s *Server) Engine() Engine { return s.shards[0].eng }
 
-// Probe exposes the telemetry probe.
-func (s *Server) Probe() *metrics.TreeProbe { return s.probe }
+// Tree exposes shard 0's in-memory tree (tests, stats); nil when the
+// shard runs on another engine.
+func (s *Server) Tree() *cbtree.Tree { return s.shards[0].tree }
+
+// Probe exposes shard 0's telemetry probe.
+func (s *Server) Probe() *metrics.TreeProbe { return s.shards[0].probe }
+
+// Len returns the total key count across all shards.
+func (s *Server) Len() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.eng.Len()
+	}
+	return n
+}
+
+// Close releases every shard's engine. It must be called only after
+// Serve has returned (the worker pools own the engines while serving);
+// it then excludes the telemetry handlers, so a scrape can never race a
+// closing engine. Close is idempotent; later scrapes answer 503.
+func (s *Server) Close() error {
+	s.lifeMu.Lock()
+	defer s.lifeMu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var err error
+	for _, sh := range s.shards {
+		if cerr := sh.eng.Close(); cerr != nil {
+			err = errors.Join(err, fmt.Errorf("shard %d: %w", sh.id, cerr))
+		}
+	}
+	return err
+}
 
 // closeRead shuts down the read side of a connection so its reader sees
 // EOF after draining buffered data. Conns without a CloseRead method
@@ -195,83 +253,34 @@ func closeRead(c net.Conn) {
 // Serve accepts connections on ln until ctx is cancelled, then drains: it
 // stops accepting, lets every already-read request finish and its
 // response be written, and closes the connections. It returns nil on a
-// clean drain.
+// clean drain. Every shard's worker pool has exited — and therefore
+// every acknowledged batch's group commit has returned — before Serve
+// returns, so Close after Serve can never race a final fsync.
 //
 // Admission is bounded end to end: at most MaxConns connections (excess
 // conns get one StatusBusy frame and are closed), at most Depth requests
-// pipelined per connection, and at most QueueDepth batches queued for
-// the worker pool — a batch that cannot get a queue slot within
-// AdmitTimeout is answered StatusBusy in order, so a full queue sheds
-// load instead of deadlocking or growing without bound. When the
-// overload governor is shedding, puts and deletes are answered
-// StatusOverload without touching the tree.
+// pipelined per connection, and at most QueueDepth batches queued per
+// shard — a batch that cannot get a queue slot within AdmitTimeout has
+// that shard's requests answered StatusBusy in order, so a full queue
+// sheds load instead of deadlocking or growing without bound. When a
+// shard's overload governor is shedding, puts and deletes routed to that
+// shard are answered StatusOverload without touching its tree.
 func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	var workerWG sync.WaitGroup
-	for i := 0; i < s.cfg.Workers; i++ {
-		workerWG.Add(1)
-		go func() {
-			defer workerWG.Done()
-			// Telemetry is tallied locally and flushed once per batch:
-			// per-op atomic adds from every worker bounce the counters'
-			// cache lines and were a measurable share of service time.
-			var tally opTally
-			for bt := range s.work {
-				tally = opTally{}
-				t0 := time.Now()
-				for i := range bt.jobs {
-					j := &bt.jobs[i]
-					if j.skip {
-						continue
-					}
-					j.resp = s.apply(j.req, &tally)
-				}
-				if tally.puts+tally.dels > 0 {
-					// Group commit: one engine fsync covers every mutation
-					// in the batch; their OK responses are withheld until
-					// it returns. On failure nothing is acknowledged — the
-					// engine is poisoned (fail stop), so rewriting the
-					// batch's mutation responses to StatusUnavail closes
-					// the last window where an ack could outrun the disk.
-					if err := s.eng.Commit(); err != nil {
-						s.commitFails.Add(1)
-						for i := range bt.jobs {
-							j := &bt.jobs[i]
-							if !j.skip && (j.req.Op == OpPut || j.req.Op == OpDel) {
-								j.resp = Response{Status: StatusUnavail}
-							}
-						}
-					}
-				}
-				if n := tally.gets + tally.puts + tally.dels + tally.pings + tally.bad; n > 0 {
-					ns := time.Since(t0).Nanoseconds()
-					// The histogram records the batch's amortized per-op
-					// service time for each op (exact in the mean,
-					// batch-smoothed in the tails).
-					s.opLat.ObserveN(ns/n, n)
-					s.opNsSum.Add(ns)
-					s.opCount.Add(n)
-					if tally.gets > 0 {
-						s.gets.Add(tally.gets)
-					}
-					if tally.puts > 0 {
-						s.puts.Add(tally.puts)
-					}
-					if tally.dels > 0 {
-						s.dels.Add(tally.dels)
-					}
-					if tally.bad > 0 {
-						s.badReqs.Add(tally.bad)
-					}
-					if tally.unavail > 0 {
-						s.unavail.Add(tally.unavail)
-					}
-				}
-				bt.complete()
-			}
-		}()
+	for _, sh := range s.shards {
+		for i := 0; i < s.cfg.Workers; i++ {
+			workerWG.Add(1)
+			go func(sh *shard) {
+				defer workerWG.Done()
+				sh.run()
+			}(sh)
+		}
 	}
 
-	govDone := s.gov.start()
+	govDones := make([]<-chan struct{}, len(s.shards))
+	for i, sh := range s.shards {
+		govDones[i] = sh.gov.start()
+	}
 
 	stop := make(chan struct{})
 	var closeOnce sync.Once
@@ -345,10 +354,14 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	}
 
 	connWG.Wait()
-	close(s.work)
+	for _, sh := range s.shards {
+		close(sh.work)
+	}
 	workerWG.Wait()
-	s.gov.stop()
-	<-govDone
+	for i, sh := range s.shards {
+		sh.gov.stop()
+		<-govDones[i]
+	}
 	if acceptErr != nil && !errors.Is(acceptErr, net.ErrClosed) {
 		return fmt.Errorf("server: accept: %w", acceptErr)
 	}
@@ -372,8 +385,9 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 // IdleTimeout deadline (reaping idle peers and slow-loris
 // byte-trickling alike), every response write carries a WriteTimeout
 // deadline (reaping peers that pipeline requests but never drain
-// responses), and batches that cannot be admitted to the worker queue
-// within AdmitTimeout are answered StatusBusy in request order.
+// responses), and batches that cannot be admitted to a shard's worker
+// queue within AdmitTimeout have that shard's requests answered
+// StatusBusy in request order.
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
 	if tc, ok := conn.(*net.TCPConn); ok {
@@ -398,6 +412,7 @@ func (s *Server) handle(conn net.Conn) {
 	br := bufio.NewReaderSize(conn, 32<<10)
 	buf := make([]byte, MaxPayload)
 	credits := s.cfg.Depth
+	nShards := len(s.shards)
 	var bt *batch // accumulating batch; nil between batches
 	submit := func() {
 		if bt == nil {
@@ -451,18 +466,22 @@ func (s *Server) handle(conn net.Conn) {
 		}
 		credits--
 		if bt == nil {
-			bt = getBatch()
+			bt = getBatch(nShards)
 		}
 		j := bt.add()
 		j.req = req
-		if s.gov.shedding() && (req.Op == OpPut || req.Op == OpDel) {
-			// The governor is shedding update traffic: answer without
-			// touching the tree so writers stop driving root ρ_w.
-			s.shedOverload.Add(1)
+		j.shard = s.shardIdx(req.Key)
+		sh := s.shards[j.shard]
+		if sh.gov.shedding() && (req.Op == OpPut || req.Op == OpDel) {
+			// The shard's governor is shedding update traffic: answer
+			// without touching its tree so writers stop driving that
+			// root's ρ_w.
+			sh.shedOverload.Add(1)
 			j.skip = true
 			j.resp = Response{Status: StatusOverload}
 		} else {
 			bt.nexec++
+			bt.nexecSh[j.shard]++
 		}
 	}
 	submit()
@@ -530,41 +549,62 @@ func (s *Server) connWriter(conn net.Conn, pending <-chan *batch, freed chan<- i
 	bw.Flush()
 }
 
-// dispatch hands a full batch to the worker pool, or answers it on the
-// spot: a batch whose every job was already decided (governor shedding)
-// never crosses the queue, and a batch that cannot be admitted within
-// AdmitTimeout has its undecided jobs answered StatusBusy in request
-// order. After dispatch the batch belongs to the worker/writer; the
-// caller must not touch it.
+// dispatch hands a full batch to every involved shard's worker queue, or
+// answers jobs on the spot: a batch whose every job was already decided
+// (governor shedding) never crosses a queue, and a shard that cannot
+// admit the batch within AdmitTimeout has its jobs answered StatusBusy
+// in request order — other shards' jobs still execute. The batch is
+// armed with one completion per involved shard before the first
+// dispatch, so the writer's token can only fire after every shard (and
+// every admission-path shed) has retired its share. After dispatch the
+// batch belongs to the workers/writer; the caller must not touch it.
 func (s *Server) dispatch(bt *batch, admitTimer **time.Timer) {
 	if bt.nexec == 0 {
-		bt.complete()
+		bt.arm(1)
+		bt.completeOne()
 		return
 	}
-	if s.admit(bt, admitTimer) {
-		return
+	involved := int32(0)
+	for _, n := range bt.nexecSh {
+		if n > 0 {
+			involved++
+		}
 	}
-	shed := 0
-	for i := range bt.jobs {
-		j := &bt.jobs[i]
-		if j.skip {
+	bt.arm(involved)
+	for si, n := range bt.nexecSh {
+		if n == 0 {
 			continue
 		}
-		j.skip = true
-		j.resp = Response{Status: StatusBusy}
-		shed++
+		sh := s.shards[si]
+		if s.admit(sh, bt, admitTimer) {
+			continue
+		}
+		// This shard's queue stayed full past AdmitTimeout: shed its
+		// jobs. Only the reader touches them — the shard's workers never
+		// saw the batch.
+		shed := 0
+		for i := range bt.jobs {
+			j := &bt.jobs[i]
+			if j.skip || int(j.shard) != si {
+				continue
+			}
+			j.skip = true
+			j.resp = Response{Status: StatusBusy}
+			shed++
+		}
+		sh.shedBusy.Add(int64(shed))
+		bt.completeOne()
 	}
-	s.shedBusy.Add(int64(shed))
-	bt.complete()
 }
 
-// admit places bt on the worker queue, waiting at most AdmitTimeout for
-// a slot when the queue is full. It reports false when the batch must be
-// shed (the caller answers StatusBusy). The contended path reuses the
-// connection's timer instead of allocating one per attempt.
-func (s *Server) admit(bt *batch, admitTimer **time.Timer) bool {
+// admit places bt on the shard's worker queue, waiting at most
+// AdmitTimeout for a slot when the queue is full. It reports false when
+// the batch must be shed for that shard (the caller answers StatusBusy).
+// The contended path reuses the connection's timer instead of allocating
+// one per attempt.
+func (s *Server) admit(sh *shard, bt *batch, admitTimer **time.Timer) bool {
 	select {
-	case s.work <- bt:
+	case sh.work <- bt:
 		return true
 	default:
 	}
@@ -579,7 +619,7 @@ func (s *Server) admit(bt *batch, admitTimer **time.Timer) bool {
 		t.Reset(s.cfg.AdmitTimeout)
 	}
 	select {
-	case s.work <- bt:
+	case sh.work <- bt:
 		t.Stop()
 		return true
 	case <-t.C:
@@ -588,23 +628,23 @@ func (s *Server) admit(bt *batch, admitTimer **time.Timer) bool {
 }
 
 // opTally is a worker-local count of the ops executed in one batch,
-// flushed to the server's shared counters once per batch.
+// flushed to the shard's shared counters once per batch.
 type opTally struct {
 	gets, puts, dels, pings, bad, unavail int64
 }
 
-// apply executes one request against the engine, recording it in the
-// worker's batch tally. Engine errors (a poisoned disk engine) answer
-// StatusUnavail: the server keeps the wire protocol up but acknowledges
-// nothing it cannot guarantee.
-func (s *Server) apply(req Request, t *opTally) Response {
+// apply executes one request against the shard's engine, recording it in
+// the worker's batch tally. Engine errors (a poisoned disk engine)
+// answer StatusUnavail: the server keeps the wire protocol up but
+// acknowledges nothing it cannot guarantee.
+func (s *Server) apply(sh *shard, req Request, t *opTally) Response {
 	if s.testApplyDelay > 0 {
 		time.Sleep(s.testApplyDelay)
 	}
 	switch req.Op {
 	case OpGet:
 		t.gets++
-		v, ok, err := s.eng.Get(req.Key)
+		v, ok, err := sh.eng.Get(req.Key)
 		if err != nil {
 			t.unavail++
 			return Response{Status: StatusUnavail}
@@ -615,7 +655,7 @@ func (s *Server) apply(req Request, t *opTally) Response {
 		return Response{Status: StatusOK, HasVal: true, Val: v}
 	case OpPut:
 		t.puts++
-		ok, err := s.eng.Put(req.Key, req.Val)
+		ok, err := sh.eng.Put(req.Key, req.Val)
 		if err != nil {
 			t.unavail++
 			return Response{Status: StatusUnavail}
@@ -626,7 +666,7 @@ func (s *Server) apply(req Request, t *opTally) Response {
 		return Response{Status: StatusMiss}
 	case OpDel:
 		t.dels++
-		ok, err := s.eng.Del(req.Key)
+		ok, err := sh.eng.Del(req.Key)
 		if err != nil {
 			t.unavail++
 			return Response{Status: StatusUnavail}

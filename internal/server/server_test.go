@@ -167,8 +167,8 @@ func TestServerConcurrentConnections(t *testing.T) {
 		}(w)
 	}
 	wg.Wait()
-	if s.opCount.Load() != conns*per {
-		t.Fatalf("served %d ops, want %d", s.opCount.Load(), conns*per)
+	if s.shards[0].opCount.Load() != conns*per {
+		t.Fatalf("served %d ops, want %d", s.shards[0].opCount.Load(), conns*per)
 	}
 }
 

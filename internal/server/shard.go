@@ -1,0 +1,135 @@
+package server
+
+import (
+	"sync/atomic"
+	"time"
+
+	"btreeperf/internal/cbtree"
+	"btreeperf/internal/metrics"
+)
+
+// shard is one independent serving partition: its own storage engine,
+// tree telemetry probe, worker queue, overload governor, operation
+// counters, and scrape windows. The paper's queueing model caps a single
+// tree's throughput at root ρ_w = .5; partitioning the keyspace across N
+// shards gives N independent root locks, so the model's per-tree
+// saturation analysis applies shard by shard and aggregate throughput
+// scales with the shard count until the hardware runs out.
+type shard struct {
+	id    int
+	srv   *Server
+	eng   Engine
+	tree  *cbtree.Tree // nil unless the shard's engine is the in-memory one
+	probe *metrics.TreeProbe
+	work  chan *batch
+	gov   *governor
+
+	opLat   metrics.Hist // per-op tree service time
+	opNsSum atomic.Int64
+	opCount atomic.Int64
+	gets    atomic.Int64
+	puts    atomic.Int64
+	dels    atomic.Int64
+	opBad   atomic.Int64 // requests with an unknown opcode
+
+	// Durability counters.
+	commitFails atomic.Int64 // batches whose group commit failed
+	unavail     atomic.Int64 // requests answered StatusUnavail
+
+	// Shed counters (per shard: overload shedding acts on the shard
+	// whose root is saturated, not globally).
+	shedOverload atomic.Int64 // updates shed with StatusOverload (governor)
+	shedBusy     atomic.Int64 // requests shed with StatusBusy (queue full)
+
+	metricsWin windowState // /metrics scrape window
+	modelWin   windowState // /debug/model scrape window
+}
+
+// shardIndex routes a key to a shard with a full-avalanche mixer
+// (splitmix64 finalizer), so adjacent or patterned key streams spread
+// evenly. It is a pure function of (key, n): the same key always lands
+// on the same shard, across restarts and across processes — btload's
+// audit-verify and the crash harness depend on that.
+func shardIndex(key int64, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := uint64(key)
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return int(h % uint64(n))
+}
+
+// shardIdx routes a key to this server's shard index.
+func (s *Server) shardIdx(key int64) int32 {
+	return int32(shardIndex(key, len(s.shards)))
+}
+
+// run is one worker of this shard's pool: it executes the shard's slice
+// of each batch, group-commits the shard's engine once per batch that
+// mutated it, and retires the shard's completion. Jobs of other shards
+// in the same batch are skipped — slab entries are disjoint across
+// shards, so concurrent shard workers never touch the same job.
+func (sh *shard) run() {
+	s := sh.srv
+	// Telemetry is tallied locally and flushed once per batch: per-op
+	// atomic adds from every worker bounce the counters' cache lines and
+	// were a measurable share of service time.
+	var tally opTally
+	for bt := range sh.work {
+		tally = opTally{}
+		t0 := time.Now()
+		for i := range bt.jobs {
+			j := &bt.jobs[i]
+			if j.skip || int(j.shard) != sh.id {
+				continue
+			}
+			j.resp = s.apply(sh, j.req, &tally)
+		}
+		if tally.puts+tally.dels > 0 {
+			// Group commit: one engine fsync covers every mutation this
+			// shard executed from the batch; their OK responses are
+			// withheld until it returns. On failure nothing is
+			// acknowledged — the engine is poisoned (fail stop), so
+			// rewriting the shard's mutation responses to StatusUnavail
+			// closes the last window where an ack could outrun the disk.
+			if err := sh.eng.Commit(); err != nil {
+				sh.commitFails.Add(1)
+				for i := range bt.jobs {
+					j := &bt.jobs[i]
+					if !j.skip && int(j.shard) == sh.id && (j.req.Op == OpPut || j.req.Op == OpDel) {
+						j.resp = Response{Status: StatusUnavail}
+					}
+				}
+			}
+		}
+		if n := tally.gets + tally.puts + tally.dels + tally.pings + tally.bad; n > 0 {
+			ns := time.Since(t0).Nanoseconds()
+			// The histogram records the batch's amortized per-op service
+			// time for each op (exact in the mean, batch-smoothed in the
+			// tails).
+			sh.opLat.ObserveN(ns/n, n)
+			sh.opNsSum.Add(ns)
+			sh.opCount.Add(n)
+			if tally.gets > 0 {
+				sh.gets.Add(tally.gets)
+			}
+			if tally.puts > 0 {
+				sh.puts.Add(tally.puts)
+			}
+			if tally.dels > 0 {
+				sh.dels.Add(tally.dels)
+			}
+			if tally.bad > 0 {
+				sh.opBad.Add(tally.bad)
+			}
+			if tally.unavail > 0 {
+				sh.unavail.Add(tally.unavail)
+			}
+		}
+		bt.completeOne()
+	}
+}

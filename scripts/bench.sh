@@ -1,8 +1,12 @@
 #!/usr/bin/env bash
 # Serving-path benchmark baseline: runs the protocol codec, batch
-# dispatch, and end-to-end loopback serving benchmarks and writes the
-# tracked JSON baseline (median of -count runs per metric, plus
-# allocs/op and sampled p50/p99 response times).
+# dispatch, and end-to-end loopback serving benchmarks — including the
+# BenchmarkServeLoopbackSharded shard-count sweep (N=1,2,4,8 on the
+# mixed depth-128 workload) — and writes the tracked JSON baseline
+# (median of -count runs per metric, plus allocs/op and sampled p50/p99
+# response times). The sharded sweep uses distinct benchmark names, so
+# the N=1 ServeLoopback baseline stays benchstat-comparable across
+# runs that predate sharding.
 #
 #   scripts/bench.sh                 # full baseline, -count=3 (~5 min)
 #   scripts/bench.sh -quick          # one short pass, for CI smoke
@@ -28,6 +32,6 @@ go test ./internal/server -run '^$' \
   -benchmem -benchtime "$benchtime" -count "$count" | tee "$raw"
 
 go run ./cmd/benchjson \
-  -note "scripts/bench.sh: count=$count benchtime=$benchtime; ServeLoopback is a mixed get/put/del pipeline over loopback TCP, client and server in one process" \
+  -note "scripts/bench.sh: count=$count benchtime=$benchtime; ServeLoopback is a mixed get/put/del pipeline over loopback TCP, client and server in one process; ServeLoopbackSharded sweeps the hash-routed shard count on the depth-128 mix" \
   <"$raw" >"$out"
 echo "wrote $out"

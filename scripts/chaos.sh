@@ -9,7 +9,11 @@
 #   2. the client's error budget holds: requests lost to injected
 #      connection failures stay under 1% of requests sent.
 #
-#   scripts/chaos.sh            # ~10 s, one server run
+# The storm runs twice: once against the single-engine server and once
+# against a 4-shard one, so injected failures land while the router is
+# fanning batches across independent engines.
+#
+#   scripts/chaos.sh            # ~20 s, two server runs
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -22,49 +26,52 @@ go build -o "$bin/btload" ./cmd/btload
 listen=127.0.0.1:9490
 http=127.0.0.1:9491
 
-"$bin/btserved" -alg link-type -listen "$listen" -http "$http" -prefill 20000 \
-  -max-conns 256 -idle-timeout 30s -write-timeout 5s \
-  -chaos 'latency=20us,pstall=0.0002,stall=5ms,preset=0.0002,ptrunc=0.0002,pdrop=0.01,seed=11' \
-  2>"$bin/serv.log" &
-spid=$!
+for shards in 1 4; do
+  echo "== chaos storm, shards=$shards =="
+  "$bin/btserved" -alg link-type -shards "$shards" -listen "$listen" -http "$http" \
+    -prefill 20000 -max-conns 256 -idle-timeout 30s -write-timeout 5s \
+    -chaos 'latency=20us,pstall=0.0002,stall=5ms,preset=0.0002,ptrunc=0.0002,pdrop=0.01,seed=11' \
+    2>"$bin/serv-$shards.log" &
+  spid=$!
 
-for _ in $(seq 50); do
-  curl -sf "http://$http/healthz" >/dev/null 2>&1 && break
-  sleep 0.2
+  for _ in $(seq 50); do
+    curl -sf "http://$http/healthz" >/dev/null 2>&1 && break
+    sleep 0.2
+  done
+
+  "$bin/btload" -addr "$listen" -conns 4 -depth 16 -duration 5s \
+    -chaos 'latency=20us,pdrop=0.01,seed=5' | tee "$bin/load-$shards.out" &
+  lpid=$!
+
+  # Mid-storm health probe.
+  sleep 2
+  mid="$(curl -sf "http://$http/healthz" | head -1)"
+  [ "$mid" = ok ] || [ "$mid" = degraded ] || {
+    echo "FAIL(shards=$shards): /healthz mid-storm said '$mid'" >&2; exit 1; }
+
+  wait "$lpid" || { echo "FAIL(shards=$shards): btload exited nonzero" >&2; exit 1; }
+
+  # Post-storm the server must be fully healthy.
+  post="$(curl -sf "http://$http/healthz" | head -1)"
+  [ "$post" = ok ] || { echo "FAIL(shards=$shards): /healthz post-storm said '$post'" >&2; exit 1; }
+
+  # Client error budget: lost requests under 1% of sent.
+  awk -v shards="$shards" '
+    /^[0-9]+ ops in / { ops = $1 }
+    /^errors: / { errs = $2; sub(/\(/, "", $3); pct = $3 + 0; found = 1 }
+    END {
+      if (!found)    { print "FAIL(shards=" shards "): btload printed no error report" > "/dev/stderr"; exit 1 }
+      if (ops + 0 == 0) { print "FAIL(shards=" shards "): btload completed no ops" > "/dev/stderr"; exit 1 }
+      if (pct >= 1)  { print "FAIL(shards=" shards "): client error rate " pct "% >= 1% budget" > "/dev/stderr"; exit 1 }
+      print "ok: " ops " ops through chaos, " errs " lost (" pct "%)"
+    }' "$bin/load-$shards.out"
+
+  kill -TERM "$spid"
+  wait "$spid" || { echo "FAIL(shards=$shards): btserved exited nonzero after chaos" >&2; exit 1; }
+  grep -q drained "$bin/serv-$shards.log" || {
+    echo "FAIL(shards=$shards): btserved did not drain cleanly after chaos" >&2; exit 1; }
+  grep -q 'chaos injected' "$bin/serv-$shards.log" || {
+    echo "FAIL(shards=$shards): server-side injector reported no activity" >&2; exit 1; }
 done
 
-"$bin/btload" -addr "$listen" -conns 4 -depth 16 -duration 5s \
-  -chaos 'latency=20us,pdrop=0.01,seed=5' | tee "$bin/load.out" &
-lpid=$!
-
-# Mid-storm health probe.
-sleep 2
-mid="$(curl -sf "http://$http/healthz" | head -1)"
-[ "$mid" = ok ] || [ "$mid" = degraded ] || {
-  echo "FAIL: /healthz mid-storm said '$mid'" >&2; exit 1; }
-
-wait "$lpid" || { echo "FAIL: btload exited nonzero" >&2; exit 1; }
-
-# Post-storm the server must be fully healthy.
-post="$(curl -sf "http://$http/healthz" | head -1)"
-[ "$post" = ok ] || { echo "FAIL: /healthz post-storm said '$post'" >&2; exit 1; }
-
-# Client error budget: lost requests under 1% of sent.
-awk '
-  /^[0-9]+ ops in / { ops = $1 }
-  /^errors: / { errs = $2; sub(/\(/, "", $3); pct = $3 + 0; found = 1 }
-  END {
-    if (!found)    { print "FAIL: btload printed no error report" > "/dev/stderr"; exit 1 }
-    if (ops + 0 == 0) { print "FAIL: btload completed no ops" > "/dev/stderr"; exit 1 }
-    if (pct >= 1)  { print "FAIL: client error rate " pct "% >= 1% budget" > "/dev/stderr"; exit 1 }
-    print "ok: " ops " ops through chaos, " errs " lost (" pct "%)"
-  }' "$bin/load.out"
-
-kill -TERM "$spid"
-wait "$spid" || { echo "FAIL: btserved exited nonzero after chaos" >&2; exit 1; }
-grep -q drained "$bin/serv.log" || {
-  echo "FAIL: btserved did not drain cleanly after chaos" >&2; exit 1; }
-grep -q 'chaos injected' "$bin/serv.log" || {
-  echo "FAIL: server-side injector reported no activity" >&2; exit 1; }
-
-echo "chaos: server stayed healthy and drained; client error budget held"
+echo "chaos: server stayed healthy and drained at shards=1 and shards=4; client error budget held"

@@ -17,10 +17,13 @@
 #
 #   scripts/crash.sh              # 25 cycles, ~45 s
 #   CYCLES=5 scripts/crash.sh     # quicker local run
+#   SHARDS=4 scripts/crash.sh     # sharded disk engine: one journal per
+#                                 # shard, all must replay on recovery
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 cycles="${CYCLES:-25}"
+shards="${SHARDS:-1}"
 bin="$(mktemp -d)"
 trap 'kill -9 "${spid:-}" 2>/dev/null || true; rm -rf "$bin"' EXIT
 
@@ -29,7 +32,9 @@ go build -o "$bin/btload" ./cmd/btload
 
 listen=127.0.0.1:9470
 http=127.0.0.1:9471
-db="$bin/tree.db"
+# At SHARDS>1 btserved treats -path as a directory and lays out one
+# shard-N/tree.db under it; at 1 it is the legacy single db file.
+if [ "$shards" -gt 1 ]; then db="$bin/db"; else db="$bin/tree.db"; fi
 audit="$bin/audit.log"
 chaos='latency=50us,preset=0.0005,seed=11'
 
@@ -38,7 +43,7 @@ chaos='latency=50us,preset=0.0005,seed=11'
 start_server() {
   local chaosflags=()
   [ $# -gt 0 ] && chaosflags=(-chaos "$1")
-  "$bin/btserved" -engine disk -path "$db" -cap 64 \
+  "$bin/btserved" -engine disk -path "$db" -shards "$shards" -cap 64 \
     -listen "$listen" -http "$http" "${chaosflags[@]}" \
     >>"$bin/serv.log" 2>&1 &
   spid=$!
@@ -86,4 +91,4 @@ grep -q 'ops recovered' "$bin/serv.log" || {
 kill -TERM "$spid"
 wait "$spid" || { echo "FAIL: final btserved exited nonzero" >&2; exit 1; }
 
-echo "crash: $cycles kill -9 cycles, $acked acked writes, zero lost"
+echo "crash: $cycles kill -9 cycles at shards=$shards, $acked acked writes, zero lost"

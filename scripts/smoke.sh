@@ -64,4 +64,47 @@ for alg in lock-coupling optimistic link-type; do
     echo "FAIL($alg): btserved did not drain cleanly" >&2; exit 1; }
 done
 
-echo "smoke: all three algorithms served, drained, and reported telemetry"
+# Sharded pass: the same burst against a 4-shard server. The merged view
+# must still carry the per-level telemetry, and every shard must report
+# its own rho_w gauge line — the router spreading traffic across all
+# four is what makes the per-shard gauges nonempty.
+echo "== link-type -shards=4 =="
+"$bin/btserved" -alg link-type -shards 4 -listen "$listen" -http "$http" -prefill 20000 \
+  2>"$bin/serv-sharded.log" &
+spid=$!
+for _ in $(seq 50); do
+  curl -sf "http://$http/metrics" >/dev/null 2>&1 && break
+  sleep 0.2
+done
+
+"$bin/btload" -addr "$listen" -conns 2 -depth 32 -duration 2s
+
+metrics="$(curl -sf "http://$http/metrics")"
+echo "$metrics" | grep -E '^level=' >/dev/null || {
+  echo "FAIL(sharded): /metrics has no merged per-level telemetry" >&2; exit 1; }
+for sh in 0 1 2 3; do
+  echo "$metrics" | grep -E "^shard=$sh " >/dev/null || {
+    echo "FAIL(sharded): /metrics has no gauge line for shard $sh" >&2; exit 1; }
+done
+echo "$metrics" | awk -F'[ =]' '
+  /^shard=/ {
+    for (i = 1; i < NF; i++) if ($i == "rate") r = $(i+1)
+    if (r + 0 <= 0) { print "FAIL: shard line with zero rate: " $0 > "/dev/stderr"; exit 1 }
+    n++
+  }
+  END {
+    if (n != 4) { print "FAIL: " n " shard gauge lines, want 4" > "/dev/stderr"; exit 1 }
+    print "ok: all 4 shards served traffic"
+  }'
+model="$(curl -sf "http://$http/debug/model")"
+echo "$model" | grep -q 'shard 3' || {
+  echo "FAIL(sharded): /debug/model has no per-shard sections" >&2; exit 1; }
+echo "$model" | grep -q 'aggregate:' || {
+  echo "FAIL(sharded): /debug/model has no aggregate verdict" >&2; exit 1; }
+
+kill -TERM "$spid"
+wait "$spid" || { echo "FAIL(sharded): btserved exited nonzero" >&2; exit 1; }
+grep -q drained "$bin/serv-sharded.log" || {
+  echo "FAIL(sharded): btserved did not drain cleanly" >&2; exit 1; }
+
+echo "smoke: all three algorithms plus the 4-shard server served, drained, and reported telemetry"

@@ -1,11 +1,15 @@
 // Command btload is a load generator for btserved: n connections each
 // keep up to -depth requests pipelined, drawing operations from the
-// paper's search/insert/delete mix via independent deterministic
-// workload generators (workload.Generator.Split), and report throughput
-// plus latency quantiles.
+// paper's search/insert/delete mix — optionally extended with a range-
+// scan share (-qr, or a -scenario preset like scan-heavy) — via
+// independent deterministic workload generators
+// (workload.Generator.Split), and report throughput plus latency
+// quantiles. A drawn scan requests one page of [k, k+scan-span) at a
+// live key k, pipelined like any other op.
 //
 //	btload -addr 127.0.0.1:9400 -conns 4 -depth 32 -duration 5s
 //	btload -addr 127.0.0.1:9400 -n 1000000 -qs .3 -qi .5 -qd .2
+//	btload -addr 127.0.0.1:9400 -scenario scan-mixed -scan-limit 128
 //
 // By default the loop is closed: each connection sends as fast as its
 // pipeline window allows, so offered load adapts to the server. With
@@ -48,6 +52,13 @@ import (
 
 const maxSamplesPerConn = 1 << 21 // reservoir bound: 2Mi samples ≈ 16 MB
 
+// Scan-shape parameters, set once from flags before any connection
+// starts (drawn scans request one page of [k, k+scanWidth)).
+var (
+	scanWidth     int64
+	scanPageLimit int
+)
+
 // counters aggregates load statistics across connections.
 type counters struct {
 	sent     atomic.Int64
@@ -57,6 +68,8 @@ type counters struct {
 	searches atomic.Int64
 	inserts  atomic.Int64
 	deletes  atomic.Int64
+	scans    atomic.Int64 // scan pages requested (one page per drawn scan op)
+	scanKeys atomic.Int64 // entries returned on those pages
 	shed     atomic.Int64 // Busy/Overload responses (server self-defense)
 	errs     atomic.Int64 // requests lost to connection failures
 	redials  atomic.Int64 // reconnects in tolerant (-chaos) mode
@@ -73,6 +86,10 @@ func main() {
 		qs        = flag.Float64("qs", workload.PaperMix.QS, "search fraction")
 		qi        = flag.Float64("qi", workload.PaperMix.QI, "insert fraction")
 		qd        = flag.Float64("qd", workload.PaperMix.QD, "delete fraction")
+		qr        = flag.Float64("qr", 0, "range-scan fraction (scans draw one page of [k, k+scan-span) at a live key k)")
+		scenario  = flag.String("scenario", "", "named mix preset (paper, point, read-heavy, insert-heavy, scan-heavy, scan-mixed); overrides -qs/-qi/-qd/-qr")
+		scanSpan  = flag.Int64("scan-span", 0, "scan range width in key space (0 = keyspace/512)")
+		scanLimit = flag.Int("scan-limit", 0, "scan page entry cap (0 = server default)")
 		keySpace  = flag.Int64("keyspace", 1<<31, "insert keys drawn uniformly from [0, keyspace)")
 		seed      = flag.Uint64("seed", 1, "workload seed (fixed seed = reproducible op streams)")
 		chaosSpec = flag.String("chaos", "", "client-side fault spec (tolerant mode), e.g. 'preset=0.002,pdrop=0.05,seed=3'")
@@ -106,7 +123,23 @@ func main() {
 		}
 	}
 
-	mix := workload.Mix{QS: *qs, QI: *qi, QD: *qd}
+	mix := workload.Mix{QS: *qs, QI: *qi, QD: *qd, QR: *qr}
+	if *scenario != "" {
+		m, err := workload.Scenario(*scenario)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "btload:", err)
+			os.Exit(2)
+		}
+		mix = m
+		*qs, *qi, *qd, *qr = m.QS, m.QI, m.QD, m.QR
+	}
+	if *scanSpan <= 0 {
+		*scanSpan = *keySpace / 512
+		if *scanSpan < 1 {
+			*scanSpan = 1
+		}
+	}
+	scanWidth, scanPageLimit = *scanSpan, *scanLimit
 	master, err := workload.NewGenerator(mix, workload.NewKeyPool(), *keySpace, xrand.New(*seed))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "btload:", err)
@@ -195,8 +228,8 @@ func main() {
 	if *rate > 0 {
 		loop = fmt.Sprintf("open loop λ=%.0f/s", *rate)
 	}
-	fmt.Printf("btload: %d conns × depth %d against %s (%s), mix s/i/d = %.2f/%.2f/%.2f, seed %d\n",
-		*conns, *depth, *addr, loop, *qs, *qi, *qd, *seed)
+	fmt.Printf("btload: %d conns × depth %d against %s (%s), mix s/i/d/r = %.2f/%.2f/%.2f/%.2f, seed %d\n",
+		*conns, *depth, *addr, loop, *qs, *qi, *qd, *qr, *seed)
 	fmt.Printf("%d ops in %v: %.0f ops/s\n",
 		n, elapsed.Round(time.Millisecond), float64(n)/elapsed.Seconds())
 	if *rate > 0 {
@@ -226,6 +259,11 @@ func main() {
 		}
 		fmt.Printf("ops: %d search (%.0f%% hit), %d insert, %d delete\n",
 			sr, hitPct, ctr.inserts.Load(), ctr.deletes.Load())
+		if sc := ctr.scans.Load(); sc > 0 {
+			sk := ctr.scanKeys.Load()
+			fmt.Printf("scans: %d pages (span %d, limit %d), %d keys returned, %.1f keys/page, %.0f keys/s\n",
+				sc, scanWidth, scanPageLimit, sk, float64(sk)/float64(sc), float64(sk)/elapsed.Seconds())
+		}
 	}
 	if shed := ctr.shed.Load(); shed > 0 || inj != nil {
 		sentN := ctr.sent.Load()
@@ -308,7 +346,15 @@ func pump(c *server.Client, gen *workload.Generator, depth, quota int, quotaMode
 	recvDone := make(chan recvResult, 1)
 	go func() {
 		for st := range stamps {
-			resp, err := c.Recv()
+			// Responses are untagged and in order: the stamp's op kind
+			// says whether this response is page-shaped.
+			var resp server.Response
+			var err error
+			if workload.Op(st[1]) == workload.Scan {
+				resp, err = c.RecvPage()
+			} else {
+				resp, err = c.Recv()
+			}
 			if err != nil {
 				// Unblock the sender, which may be parked on stamps,
 				// counting the in-flight requests that lost answers.
@@ -328,8 +374,11 @@ func pump(c *server.Client, gen *workload.Generator, depth, quota int, quotaMode
 			case server.StatusBusy, server.StatusOverload:
 				ctr.shed.Add(1)
 			case server.StatusOK:
-				if workload.Op(st[1]) == workload.Search {
+				switch workload.Op(st[1]) {
+				case workload.Search:
 					ctr.hits.Add(1)
+				case workload.Scan:
+					ctr.scanKeys.Add(int64(len(resp.Entries)))
 				}
 			}
 			*seen++
@@ -353,6 +402,13 @@ func pump(c *server.Client, gen *workload.Generator, depth, quota int, quotaMode
 		case workload.Insert:
 			req = server.Request{Op: server.OpPut, Key: key, Val: uint64(key)}
 			ctr.inserts.Add(1)
+		case workload.Scan:
+			hi := key + scanWidth
+			if hi < key {
+				hi = int64(^uint64(0) >> 1) // clamp at +inf on overflow
+			}
+			req = server.Request{Op: server.OpScan, Key: key, Hi: hi, Limit: scanPageLimit}
+			ctr.scans.Add(1)
 		default:
 			req = server.Request{Op: server.OpDel, Key: key}
 			ctr.deletes.Add(1)

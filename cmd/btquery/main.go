@@ -1,0 +1,146 @@
+// Command btquery runs the query ops against a btserved instance: paged
+// range scans, seeks, and secondary-index lookups, following
+// continuation tokens until the range is exhausted.
+//
+//	btquery -addr 127.0.0.1:9400 scan 0 1000          # print every key in [0, 1000)
+//	btquery -addr 127.0.0.1:9400 -limit 256 count 0 1000000
+//	btquery -addr 127.0.0.1:9400 seek 500             # smallest key >= 500
+//	btquery -addr 127.0.0.1:9400 lookup 12345         # primary keys with value 12345
+//
+// scan prints "key value" lines; count follows the same pages but prints
+// only the total (and page count), which is the cheap way to size a
+// range. lookup needs a server running with -index. Exit status is 0 on
+// success (including an empty result), 1 on any error.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"btreeperf/internal/server"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:9400", "btserved address")
+		limit     = flag.Int("limit", 0, "page entry cap (0 = server default)")
+		opTimeout = flag.Duration("op-timeout", 5*time.Second, "per-op deadline")
+		quiet     = flag.Bool("q", false, "suppress per-entry output (scan behaves like count)")
+	)
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 1 {
+		usage()
+	}
+
+	c, err := server.DialTimeout(*addr, *opTimeout)
+	if err != nil {
+		fatal(err)
+	}
+	defer c.Close()
+	c.SetOpTimeout(*opTimeout)
+
+	switch args[0] {
+	case "scan", "count":
+		if len(args) != 3 {
+			usage()
+		}
+		lo, hi := parseKey(args[1]), parseKey(args[2])
+		w := bufio.NewWriter(os.Stdout)
+		keys, pages := 0, 0
+		var token []byte
+		for {
+			page, next, err := c.Scan(lo, hi, *limit, token)
+			if err != nil {
+				w.Flush()
+				fatal(err)
+			}
+			pages++
+			keys += len(page)
+			if args[0] == "scan" && !*quiet {
+				for _, e := range page {
+					fmt.Fprintf(w, "%d %d\n", e.Key, e.Val)
+				}
+			}
+			if next == nil {
+				break
+			}
+			token = next
+		}
+		w.Flush()
+		fmt.Printf("%d keys in [%d, %d) over %d pages\n", keys, lo, hi, pages)
+	case "seek":
+		if len(args) != 2 {
+			usage()
+		}
+		key, val, ok, err := c.SeekGE(parseKey(args[1]))
+		if err != nil {
+			fatal(err)
+		}
+		if !ok {
+			fmt.Println("no key")
+			return
+		}
+		fmt.Printf("%d %d\n", key, val)
+	case "lookup":
+		if len(args) != 2 {
+			usage()
+		}
+		val, err := strconv.ParseUint(args[1], 10, 64)
+		if err != nil {
+			fatal(fmt.Errorf("value %q: %w", args[1], err))
+		}
+		w := bufio.NewWriter(os.Stdout)
+		n, pages := 0, 0
+		var token []byte
+		for {
+			keys, next, err := c.Lookup(val, *limit, token)
+			if err != nil {
+				w.Flush()
+				fatal(err)
+			}
+			pages++
+			n += len(keys)
+			if !*quiet {
+				for _, k := range keys {
+					fmt.Fprintf(w, "%d\n", k)
+				}
+			}
+			if next == nil {
+				break
+			}
+			token = next
+		}
+		w.Flush()
+		fmt.Printf("%d keys with value %d over %d pages\n", n, val, pages)
+	default:
+		usage()
+	}
+}
+
+func parseKey(s string) int64 {
+	k, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		fatal(fmt.Errorf("key %q: %w", s, err))
+	}
+	return k
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "btquery:", err)
+	os.Exit(1)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: btquery [flags] <command>
+  scan <lo> <hi>    print "key value" for every key in [lo, hi)
+  count <lo> <hi>   count keys in [lo, hi) without printing them
+  seek <key>        print the smallest stored key >= key and its value
+  lookup <value>    print the primary keys whose indexed value is value`)
+	flag.PrintDefaults()
+	os.Exit(2)
+}

@@ -86,6 +86,8 @@ func main() {
 		fsyncMode  = flag.String("fsync", "batch", "disk engine fsync policy: batch (group commit, one fsync per batch) or op (fsync every mutation)")
 		ckptOps    = flag.Int64("checkpoint-ops", 0, "disk engine: mutations between stop-the-world checkpoints (0 = default 262144, negative disables)")
 		cacheNodes = flag.Int("cache-nodes", 0, "disk engine buffer-pool size in nodes (0 = default 4096)")
+
+		indexOn = flag.Bool("index", false, "maintain the secondary value index (enables the lookup op; rebuilt from the primary at startup)")
 	)
 	flag.Parse()
 
@@ -159,6 +161,7 @@ func main() {
 		Depth:        *depth,
 		Prefill:      *prefill,
 		MaxBatch:     *maxBatch,
+		Index:        *indexOn,
 		MaxConns:     *maxConns,
 		IdleTimeout:  cliTimeout(*idleTimeout),
 		WriteTimeout: cliTimeout(*writeTimeout),

@@ -1,0 +1,56 @@
+package diskbtree
+
+// ScanRange calls emit for each key in [lo, hi) in ascending order,
+// stopping early when emit returns false. Like SearchGE it descends to
+// the leaf covering lo once, then walks the right-link leaf chain with
+// shared-latch coupling — one leaf latched at a time, so a scan never
+// blocks writers for longer than one node visit, and concurrent splits
+// are neither missed nor double-visited (the Lehman–Yao right-link
+// argument: a split only ever moves keys to the right, where the walk is
+// headed).
+func (t *Tree) ScanRange(lo, hi int64, emit func(key int64, val uint64) bool) error {
+	if err := t.Poisoned(); err != nil {
+		return err
+	}
+	return t.poison(t.scanRange(lo, hi, emit))
+}
+
+func (t *Tree) scanRange(lo, hi int64, emit func(key int64, val uint64) bool) error {
+	if hi <= lo {
+		return nil
+	}
+	id, _, err := t.descend(lo, false)
+	if err != nil {
+		return err
+	}
+	f, err := t.rLatch(id)
+	if err != nil {
+		return err
+	}
+	f, err = t.moveRightR(f, lo)
+	if err != nil {
+		return err
+	}
+	for {
+		i, _ := f.n.keyIndex(lo)
+		for ; i < len(f.n.keys); i++ {
+			k := f.n.keys[i]
+			if k >= hi || !emit(k, f.n.vals[i]) {
+				t.rUnlatch(f)
+				return nil
+			}
+		}
+		next := f.n.right
+		if next == 0 {
+			t.rUnlatch(f)
+			return nil
+		}
+		nf, err := t.rLatch(next)
+		if err != nil {
+			t.rUnlatch(f)
+			return err
+		}
+		t.rUnlatch(f)
+		f = nf
+	}
+}

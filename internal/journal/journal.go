@@ -96,7 +96,7 @@ type Journal struct {
 
 	// Group-commit state. Lock order: syncMu before mu, never the
 	// reverse. appendSeq/oplogBytes are guarded by mu; syncSeq by syncMu.
-	syncMu   sync.Mutex
+	syncMu     sync.Mutex
 	appendSeq  int64 // records appended this epoch
 	syncSeq    int64 // records covered by the last oplog fsync
 	oplogBytes int64

@@ -1,0 +1,161 @@
+package index
+
+import (
+	"math/rand/v2"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// ok-returning tree stand-ins.
+func applyOK() (bool, error) { return true, nil }
+
+func TestPutDelLookup(t *testing.T) {
+	ix := New()
+	ix.Put(1, 100, applyOK)
+	ix.Put(2, 100, applyOK)
+	ix.Put(3, 200, applyOK)
+
+	keys, more := ix.Lookup(100, -1<<62, 10, nil)
+	if more || len(keys) != 2 || keys[0] != 1 || keys[1] != 2 {
+		t.Fatalf("Lookup(100) = %v more=%v", keys, more)
+	}
+
+	// Re-pointing a key moves it between postings.
+	ix.Put(2, 200, applyOK)
+	keys, _ = ix.Lookup(100, -1<<62, 10, nil)
+	if len(keys) != 1 || keys[0] != 1 {
+		t.Fatalf("after re-point, Lookup(100) = %v", keys)
+	}
+	keys, _ = ix.Lookup(200, -1<<62, 10, nil)
+	if len(keys) != 2 || keys[0] != 2 || keys[1] != 3 {
+		t.Fatalf("after re-point, Lookup(200) = %v", keys)
+	}
+
+	ix.Del(2, applyOK)
+	keys, _ = ix.Lookup(200, -1<<62, 10, nil)
+	if len(keys) != 1 || keys[0] != 3 {
+		t.Fatalf("after del, Lookup(200) = %v", keys)
+	}
+	if ix.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", ix.Len())
+	}
+}
+
+func TestLookupPaging(t *testing.T) {
+	ix := New()
+	for k := int64(0); k < 10; k++ {
+		ix.Add(k*2, 7) // keys 0,2,...,18
+	}
+	keys, more := ix.Lookup(7, -1<<62, 4, nil)
+	if !more || len(keys) != 4 || keys[3] != 6 {
+		t.Fatalf("page 1 = %v more=%v", keys, more)
+	}
+	// Resume after the last emitted key, inclusive semantics: after = k+1.
+	keys, more = ix.Lookup(7, keys[3]+1, 4, nil)
+	if !more || len(keys) != 4 || keys[0] != 8 {
+		t.Fatalf("page 2 = %v more=%v", keys, more)
+	}
+	keys, more = ix.Lookup(7, keys[3]+1, 4, nil)
+	if more || len(keys) != 2 || keys[1] != 18 {
+		t.Fatalf("page 3 = %v more=%v", keys, more)
+	}
+	if keys, _ := ix.Lookup(99, -1<<62, 4, nil); len(keys) != 0 {
+		t.Fatalf("absent value returned %v", keys)
+	}
+}
+
+// TestPutFailedApplyDoesNotIndex pins the transactional contract: a tree
+// op that errors must leave the index untouched.
+func TestPutFailedApplyDoesNotIndex(t *testing.T) {
+	ix := New()
+	fail := func() (bool, error) { return false, errTest }
+	if _, err := ix.Put(5, 50, fail); err == nil {
+		t.Fatal("error swallowed")
+	}
+	if keys, _ := ix.Lookup(50, -1<<62, 10, nil); len(keys) != 0 {
+		t.Fatalf("failed put indexed: %v", keys)
+	}
+	ix.Put(5, 50, applyOK)
+	if _, err := ix.Del(5, fail); err == nil {
+		t.Fatal("error swallowed")
+	}
+	if keys, _ := ix.Lookup(50, -1<<62, 10, nil); len(keys) != 1 {
+		t.Fatalf("failed del unindexed: %v", keys)
+	}
+}
+
+type testErr struct{}
+
+func (testErr) Error() string { return "test error" }
+
+var errTest = testErr{}
+
+// TestConcurrentAgainstReference hammers the index from many goroutines,
+// then checks it against a reference built from a serialized replay of
+// the per-key winning order (the stripe lock serializes same-key
+// updates, so each key's final value is whichever op ran last — which
+// the test records inside the apply closure, exactly where the tree
+// mutation would sit).
+func TestConcurrentAgainstReference(t *testing.T) {
+	ix := New()
+	const (
+		workers = 8
+		opsEach = 5000
+		keyMod  = 128 // few keys => heavy same-key contention
+	)
+	var refMu sync.Mutex
+	ref := map[int64]uint64{} // key -> value, updated inside apply
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(w), 99))
+			for i := 0; i < opsEach; i++ {
+				key := int64(rng.IntN(keyMod))
+				if rng.IntN(4) == 0 {
+					ix.Del(key, func() (bool, error) {
+						refMu.Lock()
+						delete(ref, key)
+						refMu.Unlock()
+						return true, nil
+					})
+				} else {
+					val := uint64(rng.IntN(16))
+					ix.Put(key, val, func() (bool, error) {
+						refMu.Lock()
+						ref[key] = val
+						refMu.Unlock()
+						return true, nil
+					})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if ix.Len() != len(ref) {
+		t.Fatalf("index has %d keys, reference %d", ix.Len(), len(ref))
+	}
+	// Invert the reference and compare every posting list.
+	want := map[uint64][]int64{}
+	for k, v := range ref {
+		want[v] = append(want[v], k)
+	}
+	for v, keys := range want {
+		sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+		got, more := ix.Lookup(v, -1<<62, keyMod+1, nil)
+		if more {
+			t.Fatalf("value %d: unexpected more", v)
+		}
+		if len(got) != len(keys) {
+			t.Fatalf("value %d: %d keys, want %d", v, len(got), len(keys))
+		}
+		for i := range got {
+			if got[i] != keys[i] {
+				t.Fatalf("value %d position %d: %d != %d", v, i, got[i], keys[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package query
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+)
+
+// fetchShard simulates one shard's Scan: up to limit entries with keys in
+// [cursor, hi) drawn from the shard's sorted key set, plus the More flag.
+func fetchShard(keys []int64, cursor, hi int64, limit int) ShardFetch {
+	var f ShardFetch
+	i := sort.Search(len(keys), func(j int) bool { return keys[j] >= cursor })
+	for ; i < len(keys) && keys[i] < hi; i++ {
+		if len(f.Entries) == limit {
+			f.More = true
+			break
+		}
+		f.Entries = append(f.Entries, KV{Key: keys[i], Val: uint64(keys[i])})
+	}
+	return f
+}
+
+// drive pages through [lo, hi) with MergePage over the simulated shards,
+// returning every emitted key in emission order.
+func drive(t *testing.T, shards [][]int64, lo, hi int64, limit int) []int64 {
+	t.Helper()
+	cursors := make([]int64, len(shards))
+	for i := range cursors {
+		cursors[i] = lo
+	}
+	var got []int64
+	for pageN := 0; ; pageN++ {
+		if pageN > 1_000_000 {
+			t.Fatal("merge did not terminate")
+		}
+		fetches := make([]ShardFetch, len(shards))
+		for i := range shards {
+			if cursors[i] >= hi {
+				continue
+			}
+			fetches[i] = fetchShard(shards[i], cursors[i], hi, limit)
+		}
+		page, done := MergePage(fetches, cursors, hi, limit, nil)
+		if len(page) > limit {
+			t.Fatalf("page of %d entries exceeds limit %d", len(page), limit)
+		}
+		for _, e := range page {
+			got = append(got, e.Key)
+		}
+		if done {
+			return got
+		}
+		if len(page) == 0 {
+			t.Fatal("empty page but not done: the cursor advance is stuck")
+		}
+	}
+}
+
+func TestMergePageSingleShard(t *testing.T) {
+	keys := []int64{1, 3, 5, 7, 9}
+	got := drive(t, [][]int64{keys}, 0, 10, 2)
+	if len(got) != 5 {
+		t.Fatalf("got %d keys, want 5", len(got))
+	}
+	for i, k := range keys {
+		if got[i] != k {
+			t.Fatalf("key %d: %d != %d", i, got[i], k)
+		}
+	}
+}
+
+func TestMergePageEmptyRange(t *testing.T) {
+	cursors := []int64{50}
+	page, done := MergePage([]ShardFetch{{}}, cursors, 50, 10, nil)
+	if len(page) != 0 || !done {
+		t.Fatalf("empty fetch: page=%d done=%v", len(page), done)
+	}
+}
+
+// TestMergePageRandomized checks the paging protocol against the oracle
+// (global sort of every shard's in-range keys): every key exactly once,
+// in ascending order, regardless of shard count, limit, or distribution.
+func TestMergePageRandomized(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 11))
+	for trial := 0; trial < 200; trial++ {
+		nShards := 1 + rng.IntN(6)
+		limit := 1 + rng.IntN(8)
+		span := int64(1 + rng.IntN(500))
+		lo := int64(rng.IntN(100)) - 50
+		hi := lo + span
+
+		// Deal random keys across shards disjointly (each key to one shard).
+		shards := make([][]int64, nShards)
+		var oracle []int64
+		seen := map[int64]bool{}
+		for n := rng.IntN(300); n > 0; n-- {
+			k := lo - 20 + int64(rng.IntN(int(span)+40)) // some keys out of range
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			s := rng.IntN(nShards)
+			shards[s] = append(shards[s], k)
+			if k >= lo && k < hi {
+				oracle = append(oracle, k)
+			}
+		}
+		for i := range shards {
+			sort.Slice(shards[i], func(a, b int) bool { return shards[i][a] < shards[i][b] })
+		}
+		sort.Slice(oracle, func(a, b int) bool { return oracle[a] < oracle[b] })
+
+		got := drive(t, shards, lo, hi, limit)
+		if len(got) != len(oracle) {
+			t.Fatalf("trial %d: %d keys, oracle %d (shards=%d limit=%d range=[%d,%d))",
+				trial, len(got), len(oracle), nShards, limit, lo, hi)
+		}
+		for i := range got {
+			if got[i] != oracle[i] {
+				t.Fatalf("trial %d: position %d got %d want %d", trial, i, got[i], oracle[i])
+			}
+		}
+	}
+}
+
+// TestMergePageAppendsToDst checks dst reuse: the page is appended, the
+// limit counts only new entries.
+func TestMergePageAppendsToDst(t *testing.T) {
+	dst := []KV{{Key: -100}}
+	fetches := []ShardFetch{{Entries: []KV{{Key: 1}, {Key: 2}}}}
+	cursors := []int64{0}
+	page, done := MergePage(fetches, cursors, 10, 2, dst)
+	if len(page) != 3 || page[0].Key != -100 || page[1].Key != 1 || page[2].Key != 2 {
+		t.Fatalf("page = %+v", page)
+	}
+	if !done {
+		t.Fatal("fetch exhausted with no More should be done")
+	}
+}

@@ -1,0 +1,26 @@
+// Package query is the serving layer's query subsystem: the entry type
+// shared by range scans and secondary lookups, the opaque continuation
+// token that makes paging stateless, and the ordered k-way merge that
+// executes one logical scan across N hash-partitioned shards.
+//
+// The design constraint throughout is that the server holds no cursor
+// state between pages: a scan of [lo, hi) is a sequence of independent
+// requests, each carrying the previous response's token, so a client can
+// abandon a scan mid-way (or retry a page against another connection)
+// without leaking anything server-side. The token encodes one cursor per
+// shard — the next key that shard has not yet contributed — which is all
+// the k-way merge needs to resume exactly where the previous page ended.
+//
+// Range bounds are half-open: a scan covers keys in [lo, hi). The one
+// key this cannot express is math.MaxInt64 (there is no exclusive bound
+// above it); that key remains reachable by point ops but is outside the
+// scannable keyspace, matching the in-memory tree's use of it as the
+// +inf sentinel on its rightmost leaf chain.
+package query
+
+// KV is one key/value entry of a scan or lookup page, in ascending key
+// order within the page.
+type KV struct {
+	Key int64
+	Val uint64
+}

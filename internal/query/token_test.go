@@ -1,0 +1,93 @@
+package query
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestTokenRoundTrip(t *testing.T) {
+	cases := [][]int64{
+		{0},
+		{math.MinInt64, math.MaxInt64},
+		{1, 2, 3, 4},
+		make([]int64, MaxShards),
+	}
+	for _, cursors := range cases {
+		tok := EncodeToken(nil, cursors)
+		if len(tok) > MaxTokenSize {
+			t.Fatalf("token for %d cursors is %d bytes (max %d)", len(cursors), len(tok), MaxTokenSize)
+		}
+		dec, err := DecodeToken(tok)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if len(dec) != len(cursors) {
+			t.Fatalf("decoded %d cursors, want %d", len(dec), len(cursors))
+		}
+		for i := range dec {
+			if dec[i] != cursors[i] {
+				t.Fatalf("cursor %d: %d != %d", i, dec[i], cursors[i])
+			}
+		}
+	}
+}
+
+func TestTokenAppendsToDst(t *testing.T) {
+	pre := []byte{0xaa, 0xbb}
+	tok := EncodeToken(pre, []int64{7})
+	if !bytes.Equal(tok[:2], pre) {
+		t.Fatal("EncodeToken did not append")
+	}
+	if _, err := DecodeToken(tok[2:]); err != nil {
+		t.Fatalf("decode after prefix: %v", err)
+	}
+}
+
+func TestTokenRejectsMalformed(t *testing.T) {
+	good := EncodeToken(nil, []int64{1, 2})
+	bad := [][]byte{
+		nil,
+		{},
+		{0},                                   // zero cursor count
+		{1},                                   // count without cursors
+		{1, 0, 0, 0, 0, 0, 0, 0},              // truncated cursor
+		{MaxShards + 1},                       // oversized count
+		append(good[:len(good):len(good)], 0), // trailing byte
+		good[:len(good)-1],                    // short one byte
+	}
+	for i, tok := range bad {
+		if _, err := DecodeToken(tok); err == nil {
+			t.Errorf("case %d: malformed token accepted", i)
+		}
+	}
+}
+
+func TestEncodeTokenPanicsOutOfRange(t *testing.T) {
+	for _, cursors := range [][]int64{nil, make([]int64, MaxShards+1)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("EncodeToken(%d cursors) did not panic", len(cursors))
+				}
+			}()
+			EncodeToken(nil, cursors)
+		}()
+	}
+}
+
+func FuzzDecodeToken(f *testing.F) {
+	f.Add(EncodeToken(nil, []int64{1, 2, 3}))
+	f.Add([]byte{3, 0, 0})
+	f.Add([]byte{0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cursors, err := DecodeToken(data)
+		if err != nil {
+			return
+		}
+		// Anything that decodes must re-encode byte-identically.
+		if re := EncodeToken(nil, cursors); !bytes.Equal(re, data) {
+			t.Fatalf("re-encode drifted: %x -> %x", data, re)
+		}
+	})
+}

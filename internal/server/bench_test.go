@@ -116,6 +116,61 @@ func BenchmarkServeLoopbackSharded(b *testing.B) {
 	}
 }
 
+// BenchmarkScanLoopback measures paged range-scan throughput over
+// loopback TCP: one iteration is one page request (fan-out, merge,
+// encode, wire round trip), cycling through the prefilled keyspace by
+// following continuation tokens and restarting when a pass completes.
+// keys/op is the realized page fill; keys/s throughput is keys/op
+// divided by ns/op.
+func BenchmarkScanLoopback(b *testing.B) {
+	for _, shards := range []int{1, 4} {
+		for _, limit := range []int{16, 64, 256} {
+			b.Run(fmt.Sprintf("link-type/shards=%d/limit=%d", shards, limit), func(b *testing.B) {
+				benchScanLoopback(b, shards, limit)
+			})
+		}
+	}
+}
+
+func benchScanLoopback(b *testing.B, shards, limit int) {
+	s := New(Config{Algorithm: cbtree.LinkType, Capacity: 64, Prefill: benchPrefill, Shards: shards})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(ctx, ln) }()
+	defer func() {
+		cancel()
+		if err := <-done; err != nil {
+			b.Errorf("Serve: %v", err)
+		}
+	}()
+
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+
+	const lo, hi = int64(0), int64(1) << 40
+	var token []byte
+	keys := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		page, next, err := c.Scan(lo, hi, limit, token)
+		if err != nil {
+			b.Fatal(err)
+		}
+		keys += len(page)
+		token = next // nil after the last page: the next iteration restarts
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(keys)/float64(b.N), "keys/op")
+}
+
 func benchServeLoopbackCfg(b *testing.B, cfg Config) {
 	depth := cfg.Depth
 	s := New(cfg)

@@ -2,8 +2,11 @@ package server
 
 import (
 	"bufio"
+	"fmt"
 	"net"
 	"time"
+
+	"btreeperf/internal/query"
 )
 
 // Client speaks the btserved wire protocol. It supports pipelining: one
@@ -87,6 +90,18 @@ func (c *Client) Recv() (Response, error) {
 	return ReadResponse(c.br, c.rbuf)
 }
 
+// RecvPage reads the next in-order response as a page frame (scan, seek,
+// lookup). Because responses carry no opcode, the caller — who knows
+// which ops it pipelined, in order — picks Recv or RecvPage per response;
+// RecvPage also accepts a bare point-shaped status (a shed or error
+// reply), surfacing it as an empty page with that status.
+func (c *Client) RecvPage() (Response, error) {
+	if c.opTimeout > 0 {
+		c.conn.SetReadDeadline(time.Now().Add(c.opTimeout))
+	}
+	return ReadPageResponse(c.br, c.rbuf)
+}
+
 // Do sends one request and waits for its response (no pipelining).
 func (c *Client) Do(req Request) (Response, error) {
 	if err := c.Send(req); err != nil {
@@ -96,6 +111,17 @@ func (c *Client) Do(req Request) (Response, error) {
 		return Response{}, err
 	}
 	return c.Recv()
+}
+
+// DoPage sends one query request and waits for its page response.
+func (c *Client) DoPage(req Request) (Response, error) {
+	if err := c.Send(req); err != nil {
+		return Response{}, err
+	}
+	if err := c.Flush(); err != nil {
+		return Response{}, err
+	}
+	return c.RecvPage()
 }
 
 // Get looks key up.
@@ -123,6 +149,75 @@ func (c *Client) Del(key int64) (bool, error) {
 		return false, err
 	}
 	return resp.Status == StatusOK, nil
+}
+
+// Scan fetches one page of [lo, hi): up to limit entries in ascending
+// key order plus the continuation token for the next page. Pass a nil
+// token for the first page and the previous response's token afterwards;
+// a nil returned token means the range is exhausted. limit <= 0 asks for
+// the server default.
+func (c *Client) Scan(lo, hi int64, limit int, token []byte) ([]query.KV, []byte, error) {
+	resp, err := c.DoPage(Request{Op: OpScan, Key: lo, Hi: hi, Limit: limit, Token: token})
+	if err != nil {
+		return nil, nil, err
+	}
+	if resp.Status != StatusOK {
+		return nil, nil, fmt.Errorf("server: scan: %s", StatusName(resp.Status))
+	}
+	return resp.Entries, resp.Token, nil
+}
+
+// ScanAll drains [lo, hi) page by page, calling emit for every entry in
+// ascending key order.
+func (c *Client) ScanAll(lo, hi int64, limit int, emit func(key int64, val uint64)) error {
+	var token []byte
+	for {
+		page, next, err := c.Scan(lo, hi, limit, token)
+		if err != nil {
+			return err
+		}
+		for _, e := range page {
+			emit(e.Key, e.Val)
+		}
+		if next == nil {
+			return nil
+		}
+		token = next
+	}
+}
+
+// SeekGE returns the smallest stored key >= key and its value; ok is false
+// when no such key exists.
+func (c *Client) SeekGE(key int64) (int64, uint64, bool, error) {
+	resp, err := c.DoPage(Request{Op: OpSeek, Key: key})
+	if err != nil {
+		return 0, 0, false, err
+	}
+	if resp.Status != StatusOK {
+		return 0, 0, false, fmt.Errorf("server: seek: %s", StatusName(resp.Status))
+	}
+	if len(resp.Entries) == 0 {
+		return 0, 0, false, nil
+	}
+	return resp.Entries[0].Key, resp.Entries[0].Val, true, nil
+}
+
+// Lookup fetches one page of the primary keys whose indexed value is
+// val, ascending; the token contract matches Scan. Requires a server
+// built with -index (StatusBadRequest otherwise).
+func (c *Client) Lookup(val uint64, limit int, token []byte) ([]int64, []byte, error) {
+	resp, err := c.DoPage(Request{Op: OpLookup, Val: val, Limit: limit, Token: token})
+	if err != nil {
+		return nil, nil, err
+	}
+	if resp.Status != StatusOK {
+		return nil, nil, fmt.Errorf("server: lookup: %s", StatusName(resp.Status))
+	}
+	keys := make([]int64, len(resp.Entries))
+	for i, e := range resp.Entries {
+		keys[i] = e.Key
+	}
+	return keys, resp.Token, nil
 }
 
 // CloseWrite half-closes the connection so the server drains in-flight

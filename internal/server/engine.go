@@ -8,6 +8,7 @@ import (
 	"btreeperf/internal/cbtree"
 	"btreeperf/internal/diskbtree"
 	"btreeperf/internal/pagestore"
+	"btreeperf/internal/query"
 )
 
 // Engine is the storage behind the serving layer. The in-memory engine
@@ -27,6 +28,12 @@ type Engine interface {
 	// Commit makes every mutation applied before the call durable. The
 	// in-memory engine returns nil immediately.
 	Commit() error
+	// Scan appends to dst up to limit entries whose keys lie in [lo, hi),
+	// in ascending key order, reporting whether more remain in range.
+	// Both engines serve scans from the leaf chain (link-mode traversal:
+	// one leaf shared-locked at a time), so a scan runs concurrently with
+	// point ops and splits.
+	Scan(lo, hi int64, limit int, dst []query.KV) ([]query.KV, bool, error)
 
 	Kind() string      // "mem" or "disk"
 	Algorithm() string // concurrency algorithm name for telemetry
@@ -68,6 +75,26 @@ func (e *memEngine) Put(key int64, val uint64) (bool, error) {
 
 func (e *memEngine) Del(key int64) (bool, error) {
 	return e.t.Delete(key), nil
+}
+
+// Scan walks the cbtree leaf chain. It fetches one entry past limit so
+// the "more" verdict needs no second traversal; Range's hi is inclusive,
+// so the exclusive bound becomes hi-1 (safe: hi > lo >= MinInt64).
+func (e *memEngine) Scan(lo, hi int64, limit int, dst []query.KV) ([]query.KV, bool, error) {
+	if hi <= lo || limit <= 0 {
+		return dst, false, nil
+	}
+	base := len(dst)
+	more := false
+	e.t.Range(lo, hi-1, func(k int64, v uint64) bool {
+		if len(dst)-base == limit {
+			more = true
+			return false
+		}
+		dst = append(dst, query.KV{Key: k, Val: v})
+		return true
+	})
+	return dst, more, nil
 }
 
 func (e *memEngine) Commit() error     { return nil }
@@ -172,6 +199,31 @@ func (e *DiskEngine) Del(key int64) (bool, error) {
 		e.muts.Add(1)
 	}
 	return ok, err
+}
+
+// Scan walks the diskbtree leaf chain under the engine's read lock (so a
+// stop-the-world checkpoint waits for in-flight scan pages, and pages
+// bound how long a scan can hold the checkpoint out).
+func (e *DiskEngine) Scan(lo, hi int64, limit int, dst []query.KV) ([]query.KV, bool, error) {
+	if hi <= lo || limit <= 0 {
+		return dst, false, nil
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	base := len(dst)
+	more := false
+	err := e.t.ScanRange(lo, hi, func(k int64, v uint64) bool {
+		if len(dst)-base == limit {
+			more = true
+			return false
+		}
+		dst = append(dst, query.KV{Key: k, Val: v})
+		return true
+	})
+	if err != nil {
+		return dst[:base], false, err
+	}
+	return dst, more, nil
 }
 
 // Commit group-commits the oplog, then — if the checkpoint threshold has

@@ -237,14 +237,25 @@ type metricsJSON struct {
 	Puts      int64   `json:"puts"`
 	Dels      int64   `json:"dels"`
 	BadReqs   int64   `json:"bad_requests"`
-	OpMeanUs  float64 `json:"op_mean_us"`
-	OpP50Us   float64 `json:"op_p50_us"`
-	OpP99Us   float64 `json:"op_p99_us"`
-	Splits    int64   `json:"splits"`
-	Restarts  int64   `json:"restarts"`
-	Crossings int64   `json:"crossings"`
-	RootRhoW  float64 `json:"root_rho_w"`
-	Saturated bool    `json:"saturated"`
+
+	// Query traffic: pages served (a scan of k pages counts k), entries
+	// returned on those pages, and — when the server runs the secondary
+	// index — lookup pages, lookup entries, and the index's current size.
+	Scans      int64   `json:"scan_pages"`
+	ScanKeys   int64   `json:"scan_keys"`
+	Seeks      int64   `json:"seeks"`
+	Lookups    int64   `json:"lookup_pages"`
+	LookupKeys int64   `json:"lookup_keys"`
+	Indexed    bool    `json:"indexed"`
+	IndexKeys  int64   `json:"index_keys"`
+	OpMeanUs   float64 `json:"op_mean_us"`
+	OpP50Us    float64 `json:"op_p50_us"`
+	OpP99Us    float64 `json:"op_p99_us"`
+	Splits     int64   `json:"splits"`
+	Restarts   int64   `json:"restarts"`
+	Crossings  int64   `json:"crossings"`
+	RootRhoW   float64 `json:"root_rho_w"`
+	Saturated  bool    `json:"saturated"`
 
 	Engine        string `json:"engine"` // mem | disk
 	Poisoned      bool   `json:"poisoned"`
@@ -284,6 +295,11 @@ type shardMetricsJSON struct {
 	Gets         int64   `json:"gets"`
 	Puts         int64   `json:"puts"`
 	Dels         int64   `json:"dels"`
+	Scans        int64   `json:"scan_pages"`
+	ScanKeys     int64   `json:"scan_keys"`
+	Seeks        int64   `json:"seeks"`
+	Lookups      int64   `json:"lookup_pages"`
+	LookupKeys   int64   `json:"lookup_keys"`
 	OpMeanUs     float64 `json:"op_mean_us"`
 	OpP50Us      float64 `json:"op_p50_us"`
 	OpP99Us      float64 `json:"op_p99_us"`
@@ -434,6 +450,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		keys, height                        int
 		dt, opRate, opNsSum                 float64
 		ops, gets, puts, dels, opBad        int64
+		scans, scanKeys, seeks              int64
+		lookups, lookupKeys, indexKeys      int64
 		splits, restarts, crossings         int64
 		recovered, appended, synced, oplogB int64
 		fsyncs, checkpoints, ckptLag        int64
@@ -458,6 +476,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		puts += sc.sh.puts.Load()
 		dels += sc.sh.dels.Load()
 		opBad += sc.sh.opBad.Load()
+		scans += sc.sh.scans.Load()
+		scanKeys += sc.sh.scanKeys.Load()
+		seeks += sc.sh.seeks.Load()
+		lookups += sc.sh.lookups.Load()
+		lookupKeys += sc.sh.lookupKeys.Load()
+		if sc.sh.idx != nil {
+			indexKeys += int64(sc.sh.idx.Len())
+		}
 		splits += sc.es.Splits
 		restarts += sc.es.Restarts
 		crossings += sc.es.Crossings
@@ -486,28 +512,35 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 	eng0 := s.shards[0].eng
 	out := metricsJSON{
-		UptimeS:   time.Since(s.start).Seconds(),
-		Algorithm: eng0.Algorithm(),
-		Capacity:  eng0.Cap(),
-		Shards:    len(s.shards),
-		Keys:      keys,
-		Height:    height,
-		Workers:   s.cfg.Workers,
-		Conns:     s.connsNow.Load(),
-		WindowS:   dt,
-		OpsPerSec: opRate,
-		Gets:      gets,
-		Puts:      puts,
-		Dels:      dels,
-		BadReqs:   s.badReqs.Load() + opBad,
-		OpMeanUs:  meanNs / 1e3,
-		OpP50Us:   float64(hist.Quantile(0.5)) / 1e3,
-		OpP99Us:   float64(hist.Quantile(0.99)) / 1e3,
-		Splits:    splits,
-		Restarts:  restarts,
-		Crossings: crossings,
-		RootRhoW:  math.Max(rhoMeas, rhoModel),
-		Saturated: saturated,
+		UptimeS:    time.Since(s.start).Seconds(),
+		Algorithm:  eng0.Algorithm(),
+		Capacity:   eng0.Cap(),
+		Shards:     len(s.shards),
+		Keys:       keys,
+		Height:     height,
+		Workers:    s.cfg.Workers,
+		Conns:      s.connsNow.Load(),
+		WindowS:    dt,
+		OpsPerSec:  opRate,
+		Gets:       gets,
+		Puts:       puts,
+		Dels:       dels,
+		BadReqs:    s.badReqs.Load() + opBad,
+		Scans:      scans,
+		ScanKeys:   scanKeys,
+		Seeks:      seeks,
+		Lookups:    lookups,
+		LookupKeys: lookupKeys,
+		Indexed:    s.shards[0].idx != nil,
+		IndexKeys:  indexKeys,
+		OpMeanUs:   meanNs / 1e3,
+		OpP50Us:    float64(hist.Quantile(0.5)) / 1e3,
+		OpP99Us:    float64(hist.Quantile(0.99)) / 1e3,
+		Splits:     splits,
+		Restarts:   restarts,
+		Crossings:  crossings,
+		RootRhoW:   math.Max(rhoMeas, rhoModel),
+		Saturated:  saturated,
 
 		Engine:        eng0.Kind(),
 		Poisoned:      poisoned,
@@ -554,6 +587,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 				Gets:         sc.sh.gets.Load(),
 				Puts:         sc.sh.puts.Load(),
 				Dels:         sc.sh.dels.Load(),
+				Scans:        sc.sh.scans.Load(),
+				ScanKeys:     sc.sh.scanKeys.Load(),
+				Seeks:        sc.sh.seeks.Load(),
+				Lookups:      sc.sh.lookups.Load(),
+				LookupKeys:   sc.sh.lookupKeys.Load(),
 				OpMeanUs:     sc.win.ObsMeanNs / 1e3,
 				OpP50Us:      float64(sc.win.OpHist.Quantile(0.5)) / 1e3,
 				OpP99Us:      float64(sc.win.OpHist.Quantile(0.99)) / 1e3,
@@ -591,6 +629,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	fmt.Fprintf(w, "ops window_s=%.2f rate=%.0f gets=%d puts=%d dels=%d bad=%d\n",
 		out.WindowS, out.OpsPerSec, out.Gets, out.Puts, out.Dels, out.BadReqs)
+	fmt.Fprintf(w, "query scan_pages=%d scan_keys=%d seeks=%d lookup_pages=%d lookup_keys=%d indexed=%v index_keys=%d\n",
+		out.Scans, out.ScanKeys, out.Seeks, out.Lookups, out.LookupKeys, out.Indexed, out.IndexKeys)
 	fmt.Fprintf(w, "op_latency_us mean=%.1f p50=%.1f p99=%.1f\n", out.OpMeanUs, out.OpP50Us, out.OpP99Us)
 	fmt.Fprintf(w, "tree splits=%d restarts=%d crossings=%d\n", out.Splits, out.Restarts, out.Crossings)
 	fmt.Fprintf(w, "engine kind=%s poisoned=%v recovered=%d oplog_appended=%d oplog_synced=%d oplog_bytes=%d fsyncs=%d checkpoints=%d checkpoint_lag=%d commit_fails=%d unavail=%d\n",

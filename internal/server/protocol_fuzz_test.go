@@ -5,18 +5,26 @@ import (
 	"bytes"
 	"io"
 	"testing"
+
+	"btreeperf/internal/query"
 )
 
 // FuzzReadRequest feeds arbitrary bytes through the request decoder: it
-// must never panic, must consume any stream to either EOF or a non-nil
-// error, and anything it does decode must re-encode to an identical
-// decode (round-trip closure).
+// must never panic or over-read, must consume any stream to either EOF
+// or a non-nil error, and anything it does decode must re-encode to an
+// identical decode (round-trip closure).
 func FuzzReadRequest(f *testing.F) {
+	tok := query.EncodeToken(nil, []int64{1, 2, 3, 4})
 	for _, req := range []Request{
 		{Op: OpGet, Key: 42},
 		{Op: OpPut, Key: -7, Val: 1<<63 + 9},
 		{Op: OpDel, Key: 1 << 40},
 		{Op: OpPing},
+		{Op: OpSeek, Key: -1},
+		{Op: OpScan, Key: 0, Hi: 1000, Limit: 64},
+		{Op: OpScan, Key: -50, Hi: 50, Limit: 256, Token: tok},
+		{Op: OpLookup, Val: 99, Limit: 16},
+		{Op: OpLookup, Val: 1 << 40, Token: tok},
 	} {
 		f.Add(AppendRequest(nil, req))
 	}
@@ -24,6 +32,12 @@ func FuzzReadRequest(f *testing.F) {
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1})
 	f.Add([]byte{0, 0, 0, 9, byte(OpGet), 1, 2})
 	f.Add([]byte{0, 0, 0, 1, 99})
+	// Scan frame whose toklen field lies about the payload length.
+	f.Add([]byte{0, 0, 0, 21, byte(OpScan),
+		0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 9, 0, 64, 0, 200})
+	// Lookup with a huge toklen claim.
+	f.Add([]byte{0, 0, 0, 13, byte(OpLookup),
+		0, 0, 0, 0, 0, 0, 0, 5, 0, 8, 0xff, 0xff})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		br := bufio.NewReader(bytes.NewReader(data))
@@ -41,14 +55,14 @@ func FuzzReadRequest(f *testing.F) {
 			if err != nil {
 				t.Fatalf("re-decode of %+v: %v", req, err)
 			}
-			if got != req {
+			if !reqEqual(got, req) {
 				t.Fatalf("round trip drifted: %+v -> %+v", req, got)
 			}
 		}
 	})
 }
 
-// FuzzReadResponse is the same property for the response decoder.
+// FuzzReadResponse is the same property for the point-response decoder.
 func FuzzReadResponse(f *testing.F) {
 	for _, resp := range []Response{
 		{Status: StatusOK, HasVal: true, Val: 12345},
@@ -77,7 +91,50 @@ func FuzzReadResponse(f *testing.F) {
 			if err != nil {
 				t.Fatalf("re-decode of %+v: %v", resp, err)
 			}
-			if got != resp {
+			if !respEqual(got, resp) {
+				t.Fatalf("round trip drifted: %+v -> %+v", resp, got)
+			}
+		}
+	})
+}
+
+// FuzzReadPageResponse is the round-trip-closure property for the page
+// decoder: no panic, no over-read, and every decoded page re-encodes to
+// an identical decode.
+func FuzzReadPageResponse(f *testing.F) {
+	tok := query.EncodeToken(nil, []int64{10, 20})
+	for _, resp := range []Response{
+		{Status: StatusOK, Page: true},
+		{Status: StatusOK, Page: true, Entries: []query.KV{{Key: 3, Val: 4}}},
+		{Status: StatusOK, Page: true,
+			Entries: []query.KV{{Key: -1, Val: 0}, {Key: 2, Val: 1 << 50}}, Token: tok},
+		{Status: StatusBadRequest, Page: true},
+		{Status: StatusBusy}, // bare status frame: shed reply to a query op
+	} {
+		f.Add(AppendResponse(nil, resp))
+	}
+	// Count field larger than the carried entries.
+	f.Add([]byte{0, 0, 0, 5, StatusOK, 0, 7, 0, 0})
+	// Token length overrunning the frame.
+	f.Add([]byte{0, 0, 0, 5, StatusOK, 0, 0, 0, 9})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		br := bufio.NewReader(bytes.NewReader(data))
+		buf := make([]byte, MaxPayload)
+		for {
+			resp, err := ReadPageResponse(br, buf)
+			if err != nil {
+				if err == io.EOF && br.Buffered() > 0 {
+					t.Fatalf("clean EOF with %d bytes unconsumed", br.Buffered())
+				}
+				return
+			}
+			wire := AppendResponse(nil, resp)
+			got, err := ReadPageResponse(bufio.NewReader(bytes.NewReader(wire)), make([]byte, MaxPayload))
+			if err != nil {
+				t.Fatalf("re-decode of %+v: %v", resp, err)
+			}
+			if !respEqual(got, resp) {
 				t.Fatalf("round trip drifted: %+v -> %+v", resp, got)
 			}
 		}

@@ -5,15 +5,44 @@ import (
 	"bytes"
 	"io"
 	"testing"
+
+	"btreeperf/internal/query"
 )
 
+// reqEqual compares requests field-wise (Request holds a token slice, so
+// == no longer compiles).
+func reqEqual(a, b Request) bool {
+	return a.Op == b.Op && a.Key == b.Key && a.Val == b.Val && a.Hi == b.Hi &&
+		a.Limit == b.Limit && bytes.Equal(a.Token, b.Token)
+}
+
+// respEqual compares responses field-wise.
+func respEqual(a, b Response) bool {
+	if a.Status != b.Status || a.HasVal != b.HasVal || a.Val != b.Val ||
+		a.Page != b.Page || !bytes.Equal(a.Token, b.Token) || len(a.Entries) != len(b.Entries) {
+		return false
+	}
+	for i := range a.Entries {
+		if a.Entries[i] != b.Entries[i] {
+			return false
+		}
+	}
+	return true
+}
+
 func TestRequestRoundTrip(t *testing.T) {
+	tok := query.EncodeToken(nil, []int64{7, -3, 1 << 40, 0})
 	reqs := []Request{
 		{Op: OpGet, Key: 42},
 		{Op: OpPut, Key: -7, Val: 1<<63 + 9},
 		{Op: OpDel, Key: 1 << 40},
 		{Op: OpPing},
 		{Op: OpGet, Key: -1 << 62},
+		{Op: OpSeek, Key: -99},
+		{Op: OpScan, Key: 10, Hi: 1 << 30, Limit: 128},
+		{Op: OpScan, Key: -1 << 40, Hi: 1 << 40, Limit: 1, Token: tok},
+		{Op: OpLookup, Val: 0xdeadbeef, Limit: 32},
+		{Op: OpLookup, Val: 1, Limit: 256, Token: tok},
 	}
 	var wire []byte
 	for _, r := range reqs {
@@ -26,10 +55,10 @@ func TestRequestRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("request %d: %v", i, err)
 		}
-		if want.Op != OpPut {
+		if want.Op != OpPut && want.Op != OpLookup {
 			want.Val = 0
 		}
-		if got != want {
+		if !reqEqual(got, want) {
 			t.Fatalf("request %d: got %+v want %+v", i, got, want)
 		}
 	}
@@ -56,9 +85,59 @@ func TestResponseRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("response %d: %v", i, err)
 		}
-		if got != want {
+		if !respEqual(got, want) {
 			t.Fatalf("response %d: got %+v want %+v", i, got, want)
 		}
+	}
+}
+
+func TestPageResponseRoundTrip(t *testing.T) {
+	tok := query.EncodeToken(nil, []int64{100, 200})
+	resps := []Response{
+		{Status: StatusOK, Page: true}, // empty page, range exhausted
+		{Status: StatusOK, Page: true, Entries: []query.KV{{Key: 1, Val: 2}}},
+		{Status: StatusOK, Page: true,
+			Entries: []query.KV{{Key: -5, Val: 0}, {Key: 0, Val: 9}, {Key: 77, Val: 1 << 60}},
+			Token:   tok},
+		{Status: StatusBadRequest, Page: true},
+		{Status: StatusBusy}, // bare point-shaped shed reply on a query op
+	}
+	var wire []byte
+	for _, r := range resps {
+		wire = AppendResponse(wire, r)
+	}
+	br := bufio.NewReader(bytes.NewReader(wire))
+	buf := make([]byte, MaxPayload)
+	for i, want := range resps {
+		got, err := ReadPageResponse(br, buf)
+		if err != nil {
+			t.Fatalf("page response %d: %v", i, err)
+		}
+		if !respEqual(got, want) {
+			t.Fatalf("page response %d: got %+v want %+v", i, got, want)
+		}
+	}
+	if _, err := ReadPageResponse(br, buf); err != io.EOF {
+		t.Fatalf("trailing read: %v, want io.EOF", err)
+	}
+}
+
+// TestPageResponseMaxSize pins the largest page frame under MaxPayload.
+func TestPageResponseMaxSize(t *testing.T) {
+	ents := make([]query.KV, MaxScanLimit)
+	cursors := make([]int64, query.MaxShards)
+	resp := Response{Status: StatusOK, Page: true, Entries: ents,
+		Token: query.EncodeToken(nil, cursors)}
+	wire := AppendResponse(nil, resp)
+	if payload := len(wire) - 4; payload > MaxPayload {
+		t.Fatalf("max page payload %d exceeds MaxPayload %d", payload, MaxPayload)
+	}
+	got, err := ReadPageResponse(bufio.NewReader(bytes.NewReader(wire)), make([]byte, MaxPayload))
+	if err != nil {
+		t.Fatalf("decoding max page: %v", err)
+	}
+	if !respEqual(got, resp) {
+		t.Fatal("max page drifted through round trip")
 	}
 }
 
@@ -66,14 +145,48 @@ func TestMalformedFrames(t *testing.T) {
 	buf := make([]byte, MaxPayload)
 	cases := map[string][]byte{
 		"zero length":    {0, 0, 0, 0},
-		"oversized":      {0, 0, 10, 0},
+		"oversized":      {0, 1, 0, 0}, // 65536 > MaxPayload
 		"unknown opcode": {0, 0, 0, 1, 99},
 		"short get":      {0, 0, 0, 5, byte(OpGet), 1, 2, 3, 4},
 		"long ping":      {0, 0, 0, 2, byte(OpPing), 0},
 		"truncated":      {0, 0, 0, 9, byte(OpGet), 1, 2},
+		"short scan":     {0, 0, 0, 9, byte(OpScan), 0, 0, 0, 0, 0, 0, 0, 0},
+		"short lookup":   {0, 0, 0, 9, byte(OpLookup), 0, 0, 0, 0, 0, 0, 0, 0},
 	}
+	// A scan whose toklen disagrees with the frame length must be a
+	// protocol error, never an over-read: 21-byte frame claiming 8 token
+	// bytes it does not carry.
+	bad := AppendRequest(nil, Request{Op: OpScan, Key: 0, Hi: 100})
+	bad[len(bad)-1] = 8
+	cases["scan toklen overrun"] = bad
+	// Same for an oversized token-length claim.
+	huge := AppendRequest(nil, Request{Op: OpLookup, Val: 1})
+	huge[len(huge)-2] = 0xff
+	huge[len(huge)-1] = 0xff
+	cases["lookup toklen huge"] = huge
 	for name, wire := range cases {
 		if _, err := ReadRequest(bufio.NewReader(bytes.NewReader(wire)), buf); err == nil {
+			t.Errorf("%s: accepted", name)
+		} else if err == io.EOF {
+			t.Errorf("%s: clean EOF for a partial frame", name)
+		}
+	}
+}
+
+func TestMalformedPageFrames(t *testing.T) {
+	buf := make([]byte, MaxPayload)
+	cases := map[string][]byte{
+		"short page":     {0, 0, 0, 3, StatusOK, 0, 0},
+		"count too big":  {0, 0, 0, 5, StatusOK, 0xff, 0xff, 0, 0},
+		"entries absent": {0, 0, 0, 5, StatusOK, 0, 2, 0, 0},
+	}
+	// A page whose toklen overruns the frame.
+	bad := AppendResponse(nil, Response{Status: StatusOK, Page: true,
+		Entries: []query.KV{{Key: 1, Val: 1}}})
+	bad[len(bad)-1] = 9
+	cases["page toklen overrun"] = bad
+	for name, wire := range cases {
+		if _, err := ReadPageResponse(bufio.NewReader(bytes.NewReader(wire)), buf); err == nil {
 			t.Errorf("%s: accepted", name)
 		} else if err == io.EOF {
 			t.Errorf("%s: clean EOF for a partial frame", name)

@@ -1,0 +1,201 @@
+package server
+
+import (
+	"math"
+
+	"btreeperf/internal/query"
+)
+
+// Query-op execution. Scans, seeks, and lookups are cross-shard
+// operations: the keyspace is hash-partitioned, so a contiguous key
+// range has entries on every shard and one page is a per-shard fan-out
+// plus an ordered k-way merge. A query job therefore has no home shard
+// by key; the connection reader deals query jobs round-robin across
+// shards (spreading the merge work), and the executing worker reads
+// every shard's engine directly — engines are concurrent-reader-safe
+// (the cbtree by construction, the disk engine under its RWMutex), so no
+// cross-shard coordination is needed beyond the engines' own latches.
+//
+// Paging is stateless: the continuation token encodes one cursor per
+// shard (see internal/query), so the server keeps nothing between pages
+// and a token can be replayed against any connection. The governor never
+// sheds query ops — they are read traffic and do not drive root ρ_w the
+// way updates do.
+
+// isQueryOp reports whether op answers with the page wire shape.
+func isQueryOp(op byte) bool {
+	return op == OpScan || op == OpSeek || op == OpLookup
+}
+
+// badPage is the page-shaped StatusBadRequest (malformed token, lookup
+// without an index): page-shaped so pipelined clients parsing by sent-op
+// shape never desynchronize.
+func badPage() Response {
+	return Response{Status: StatusBadRequest, Page: true}
+}
+
+// queryCursors resolves a query op's starting cursors: all lo on the
+// first page, the token's cursors afterwards. A token that fails to
+// decode, carries the wrong shard count, or places a cursor outside
+// [lo, hi] is a bad request.
+func (s *Server) queryCursors(tok []byte, lo, hi int64) ([]int64, bool) {
+	cursors := make([]int64, len(s.shards))
+	if len(tok) == 0 {
+		for i := range cursors {
+			cursors[i] = lo
+		}
+		return cursors, true
+	}
+	dec, err := query.DecodeToken(tok)
+	if err != nil || len(dec) != len(s.shards) {
+		return nil, false
+	}
+	for _, c := range dec {
+		if c < lo || c > hi {
+			return nil, false
+		}
+	}
+	return dec, true
+}
+
+// clampLimit resolves a request's page limit.
+func clampLimit(limit int) int {
+	switch {
+	case limit <= 0:
+		return DefaultScanLimit
+	case limit > MaxScanLimit:
+		return MaxScanLimit
+	default:
+		return limit
+	}
+}
+
+// execScan serves one page of [req.Key, req.Hi): fetch up to limit
+// entries per shard from that shard's cursor, merge the globally
+// smallest limit of them, and re-encode the advanced cursors as the next
+// token (empty when the range is exhausted).
+func (s *Server) execScan(req Request, t *opTally) Response {
+	lo, hi := req.Key, req.Hi
+	if hi <= lo {
+		t.scans++
+		return Response{Status: StatusOK, Page: true} // empty range: OK, zero entries, no token
+	}
+	limit := clampLimit(req.Limit)
+	cursors, ok := s.queryCursors(req.Token, lo, hi)
+	if !ok {
+		t.bad++
+		return badPage()
+	}
+	t.scans++
+	fetches := make([]query.ShardFetch, len(s.shards))
+	for i, sh := range s.shards {
+		if cursors[i] >= hi {
+			continue // this shard's range is already exhausted
+		}
+		ents, more, err := sh.eng.Scan(cursors[i], hi, limit, nil)
+		if err != nil {
+			t.unavail++
+			return Response{Status: StatusUnavail, Page: true}
+		}
+		fetches[i] = query.ShardFetch{Entries: ents, More: more}
+	}
+	page, done := query.MergePage(fetches, cursors, hi, limit, nil)
+	t.scanKeys += int64(len(page))
+	resp := Response{Status: StatusOK, Page: true, Entries: page}
+	if !done {
+		resp.Token = query.EncodeToken(nil, cursors)
+	}
+	return resp
+}
+
+// execSeek answers the smallest stored key >= req.Key as a page of at
+// most one entry: the per-shard minimum of a limit-1 scan to +inf.
+func (s *Server) execSeek(req Request, t *opTally) Response {
+	t.seeks++
+	var best query.KV
+	found := false
+	for _, sh := range s.shards {
+		ents, _, err := sh.eng.Scan(req.Key, math.MaxInt64, 1, nil)
+		if err != nil {
+			t.unavail++
+			return Response{Status: StatusUnavail, Page: true}
+		}
+		if len(ents) > 0 && (!found || ents[0].Key < best.Key) {
+			best, found = ents[0], true
+		}
+	}
+	resp := Response{Status: StatusOK, Page: true}
+	if found {
+		resp.Entries = []query.KV{best}
+		t.scanKeys++
+	}
+	return resp
+}
+
+// execLookup serves one page of the primary keys whose indexed value is
+// req.Val, ascending, with the same per-shard cursor/merge machinery as
+// scans — the cursors range over the primary-key space. Answering
+// StatusBadRequest on an index-less server (rather than an empty OK
+// page) keeps "no index" distinguishable from "value not present".
+func (s *Server) execLookup(req Request, t *opTally) Response {
+	if s.shards[0].idx == nil {
+		t.bad++
+		return badPage()
+	}
+	const hi = math.MaxInt64 // lookups page over the full primary-key space
+	limit := clampLimit(req.Limit)
+	cursors, ok := s.queryCursors(req.Token, math.MinInt64, hi)
+	if !ok {
+		t.bad++
+		return badPage()
+	}
+	t.lookups++
+	fetches := make([]query.ShardFetch, len(s.shards))
+	for i, sh := range s.shards {
+		if cursors[i] >= hi {
+			continue
+		}
+		keys, more := sh.idx.Lookup(req.Val, cursors[i], limit, nil)
+		if len(keys) > 0 || more {
+			ents := make([]query.KV, len(keys))
+			for j, k := range keys {
+				ents[j] = query.KV{Key: k, Val: req.Val}
+			}
+			fetches[i] = query.ShardFetch{Entries: ents, More: more}
+		}
+	}
+	page, done := query.MergePage(fetches, cursors, hi, limit, nil)
+	t.lookupKeys += int64(len(page))
+	resp := Response{Status: StatusOK, Page: true, Entries: page}
+	if !done {
+		resp.Token = query.EncodeToken(nil, cursors)
+	}
+	return resp
+}
+
+// rebuildIndexes scans every shard's (already recovered and prefilled)
+// engine into its secondary index before the server takes traffic. The
+// index needs no journal of its own: it is a pure function of the
+// primary tree, whose oplog already made these entries durable, so
+// kill -9 consistency is inherited from primary recovery.
+func (s *Server) rebuildIndexes() error {
+	const page = 1024
+	for _, sh := range s.shards {
+		cursor := int64(math.MinInt64)
+		buf := make([]query.KV, 0, page)
+		for {
+			ents, more, err := sh.eng.Scan(cursor, math.MaxInt64, page, buf[:0])
+			if err != nil {
+				return err
+			}
+			for _, e := range ents {
+				sh.idx.Add(e.Key, e.Val)
+			}
+			if !more || len(ents) == 0 {
+				break
+			}
+			cursor = ents[len(ents)-1].Key + 1
+		}
+	}
+	return nil
+}

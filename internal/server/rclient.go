@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"btreeperf/internal/query"
 )
 
 // ErrShed is returned by RClient's typed helpers when the server kept
@@ -164,7 +166,15 @@ func (r *RClient) spendRetryToken() bool {
 // it returns the last (Busy/Overload) response with a nil error — the
 // status carries the verdict; use the typed helpers for an error. When
 // every attempt hit a transport error it returns the last error.
-func (r *RClient) Do(req Request) (Response, error) {
+func (r *RClient) Do(req Request) (Response, error) { return r.do(req, false) }
+
+// DoPage is Do for query ops (scan, seek, lookup), reading the response
+// in the page wire shape. Shed pages (StatusBusy) are retried exactly
+// like shed point ops — the server keeps shed replies to query ops
+// page-shaped, so the retry loop sees the status either way.
+func (r *RClient) DoPage(req Request) (Response, error) { return r.do(req, true) }
+
+func (r *RClient) do(req Request, page bool) (Response, error) {
 	r.ops.Add(1)
 	r.mu.Lock()
 	r.budget += r.cfg.BudgetRatio
@@ -197,7 +207,13 @@ func (r *RClient) Do(req Request) (Response, error) {
 			continue
 		}
 		c := r.c
-		resp, err := c.Do(req)
+		var resp Response
+		var err error
+		if page {
+			resp, err = c.DoPage(req)
+		} else {
+			resp, err = c.Do(req)
+		}
 		if err != nil {
 			// The conn is in an unknown state (a response may still be in
 			// flight); drop it so the next attempt starts clean.
@@ -277,6 +293,61 @@ func (r *RClient) Del(key int64) (bool, error) {
 		return false, shedErr(resp.Status)
 	}
 	return resp.Status == StatusOK, nil
+}
+
+// Scan fetches one page of [lo, hi), retrying as configured; the token
+// contract matches Client.Scan. Stateless tokens make query retries
+// safe: a replayed token re-serves the same page.
+func (r *RClient) Scan(lo, hi int64, limit int, token []byte) ([]query.KV, []byte, error) {
+	resp, err := r.DoPage(Request{Op: OpScan, Key: lo, Hi: hi, Limit: limit, Token: token})
+	if err != nil {
+		return nil, nil, err
+	}
+	if Retryable(resp.Status) {
+		return nil, nil, shedErr(resp.Status)
+	}
+	if resp.Status != StatusOK {
+		return nil, nil, fmt.Errorf("server: scan: %s", StatusName(resp.Status))
+	}
+	return resp.Entries, resp.Token, nil
+}
+
+// SeekGE returns the smallest stored key >= key, retrying as configured.
+func (r *RClient) SeekGE(key int64) (int64, uint64, bool, error) {
+	resp, err := r.DoPage(Request{Op: OpSeek, Key: key})
+	if err != nil {
+		return 0, 0, false, err
+	}
+	if Retryable(resp.Status) {
+		return 0, 0, false, shedErr(resp.Status)
+	}
+	if resp.Status != StatusOK {
+		return 0, 0, false, fmt.Errorf("server: seek: %s", StatusName(resp.Status))
+	}
+	if len(resp.Entries) == 0 {
+		return 0, 0, false, nil
+	}
+	return resp.Entries[0].Key, resp.Entries[0].Val, true, nil
+}
+
+// Lookup fetches one page of primary keys indexed under val, retrying as
+// configured.
+func (r *RClient) Lookup(val uint64, limit int, token []byte) ([]int64, []byte, error) {
+	resp, err := r.DoPage(Request{Op: OpLookup, Val: val, Limit: limit, Token: token})
+	if err != nil {
+		return nil, nil, err
+	}
+	if Retryable(resp.Status) {
+		return nil, nil, shedErr(resp.Status)
+	}
+	if resp.Status != StatusOK {
+		return nil, nil, fmt.Errorf("server: lookup: %s", StatusName(resp.Status))
+	}
+	keys := make([]int64, len(resp.Entries))
+	for i, e := range resp.Entries {
+		keys[i] = e.Key
+	}
+	return keys, resp.Token, nil
 }
 
 // Ping round-trips a no-op.

@@ -17,6 +17,7 @@ import (
 	"btreeperf/internal/cbtree"
 	"btreeperf/internal/lock"
 	"btreeperf/internal/metrics"
+	"btreeperf/internal/query/index"
 )
 
 // Default self-defense settings (Config zero values resolve to these;
@@ -51,6 +52,13 @@ type Config struct {
 	WriteTimeout time.Duration // per-write deadline: a peer that won't drain responses is closed
 	AdmitTimeout time.Duration // how long a batch may wait for a worker-queue slot before StatusBusy
 	QueueDepth   int           // worker queue bound per shard, in batches; default 4*Workers
+
+	// Index enables the secondary index (value → primary keys, one per
+	// shard): Put/Del maintain it transactionally per key, OpLookup
+	// queries it. Built from the engines' contents in New (so a disk
+	// engine's recovered state is indexed before serving); without it
+	// OpLookup answers StatusBadRequest.
+	Index bool
 
 	// Governor configures the model-driven overload governor; each shard
 	// runs its own instance against its own root ρ_w. See GovernorConfig.
@@ -170,6 +178,9 @@ func New(cfg Config) *Server {
 			sh.eng = &memEngine{t: sh.tree}
 		}
 		sh.gov = newGovernor(sh, cfg.Governor)
+		if cfg.Index {
+			sh.idx = index.New()
+		}
 		s.shards[i] = sh
 	}
 	for i := 0; i < cfg.Prefill; i++ {
@@ -186,6 +197,12 @@ func New(cfg Config) *Server {
 		for _, sh := range s.shards {
 			sh.eng.Commit()
 		}
+	}
+	if cfg.Index {
+		// Index the engines' current contents — prefill above, and any
+		// state a disk engine recovered from its journal — before taking
+		// traffic; from here on apply keeps the index in step per key.
+		s.rebuildIndexes()
 	}
 	for _, sh := range s.shards {
 		if sh.tree != nil {
@@ -413,7 +430,8 @@ func (s *Server) handle(conn net.Conn) {
 	buf := make([]byte, MaxPayload)
 	credits := s.cfg.Depth
 	nShards := len(s.shards)
-	var bt *batch // accumulating batch; nil between batches
+	queryRR := int32(0) // round-robin home shard for cross-shard query ops
+	var bt *batch       // accumulating batch; nil between batches
 	submit := func() {
 		if bt == nil {
 			return
@@ -470,18 +488,29 @@ func (s *Server) handle(conn net.Conn) {
 		}
 		j := bt.add()
 		j.req = req
-		j.shard = s.shardIdx(req.Key)
-		sh := s.shards[j.shard]
-		if sh.gov.shedding() && (req.Op == OpPut || req.Op == OpDel) {
-			// The shard's governor is shedding update traffic: answer
-			// without touching its tree so writers stop driving that
-			// root's ρ_w.
-			sh.shedOverload.Add(1)
-			j.skip = true
-			j.resp = Response{Status: StatusOverload}
-		} else {
+		if isQueryOp(req.Op) {
+			// Query ops are cross-shard (the executing worker merges over
+			// every shard's engine), so they have no home shard by key:
+			// deal them round-robin to spread the merge work. The governor
+			// never sheds them — scans are read traffic.
+			j.shard = queryRR
+			queryRR = (queryRR + 1) % int32(nShards)
 			bt.nexec++
 			bt.nexecSh[j.shard]++
+		} else {
+			j.shard = s.shardIdx(req.Key)
+			sh := s.shards[j.shard]
+			if sh.gov.shedding() && (req.Op == OpPut || req.Op == OpDel) {
+				// The shard's governor is shedding update traffic: answer
+				// without touching its tree so writers stop driving that
+				// root's ρ_w.
+				sh.shedOverload.Add(1)
+				j.skip = true
+				j.resp = Response{Status: StatusOverload}
+			} else {
+				bt.nexec++
+				bt.nexecSh[j.shard]++
+			}
 		}
 	}
 	submit()
@@ -589,7 +618,9 @@ func (s *Server) dispatch(bt *batch, admitTimer **time.Timer) {
 				continue
 			}
 			j.skip = true
-			j.resp = Response{Status: StatusBusy}
+			// Query ops get the page-shaped Busy so shape-by-sent-op
+			// clients stay in sync (readers accept the bare form too).
+			j.resp = Response{Status: StatusBusy, Page: isQueryOp(j.req.Op)}
 			shed++
 		}
 		sh.shedBusy.Add(int64(shed))
@@ -631,6 +662,11 @@ func (s *Server) admit(sh *shard, bt *batch, admitTimer **time.Timer) bool {
 // flushed to the shard's shared counters once per batch.
 type opTally struct {
 	gets, puts, dels, pings, bad, unavail int64
+
+	// Query traffic: pages served and entries returned. A scan op is one
+	// page; scanKeys/lookupKeys accumulate the entries across pages, so
+	// keys-per-page is derivable from the pair.
+	scans, seeks, lookups, scanKeys, lookupKeys int64
 }
 
 // apply executes one request against the shard's engine, recording it in
@@ -655,7 +691,17 @@ func (s *Server) apply(sh *shard, req Request, t *opTally) Response {
 		return Response{Status: StatusOK, HasVal: true, Val: v}
 	case OpPut:
 		t.puts++
-		ok, err := sh.eng.Put(req.Key, req.Val)
+		var ok bool
+		var err error
+		if sh.idx != nil {
+			// The index wraps the tree op so the pair commits as one
+			// per-key atomic step (see internal/query/index).
+			ok, err = sh.idx.Put(req.Key, req.Val, func() (bool, error) {
+				return sh.eng.Put(req.Key, req.Val)
+			})
+		} else {
+			ok, err = sh.eng.Put(req.Key, req.Val)
+		}
 		if err != nil {
 			t.unavail++
 			return Response{Status: StatusUnavail}
@@ -666,7 +712,15 @@ func (s *Server) apply(sh *shard, req Request, t *opTally) Response {
 		return Response{Status: StatusMiss}
 	case OpDel:
 		t.dels++
-		ok, err := sh.eng.Del(req.Key)
+		var ok bool
+		var err error
+		if sh.idx != nil {
+			ok, err = sh.idx.Del(req.Key, func() (bool, error) {
+				return sh.eng.Del(req.Key)
+			})
+		} else {
+			ok, err = sh.eng.Del(req.Key)
+		}
 		if err != nil {
 			t.unavail++
 			return Response{Status: StatusUnavail}
@@ -678,6 +732,15 @@ func (s *Server) apply(sh *shard, req Request, t *opTally) Response {
 	case OpPing:
 		t.pings++
 		return Response{Status: StatusOK}
+	// Query ops tally inside their exec functions: a bad token counts as
+	// a bad request, not as a scan, so each request lands in exactly one
+	// op-kind bucket.
+	case OpScan:
+		return s.execScan(req, t)
+	case OpSeek:
+		return s.execSeek(req, t)
+	case OpLookup:
+		return s.execLookup(req, t)
 	default:
 		t.bad++
 		return Response{Status: StatusBadRequest}

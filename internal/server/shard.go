@@ -6,6 +6,7 @@ import (
 
 	"btreeperf/internal/cbtree"
 	"btreeperf/internal/metrics"
+	"btreeperf/internal/query/index"
 )
 
 // shard is one independent serving partition: its own storage engine,
@@ -24,13 +25,25 @@ type shard struct {
 	work  chan *batch
 	gov   *governor
 
+	// idx is the shard's secondary index (value → primary keys); nil
+	// unless the server was built with Config.Index.
+	idx *index.Index
+
 	opLat   metrics.Hist // per-op tree service time
 	opNsSum atomic.Int64
 	opCount atomic.Int64
 	gets    atomic.Int64
 	puts    atomic.Int64
 	dels    atomic.Int64
-	opBad   atomic.Int64 // requests with an unknown opcode
+	opBad   atomic.Int64 // unknown opcodes and bad query requests
+
+	// Query counters: pages served with this shard as the merge home,
+	// and entries returned on those pages.
+	scans      atomic.Int64
+	seeks      atomic.Int64
+	lookups    atomic.Int64
+	scanKeys   atomic.Int64
+	lookupKeys atomic.Int64
 
 	// Durability counters.
 	commitFails atomic.Int64 // batches whose group commit failed
@@ -106,7 +119,8 @@ func (sh *shard) run() {
 				}
 			}
 		}
-		if n := tally.gets + tally.puts + tally.dels + tally.pings + tally.bad; n > 0 {
+		if n := tally.gets + tally.puts + tally.dels + tally.pings + tally.bad +
+			tally.scans + tally.seeks + tally.lookups; n > 0 {
 			ns := time.Since(t0).Nanoseconds()
 			// The histogram records the batch's amortized per-op service
 			// time for each op (exact in the mean, batch-smoothed in the
@@ -128,6 +142,21 @@ func (sh *shard) run() {
 			}
 			if tally.unavail > 0 {
 				sh.unavail.Add(tally.unavail)
+			}
+			if tally.scans > 0 {
+				sh.scans.Add(tally.scans)
+			}
+			if tally.seeks > 0 {
+				sh.seeks.Add(tally.seeks)
+			}
+			if tally.scanKeys > 0 { // scan-page entries plus seek hits
+				sh.scanKeys.Add(tally.scanKeys)
+			}
+			if tally.lookups > 0 {
+				sh.lookups.Add(tally.lookups)
+			}
+			if tally.lookupKeys > 0 {
+				sh.lookupKeys.Add(tally.lookupKeys)
 			}
 		}
 		bt.completeOne()

@@ -23,6 +23,9 @@ const (
 	Insert
 	// Delete removes a key.
 	Delete
+	// Scan reads a key range starting at the drawn key (range scans are
+	// anchored at live keys, so they traverse populated territory).
+	Scan
 )
 
 func (o Op) String() string {
@@ -33,16 +36,24 @@ func (o Op) String() string {
 		return "insert"
 	case Delete:
 		return "delete"
+	case Scan:
+		return "scan"
 	default:
 		return fmt.Sprintf("Op(%d)", int(o))
 	}
 }
 
-// Mix holds the operation proportions q_s, q_i, q_d (must sum to 1).
+// Mix holds the operation proportions q_s, q_i, q_d, q_r (must sum
+// to 1). QR — range-scan share — is this serving layer's extension of
+// the paper's three-op mix; QR = 0 reproduces the paper's streams
+// exactly (the generator's draw order keeps a fixed seed's
+// search/insert/delete sequence byte-identical whether or not the Mix
+// type knows about scans).
 type Mix struct {
 	QS float64 // search fraction
 	QI float64 // insert fraction
 	QD float64 // delete fraction
+	QR float64 // range-scan fraction
 }
 
 // PaperMix is the proportion used in the paper's experiments:
@@ -51,10 +62,10 @@ var PaperMix = Mix{QS: 0.3, QI: 0.5, QD: 0.2}
 
 // Validate checks the proportions.
 func (m Mix) Validate() error {
-	if m.QS < 0 || m.QI < 0 || m.QD < 0 {
+	if m.QS < 0 || m.QI < 0 || m.QD < 0 || m.QR < 0 {
 		return fmt.Errorf("workload: negative proportion %+v", m)
 	}
-	if s := m.QS + m.QI + m.QD; s < 0.999999 || s > 1.000001 {
+	if s := m.QS + m.QI + m.QD + m.QR; s < 0.999999 || s > 1.000001 {
 		return fmt.Errorf("workload: proportions sum to %v, want 1", s)
 	}
 	return nil
@@ -62,6 +73,29 @@ func (m Mix) Validate() error {
 
 // UpdateShare returns q_i + q_d.
 func (m Mix) UpdateShare() float64 { return m.QI + m.QD }
+
+// Scenario returns a named mix preset for btload's -scenario flag.
+// "paper" is the paper's §4 proportion; "point" is read-heavy point
+// traffic; "scan-heavy" and "scan-mixed" are the query-subsystem
+// scenario families (mostly scans, and scans alongside point updates).
+func Scenario(name string) (Mix, error) {
+	switch name {
+	case "paper":
+		return PaperMix, nil
+	case "point":
+		return Mix{QS: 0.9, QI: 0.09, QD: 0.01}, nil
+	case "read-heavy":
+		return Mix{QS: 0.95, QI: 0.04, QD: 0.01}, nil
+	case "insert-heavy":
+		return Mix{QS: 0.1, QI: 0.8, QD: 0.1}, nil
+	case "scan-heavy":
+		return Mix{QS: 0.05, QI: 0.04, QD: 0.01, QR: 0.9}, nil
+	case "scan-mixed":
+		return Mix{QS: 0.3, QI: 0.35, QD: 0.15, QR: 0.2}, nil
+	default:
+		return Mix{}, fmt.Errorf("workload: unknown scenario %q (want paper, point, read-heavy, insert-heavy, scan-heavy, or scan-mixed)", name)
+	}
+}
 
 // KeyPool tracks the live key population with O(1) insertion and O(1)
 // uniform removal, so deletes and searches can target existing keys — the
@@ -142,8 +176,10 @@ func NewGenerator(mix Mix, pool *KeyPool, keySpace int64, src *xrand.Source) (*G
 
 // Next draws the next operation and its key. Deletes remove their target
 // from the pool immediately so concurrent deletes do not all chase the
-// same key; inserts add theirs. When the pool is empty a drawn delete or
-// search degrades to an insert.
+// same key; inserts add theirs. When the pool is empty a drawn delete,
+// search, or scan degrades to an insert. The scan band sits after
+// search and delete in the draw order, so with QR = 0 a fixed seed
+// produces the stream the pre-scan generator produced, byte for byte.
 func (g *Generator) Next() (Op, int64) {
 	u := g.src.Float64()
 	switch {
@@ -154,6 +190,10 @@ func (g *Generator) Next() (Op, int64) {
 	case u < g.mix.QS+g.mix.QD:
 		if k, ok := g.pool.Take(g.src); ok {
 			return Delete, k
+		}
+	case u < g.mix.QS+g.mix.QD+g.mix.QR:
+		if k, ok := g.pool.Pick(g.src); ok {
+			return Scan, k
 		}
 	}
 	k := g.src.Int63n(g.keySpace)

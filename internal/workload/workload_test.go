@@ -1,6 +1,8 @@
 package workload
 
 import (
+	"fmt"
+	"hash/fnv"
 	"math"
 	"testing"
 
@@ -186,5 +188,81 @@ func TestBuildDeterministic(t *testing.T) {
 func TestBuildRequiresGrowth(t *testing.T) {
 	if _, _, err := Build(13, 100, Mix{QS: 0, QI: 0.5, QD: 0.5}, 1000, xrand.New(1)); err == nil {
 		t.Fatal("qi == qd accepted for construction")
+	}
+}
+
+func TestScanMix(t *testing.T) {
+	mix := Mix{QS: 0.2, QI: 0.3, QD: 0.1, QR: 0.4}
+	if err := mix.Validate(); err != nil {
+		t.Fatalf("scan mix invalid: %v", err)
+	}
+	pool := NewKeyPool()
+	g, err := NewGenerator(mix, pool, 1<<20, xrand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[Op]int{}
+	const n = 200000
+	for i := 0; i < n; i++ {
+		op, key := g.Next()
+		counts[op]++
+		if op == Scan {
+			// Scans anchor at live keys, never mutate the pool.
+			if _, ok := pool.pos[key]; !ok {
+				t.Fatalf("scan key %d not live", key)
+			}
+		}
+	}
+	got := float64(counts[Scan]) / n
+	// The scan share runs slightly under q_r early on (an empty pool
+	// degrades scans to inserts), so allow a loose band.
+	if got < 0.35 || got > 0.45 {
+		t.Fatalf("scan share %.3f, want ~0.4", got)
+	}
+	if Scan.String() != "scan" {
+		t.Fatal("Scan string")
+	}
+}
+
+// TestScanZeroShareIsPaperStream pins backward determinism: with QR=0 a
+// fixed seed must draw the exact op/key stream the three-op generator
+// drew, so every pre-scan experiment stays reproducible. The golden
+// hash is the stream the generator produced before the scan band was
+// added to the draw order.
+func TestScanZeroShareIsPaperStream(t *testing.T) {
+	pool := NewKeyPool()
+	g, err := NewGenerator(PaperMix, pool, 1<<16, xrand.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := fnv.New64a()
+	for i := 0; i < 10000; i++ {
+		op, key := g.Next()
+		fmt.Fprintf(h, "%d:%d;", op, key)
+	}
+	const gold = uint64(0xe135c499f781a7db)
+	if got := h.Sum64(); got != gold {
+		t.Fatalf("QR=0 stream hash %#x, want %#x: the draw order changed and pre-scan experiments are no longer reproducible", got, gold)
+	}
+}
+
+func TestScenario(t *testing.T) {
+	for _, name := range []string{"paper", "point", "read-heavy", "insert-heavy", "scan-heavy", "scan-mixed"} {
+		m, err := Scenario(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("%s mix invalid: %v", name, err)
+		}
+	}
+	if m, _ := Scenario("paper"); m != PaperMix {
+		t.Fatal("paper scenario drifted from PaperMix")
+	}
+	if m, _ := Scenario("scan-heavy"); m.QR < 0.5 {
+		t.Fatalf("scan-heavy QR = %v", m.QR)
+	}
+	if _, err := Scenario("nope"); err == nil {
+		t.Fatal("unknown scenario accepted")
 	}
 }

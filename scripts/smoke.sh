@@ -15,6 +15,7 @@ trap 'kill "${spid:-}" 2>/dev/null || true; rm -rf "$bin"' EXIT
 
 go build -o "$bin/btserved" ./cmd/btserved
 go build -o "$bin/btload" ./cmd/btload
+go build -o "$bin/btquery" ./cmd/btquery
 
 listen=127.0.0.1:9470
 http=127.0.0.1:9471
@@ -64,12 +65,13 @@ for alg in lock-coupling optimistic link-type; do
     echo "FAIL($alg): btserved did not drain cleanly" >&2; exit 1; }
 done
 
-# Sharded pass: the same burst against a 4-shard server. The merged view
-# must still carry the per-level telemetry, and every shard must report
-# its own rho_w gauge line — the router spreading traffic across all
-# four is what makes the per-shard gauges nonempty.
-echo "== link-type -shards=4 =="
-"$bin/btserved" -alg link-type -shards 4 -listen "$listen" -http "$http" -prefill 20000 \
+# Sharded pass: the same burst against a 4-shard server, with the
+# secondary index on and scan traffic in the mix. The merged view must
+# still carry the per-level telemetry, and every shard must report its
+# own rho_w gauge line — the router spreading traffic across all four is
+# what makes the per-shard gauges nonempty.
+echo "== link-type -shards=4 -index =="
+"$bin/btserved" -alg link-type -shards 4 -index -listen "$listen" -http "$http" -prefill 20000 \
   2>"$bin/serv-sharded.log" &
 spid=$!
 for _ in $(seq 50); do
@@ -77,7 +79,22 @@ for _ in $(seq 50); do
   sleep 0.2
 done
 
-"$bin/btload" -addr "$listen" -conns 2 -depth 32 -duration 2s
+"$bin/btload" -addr "$listen" -conns 2 -depth 32 -duration 2s -scenario scan-mixed
+
+# Query path end to end: paged scans with token-following, a seek, and a
+# secondary-index lookup, all through btquery against the live server.
+# Prefill key i is i*2654435761 with value i, so looking up value 7 must
+# return its deterministic primary key.
+count_out="$("$bin/btquery" -addr "$listen" -limit 128 count 0 1099511627776)"
+echo "$count_out"
+keys=$(echo "$count_out" | awk '{print $1}')
+pages=$(echo "$count_out" | awk '{print $(NF-1)}')
+[ "$keys" -ge 15000 ] || { echo "FAIL(query): full-range count saw $keys keys, want >= 15000" >&2; exit 1; }
+[ "$pages" -ge 2 ] || { echo "FAIL(query): count used $pages pages, token paging untested" >&2; exit 1; }
+"$bin/btquery" -addr "$listen" seek 0 | grep -Eq '^[0-9]+ [0-9]+$' || {
+  echo "FAIL(query): seek 0 found no key" >&2; exit 1; }
+"$bin/btquery" -addr "$listen" lookup 7 | grep -q '^18581050327$' || {
+  echo "FAIL(query): lookup 7 missing prefill key 18581050327" >&2; exit 1; }
 
 metrics="$(curl -sf "http://$http/metrics")"
 echo "$metrics" | grep -E '^level=' >/dev/null || {
@@ -96,6 +113,29 @@ echo "$metrics" | awk -F'[ =]' '
     if (n != 4) { print "FAIL: " n " shard gauge lines, want 4" > "/dev/stderr"; exit 1 }
     print "ok: all 4 shards served traffic"
   }'
+# The query traffic above (btload scans + btquery) must show up in the
+# aggregate query counters, and the index must report itself populated.
+echo "$metrics" | grep -E '^query ' || {
+  echo "FAIL(sharded): /metrics has no query line" >&2; exit 1; }
+echo "$metrics" | awk -F'[ =]' '
+  /^query / {
+    for (i = 1; i < NF; i++) {
+      if ($i == "scan_pages")   sp = $(i+1)
+      if ($i == "lookup_pages") lp = $(i+1)
+      if ($i == "indexed")      ix = $(i+1)
+      if ($i == "index_keys")   ik = $(i+1)
+    }
+    found = 1
+  }
+  END {
+    if (!found)     { print "FAIL: no query line" > "/dev/stderr"; exit 1 }
+    if (sp+0 <= 0)  { print "FAIL: scan_pages=" sp " not > 0" > "/dev/stderr"; exit 1 }
+    if (lp+0 <= 0)  { print "FAIL: lookup_pages=" lp " not > 0" > "/dev/stderr"; exit 1 }
+    if (ix != "true") { print "FAIL: indexed=" ix ", want true" > "/dev/stderr"; exit 1 }
+    if (ik+0 <= 0)  { print "FAIL: index_keys=" ik " not > 0" > "/dev/stderr"; exit 1 }
+    print "ok: query counters scan_pages=" sp " lookup_pages=" lp " index_keys=" ik
+  }'
+
 model="$(curl -sf "http://$http/debug/model")"
 echo "$model" | grep -q 'shard 3' || {
   echo "FAIL(sharded): /debug/model has no per-shard sections" >&2; exit 1; }
@@ -107,4 +147,4 @@ wait "$spid" || { echo "FAIL(sharded): btserved exited nonzero" >&2; exit 1; }
 grep -q drained "$bin/serv-sharded.log" || {
   echo "FAIL(sharded): btserved did not drain cleanly" >&2; exit 1; }
 
-echo "smoke: all three algorithms plus the 4-shard server served, drained, and reported telemetry"
+echo "smoke: all three algorithms plus the 4-shard indexed server served point and query traffic, drained, and reported telemetry"

@@ -95,6 +95,8 @@ func main() {
 		chaosSpec = flag.String("chaos", "", "client-side fault spec (tolerant mode), e.g. 'preset=0.002,pdrop=0.05,seed=3'")
 		opTimeout = flag.Duration("op-timeout", 0, "per-op deadline on each connection (0 = none; -chaos and -audit default to 5s)")
 
+		replicas = flag.String("replicas", "", "comma-separated follower addresses: reads (gets as bounded-staleness getseq, scans) go to followers, mutations to -addr (the leader); see replicas.go")
+
 		audit       = flag.String("audit", "", "acked-durability audit mode: record every acknowledged put to this file (see audit.go)")
 		auditVerify = flag.String("audit-verify", "", "verify a recorded audit file against a recovered server; non-zero exit on any lost acked write")
 		keystart    = flag.Int64("keystart", 0, "first key of the audit key range (give each kill cycle a disjoint range)")
@@ -164,8 +166,8 @@ func main() {
 		}
 	}
 
-	dial := func() (*server.Client, error) {
-		conn, err := net.DialTimeout("tcp", *addr, 5*time.Second)
+	dialTo := func(a string) (*server.Client, error) {
+		conn, err := net.DialTimeout("tcp", a, 5*time.Second)
 		if err != nil {
 			return nil, err
 		}
@@ -178,6 +180,9 @@ func main() {
 		c.SetOpTimeout(*opTimeout)
 		return c, nil
 	}
+	dial := func() (*server.Client, error) { return dialTo(*addr) }
+
+	rt := setupReplicas(dialTo, *addr, *replicas, *chaosSpec, *audit, *auditVerify)
 
 	if *audit != "" || *auditVerify != "" {
 		if *opTimeout == 0 {
@@ -202,8 +207,15 @@ func main() {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			samples, err := runConn(dial, gens[i], *depth, quota[i], *nOps > 0, inj != nil,
-				perConnRate, xrand.New(*seed^uint64(i)*0x9e3779b97f4a7c15), &stop, &ctr)
+			var samples []int64
+			var err error
+			if rt != nil {
+				samples, err = runConnRepl(dialTo, rt, i, *addr, gens[i], *depth, quota[i],
+					*nOps > 0, perConnRate, xrand.New(*seed^uint64(i)*0x9e3779b97f4a7c15), &stop, &ctr)
+			} else {
+				samples, err = runConn(dial, gens[i], *depth, quota[i], *nOps > 0, inj != nil,
+					perConnRate, xrand.New(*seed^uint64(i)*0x9e3779b97f4a7c15), &stop, &ctr)
+			}
 			if err != nil {
 				errs <- fmt.Errorf("conn %d: %w", i, err)
 				stop.Store(true)
@@ -264,6 +276,9 @@ func main() {
 			fmt.Printf("scans: %d pages (span %d, limit %d), %d keys returned, %.1f keys/page, %.0f keys/s\n",
 				sc, scanWidth, scanPageLimit, sk, float64(sk)/float64(sc), float64(sk)/elapsed.Seconds())
 		}
+	}
+	if rt != nil {
+		rt.report(elapsed)
 	}
 	if shed := ctr.shed.Load(); shed > 0 || inj != nil {
 		sentN := ctr.sent.Load()

@@ -1,0 +1,319 @@
+// Replica mode: -replicas=addr,... splits the generated load across a
+// replicated deployment the way a replication-aware application would.
+// Mutations go to -addr (the leader); searches go to the follower
+// assigned to the connection slot as bounded-staleness reads (OpGetSeq
+// carrying the shared read floor), and scans go to the same follower as
+// plain range reads. The floor is learned from the leader's acks: in
+// replicated mode every put/del response is stamped with the shard's
+// durable sequence, and the stamp raises a per-shard atomic floor shared
+// by all connections — so a follower that has not yet applied a write
+// this very load generator performed refuses the read (StatusLagging,
+// counted per target, never retried and never answered stale) rather
+// than serving the pre-write state.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"btreeperf/internal/server"
+	"btreeperf/internal/workload"
+	"btreeperf/internal/xrand"
+)
+
+// replTargets is the shared replica-mode state: the leader's shard
+// count, the per-shard read floors, and per-target accounting.
+type replTargets struct {
+	nShards int
+	floors  []atomic.Int64 // per shard: highest acked durable seq observed
+	addrs   []string
+
+	gets    []atomic.Int64 // per target: getseqs answered OK/Miss
+	scans   []atomic.Int64 // per target: scan pages answered OK
+	lagging []atomic.Int64 // per target: StatusLagging refusals
+	errsT   []atomic.Int64 // per target: transport/status failures
+}
+
+// newReplTargets probes the leader for its shard count (the Seqs op
+// returns one entry per shard) and sizes the shared state.
+func newReplTargets(dialTo func(addr string) (*server.Client, error), leader, spec string) (*replTargets, error) {
+	addrs := strings.Split(spec, ",")
+	for i := range addrs {
+		addrs[i] = strings.TrimSpace(addrs[i])
+		if addrs[i] == "" {
+			return nil, fmt.Errorf("empty address in -replicas %q", spec)
+		}
+	}
+	c, err := dialTo(leader)
+	if err != nil {
+		return nil, fmt.Errorf("leader %s: %w", leader, err)
+	}
+	defer c.Close()
+	seqs, err := c.Seqs()
+	if err != nil {
+		return nil, fmt.Errorf("leader %s seqs: %w", leader, err)
+	}
+	return &replTargets{
+		nShards: len(seqs),
+		floors:  make([]atomic.Int64, len(seqs)),
+		addrs:   addrs,
+		gets:    make([]atomic.Int64, len(addrs)),
+		scans:   make([]atomic.Int64, len(addrs)),
+		lagging: make([]atomic.Int64, len(addrs)),
+		errsT:   make([]atomic.Int64, len(addrs)),
+	}, nil
+}
+
+// observe raises a shard's read floor to an acked durable sequence.
+func (rt *replTargets) observe(key int64, seq int64) {
+	f := &rt.floors[server.ShardIndex(key, rt.nShards)]
+	for {
+		cur := f.Load()
+		if seq <= cur || f.CompareAndSwap(cur, seq) {
+			return
+		}
+	}
+}
+
+// report prints the per-target split after the run.
+func (rt *replTargets) report(elapsed time.Duration) {
+	for i, addr := range rt.addrs {
+		g, sc := rt.gets[i].Load(), rt.scans[i].Load()
+		lag, e := rt.lagging[i].Load(), rt.errsT[i].Load()
+		reads := g + sc + lag
+		lagPct := 0.0
+		if reads > 0 {
+			lagPct = 100 * float64(lag) / float64(reads)
+		}
+		fmt.Printf("replica %s: %d gets, %d scan pages (%.0f reads/s), %d lagging refusals (%.2f%%), %d errors\n",
+			addr, g, sc, float64(g+sc)/elapsed.Seconds(), lag, lagPct, e)
+	}
+	floors := make([]int64, rt.nShards)
+	for i := range floors {
+		floors[i] = rt.floors[i].Load()
+	}
+	fmt.Printf("read floors at exit (per shard): %v\n", floors)
+}
+
+// replStamp matches one pipelined request to its response.
+type replStamp struct {
+	t   int64 // scheduled send time, ns
+	op  workload.Op
+	key int64
+}
+
+// runConnRepl drives one replica-mode connection slot: a leader
+// connection carrying the mutations and a follower connection (slot
+// picks addrs[i%len]) carrying the reads, each with its own pipelined
+// receiver. Replica mode is strict (no -chaos tolerance): any connection
+// error ends the slot.
+func runConnRepl(dialTo func(addr string) (*server.Client, error), rt *replTargets,
+	slot int, leaderAddr string, gen *workload.Generator,
+	depth, quota int, quotaMode bool, rate float64, rsv *xrand.Source,
+	stop *atomic.Bool, ctr *counters,
+) ([]int64, error) {
+	target := slot % len(rt.addrs)
+	lc, err := dialTo(leaderAddr)
+	if err != nil {
+		return nil, fmt.Errorf("leader %s: %w", leaderAddr, err)
+	}
+	defer lc.Close()
+	fc, err := dialTo(rt.addrs[target])
+	if err != nil {
+		return nil, fmt.Errorf("replica %s: %w", rt.addrs[target], err)
+	}
+	defer fc.Close()
+
+	type recvState struct {
+		samples []int64
+		seen    int
+		err     error
+	}
+
+	// Leader receiver: mutations only. An acked response carries the
+	// shard's durable seq — fold it into the shared read floor.
+	lstamps := make(chan replStamp, depth)
+	ldone := make(chan recvState, 1)
+	go func() {
+		var st recvState
+		for s := range lstamps {
+			resp, err := lc.Recv()
+			if err != nil {
+				st.err = err
+				for range lstamps {
+				}
+				break
+			}
+			lat := time.Now().UnixNano() - s.t
+			ctr.latSum.Add(lat)
+			ctr.recvd.Add(1)
+			switch resp.Status {
+			case server.StatusBusy, server.StatusOverload:
+				ctr.shed.Add(1)
+			case server.StatusOK, server.StatusMiss:
+				if resp.HasVal {
+					rt.observe(s.key, int64(resp.Val))
+				}
+			}
+			st.seen++
+			if len(st.samples) < maxSamplesPerConn {
+				st.samples = append(st.samples, lat)
+			}
+		}
+		ldone <- st
+	}()
+
+	// Follower receiver: getseqs (point-shaped) and scans (page-shaped).
+	fstamps := make(chan replStamp, depth)
+	fdone := make(chan recvState, 1)
+	go func() {
+		var st recvState
+		for s := range fstamps {
+			var resp server.Response
+			var err error
+			if s.op == workload.Scan {
+				resp, err = fc.RecvPage()
+			} else {
+				resp, err = fc.Recv()
+			}
+			if err != nil {
+				st.err = err
+				for range fstamps {
+				}
+				break
+			}
+			lat := time.Now().UnixNano() - s.t
+			ctr.latSum.Add(lat)
+			ctr.recvd.Add(1)
+			switch resp.Status {
+			case server.StatusBusy, server.StatusOverload:
+				ctr.shed.Add(1)
+			case server.StatusLagging:
+				// The follower refused rather than serve state older than
+				// our own acked writes. Counted, not retried: the refusal
+				// rate IS the measurement.
+				rt.lagging[target].Add(1)
+			case server.StatusOK:
+				switch s.op {
+				case workload.Search:
+					ctr.hits.Add(1)
+					rt.gets[target].Add(1)
+				case workload.Scan:
+					ctr.scanKeys.Add(int64(len(resp.Entries)))
+					rt.scans[target].Add(1)
+				}
+			case server.StatusMiss:
+				rt.gets[target].Add(1)
+			default:
+				rt.errsT[target].Add(1)
+			}
+			st.seen++
+			if len(st.samples) < maxSamplesPerConn {
+				st.samples = append(st.samples, lat)
+			}
+		}
+		fdone <- st
+	}()
+
+	// Sender: route by op kind, pace the combined stream when open-loop.
+	var sendErr error
+	did := 0
+	next := time.Now().UnixNano()
+	for !stop.Load() && (!quotaMode || did < quota) {
+		op, key := gen.Next()
+		var req server.Request
+		c, stamps := lc, lstamps
+		switch op {
+		case workload.Search:
+			floor := rt.floors[server.ShardIndex(key, rt.nShards)].Load()
+			req = server.Request{Op: server.OpGetSeq, Key: key, MinSeq: floor}
+			c, stamps = fc, fstamps
+			ctr.searches.Add(1)
+		case workload.Scan:
+			hi := key + scanWidth
+			if hi < key {
+				hi = int64(^uint64(0) >> 1)
+			}
+			req = server.Request{Op: server.OpScan, Key: key, Hi: hi, Limit: scanPageLimit}
+			c, stamps = fc, fstamps
+			ctr.scans.Add(1)
+		case workload.Insert:
+			req = server.Request{Op: server.OpPut, Key: key, Val: uint64(key)}
+			ctr.inserts.Add(1)
+		default:
+			req = server.Request{Op: server.OpDel, Key: key}
+			ctr.deletes.Add(1)
+		}
+		stampNs := time.Now().UnixNano()
+		if rate > 0 {
+			next += int64(rsv.ExpRate(rate) * 1e9)
+			if d := next - stampNs; d > 0 {
+				if sendErr = lc.Flush(); sendErr != nil {
+					break
+				}
+				if sendErr = fc.Flush(); sendErr != nil {
+					break
+				}
+				time.Sleep(time.Duration(d))
+			}
+			stampNs = next
+		}
+		if len(stamps) == cap(stamps) {
+			if sendErr = c.Flush(); sendErr != nil {
+				break
+			}
+		}
+		if sendErr = c.Send(req); sendErr != nil {
+			break
+		}
+		stamps <- replStamp{t: stampNs, op: op, key: key}
+		did++
+		if did%64 == 0 {
+			if sendErr = lc.Flush(); sendErr != nil {
+				break
+			}
+			if sendErr = fc.Flush(); sendErr != nil {
+				break
+			}
+		}
+	}
+	lc.Flush()
+	fc.Flush()
+	close(lstamps)
+	close(fstamps)
+	lst, fst := <-ldone, <-fdone
+	ctr.sent.Add(int64(did))
+	if sendErr != nil {
+		return nil, sendErr
+	}
+	if lst.err != nil {
+		return nil, fmt.Errorf("leader recv: %w", lst.err)
+	}
+	if fst.err != nil {
+		return nil, fmt.Errorf("replica %s recv: %w", rt.addrs[target], fst.err)
+	}
+	return append(lst.samples, fst.samples...), nil
+}
+
+// setupReplicas validates the replica-mode flag combination and builds
+// the shared state; exits on misuse.
+func setupReplicas(dialTo func(addr string) (*server.Client, error),
+	leader, spec, chaos, audit, auditVerify string,
+) *replTargets {
+	if spec == "" {
+		return nil
+	}
+	if chaos != "" || audit != "" || auditVerify != "" {
+		fmt.Fprintln(os.Stderr, "btload: -replicas is incompatible with -chaos and -audit modes")
+		os.Exit(2)
+	}
+	rt, err := newReplTargets(dialTo, leader, spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "btload:", err)
+		os.Exit(2)
+	}
+	return rt
+}

@@ -88,6 +88,14 @@ func main() {
 		cacheNodes = flag.Int("cache-nodes", 0, "disk engine buffer-pool size in nodes (0 = default 4096)")
 
 		indexOn = flag.Bool("index", false, "maintain the secondary value index (enables the lookup op; rebuilt from the primary at startup)")
+
+		replListen  = flag.String("repl-listen", "", "replication hub listen address: lead here (requires -engine disk), or with -follow, the address this process ships from after promotion")
+		follow      = flag.String("follow", "", "follow the leader whose replication hub is at this address (mutations answer NotLeader; reads serve with bounded staleness)")
+		replRetain  = flag.Int64("repl-retain-mb", 64, "per-shard oplog retention budget in MiB; followers farther behind than retained history resync via snapshot")
+		replState   = flag.String("repl-state", "", "follower sidecar file persisting {epoch, applied seqs} across restarts (default: derived from -path for disk followers; mem followers never persist)")
+		replResync  = flag.Bool("resync", false, "discard persisted replication state and resync from a full leader snapshot")
+		replAcks    = flag.Int("repl-acks", 0, "semi-sync: acknowledge mutations only after this many followers applied them (0 = async)")
+		replAckWait = flag.Duration("repl-ack-timeout", 0, "semi-sync wait bound; a batch missing it answers Busy though locally durable (0 = default 2s)")
 	)
 	flag.Parse()
 
@@ -174,6 +182,8 @@ func main() {
 			Interval:     *govInterval,
 			RecoverTicks: *govRecover,
 		},
+		ReplAcks:       *replAcks,
+		ReplAckTimeout: *replAckWait,
 	}
 	switch len(engines) {
 	case 0:
@@ -183,6 +193,31 @@ func main() {
 		cfg.Engines = engines
 	}
 	s := server.New(cfg)
+
+	// Replication wiring: leader hub, follower applier, or a promotable
+	// follower (both flags). See cmd/btserved/repl.go.
+	statePath := *replState
+	if statePath == "" && (*follow != "" || *replListen != "") && *engineName == "disk" {
+		if *shards > 1 {
+			statePath = filepath.Join(*path, "repl-state.json")
+		} else {
+			statePath = *path + ".repl"
+		}
+	}
+	role, err := setupRepl(s, replOptions{
+		Listen:     *replListen,
+		Follow:     *follow,
+		RetainMB:   *replRetain,
+		StatePath:  statePath,
+		Resync:     *replResync,
+		DiskEngine: *engineName == "disk",
+	}, func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "btserved: "+format+"\n", args...)
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "btserved:", err)
+		os.Exit(1)
+	}
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
@@ -246,6 +281,7 @@ func main() {
 	if hs != nil {
 		hs.Close()
 	}
+	role.shutdown()
 	keys := s.Len()
 	if err := s.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "btserved: engine close:", err)

@@ -186,9 +186,9 @@ func TestTornOplogTailSweep(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if st.Size() != n*journal.OpRecSize {
-		t.Fatalf("oplog is %d bytes, want %d (n*%d): record framing changed?",
-			st.Size(), n*journal.OpRecSize, journal.OpRecSize)
+	if st.Size() != journal.OplogHdrSize+n*journal.OpRecSize {
+		t.Fatalf("oplog is %d bytes, want %d (hdr+n*%d): record framing changed?",
+			st.Size(), journal.OplogHdrSize+n*journal.OpRecSize, journal.OpRecSize)
 	}
 
 	verify := func(trial string, wantLen int, why string) {
@@ -219,10 +219,14 @@ func TestTornOplogTailSweep(t *testing.T) {
 		if err := os.Truncate(trial+".oplog", cut); err != nil {
 			t.Fatal(err)
 		}
-		verify(trial, int(cut/journal.OpRecSize), "cut at byte "+strconv.FormatInt(cut, 10))
+		wantLen := 0
+		if cut >= int64(journal.OplogHdrSize) {
+			wantLen = int((cut - int64(journal.OplogHdrSize)) / journal.OpRecSize)
+		}
+		verify(trial, wantLen, "cut at byte "+strconv.FormatInt(cut, 10))
 	}
 
-	for off := int64((n - 1) * journal.OpRecSize); off < st.Size(); off++ {
+	for off := int64(journal.OplogHdrSize + (n-1)*journal.OpRecSize); off < st.Size(); off++ {
 		trial := copyCrashState(t, crashed, t.TempDir())
 		f, err := os.OpenFile(trial+".oplog", os.O_RDWR, 0)
 		if err != nil {

@@ -258,6 +258,11 @@ func (t *Tree) Close() error {
 	return t.store.Close()
 }
 
+// Journal exposes the tree's oplog journal for sequence-aware layers
+// (replication tails the journal and pins its retention). Nil on a
+// non-durable tree.
+func (t *Tree) Journal() *journal.Journal { return t.jnl }
+
 // DurabilityStats reports oplog progress on a durable tree: operations
 // appended and fsync-covered this epoch, the oplog size in bytes, and
 // group-commit fsyncs issued. Zeroes on a non-durable tree.

@@ -70,14 +70,19 @@ type Op struct {
 }
 
 const (
-	journalMagic = 0x4254424a // "BTBJ"
-	oplogMagic   = 0x4254424f // "BTBO"
-	journalHdr   = 4 + 8 + 8 + 8 + 64 + 4
+	journalMagic = 0x4254424a                 // "BTBJ"
+	oplogMagic   = 0x4254424f                 // "BTBO"
+	journalHdr   = 4 + 8 + 8 + 8 + 64 + 8 + 4 // magic pages freeHead root userData baseSeq crc
+	oplogHdr     = 4 + 8 + 4                  // magic baseSeq crc
 	opRecSize    = 1 + 8 + 8 + 4
 )
 
 // OpRecSize is the size in bytes of one encoded oplog record.
 const OpRecSize = opRecSize
+
+// OplogHdrSize is the size in bytes of the oplog's epoch header (magic,
+// base sequence, CRC), written at offset 0 before any records.
+const OplogHdrSize = oplogHdr
 
 // ErrPoisoned is wrapped by every operation on a journal that has seen a
 // storage failure.
@@ -101,6 +106,24 @@ type Journal struct {
 	syncSeq    int64 // records covered by the last oplog fsync
 	oplogBytes int64
 	commits    atomic.Int64 // fsyncs issued by Commit (group commits)
+
+	// Global sequence numbering for log shipping. Every appended record
+	// has a global sequence number baseSeq+i (i = 1-based position in the
+	// epoch); baseSeq is persisted in both file headers and advances at
+	// each checkpoint, so sequence numbers survive restarts and epochs.
+	// durable is the highest fsync-covered global sequence.
+	baseSeq int64        // guarded by mu
+	durable atomic.Int64 // baseSeq + syncSeq, published after each fsync
+
+	// Sealed oplog segments retained for follower catch-up (oldest
+	// first), and the retention policy; all guarded by mu. retain reports
+	// the lowest global sequence some registered follower still needs
+	// (math.MaxInt64 = none); segments wholly at or below it are pruned
+	// at checkpoint, and the byte budget evicts oldest-first beyond it.
+	segments     []segment
+	segBytes     int64
+	retain       func() int64
+	retainBudget int64
 
 	fail atomic.Pointer[failure] // sticky first storage failure
 
@@ -146,7 +169,40 @@ func OpenFS(path string, store *pagestore.Store, syncOps bool, fs pagestore.FS) 
 		j.jf.Close()
 		return nil, fmt.Errorf("journal: %w", err)
 	}
+	// A brand-new oplog gets its epoch header immediately (base 0, not
+	// yet fsync'd — the first record's covering fsync persists it too).
+	if st, err := j.of.Stat(); err == nil && st.Size() == 0 {
+		if err := j.writeOplogHdr(0); err != nil {
+			j.jf.Close()
+			j.of.Close()
+			return nil, fmt.Errorf("journal: %w", err)
+		}
+	}
 	return j, nil
+}
+
+// writeOplogHdr stamps the oplog's epoch header at offset 0: the global
+// sequence of the record before the file's first (= the epoch base).
+// Recovery uses it to tell a live oplog from a stale one left behind by
+// a checkpoint that crashed between its two file renames.
+func (j *Journal) writeOplogHdr(base int64) error {
+	hdr := make([]byte, oplogHdr)
+	binary.LittleEndian.PutUint32(hdr[0:], oplogMagic)
+	binary.LittleEndian.PutUint64(hdr[4:], uint64(base))
+	binary.LittleEndian.PutUint32(hdr[12:], crc32.ChecksumIEEE(hdr[:12]))
+	_, err := j.of.WriteAt(hdr, 0)
+	return err
+}
+
+// parseOplogHdr validates an oplog epoch header, returning its base.
+func parseOplogHdr(b []byte) (int64, bool) {
+	if len(b) < oplogHdr || binary.LittleEndian.Uint32(b[0:]) != oplogMagic {
+		return 0, false
+	}
+	if crc32.ChecksumIEEE(b[:12]) != binary.LittleEndian.Uint32(b[12:]) {
+		return 0, false
+	}
+	return int64(binary.LittleEndian.Uint64(b[4:])), true
 }
 
 // Close closes the journal files without checkpointing.
@@ -262,13 +318,14 @@ func (j *Journal) Append(op Op) error {
 		// Read the covered sequence BEFORE the fsync: records appended by
 		// racing writers after the fsync starts are not covered by it.
 		j.mu.Lock()
-		covered := j.appendSeq
+		covered, base := j.appendSeq, j.baseSeq
 		j.mu.Unlock()
 		if err := j.of.Sync(); err != nil {
 			return j.poison(err)
 		}
 		if covered > j.syncSeq {
 			j.syncSeq = covered
+			j.durable.Store(base + covered)
 		}
 	}
 	return nil
@@ -297,13 +354,14 @@ func (j *Journal) Commit() error {
 		return nil // a concurrent commit's fsync covered us
 	}
 	j.mu.Lock()
-	covered := j.appendSeq
+	covered, base := j.appendSeq, j.baseSeq
 	j.mu.Unlock()
 	if err := j.of.Sync(); err != nil {
 		return j.poison(err)
 	}
 	j.commits.Add(1)
 	j.syncSeq = covered
+	j.durable.Store(base + covered)
 	return nil
 }
 
@@ -322,9 +380,13 @@ func (j *Journal) Stats() (appended, synced, oplogBytes, commits int64) {
 }
 
 // Checkpoint begins a fresh epoch: it snapshots the store's current meta
-// state into a new journal header (atomically, via rename) and truncates
-// the oplog. The caller must have flushed and fsync'd the store first,
-// and must ensure no Append or Commit runs concurrently.
+// state into a new journal header (atomically, via rename) and retires
+// the oplog — either truncating it, or, when a registered follower still
+// needs its records (see SetRetention), sealing it as a catch-up segment
+// and starting a fresh one. The global sequence base advances by the
+// epoch's record count either way, so a record's sequence number never
+// changes. The caller must have flushed and fsync'd the store first, and
+// must ensure no Append or Commit runs concurrently.
 func (j *Journal) Checkpoint() error {
 	if err := j.Failed(); err != nil {
 		return err
@@ -334,6 +396,7 @@ func (j *Journal) Checkpoint() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	pages, freeHead, root, userData := j.store.Snapshot()
+	newBase := j.baseSeq + j.appendSeq
 
 	hdr := make([]byte, journalHdr)
 	binary.LittleEndian.PutUint32(hdr[0:], journalMagic)
@@ -341,7 +404,8 @@ func (j *Journal) Checkpoint() error {
 	binary.LittleEndian.PutUint64(hdr[12:], uint64(freeHead))
 	binary.LittleEndian.PutUint64(hdr[20:], uint64(root))
 	copy(hdr[28:], userData[:])
-	binary.LittleEndian.PutUint32(hdr[92:], crc32.ChecksumIEEE(hdr[:92]))
+	binary.LittleEndian.PutUint64(hdr[92:], uint64(newBase))
+	binary.LittleEndian.PutUint32(hdr[100:], crc32.ChecksumIEEE(hdr[:100]))
 
 	tmp := j.jPath + ".tmp"
 	f, err := j.fs.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
@@ -366,15 +430,52 @@ func (j *Journal) Checkpoint() error {
 	}
 	j.jf = f
 
-	if err := j.of.Truncate(0); err != nil {
+	// Retire the oplog. Sealing keeps the epoch's records available for
+	// follower catch-up: the file is fsync'd (a sealed segment is durable
+	// end to end) and renamed into the segment chain, and a fresh oplog
+	// opens. Without a follower needing it, truncate as always.
+	floor := int64(int64max)
+	if j.retain != nil {
+		floor = j.retain()
+	}
+	if j.retainBudget > 0 && j.appendSeq > 0 && floor < newBase {
+		if err := j.of.Sync(); err != nil {
+			return j.poison(err)
+		}
+		if err := j.of.Close(); err != nil {
+			return j.poison(err)
+		}
+		segPath := segmentPath(j.oPath, j.baseSeq)
+		if err := j.fs.Rename(j.oPath, segPath); err != nil {
+			return j.poison(err)
+		}
+		j.segments = append(j.segments, segment{
+			base:  j.baseSeq,
+			count: j.appendSeq,
+			bytes: j.oplogBytes + oplogHdr,
+			path:  segPath,
+		})
+		j.segBytes += j.oplogBytes + oplogHdr
+		nf, err := j.fs.OpenFile(j.oPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+		if err != nil {
+			return j.poison(err)
+		}
+		j.of = nf
+	} else if err := j.of.Truncate(0); err != nil {
+		return j.poison(err)
+	}
+	if err := j.writeOplogHdr(newBase); err != nil {
 		return j.poison(err)
 	}
 	if err := j.of.Sync(); err != nil {
 		return j.poison(err)
 	}
+	j.baseSeq = newBase
 	j.appendSeq = 0
 	j.syncSeq = 0
 	j.oplogBytes = 0
+	j.durable.Store(newBase)
+	j.pruneLocked(floor)
 
 	j.captured = make(map[pagestore.PageID]bool)
 	j.checkpoint.pages = pages
@@ -399,6 +500,8 @@ func (j *Journal) Recover() ([]Op, error) {
 	if len(jbytes) == 0 {
 		// Fresh journal: adopt the store's current state as the epoch base.
 		j.checkpoint.pages, j.checkpoint.freeHead, j.checkpoint.root, j.checkpoint.userData = j.store.Snapshot()
+		j.baseSeq, j.appendSeq, j.syncSeq, j.oplogBytes = 0, 0, 0, 0
+		j.durable.Store(0)
 		return nil, nil
 	}
 	if len(jbytes) < journalHdr {
@@ -407,7 +510,7 @@ func (j *Journal) Recover() ([]Op, error) {
 	if binary.LittleEndian.Uint32(jbytes[0:]) != journalMagic {
 		return nil, errors.New("journal: bad magic")
 	}
-	if crc32.ChecksumIEEE(jbytes[:92]) != binary.LittleEndian.Uint32(jbytes[92:]) {
+	if crc32.ChecksumIEEE(jbytes[:100]) != binary.LittleEndian.Uint32(jbytes[100:]) {
 		return nil, errors.New("journal: corrupt header")
 	}
 	pages := pagestore.PageID(binary.LittleEndian.Uint64(jbytes[4:]))
@@ -415,6 +518,7 @@ func (j *Journal) Recover() ([]Op, error) {
 	root := pagestore.PageID(binary.LittleEndian.Uint64(jbytes[20:]))
 	var userData [64]byte
 	copy(userData[:], jbytes[28:92])
+	base := int64(binary.LittleEndian.Uint64(jbytes[92:]))
 
 	// Restore complete page images (pre-images of post-checkpoint writes).
 	off := journalHdr
@@ -454,12 +558,67 @@ func (j *Journal) Recover() ([]Op, error) {
 	j.checkpoint.root = root
 	j.checkpoint.userData = userData
 
-	// Parse the oplog, dropping a torn tail.
+	// Parse the oplog, dropping a torn tail. The epoch header must match
+	// the journal's base: a mismatch means a checkpoint crashed between
+	// renaming the journal header and retiring the oplog, so the records
+	// are from the ALREADY-FLUSHED previous epoch — replaying them would
+	// be harmless (set semantics) but counting them would corrupt the
+	// global sequence space, so the stale file is retired here instead:
+	// sealed as a catch-up segment when its record count completes the
+	// chain, discarded otherwise.
 	obytes, err := readAll(j.of)
 	if err != nil {
 		return nil, err
 	}
-	return DecodeOps(obytes), nil
+	j.baseSeq = base
+	var ops []Op
+	ohBase, ohOK := parseOplogHdr(obytes)
+	switch {
+	case ohOK && ohBase == base:
+		ops = DecodeOps(obytes[oplogHdr:])
+	case ohOK && ohBase < base && ohBase+int64(len(DecodeOps(obytes[oplogHdr:]))) >= base:
+		// Stale epoch whose records run through the new base: finish the
+		// interrupted seal so followers can still catch up across it.
+		if err := j.sealStaleLocked(ohBase); err != nil {
+			return nil, err
+		}
+	default:
+		// Fresh, foreign, or short file: start the epoch clean.
+		if err := j.of.Truncate(0); err != nil {
+			return nil, j.poison(err)
+		}
+		if err := j.writeOplogHdr(base); err != nil {
+			return nil, j.poison(err)
+		}
+	}
+	j.appendSeq = int64(len(ops))
+	j.syncSeq = int64(len(ops))
+	j.oplogBytes = int64(len(ops)) * opRecSize
+	j.durable.Store(base + int64(len(ops)))
+	j.discoverSegmentsLocked()
+	return ops, nil
+}
+
+// sealStaleLocked retires a stale previous-epoch oplog (left by a
+// checkpoint that crashed mid-retirement) into the segment chain and
+// opens a fresh oplog for the current epoch. Caller holds mu.
+func (j *Journal) sealStaleLocked(staleBase int64) error {
+	if err := j.of.Close(); err != nil {
+		return j.poison(err)
+	}
+	segPath := segmentPath(j.oPath, staleBase)
+	if err := j.fs.Rename(j.oPath, segPath); err != nil {
+		return j.poison(err)
+	}
+	nf, err := j.fs.OpenFile(j.oPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return j.poison(err)
+	}
+	j.of = nf
+	if err := j.writeOplogHdr(j.baseSeq); err != nil {
+		return j.poison(err)
+	}
+	return nil
 }
 
 // DecodeOps parses oplog bytes into the valid prefix of logical

@@ -124,7 +124,7 @@ func TestCorruptOplogRecordStopsReplay(t *testing.T) {
 	}
 	// Corrupt the middle record; replay must stop before it.
 	of, _ := os.OpenFile(path+".oplog", os.O_RDWR, 0)
-	of.WriteAt([]byte{0xEE}, 2*21+3)
+	of.WriteAt([]byte{0xEE}, 16+2*21+3) // 16-byte epoch header, then records
 	of.Close()
 	ops, err := j.Recover()
 	if err != nil {

@@ -1,0 +1,331 @@
+package journal
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"btreeperf/internal/pagestore"
+)
+
+func reopenPair(t *testing.T, path string) (*pagestore.Store, *Journal) {
+	t.Helper()
+	st, err := pagestore.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := Open(path, st, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, j
+}
+
+func appendN(t *testing.T, j *Journal, from, n int64) {
+	t.Helper()
+	for i := from; i < from+n; i++ {
+		if err := j.Append(Op{Kind: OpInsert, Key: i, Val: uint64(i) + 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// Global sequence numbers must survive checkpoints (which reset the
+// per-epoch counters) and full restarts (which reload them from the
+// persisted headers).
+func TestSeqContinuityAcrossCheckpointAndRecover(t *testing.T) {
+	_, j, path := openPair(t)
+	j.Recover()
+	j.Checkpoint()
+
+	appendN(t, j, 0, 3)
+	if got := j.SeqAppended(); got != 3 {
+		t.Fatalf("SeqAppended = %d, want 3", got)
+	}
+	if got := j.SeqDurable(); got != 0 {
+		t.Fatalf("SeqDurable before commit = %d, want 0", got)
+	}
+	if err := j.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := j.SeqDurable(); got != 3 {
+		t.Fatalf("SeqDurable after commit = %d, want 3", got)
+	}
+
+	if err := j.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if got := j.SeqAppended(); got != 3 {
+		t.Fatalf("SeqAppended after checkpoint = %d, want 3 (base must advance)", got)
+	}
+	if got := j.SeqDurable(); got != 3 {
+		t.Fatalf("SeqDurable after checkpoint = %d, want 3", got)
+	}
+
+	appendN(t, j, 3, 2)
+	if err := j.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := j.SeqAppended(); got != 5 {
+		t.Fatalf("SeqAppended in second epoch = %d, want 5", got)
+	}
+	j.Close()
+
+	_, j2 := reopenPair(t, path)
+	ops, err := j2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 2 {
+		t.Fatalf("recovered %d ops, want 2 (second epoch only)", len(ops))
+	}
+	if got := j2.SeqAppended(); got != 5 {
+		t.Fatalf("SeqAppended after reopen = %d, want 5", got)
+	}
+	if got := j2.SeqDurable(); got != 5 {
+		t.Fatalf("SeqDurable after reopen = %d, want 5", got)
+	}
+	// Retention was never enabled, so the first epoch is gone.
+	if got := j2.LowestSeq(); got != 3 {
+		t.Fatalf("LowestSeq after reopen = %d, want 3", got)
+	}
+}
+
+// With retention enabled, checkpoints seal the outgoing epoch instead of
+// truncating it, the chain prunes as the follower floor advances, and
+// the byte budget evicts oldest-first past it.
+func TestRetentionSealPruneEvict(t *testing.T) {
+	_, j, _ := openPair(t)
+	j.Recover()
+	j.Checkpoint()
+
+	floor := int64(0)
+	j.SetRetention(func() int64 { return floor }, 1<<20)
+
+	appendN(t, j, 0, 3) // seqs 1..3
+	j.Commit()
+	j.Checkpoint()      // seals [0,3]
+	appendN(t, j, 3, 4) // seqs 4..7
+	j.Commit()
+	j.Checkpoint() // seals (3,7]
+
+	if n, bytes := j.RetainedSegments(); n != 2 || bytes != 2*OplogHdrSize+7*OpRecSize {
+		t.Fatalf("retained = %d segs / %d bytes, want 2 / %d", n, bytes, 2*OplogHdrSize+7*OpRecSize)
+	}
+	if got := j.LowestSeq(); got != 0 {
+		t.Fatalf("LowestSeq = %d, want 0", got)
+	}
+
+	// Follower advanced past the first segment: next checkpoint prunes it.
+	floor = 3
+	appendN(t, j, 7, 1)
+	j.Commit()
+	j.Checkpoint()
+	if n, _ := j.RetainedSegments(); n != 2 {
+		t.Fatalf("retained = %d segs after prune, want 2 ((3,7] and (7,8])", n)
+	}
+	if got := j.LowestSeq(); got != 3 {
+		t.Fatalf("LowestSeq after prune = %d, want 3", got)
+	}
+
+	// Resume exactly at the truncation point succeeds (a Next call reads
+	// from one file at a time, so drain across the segment boundary)...
+	tl := j.Tail(3)
+	defer tl.Close()
+	got := 0
+	for next := int64(4); next <= 8; {
+		first, ops, err := tl.Next(100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ops) == 0 || first != next {
+			t.Fatalf("Tail(3) at seq %d: chunk %d/%d ops", next, first, len(ops))
+		}
+		next += int64(len(ops))
+		got += len(ops)
+	}
+	if got != 5 {
+		t.Fatalf("Tail(3) drained %d ops, want 5", got)
+	}
+	// ...one before it is evicted.
+	tl2 := j.Tail(2)
+	defer tl2.Close()
+	if _, _, err := tl2.Next(100); err != ErrEvicted {
+		t.Fatalf("Tail(2).Next err = %v, want ErrEvicted", err)
+	}
+
+	// A tiny budget evicts everything it must, oldest first, even though
+	// the follower floor still wants it.
+	floor = 0
+	j.SetRetention(func() int64 { return floor }, OplogHdrSize+OpRecSize)
+	appendN(t, j, 8, 1)
+	j.Commit()
+	j.Checkpoint()
+	if n, bytes := j.RetainedSegments(); n != 1 || bytes > OplogHdrSize+OpRecSize {
+		t.Fatalf("retained = %d segs / %d bytes after eviction, want 1 within budget", n, bytes)
+	}
+	if got := j.LowestSeq(); got != 8 {
+		t.Fatalf("LowestSeq after eviction = %d, want 8", got)
+	}
+}
+
+// The segment chain must survive a restart: recovery re-discovers the
+// sealed files and a tail can still resume from any retained sequence.
+func TestSegmentsSurviveRestart(t *testing.T) {
+	_, j, path := openPair(t)
+	j.Recover()
+	j.Checkpoint()
+	j.SetRetention(func() int64 { return 0 }, 1<<20)
+
+	appendN(t, j, 0, 3)
+	j.Commit()
+	j.Checkpoint()
+	appendN(t, j, 3, 2)
+	j.Commit()
+	j.Close()
+
+	_, j2 := reopenPair(t, path)
+	if _, err := j2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if got := j2.LowestSeq(); got != 0 {
+		t.Fatalf("LowestSeq after restart = %d, want 0 (segment lost?)", got)
+	}
+	tl := j2.Tail(0)
+	defer tl.Close()
+	var got []Op
+	for len(got) < 5 {
+		first, ops, err := tl.Next(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ops) == 0 {
+			t.Fatalf("tail dried up at %d/5 ops", len(got))
+		}
+		if want := int64(len(got)) + 1; first != want {
+			t.Fatalf("chunk starts at seq %d, want %d", first, want)
+		}
+		got = append(got, ops...)
+	}
+	for i, op := range got {
+		if op.Key != int64(i) || op.Val != uint64(i)+1 {
+			t.Fatalf("op %d = %+v, want key %d val %d", i, op, i, i+1)
+		}
+	}
+	// A stray file matching the segment pattern but not chaining must be
+	// discarded at the next recovery, not adopted.
+	j2.Close()
+	stray := segmentPath(path+".oplog", 9999)
+	if err := os.WriteFile(stray, []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, j3 := reopenPair(t, path)
+	if _, err := j3.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stray); !os.IsNotExist(err) {
+		t.Fatalf("stray segment file survived recovery: %v", err)
+	}
+	j3.Close()
+}
+
+// A checkpoint can crash after renaming the new journal header but
+// before retiring the oplog. The oplog on disk then belongs to the
+// previous epoch (its header base is behind the journal's): recovery
+// must not replay it into the sequence space again, and — since its
+// records complete the catch-up chain — must finish the interrupted
+// seal so followers can still resume across it.
+func TestStaleOplogSealCompletedOnRecovery(t *testing.T) {
+	_, j, path := openPair(t)
+	j.Recover()
+	j.Checkpoint()
+	j.SetRetention(func() int64 { return 0 }, 1<<20)
+
+	appendN(t, j, 0, 3) // epoch base 0: seqs 1..3
+	j.Commit()
+	j.Checkpoint()      // seals [0,3]
+	appendN(t, j, 3, 2) // epoch base 3: seqs 4,5
+	j.Commit()
+
+	// Save the base-3 epoch's oplog, run the real checkpoint, then undo
+	// the oplog retirement: journal header says base 5, oplog is the old
+	// base-3 epoch — exactly the crash window's on-disk state.
+	oplog := path + ".oplog"
+	saved, err := os.ReadFile(oplog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	if err := os.Remove(segmentPath(oplog, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(oplog, saved, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, j2 := reopenPair(t, path)
+	ops, err := j2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 0 {
+		t.Fatalf("recovered %d ops from a stale oplog, want 0 (already checkpointed)", len(ops))
+	}
+	if got := j2.SeqAppended(); got != 5 {
+		t.Fatalf("SeqAppended = %d, want 5", got)
+	}
+	if got := j2.LowestSeq(); got != 0 {
+		t.Fatalf("LowestSeq = %d, want 0 (seal not completed)", got)
+	}
+	tl := j2.Tail(0)
+	defer tl.Close()
+	var got []Op
+	for len(got) < 5 {
+		_, ops, err := tl.Next(100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ops) == 0 {
+			t.Fatalf("tail dried up at %d/5 ops after seal completion", len(got))
+		}
+		got = append(got, ops...)
+	}
+	for i, op := range got {
+		if op.Key != int64(i) {
+			t.Fatalf("op %d has key %d, want %d", i, op.Key, i)
+		}
+	}
+	j2.Close()
+}
+
+func TestSegmentFilesDeletedByPrune(t *testing.T) {
+	_, j, path := openPair(t)
+	j.Recover()
+	j.Checkpoint()
+	floor := int64(0)
+	j.SetRetention(func() int64 { return floor }, 1<<20)
+
+	appendN(t, j, 0, 2)
+	j.Commit()
+	j.Checkpoint()
+	seg := segmentPath(path+".oplog", 0)
+	if _, err := os.Stat(seg); err != nil {
+		t.Fatalf("sealed segment missing: %v", err)
+	}
+	floor = 2
+	appendN(t, j, 2, 1)
+	j.Commit()
+	j.Checkpoint()
+	if _, err := os.Stat(seg); !os.IsNotExist(err) {
+		t.Fatalf("pruned segment still on disk: %v", err)
+	}
+	// Sanity: nothing else of the pattern leaked beyond the live chain.
+	matches, _ := filepath.Glob(path + ".oplog.seg-*")
+	if len(matches) != 1 {
+		t.Fatalf("segment files on disk = %v, want exactly the live one", matches)
+	}
+	j.Close()
+}

@@ -173,6 +173,18 @@ func (fs *FailFS) Rename(oldpath, newpath string) error {
 	return fs.inner.Rename(oldpath, newpath)
 }
 
+// Remove counts as a mutating syscall (segment pruning in the journal's
+// retention layer; see journal.SetRetention).
+func (fs *FailFS) Remove(name string) error {
+	if _, err := fs.mutOp(false, 0); err != nil {
+		return err
+	}
+	if r, ok := fs.inner.(interface{ Remove(string) error }); ok {
+		return r.Remove(name)
+	}
+	return os.Remove(name)
+}
+
 // failFile routes every syscall through the FailFS's plan.
 type failFile struct {
 	fs *FailFS

@@ -44,3 +44,9 @@ func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
 }
 
 func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove is available on the production FS (and FailFS) for the
+// journal's segment pruning; it is not part of the FS interface, so
+// minimal test FS implementations keep compiling — callers fall back to
+// os.Remove when the method is absent.
+func (osFS) Remove(name string) error { return os.Remove(name) }

@@ -1,0 +1,471 @@
+package repl
+
+import (
+	"fmt"
+	"math"
+	"net"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"btreeperf/internal/journal"
+	"btreeperf/internal/pagestore"
+)
+
+func TestProtoRoundTrips(t *testing.T) {
+	h := Hello{ID: 0xDEADBEEF, Epoch: 7, Seqs: []int64{0, 42, 1 << 40}}
+	if got, err := ParseHello(EncodeHello(h)); err != nil || !reflect.DeepEqual(got, h) {
+		t.Fatalf("hello: %+v / %v", got, err)
+	}
+	a := HelloAck{Epoch: 9, Modes: []byte{ModeTail, ModeSnapshot}}
+	if got, err := ParseHelloAck(EncodeHelloAck(a)); err != nil || !reflect.DeepEqual(got, a) {
+		t.Fatalf("helloack: %+v / %v", got, err)
+	}
+	o := Ops{Shard: 3, First: 100, Head: 120, Ops: []journal.Op{
+		{Kind: journal.OpInsert, Key: -5, Val: 77},
+		{Kind: journal.OpDelete, Key: 9},
+	}}
+	if got, err := ParseOps(EncodeOps(o)); err != nil || !reflect.DeepEqual(got, o) {
+		t.Fatalf("ops: %+v / %v", got, err)
+	}
+	ack := Ack{Shard: 2, Seq: 55}
+	if got, err := ParseAck(EncodeAck(ack)); err != nil || got != ack {
+		t.Fatalf("ack: %+v / %v", got, err)
+	}
+	if got, err := ParseSnapBegin(EncodeSnapBegin(4)); err != nil || got != 4 {
+		t.Fatalf("snapbegin: %d / %v", got, err)
+	}
+	sd := SnapData{Shard: 1, KVs: []KV{{Key: 1, Val: 2}, {Key: -3, Val: 4}}}
+	if got, err := ParseSnapData(EncodeSnapData(sd)); err != nil || !reflect.DeepEqual(got, sd) {
+		t.Fatalf("snapdata: %+v / %v", got, err)
+	}
+	se := SnapEnd{Shard: 0, Seq: 31}
+	if got, err := ParseSnapEnd(EncodeSnapEnd(se)); err != nil || got != se {
+		t.Fatalf("snapend: %+v / %v", got, err)
+	}
+}
+
+// A corrupted record inside an Ops frame must fail parsing (the CRC
+// framing travels with the record), not reach apply.
+func TestParseOpsRejectsCorruptRecord(t *testing.T) {
+	o := Ops{Shard: 0, First: 1, Head: 2, Ops: []journal.Op{
+		{Kind: journal.OpInsert, Key: 1, Val: 1},
+		{Kind: journal.OpInsert, Key: 2, Val: 2},
+	}}
+	b := EncodeOps(o)
+	b[24+journal.OpRecSize+3] ^= 0xFF
+	if _, err := ParseOps(b); err == nil {
+		t.Fatal("corrupt ops frame parsed cleanly")
+	}
+}
+
+// leaderShard is a test leader: a journal plus a map oracle, mutated the
+// way the serving engine does it — op applied, journaled, group
+// committed.
+type leaderShard struct {
+	mu   sync.Mutex
+	data map[int64]uint64
+	jnl  *journal.Journal
+}
+
+func newLeaderShard(t *testing.T, dir string, i int) *leaderShard {
+	t.Helper()
+	path := filepath.Join(dir, fmt.Sprintf("shard-%d.db", i))
+	st, err := pagestore.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := journal.Open(path, st, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	ls := &leaderShard{data: make(map[int64]uint64), jnl: j}
+	t.Cleanup(func() { j.Close() })
+	return ls
+}
+
+func (ls *leaderShard) put(t *testing.T, key int64, val uint64) {
+	t.Helper()
+	ls.mu.Lock()
+	ls.data[key] = val
+	err := ls.jnl.Append(journal.Op{Kind: journal.OpInsert, Key: key, Val: val})
+	ls.mu.Unlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func (ls *leaderShard) del(t *testing.T, key int64) {
+	t.Helper()
+	ls.mu.Lock()
+	delete(ls.data, key)
+	err := ls.jnl.Append(journal.Op{Kind: journal.OpDelete, Key: key})
+	ls.mu.Unlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func (ls *leaderShard) hubShard() HubShard {
+	return HubShard{
+		Journal: ls.jnl,
+		Snapshot: func(yield func([]KV) error) (int64, error) {
+			// Capture the durable bound BEFORE reading state — the fuzzy
+			// snapshot contract.
+			snapSeq := ls.jnl.SeqDurable()
+			ls.mu.Lock()
+			kvs := make([]KV, 0, len(ls.data))
+			for k, v := range ls.data {
+				kvs = append(kvs, KV{Key: k, Val: v})
+			}
+			ls.mu.Unlock()
+			sort.Slice(kvs, func(a, b int) bool { return kvs[a].Key < kvs[b].Key })
+			return snapSeq, yield(kvs)
+		},
+	}
+}
+
+func (ls *leaderShard) snapshot() map[int64]uint64 {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	out := make(map[int64]uint64, len(ls.data))
+	for k, v := range ls.data {
+		out[k] = v
+	}
+	return out
+}
+
+// followerShard applies the stream into a map.
+type followerShard struct {
+	mu   sync.Mutex
+	data map[int64]uint64
+}
+
+func (fs *followerShard) applierShard() ApplierShard {
+	return ApplierShard{
+		Apply: func(o Ops) error {
+			fs.mu.Lock()
+			defer fs.mu.Unlock()
+			for _, op := range o.Ops {
+				switch op.Kind {
+				case journal.OpInsert:
+					fs.data[op.Key] = op.Val
+				case journal.OpDelete:
+					delete(fs.data, op.Key)
+				}
+			}
+			return nil
+		},
+		Reset: func() error {
+			fs.mu.Lock()
+			fs.data = make(map[int64]uint64)
+			fs.mu.Unlock()
+			return nil
+		},
+		Load: func(kvs []KV) error {
+			fs.mu.Lock()
+			for _, kv := range kvs {
+				fs.data[kv.Key] = kv.Val
+			}
+			fs.mu.Unlock()
+			return nil
+		},
+	}
+}
+
+func (fs *followerShard) snapshot() map[int64]uint64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	out := make(map[int64]uint64, len(fs.data))
+	for k, v := range fs.data {
+		out[k] = v
+	}
+	return out
+}
+
+type replPair struct {
+	leaders   []*leaderShard
+	followers []*followerShard
+	hub       *Hub
+	applier   *Applier
+	addr      string
+}
+
+func startHub(t *testing.T, leaders []*leaderShard, epoch uint64) (*Hub, string) {
+	t.Helper()
+	shards := make([]HubShard, len(leaders))
+	for i, ls := range leaders {
+		shards[i] = ls.hubShard()
+	}
+	hub := NewHub(epoch, shards, t.Logf)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go hub.Serve(ln)
+	t.Cleanup(func() { ln.Close(); hub.Close() })
+	return hub, ln.Addr().String()
+}
+
+func startPair(t *testing.T, nShards int, followerID uint64) *replPair {
+	t.Helper()
+	dir := t.TempDir()
+	leaders := make([]*leaderShard, nShards)
+	for i := range leaders {
+		leaders[i] = newLeaderShard(t, dir, i)
+	}
+	hub, addr := startHub(t, leaders, 1)
+	followers := make([]*followerShard, nShards)
+	shards := make([]ApplierShard, nShards)
+	for i := range followers {
+		followers[i] = &followerShard{data: make(map[int64]uint64)}
+		shards[i] = followers[i].applierShard()
+	}
+	ap := NewApplier(ApplierConfig{
+		Addr:   addr,
+		ID:     followerID,
+		Shards: shards,
+		Logf:   t.Logf,
+	})
+	go ap.Run()
+	t.Cleanup(ap.Stop)
+	return &replPair{leaders: leaders, followers: followers, hub: hub, applier: ap, addr: addr}
+}
+
+func (p *replPair) waitCaughtUp(t *testing.T) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		ok := true
+		for s, ls := range p.leaders {
+			if p.applier.AppliedSeq(s) < ls.jnl.SeqDurable() {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			for s := range p.leaders {
+				if !reflect.DeepEqual(p.leaders[s].snapshot(), p.followers[s].snapshot()) {
+					ok = false // applied seq can lead state mid-resync; keep waiting
+					break
+				}
+			}
+		}
+		if ok {
+			return
+		}
+		if time.Now().After(deadline) {
+			for s := range p.leaders {
+				want, got := p.leaders[s].snapshot(), p.followers[s].snapshot()
+				if !reflect.DeepEqual(want, got) {
+					t.Fatalf("shard %d diverged: leader %d keys, follower %d keys (applied %v)",
+						s, len(want), len(got), p.applier.AppliedSeqs())
+				}
+			}
+			t.Fatalf("follower never caught up: applied %v", p.applier.AppliedSeqs())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// Live streaming: a connected follower converges on the leader's state
+// across multiple shards, with deletes mixed in.
+func TestHubApplierLiveStream(t *testing.T) {
+	p := startPair(t, 2, 11)
+	for i := int64(0); i < 400; i++ {
+		s := int(i) % 2
+		p.leaders[s].put(t, i, uint64(i)*7)
+		if i%5 == 4 {
+			p.leaders[s].del(t, i-4)
+		}
+		if i%31 == 0 {
+			if err := p.leaders[s].jnl.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			p.hub.Poke()
+		}
+	}
+	for _, ls := range p.leaders {
+		if err := ls.jnl.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.hub.Poke()
+	p.waitCaughtUp(t)
+	if st := p.applier.Stats(); st.Snapshots != 0 {
+		t.Fatalf("live stream took %d snapshots, want 0", st.Snapshots)
+	}
+}
+
+// A follower connecting late catches up from sealed segments spanning
+// several checkpoints — the retained-log path, no snapshot.
+func TestCatchUpFromRetainedSegments(t *testing.T) {
+	dir := t.TempDir()
+	ls := newLeaderShard(t, dir, 0)
+	// A registered-follower floor of 0 retains everything.
+	ls.jnl.SetRetention(func() int64 { return 0 }, 1<<20)
+	for i := int64(0); i < 300; i++ {
+		ls.put(t, i, uint64(i)+1)
+		if i%100 == 99 {
+			if err := ls.jnl.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			if err := ls.jnl.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	ls.jnl.Commit()
+
+	hub, addr := startHub(t, []*leaderShard{ls}, 1)
+	fs := &followerShard{data: make(map[int64]uint64)}
+	ap := NewApplier(ApplierConfig{Addr: addr, ID: 21, Shards: []ApplierShard{fs.applierShard()}, Logf: t.Logf})
+	go ap.Run()
+	defer ap.Stop()
+
+	p := &replPair{leaders: []*leaderShard{ls}, followers: []*followerShard{fs}, hub: hub, applier: ap}
+	p.waitCaughtUp(t)
+	if st := ap.Stats(); st.Snapshots != 0 {
+		t.Fatalf("segment catch-up took %d snapshots, want 0", st.Snapshots)
+	}
+	// The applier is caught up, but the hub only learns that when the
+	// ack frame lands; poll rather than racing the wire.
+	ackDeadline := time.Now().Add(10 * time.Second)
+	for {
+		st := hub.Stats()
+		if len(st.Followers) == 1 && st.Followers[0].LagSeqs == 0 {
+			break
+		}
+		if time.Now().After(ackDeadline) {
+			t.Fatalf("hub stats after catch-up: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// A follower whose position was evicted from the retained log must be
+// degraded to a snapshot resync and still converge exactly.
+func TestEvictedFollowerSnapshotResync(t *testing.T) {
+	dir := t.TempDir()
+	ls := newLeaderShard(t, dir, 0)
+	// Budget below one segment: every checkpoint evicts the history.
+	ls.jnl.SetRetention(func() int64 { return 0 }, 1)
+	for i := int64(0); i < 150; i++ {
+		ls.put(t, i, uint64(i)+1)
+	}
+	ls.jnl.Commit()
+	ls.jnl.Checkpoint()
+	for i := int64(150); i < 200; i++ {
+		ls.put(t, i, uint64(i)+1)
+	}
+	ls.jnl.Commit()
+
+	if low := ls.jnl.LowestSeq(); low == 0 {
+		t.Fatal("test setup: history not evicted")
+	}
+	hub, addr := startHub(t, []*leaderShard{ls}, 1)
+	fs := &followerShard{data: make(map[int64]uint64)}
+	ap := NewApplier(ApplierConfig{Addr: addr, ID: 31, Shards: []ApplierShard{fs.applierShard()}, Logf: t.Logf})
+	go ap.Run()
+	defer ap.Stop()
+
+	p := &replPair{leaders: []*leaderShard{ls}, followers: []*followerShard{fs}, hub: hub, applier: ap}
+	p.waitCaughtUp(t)
+	if st := ap.Stats(); st.Snapshots == 0 {
+		t.Fatal("evicted follower caught up without a snapshot?")
+	}
+}
+
+// A follower carrying sequences from another epoch (a previous leader's
+// lineage) must be resynced from a snapshot, never tailed.
+func TestEpochMismatchForcesSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	ls := newLeaderShard(t, dir, 0)
+	ls.jnl.SetRetention(func() int64 { return 0 }, 1<<20)
+	for i := int64(0); i < 50; i++ {
+		ls.put(t, i, uint64(i)+1)
+	}
+	ls.jnl.Commit()
+
+	hub, addr := startHub(t, []*leaderShard{ls}, 7)
+	fs := &followerShard{data: make(map[int64]uint64)}
+	ap := NewApplier(ApplierConfig{
+		Addr:   addr,
+		ID:     41,
+		Epoch:  3,           // a dead leader's epoch
+		Seqs:   []int64{50}, // plausible position in the old lineage
+		Shards: []ApplierShard{fs.applierShard()},
+		Logf:   t.Logf,
+	})
+	go ap.Run()
+	defer ap.Stop()
+
+	p := &replPair{leaders: []*leaderShard{ls}, followers: []*followerShard{fs}, hub: hub, applier: ap}
+	p.waitCaughtUp(t)
+	if st := ap.Stats(); st.Snapshots == 0 {
+		t.Fatal("epoch-mismatched follower was tailed, want snapshot resync")
+	}
+	if got := ap.Epoch(); got != 7 {
+		t.Fatalf("follower epoch = %d, want 7 (adopted from leader)", got)
+	}
+}
+
+// WaitAcked is the semi-sync barrier: it must release once enough
+// followers ack, and time out — without releasing — when they can't.
+func TestWaitAcked(t *testing.T) {
+	p := startPair(t, 1, 51)
+	p.leaders[0].put(t, 1, 100)
+	if err := p.leaders[0].jnl.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	seq := p.leaders[0].jnl.SeqDurable()
+	p.hub.Poke()
+	if !p.hub.WaitAcked(0, seq, 1, 5*time.Second) {
+		t.Fatal("WaitAcked(k=1) timed out with a live follower")
+	}
+	// Only one follower exists: k=2 must time out, not falsely succeed.
+	start := time.Now()
+	if p.hub.WaitAcked(0, seq, 2, 100*time.Millisecond) {
+		t.Fatal("WaitAcked(k=2) succeeded with one follower")
+	}
+	if time.Since(start) < 90*time.Millisecond {
+		t.Fatal("WaitAcked(k=2) returned before its timeout")
+	}
+}
+
+// The retention floor follows the slowest registered follower and stays
+// pinned while it is disconnected.
+func TestRetentionFloorTracksFollowers(t *testing.T) {
+	p := startPair(t, 1, 61)
+	if got := p.hub.RetentionFloor(0); got != math.MaxInt64 {
+		// The follower may already have registered with seq 0.
+		if got != 0 {
+			t.Fatalf("floor before acks = %d, want 0 or MaxInt64", got)
+		}
+	}
+	p.leaders[0].put(t, 1, 1)
+	p.leaders[0].jnl.Commit()
+	seq := p.leaders[0].jnl.SeqDurable()
+	p.hub.Poke()
+	if !p.hub.WaitAcked(0, seq, 1, 5*time.Second) {
+		t.Fatal("follower never acked")
+	}
+	if got := p.hub.RetentionFloor(0); got != seq {
+		t.Fatalf("floor = %d, want %d", got, seq)
+	}
+	// Disconnect: the registration (and floor) must survive.
+	p.applier.Stop()
+	time.Sleep(20 * time.Millisecond)
+	if got := p.hub.RetentionFloor(0); got != seq {
+		t.Fatalf("floor after disconnect = %d, want %d (registration dropped?)", got, seq)
+	}
+}

@@ -220,6 +220,50 @@ func (c *Client) Lookup(val uint64, limit int, token []byte) ([]int64, []byte, e
 	return keys, resp.Token, nil
 }
 
+// Seqs returns the server's per-shard replication sequences, indexed by
+// shard: the durable sequence on a journal-backed leader, the applied
+// sequence on a follower, zeros on an unreplicated in-memory server.
+// The slice length is the server's shard count — how replica-set
+// clients learn it.
+func (c *Client) Seqs() ([]int64, error) {
+	resp, err := c.DoPage(Request{Op: OpSeqs})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Status != StatusOK {
+		return nil, fmt.Errorf("server: seqs: %s", StatusName(resp.Status))
+	}
+	seqs := make([]int64, len(resp.Entries))
+	for _, e := range resp.Entries {
+		if e.Key < 0 || e.Key >= int64(len(seqs)) {
+			return nil, fmt.Errorf("server: seqs: shard %d out of range", e.Key)
+		}
+		seqs[e.Key] = int64(e.Val)
+	}
+	return seqs, nil
+}
+
+// GetSeq is a bounded-staleness Get: the read is served only by a
+// replica whose applied sequence has reached minSeq. A follower answers
+// StatusLagging when behind — surfaced here as ErrLagging so callers
+// (see DialReplicaSet) retry the leader instead of reading stale state.
+func (c *Client) GetSeq(key int64, minSeq int64) (uint64, bool, error) {
+	resp, err := c.Do(Request{Op: OpGetSeq, Key: key, MinSeq: minSeq})
+	if err != nil {
+		return 0, false, err
+	}
+	switch resp.Status {
+	case StatusOK:
+		return resp.Val, true, nil
+	case StatusMiss:
+		return 0, false, nil
+	case StatusLagging:
+		return 0, false, ErrLagging
+	default:
+		return 0, false, fmt.Errorf("server: getseq: %s", StatusName(resp.Status))
+	}
+}
+
 // CloseWrite half-closes the connection so the server drains in-flight
 // responses; pair with draining Recv until error.
 func (c *Client) CloseWrite() error {

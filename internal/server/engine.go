@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"btreeperf/internal/cbtree"
 	"btreeperf/internal/diskbtree"
+	"btreeperf/internal/journal"
 	"btreeperf/internal/pagestore"
 	"btreeperf/internal/query"
 )
@@ -57,6 +59,27 @@ type EngineStats struct {
 	Fsyncs        int64 // group-commit fsyncs issued this epoch
 	Checkpoints   int64 // stop-the-world checkpoints taken
 	CheckpointLag int64 // mutations since the last checkpoint
+
+	// Global sequence positions (see internal/journal): every mutation
+	// since the shard's creation carries one sequence number, surviving
+	// checkpoints and restarts. SeqAppended covers every appended
+	// mutation, SeqDurable every fsync-covered one (the committed bound
+	// replication ships up to), SeqLowest-1 is the oldest sequence the
+	// retained oplog can still replay.
+	SeqAppended int64
+	SeqDurable  int64
+	SeqLowest   int64
+
+	// Retained sealed oplog segments held for lagging replication
+	// followers, and their byte footprint.
+	RetainedSegs  int64
+	RetainedBytes int64
+
+	// Stop-the-world checkpoint pause: the duration of the last
+	// checkpoint's quiescent window and the maximum observed, in
+	// nanoseconds.
+	CkptPauseLastNs int64
+	CkptPauseMaxNs  int64
 }
 
 // memEngine adapts the instrumented in-memory cbtree. Commit is a no-op:
@@ -146,6 +169,11 @@ type DiskEngine struct {
 
 	muts        atomic.Int64 // mutations since the last checkpoint
 	checkpoints atomic.Int64
+
+	// Stop-the-world pause telemetry: how long the last checkpoint held
+	// the write lock, and the maximum observed.
+	pauseLastNs atomic.Int64
+	pauseMaxNs  atomic.Int64
 }
 
 // NewDiskEngine opens (creating or recovering) the tree at cfg.Path.
@@ -245,12 +273,31 @@ func (e *DiskEngine) checkpoint() error {
 	if e.muts.Load() < e.ckptOps {
 		return nil // another committer got here first
 	}
+	t0 := time.Now()
 	if err := e.t.Sync(); err != nil {
 		return err
+	}
+	pause := time.Since(t0).Nanoseconds()
+	e.pauseLastNs.Store(pause)
+	if pause > e.pauseMaxNs.Load() {
+		e.pauseMaxNs.Store(pause)
 	}
 	e.muts.Store(0)
 	e.checkpoints.Add(1)
 	return nil
+}
+
+// Journal exposes the engine's oplog journal — the replication hub tails
+// it and pins its retention floor.
+func (e *DiskEngine) Journal() *journal.Journal { return e.t.Journal() }
+
+// DurableSeq returns the engine's highest fsync-covered global sequence:
+// the bound stamped onto acknowledged mutations in replicated mode.
+func (e *DiskEngine) DurableSeq() int64 {
+	if j := e.t.Journal(); j != nil {
+		return j.SeqDurable()
+	}
+	return 0
 }
 
 func (e *DiskEngine) Kind() string      { return "disk" }
@@ -263,17 +310,28 @@ func (e *DiskEngine) Poisoned() error   { return e.t.Poisoned() }
 func (e *DiskEngine) Stats() EngineStats {
 	splits, crossings := e.t.Stats()
 	app, syn, bytes, commits := e.t.DurabilityStats()
-	return EngineStats{
-		Splits:        splits,
-		Crossings:     crossings,
-		Recovered:     int64(e.t.Recovered()),
-		Appended:      app,
-		Synced:        syn,
-		OplogBytes:    bytes,
-		Fsyncs:        commits,
-		Checkpoints:   e.checkpoints.Load(),
-		CheckpointLag: e.muts.Load(),
+	st := EngineStats{
+		Splits:          splits,
+		Crossings:       crossings,
+		Recovered:       int64(e.t.Recovered()),
+		Appended:        app,
+		Synced:          syn,
+		OplogBytes:      bytes,
+		Fsyncs:          commits,
+		Checkpoints:     e.checkpoints.Load(),
+		CheckpointLag:   e.muts.Load(),
+		CkptPauseLastNs: e.pauseLastNs.Load(),
+		CkptPauseMaxNs:  e.pauseMaxNs.Load(),
 	}
+	if j := e.t.Journal(); j != nil {
+		st.SeqAppended = j.SeqAppended()
+		st.SeqDurable = j.SeqDurable()
+		st.SeqLowest = j.LowestSeq()
+		segs, segBytes := j.RetainedSegments()
+		st.RetainedSegs = int64(segs)
+		st.RetainedBytes = segBytes
+	}
+	return st
 }
 
 // Close checkpoints (unless poisoned) and releases the files.

@@ -2,6 +2,7 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"net/http"
@@ -142,6 +143,7 @@ func (s *Server) handler(profiled bool) http.Handler {
 	mux.HandleFunc("/metrics", s.guarded(s.handleMetrics))
 	mux.HandleFunc("/debug/model", s.guarded(s.handleModel))
 	mux.HandleFunc("/healthz", s.guarded(s.handleHealthz))
+	mux.HandleFunc("/promote", s.guarded(s.handlePromote))
 	if profiled {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -208,6 +210,25 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, g.State)
 	fmt.Fprintf(w, "root_rho_w=%.4f threshold=%.2f exit=%.2f shed_overload=%d shed_busy=%d conn_rejects=%d\n",
 		g.RootRhoW, g.Rho, g.ExitRho, g.ShedOverload, g.ShedBusy, g.ConnRejects)
+	if rs := s.replicationStats(); rs != nil {
+		seqs := make([]int64, len(s.shards))
+		var lag int64
+		for i := range s.shards {
+			seqs[i] = s.shardSeq(i)
+		}
+		if rs.Follower != nil {
+			lag = rs.Follower.LagSeqs
+		}
+		fmt.Fprintf(w, "replication role=%s seqs=%v lag_seqs=%d\n", rs.Role, seqs, lag)
+	} else if se, ok := s.shards[0].eng.(seqEngine); ok && se.Journal() != nil {
+		// Unreplicated but journal-backed: still report the durable seqs —
+		// the committed bound a future follower would resume from.
+		seqs := make([]int64, len(s.shards))
+		for i := range s.shards {
+			seqs[i] = s.shardSeq(i)
+		}
+		fmt.Fprintf(w, "seqs durable=%v\n", seqs)
+	}
 	if len(s.shards) > 1 {
 		for i, sh := range s.shards {
 			gs := sh.gov.Status()
@@ -269,6 +290,21 @@ type metricsJSON struct {
 	CommitFails   int64  `json:"commit_fails"`
 	Unavail       int64  `json:"unavail"`
 
+	// Global sequence positions (summed over shards on a multi-shard
+	// server; per-shard values are in the shard blocks and on /healthz),
+	// oplog-segment retention held for lagging followers, and the stop-
+	// the-world checkpoint pause (max over shards).
+	SeqAppended     int64   `json:"seq_appended"`
+	SeqDurable      int64   `json:"seq_durable"`
+	SeqLowest       int64   `json:"seq_lowest"`
+	RetainedSegs    int64   `json:"retained_segments"`
+	RetainedBytes   int64   `json:"retained_bytes"`
+	CkptPauseLastUs float64 `json:"ckpt_pause_last_us"`
+	CkptPauseMaxUs  float64 `json:"ckpt_pause_max_us"`
+
+	// Replication is present only on a leader or follower.
+	Replication *replicationJSON `json:"replication,omitempty"`
+
 	Governor      string  `json:"governor"` // ok | degraded | overloaded | disabled
 	GovernorRhoW  float64 `json:"governor_rho_w"`
 	GovernorRho   float64 `json:"governor_threshold"`
@@ -317,7 +353,91 @@ type shardMetricsJSON struct {
 	ShedOverload int64   `json:"shed_overload"`
 	ShedBusy     int64   `json:"shed_busy"`
 
+	// Seq is the shard's replication sequence: applied on a follower,
+	// durable on a journal-backed leader, zero otherwise.
+	Seq int64 `json:"seq"`
+
 	Levels []levelMetricsJSON `json:"levels"`
+}
+
+// replicationJSON is the /metrics replication block: role-common
+// refusal counters plus the active role's stream telemetry.
+type replicationJSON struct {
+	Role        string `json:"role"` // leader | follower
+	Epoch       uint64 `json:"epoch"`
+	Acks        int    `json:"acks"`         // configured semi-sync requirement
+	AckTimeouts int64  `json:"ack_timeouts"` // batches that missed the barrier
+	NotLeader   int64  `json:"not_leader"`   // mutations refused on a follower
+	Lagging     int64  `json:"lagging"`      // getseqs refused past the bound
+
+	// Leader side.
+	OpsShipped   int64                 `json:"ops_shipped,omitempty"`
+	BytesShipped int64                 `json:"bytes_shipped,omitempty"`
+	AcksRecv     int64                 `json:"acks_received,omitempty"`
+	Snapshots    int64                 `json:"snapshots,omitempty"`
+	Evictions    int64                 `json:"evictions,omitempty"`
+	Followers    []replicationFollower `json:"followers,omitempty"`
+
+	// Follower side.
+	Applied    []int64 `json:"applied,omitempty"` // per shard
+	Heads      []int64 `json:"heads,omitempty"`   // leader durable head per shard
+	LagSeqs    int64   `json:"lag_seqs,omitempty"`
+	OpsApplied int64   `json:"ops_applied,omitempty"`
+	Reconnects int64   `json:"reconnects,omitempty"`
+	Connected  bool    `json:"connected,omitempty"`
+}
+
+// replicationFollower is one follower's position as the leader sees it.
+type replicationFollower struct {
+	ID        uint64  `json:"id"`
+	Addr      string  `json:"addr"`
+	Connected bool    `json:"connected"`
+	Acked     []int64 `json:"acked"` // per shard
+	LagSeqs   int64   `json:"lag_seqs"`
+	LagBytes  int64   `json:"lag_bytes"`
+}
+
+// replJSON converts the active role's stats for /metrics.
+func replJSON(rs *ReplicationStats) *replicationJSON {
+	if rs == nil {
+		return nil
+	}
+	out := &replicationJSON{
+		Role:        rs.Role,
+		Acks:        rs.Acks,
+		AckTimeouts: rs.AckTimeouts,
+		NotLeader:   rs.NotLeader,
+		Lagging:     rs.Lagging,
+	}
+	if rs.Hub != nil {
+		out.Epoch = rs.Hub.Epoch
+		out.OpsShipped = rs.Hub.OpsShipped
+		out.BytesShipped = rs.Hub.BytesShipped
+		out.AcksRecv = rs.Hub.Acks
+		out.Snapshots = rs.Hub.Snapshots
+		out.Evictions = rs.Hub.Evictions
+		for _, f := range rs.Hub.Followers {
+			out.Followers = append(out.Followers, replicationFollower{
+				ID:        f.ID,
+				Addr:      f.Addr,
+				Connected: f.Connected,
+				Acked:     f.Acked,
+				LagSeqs:   f.LagSeqs,
+				LagBytes:  f.LagBytes,
+			})
+		}
+	}
+	if rs.Follower != nil {
+		out.Epoch = rs.Follower.Epoch
+		out.Applied = rs.Follower.Applied
+		out.Heads = rs.Follower.Heads
+		out.LagSeqs = rs.Follower.LagSeqs
+		out.OpsApplied = rs.Follower.OpsApplied
+		out.Snapshots = rs.Follower.Snapshots
+		out.Reconnects = rs.Follower.Reconnects
+		out.Connected = rs.Follower.Connected
+	}
+	return out
 }
 
 type levelMetricsJSON struct {
@@ -456,6 +576,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		recovered, appended, synced, oplogB int64
 		fsyncs, checkpoints, ckptLag        int64
 		commitFails, unavail                int64
+		seqAppended, seqDurable, seqLowest  int64
+		retainedSegs, retainedBytes         int64
+		pauseLastNs, pauseMaxNs             int64
 		rhoMeas, rhoModel                   float64
 		saturated, poisoned                 bool
 		hist                                metrics.HistSnapshot
@@ -496,6 +619,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		ckptLag += sc.es.CheckpointLag
 		commitFails += sc.sh.commitFails.Load()
 		unavail += sc.sh.unavail.Load()
+		seqAppended += sc.es.SeqAppended
+		seqDurable += sc.es.SeqDurable
+		seqLowest += sc.es.SeqLowest
+		retainedSegs += sc.es.RetainedSegs
+		retainedBytes += sc.es.RetainedBytes
+		if sc.es.CkptPauseLastNs > pauseLastNs {
+			pauseLastNs = sc.es.CkptPauseLastNs
+		}
+		if sc.es.CkptPauseMaxNs > pauseMaxNs {
+			pauseMaxNs = sc.es.CkptPauseMaxNs
+		}
 		if sc.rhoMeas > rhoMeas {
 			rhoMeas = sc.rhoMeas
 		}
@@ -553,6 +687,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		CheckpointLag: ckptLag,
 		CommitFails:   commitFails,
 		Unavail:       unavail,
+
+		SeqAppended:     seqAppended,
+		SeqDurable:      seqDurable,
+		SeqLowest:       seqLowest,
+		RetainedSegs:    retainedSegs,
+		RetainedBytes:   retainedBytes,
+		CkptPauseLastUs: float64(pauseLastNs) / 1e3,
+		CkptPauseMaxUs:  float64(pauseMaxNs) / 1e3,
+
+		Replication: replJSON(s.replicationStats()),
 	}
 	gov := s.Governor()
 	out.Governor = gov.State.String()
@@ -608,6 +752,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 				GovernorRhoW: gs.RootRhoW,
 				ShedOverload: gs.ShedOverload,
 				ShedBusy:     gs.ShedBusy,
+				Seq:          s.shardSeq(i),
 				Levels:       levelJSON(sc.points, sc.height),
 			})
 		}
@@ -633,17 +778,35 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		out.Scans, out.ScanKeys, out.Seeks, out.Lookups, out.LookupKeys, out.Indexed, out.IndexKeys)
 	fmt.Fprintf(w, "op_latency_us mean=%.1f p50=%.1f p99=%.1f\n", out.OpMeanUs, out.OpP50Us, out.OpP99Us)
 	fmt.Fprintf(w, "tree splits=%d restarts=%d crossings=%d\n", out.Splits, out.Restarts, out.Crossings)
-	fmt.Fprintf(w, "engine kind=%s poisoned=%v recovered=%d oplog_appended=%d oplog_synced=%d oplog_bytes=%d fsyncs=%d checkpoints=%d checkpoint_lag=%d commit_fails=%d unavail=%d\n",
+	fmt.Fprintf(w, "engine kind=%s poisoned=%v recovered=%d oplog_appended=%d oplog_synced=%d oplog_bytes=%d fsyncs=%d checkpoints=%d checkpoint_lag=%d commit_fails=%d unavail=%d ckpt_pause_last_us=%.1f ckpt_pause_max_us=%.1f\n",
 		out.Engine, out.Poisoned, out.Recovered, out.OplogAppended, out.OplogSynced,
-		out.OplogBytes, out.Fsyncs, out.Checkpoints, out.CheckpointLag, out.CommitFails, out.Unavail)
+		out.OplogBytes, out.Fsyncs, out.Checkpoints, out.CheckpointLag, out.CommitFails, out.Unavail,
+		out.CkptPauseLastUs, out.CkptPauseMaxUs)
+	fmt.Fprintf(w, "seqs appended=%d durable=%d lowest=%d retained_segments=%d retained_bytes=%d\n",
+		out.SeqAppended, out.SeqDurable, out.SeqLowest, out.RetainedSegs, out.RetainedBytes)
+	if rp := out.Replication; rp != nil {
+		if rp.Role == "leader" {
+			fmt.Fprintf(w, "replication role=leader epoch=%d acks=%d ack_timeouts=%d ops_shipped=%d bytes_shipped=%d acks_received=%d snapshots=%d evictions=%d followers=%d\n",
+				rp.Epoch, rp.Acks, rp.AckTimeouts, rp.OpsShipped, rp.BytesShipped,
+				rp.AcksRecv, rp.Snapshots, rp.Evictions, len(rp.Followers))
+			for _, f := range rp.Followers {
+				fmt.Fprintf(w, "follower id=%d addr=%s connected=%v acked=%v lag_seqs=%d lag_bytes=%d\n",
+					f.ID, f.Addr, f.Connected, f.Acked, f.LagSeqs, f.LagBytes)
+			}
+		} else {
+			fmt.Fprintf(w, "replication role=follower epoch=%d connected=%v applied=%v heads=%v lag_seqs=%d ops_applied=%d snapshots=%d reconnects=%d not_leader=%d lagging=%d\n",
+				rp.Epoch, rp.Connected, rp.Applied, rp.Heads, rp.LagSeqs,
+				rp.OpsApplied, rp.Snapshots, rp.Reconnects, rp.NotLeader, rp.Lagging)
+		}
+	}
 	if !single {
 		// Per-shard ρ_w gauges: one line per shard with its own root
 		// utilization, model prediction, governor, and shed counters.
 		for _, b := range out.ShardBlocks {
-			fmt.Fprintf(w, "shard=%d keys=%d height=%d rate=%.0f root_rho_w=%.4f model_rho_w=%.4f saturated=%v governor=%s poisoned=%v shed_overload=%d shed_busy=%d commit_fails=%d unavail=%d\n",
+			fmt.Fprintf(w, "shard=%d keys=%d height=%d rate=%.0f root_rho_w=%.4f model_rho_w=%.4f saturated=%v governor=%s poisoned=%v shed_overload=%d shed_busy=%d commit_fails=%d unavail=%d seq=%d\n",
 				b.Shard, b.Keys, b.Height, b.OpsPerSec, b.RootRhoW, b.ModelRhoW,
 				b.Saturated, b.Governor, b.Poisoned, b.ShedOverload, b.ShedBusy,
-				b.CommitFails, b.Unavail)
+				b.CommitFails, b.Unavail, b.Seq)
 		}
 	}
 	for _, l := range out.Levels {
@@ -667,6 +830,29 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if out.Saturated {
 		fmt.Fprintf(w, "WARNING: root writer utilization rho_w >= %.2f — the tree is past the paper's effective maximum arrival rate (§6, rules of thumb 1–4)\n", SaturationRho)
 	}
+}
+
+// handlePromote flips a follower into a leader (POST only). It answers
+// 409 on a server that is not currently following — promotion of a
+// leader or an unreplicated server is always an operator error — and
+// 500 when the installed hook fails partway (the server may be left
+// leaderless; the operator retries or restarts).
+func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	epoch, err := s.Promote()
+	if err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(err, ErrNotFollower) {
+			code = http.StatusConflict
+		}
+		http.Error(w, err.Error(), code)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "promoted epoch=%d\n", epoch)
 }
 
 // modelSection renders one shard's predicted-vs-measured table.

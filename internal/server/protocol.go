@@ -16,6 +16,8 @@
 //	seek:   op(1) key(8)
 //	scan:   op(1) lo(8) hi(8) limit(2) toklen(2) token(toklen)
 //	lookup: op(1) val(8) limit(2) toklen(2) token(toklen)
+//	getseq: op(1) key(8) minseq(8)
+//	seqs:   op(1)
 //
 // Point responses carry a status byte, plus the value for a get hit:
 //
@@ -54,6 +56,19 @@
 //	               read traffic and are never governor-shed
 //	Unavail        storage engine poisoned (failed fsync); applies to every
 //	               op that touches an engine (all but ping)
+//	Lagging        getseq only: a replication follower's applied sequence for
+//	               the key's shard is below the request's minseq — read the
+//	               leader instead (a follower never serves past its bound)
+//	NotLeader      put/del on a replication follower; mutate the leader
+//
+// A getseq is a get carrying a bounded-staleness floor; on a leader (or
+// an unreplicated server) it behaves exactly like get. A seqs request
+// answers the page shape with one entry per shard: key = shard index,
+// val = that shard's replication sequence (durable on a leader, applied
+// on a follower). In replicated-leader mode, acknowledged put/del
+// responses carry the shard's durable sequence in the value field
+// (point-hit shape); clients feed it back as minseq to make follower
+// reads read-your-writes.
 //
 // An empty scan or lookup page is StatusOK with count=0 — StatusMiss is a
 // point-op verdict about one key and is never used for ranges, where
@@ -81,6 +96,14 @@ const (
 	OpScan   byte = 5
 	OpSeek   byte = 6
 	OpLookup byte = 7
+	// OpSeqs answers one page of (shard index, replication sequence)
+	// pairs: the highest durable sequence per shard on a leader, the
+	// highest applied sequence per shard on a follower. OpGetSeq is a get
+	// carrying a bounded-staleness floor: a follower whose applied
+	// sequence for the key's shard is below MinSeq answers StatusLagging
+	// instead of possibly-stale data.
+	OpSeqs   byte = 8
+	OpGetSeq byte = 9
 )
 
 // Statuses.
@@ -112,6 +135,16 @@ const (
 	// retryable on this server; the operation was NOT made durable even
 	// if it briefly applied in memory.
 	StatusUnavail byte = 5
+	// StatusLagging: a replication follower refused an OpGetSeq because
+	// its applied sequence for the key's shard is below the request's
+	// MinSeq — answering would risk serving stale data past the client's
+	// staleness bound. The client should read the leader (or retry the
+	// follower after it catches up). Never returned by a leader.
+	StatusLagging byte = 6
+	// StatusNotLeader: a put or del arrived at a replication follower.
+	// Followers apply mutations only from the leader's oplog stream;
+	// direct that traffic at the leader.
+	StatusNotLeader byte = 7
 )
 
 // Retryable reports whether a response status signals a transient
@@ -135,6 +168,10 @@ func StatusName(status byte) string {
 		return "overload"
 	case StatusUnavail:
 		return "unavail"
+	case StatusLagging:
+		return "lagging"
+	case StatusNotLeader:
+		return "not-leader"
 	default:
 		return fmt.Sprintf("status(%d)", status)
 	}
@@ -160,6 +197,11 @@ type Request struct {
 	Val   uint64 // put value; lookup value
 	Hi    int64  // scan: exclusive upper bound
 	Limit int    // scan/lookup: page entry cap; 0 = DefaultScanLimit
+
+	// MinSeq is OpGetSeq's bounded-staleness floor: the lowest replication
+	// sequence the answering shard must have applied. Clients learn it
+	// from the sequence a replicated leader stamps onto mutation acks.
+	MinSeq int64
 
 	// Token is the scan/lookup continuation token (nil = first page). It
 	// is copied out of the read buffer at decode time: the buffer is
@@ -204,18 +246,21 @@ func AppendRequest(dst []byte, req Request) []byte {
 	}
 	n := 1 + 8
 	switch req.Op {
-	case OpPut:
+	case OpPut, OpGetSeq:
 		n = 1 + 8 + 8
-	case OpPing:
+	case OpPing, OpSeqs:
 		n = 1
 	}
 	dst = binary.BigEndian.AppendUint32(dst, uint32(n))
 	dst = append(dst, req.Op)
-	if req.Op != OpPing {
+	if req.Op != OpPing && req.Op != OpSeqs {
 		dst = binary.BigEndian.AppendUint64(dst, uint64(req.Key))
 	}
 	if req.Op == OpPut {
 		dst = binary.BigEndian.AppendUint64(dst, req.Val)
+	}
+	if req.Op == OpGetSeq {
+		dst = binary.BigEndian.AppendUint64(dst, uint64(req.MinSeq))
 	}
 	return dst
 }
@@ -321,9 +366,9 @@ func ReadRequest(br *bufio.Reader, buf []byte) (Request, error) {
 	var req Request
 	req.Op = payload[0]
 	switch req.Op {
-	case OpPing:
+	case OpPing, OpSeqs:
 		if len(payload) != 1 {
-			return Request{}, fmt.Errorf("server: ping with %d-byte payload", len(payload))
+			return Request{}, fmt.Errorf("server: op %d with %d-byte payload, want 1", req.Op, len(payload))
 		}
 	case OpGet, OpDel, OpSeek:
 		if len(payload) != 9 {
@@ -336,6 +381,12 @@ func ReadRequest(br *bufio.Reader, buf []byte) (Request, error) {
 		}
 		req.Key = int64(binary.BigEndian.Uint64(payload[1:9]))
 		req.Val = binary.BigEndian.Uint64(payload[9:17])
+	case OpGetSeq:
+		if len(payload) != 17 {
+			return Request{}, fmt.Errorf("server: getseq with %d-byte payload, want 17", len(payload))
+		}
+		req.Key = int64(binary.BigEndian.Uint64(payload[1:9]))
+		req.MinSeq = int64(binary.BigEndian.Uint64(payload[9:17]))
 	case OpScan:
 		if len(payload) < 21 {
 			return Request{}, fmt.Errorf("server: scan with %d-byte payload, want >= 21", len(payload))

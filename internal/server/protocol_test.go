@@ -13,7 +13,7 @@ import (
 // == no longer compiles).
 func reqEqual(a, b Request) bool {
 	return a.Op == b.Op && a.Key == b.Key && a.Val == b.Val && a.Hi == b.Hi &&
-		a.Limit == b.Limit && bytes.Equal(a.Token, b.Token)
+		a.Limit == b.Limit && a.MinSeq == b.MinSeq && bytes.Equal(a.Token, b.Token)
 }
 
 // respEqual compares responses field-wise.
@@ -43,6 +43,10 @@ func TestRequestRoundTrip(t *testing.T) {
 		{Op: OpScan, Key: -1 << 40, Hi: 1 << 40, Limit: 1, Token: tok},
 		{Op: OpLookup, Val: 0xdeadbeef, Limit: 32},
 		{Op: OpLookup, Val: 1, Limit: 256, Token: tok},
+		{Op: OpSeqs},
+		{Op: OpGetSeq, Key: 123, MinSeq: 1 << 50},
+		{Op: OpGetSeq, Key: -1 << 40, MinSeq: 0},
+		{Op: OpGetSeq, Key: 0, MinSeq: -1},
 	}
 	var wire []byte
 	for _, r := range reqs {

@@ -22,9 +22,11 @@ import (
 // sheds query ops — they are read traffic and do not drive root ρ_w the
 // way updates do.
 
-// isQueryOp reports whether op answers with the page wire shape.
+// isQueryOp reports whether op answers with the page wire shape. OpSeqs
+// rides the query path because it too is cross-shard (one entry per
+// shard) and page-shaped.
 func isQueryOp(op byte) bool {
-	return op == OpScan || op == OpSeek || op == OpLookup
+	return op == OpScan || op == OpSeek || op == OpLookup || op == OpSeqs
 }
 
 // badPage is the page-shaped StatusBadRequest (malformed token, lookup
@@ -171,6 +173,21 @@ func (s *Server) execLookup(req Request, t *opTally) Response {
 		resp.Token = query.EncodeToken(nil, cursors)
 	}
 	return resp
+}
+
+// execSeqs answers the replication sequence probe: one page entry per
+// shard, key = shard index, value = that shard's sequence (applied on a
+// follower, durable on a journal-backed leader, zero on an unreplicated
+// in-memory server). Clients use it to learn the shard count and to
+// measure follower lag; failover uses it to pick the most-caught-up
+// follower. Tallied as a ping — it is a meta op, not key traffic.
+func (s *Server) execSeqs(t *opTally) Response {
+	t.pings++
+	ents := make([]query.KV, len(s.shards))
+	for i := range s.shards {
+		ents[i] = query.KV{Key: int64(i), Val: uint64(s.shardSeq(i))}
+	}
+	return Response{Status: StatusOK, Page: true, Entries: ents}
 }
 
 // rebuildIndexes scans every shard's (already recovered and prefilled)

@@ -350,6 +350,29 @@ func (r *RClient) Lookup(val uint64, limit int, token []byte) ([]int64, []byte, 
 	return keys, resp.Token, nil
 }
 
+// Seqs returns the server's per-shard replication sequences, retrying
+// as configured; see Client.Seqs.
+func (r *RClient) Seqs() ([]int64, error) {
+	resp, err := r.DoPage(Request{Op: OpSeqs})
+	if err != nil {
+		return nil, err
+	}
+	if Retryable(resp.Status) {
+		return nil, shedErr(resp.Status)
+	}
+	if resp.Status != StatusOK {
+		return nil, fmt.Errorf("server: seqs: %s", StatusName(resp.Status))
+	}
+	seqs := make([]int64, len(resp.Entries))
+	for _, e := range resp.Entries {
+		if e.Key < 0 || e.Key >= int64(len(seqs)) {
+			return nil, fmt.Errorf("server: seqs: shard %d out of range", e.Key)
+		}
+		seqs[e.Key] = int64(e.Val)
+	}
+	return seqs, nil
+}
+
 // Ping round-trips a no-op.
 func (r *RClient) Ping() error {
 	resp, err := r.Do(Request{Op: OpPing})

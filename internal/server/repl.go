@@ -1,0 +1,322 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"btreeperf/internal/journal"
+	"btreeperf/internal/query"
+	"btreeperf/internal/repl"
+)
+
+// Replication wiring. A server plays one of three roles:
+//
+//   - unreplicated (the default): nothing here is active, and the wire
+//     protocol is byte-identical to the pre-replication server;
+//   - leader: StartHub builds a repl.Hub over the shards' journals and
+//     installs each journal's retention floor, the worker pool stamps
+//     acknowledged mutations with the shard's durable sequence and —
+//     with Config.ReplAcks > 0 — holds them for the semi-synchronous
+//     follower-ack barrier;
+//   - follower: AttachFollower points the serving layer at a
+//     FollowerSource (normally a *repl.Applier); puts and dels answer
+//     StatusNotLeader, and OpGetSeq enforces the client's staleness
+//     bound against the applied sequence, answering StatusLagging
+//     rather than ever serving past it.
+//
+// Promotion flips a follower to a leader in place: the promote hook
+// (installed by btserved) stops the applier, waits for its last apply to
+// land, detaches it, and starts a hub under a fresh epoch.
+
+// seqEngine is the engine capability replication leadership requires:
+// journal-backed global sequences. Only the disk engine has it.
+type seqEngine interface {
+	Journal() *journal.Journal
+	DurableSeq() int64
+}
+
+// FollowerSource is the follower-side replication state the serving
+// layer consults: per-shard applied sequences for bounded-staleness
+// reads, and a stats snapshot for telemetry. *repl.Applier implements it.
+type FollowerSource interface {
+	AppliedSeq(shard int) int64
+	Stats() repl.ApplierStats
+}
+
+// followerRef boxes a FollowerSource so the role can live in an
+// atomic.Pointer (interfaces cannot).
+type followerRef struct{ src FollowerSource }
+
+// replState is the server's mutable replication role. The hub and
+// follower pointers are atomics — apply() consults the role on every
+// mutation, and promotion flips it concurrently with serving; the mutex
+// guards only the rarely-touched promote hook.
+type replState struct {
+	hub      atomic.Pointer[repl.Hub]
+	follower atomic.Pointer[followerRef]
+	mu       sync.Mutex
+	promote  func() (uint64, error)
+}
+
+// Hub returns the leader-side replication hub, nil unless leading.
+func (s *Server) Hub() *repl.Hub { return s.repl.hub.Load() }
+
+// Follower returns the follower source, nil unless following.
+func (s *Server) Follower() FollowerSource {
+	if r := s.repl.follower.Load(); r != nil {
+		return r.src
+	}
+	return nil
+}
+
+// IsFollower reports whether the server currently refuses mutations.
+func (s *Server) IsFollower() bool { return s.Follower() != nil }
+
+// StartHub makes the server a replication leader: it builds a repl.Hub
+// over every shard's journal (each engine must be a disk engine — only
+// journal-backed shards have the global sequences replication ships) and
+// installs each journal's retention policy: segments at or above the
+// slowest registered follower's acked sequence are retained, up to
+// retainBudget bytes per shard, beyond which the slowest follower is
+// evicted into a snapshot resync. The caller serves the returned hub on
+// its replication listener.
+func (s *Server) StartHub(epoch uint64, retainBudget int64, logf func(string, ...any)) (*repl.Hub, error) {
+	shards := make([]repl.HubShard, len(s.shards))
+	for i, sh := range s.shards {
+		se, ok := sh.eng.(seqEngine)
+		if !ok || se.Journal() == nil {
+			return nil, fmt.Errorf("server: shard %d engine %q cannot lead: no journal", i, sh.eng.Kind())
+		}
+		shards[i] = repl.HubShard{
+			Journal:  se.Journal(),
+			Snapshot: s.snapshotShard(i),
+		}
+	}
+	hub := repl.NewHub(epoch, shards, logf)
+	for i, sh := range s.shards {
+		shard := i
+		se := sh.eng.(seqEngine)
+		se.Journal().SetRetention(func() int64 { return hub.RetentionFloor(shard) }, retainBudget)
+	}
+	s.repl.follower.Store(nil)
+	s.repl.hub.Store(hub)
+	return hub, nil
+}
+
+// snapshotShard returns the fuzzy-snapshot closure for one shard: it
+// captures the shard's durable sequence BEFORE scanning, so the snapshot
+// plus an idempotent replay of every record after that sequence
+// converges regardless of the mutations the scan raced with.
+func (s *Server) snapshotShard(i int) func(yield func([]repl.KV) error) (int64, error) {
+	sh := s.shards[i]
+	return func(yield func([]repl.KV) error) (int64, error) {
+		seq := sh.eng.(seqEngine).DurableSeq()
+		const page = 1024
+		cursor := int64(math.MinInt64)
+		buf := make([]query.KV, 0, page)
+		for {
+			ents, more, err := sh.eng.Scan(cursor, math.MaxInt64, page, buf[:0])
+			if err != nil {
+				return 0, err
+			}
+			if len(ents) > 0 {
+				kvs := make([]repl.KV, len(ents))
+				for j, e := range ents {
+					kvs[j] = repl.KV{Key: e.Key, Val: e.Val}
+				}
+				if err := yield(kvs); err != nil {
+					return 0, err
+				}
+			}
+			if !more || len(ents) == 0 {
+				return seq, nil
+			}
+			cursor = ents[len(ents)-1].Key + 1
+		}
+	}
+}
+
+// AttachFollower makes the server a replication follower: mutations
+// answer StatusNotLeader and OpGetSeq enforces its staleness bound
+// against src. Call before Serve, or at role changes.
+func (s *Server) AttachFollower(src FollowerSource) {
+	s.repl.follower.Store(&followerRef{src: src})
+}
+
+// DetachFollower clears the follower role (promotion path).
+func (s *Server) DetachFollower() {
+	s.repl.follower.Store(nil)
+}
+
+// ApplierShards builds the follower-side replay callbacks over the
+// server's shards, index maintenance included — the follower's engines
+// and secondary index track the leader exactly as if the ops had arrived
+// over the wire. Pass them to repl.NewApplier.
+func (s *Server) ApplierShards() []repl.ApplierShard {
+	out := make([]repl.ApplierShard, len(s.shards))
+	for i := range s.shards {
+		sh := s.shards[i]
+		out[i] = repl.ApplierShard{
+			Apply: func(o repl.Ops) error {
+				for _, op := range o.Ops {
+					var err error
+					switch op.Kind {
+					case journal.OpInsert:
+						if sh.idx != nil {
+							_, err = sh.idx.Put(op.Key, op.Val, func() (bool, error) {
+								return sh.eng.Put(op.Key, op.Val)
+							})
+						} else {
+							_, err = sh.eng.Put(op.Key, op.Val)
+						}
+					case journal.OpDelete:
+						if sh.idx != nil {
+							_, err = sh.idx.Del(op.Key, func() (bool, error) {
+								return sh.eng.Del(op.Key)
+							})
+						} else {
+							_, err = sh.eng.Del(op.Key)
+						}
+					default:
+						err = fmt.Errorf("server: replicated op kind %d", op.Kind)
+					}
+					if err != nil {
+						return err
+					}
+				}
+				// The ack that follows promises durability: group-commit
+				// the engine before returning.
+				return sh.eng.Commit()
+			},
+			Reset: func() error {
+				return s.resetShard(sh)
+			},
+			Load: func(kvs []repl.KV) error {
+				for _, kv := range kvs {
+					var err error
+					if sh.idx != nil {
+						_, err = sh.idx.Put(kv.Key, kv.Val, func() (bool, error) {
+							return sh.eng.Put(kv.Key, kv.Val)
+						})
+					} else {
+						_, err = sh.eng.Put(kv.Key, kv.Val)
+					}
+					if err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+		}
+	}
+	return out
+}
+
+// resetShard empties one shard for a snapshot resync by scanning and
+// deleting page by page — engine-agnostic, and keeps the secondary index
+// in step. Slow for a large shard, but resync is already the degraded
+// path (the follower fell off the retained log).
+func (s *Server) resetShard(sh *shard) error {
+	const page = 1024
+	buf := make([]query.KV, 0, page)
+	for {
+		ents, _, err := sh.eng.Scan(math.MinInt64, math.MaxInt64, page, buf[:0])
+		if err != nil {
+			return err
+		}
+		if len(ents) == 0 {
+			return sh.eng.Commit()
+		}
+		for _, e := range ents {
+			if sh.idx != nil {
+				_, err = sh.idx.Del(e.Key, func() (bool, error) {
+					return sh.eng.Del(e.Key)
+				})
+			} else {
+				_, err = sh.eng.Del(e.Key)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// SetPromoteHook installs the role-flip procedure POST /promote runs.
+// The hook must stop the applier (and wait for its last apply), detach
+// the follower role, start a hub, and return the new epoch.
+func (s *Server) SetPromoteHook(fn func() (uint64, error)) {
+	s.repl.mu.Lock()
+	s.repl.promote = fn
+	s.repl.mu.Unlock()
+}
+
+// ErrNotFollower is returned by Promote on a server not following.
+var ErrNotFollower = errors.New("server: not a follower")
+
+// Promote flips a follower into a leader via the installed hook,
+// returning the new epoch.
+func (s *Server) Promote() (uint64, error) {
+	if !s.IsFollower() {
+		return 0, ErrNotFollower
+	}
+	s.repl.mu.Lock()
+	fn := s.repl.promote
+	s.repl.mu.Unlock()
+	if fn == nil {
+		return 0, errors.New("server: no promote hook installed")
+	}
+	return fn()
+}
+
+// shardSeq is the replication sequence OpSeqs reports for one shard:
+// the applied sequence on a follower, the durable sequence on a
+// journal-backed leader, zero otherwise.
+func (s *Server) shardSeq(i int) int64 {
+	if f := s.Follower(); f != nil {
+		return f.AppliedSeq(i)
+	}
+	if se, ok := s.shards[i].eng.(seqEngine); ok {
+		return se.DurableSeq()
+	}
+	return 0
+}
+
+// ReplicationStats is the /metrics replication block.
+type ReplicationStats struct {
+	Role        string // "leader" or "follower"
+	Acks        int    // configured semi-sync follower-ack requirement
+	AckTimeouts int64  // commits that missed the ack barrier (answered Busy)
+	NotLeader   int64  // mutations refused on a follower
+	Lagging     int64  // getseqs refused past the staleness bound
+	Hub         *repl.HubStats
+	Follower    *repl.ApplierStats
+}
+
+// replicationStats snapshots the active role's replication telemetry;
+// nil when the server is unreplicated.
+func (s *Server) replicationStats() *ReplicationStats {
+	hub, fol := s.Hub(), s.Follower()
+	if hub == nil && fol == nil {
+		return nil
+	}
+	st := &ReplicationStats{Acks: s.cfg.ReplAcks}
+	for _, sh := range s.shards {
+		st.AckTimeouts += sh.ackTimeouts.Load()
+		st.NotLeader += sh.notLeader.Load()
+		st.Lagging += sh.lagging.Load()
+	}
+	if hub != nil {
+		st.Role = "leader"
+		hs := hub.Stats()
+		st.Hub = &hs
+	} else {
+		st.Role = "follower"
+		fs := fol.Stats()
+		st.Follower = &fs
+	}
+	return st
+}

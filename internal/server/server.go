@@ -75,6 +75,20 @@ type Config struct {
 	// and Shards (the shard count becomes len(Engines)). The keyspace is
 	// hash-partitioned across them; every engine must be the same kind.
 	Engines []Engine
+
+	// ReplAcks, on a replication leader, is the semi-synchronous
+	// durability requirement: each batch's mutations are acknowledged
+	// only after this many followers have applied and acked up to the
+	// batch's durable sequence. Zero (the default) acknowledges on local
+	// durability alone — replication stays asynchronous.
+	ReplAcks int
+
+	// ReplAckTimeout bounds the semi-sync wait. A batch that misses it
+	// has its mutations answered StatusBusy: the write IS durable on the
+	// leader (the client must treat it as possibly applied, the standard
+	// semi-sync ambiguity), but the promised follower redundancy was not
+	// confirmed. Default 2s.
+	ReplAckTimeout time.Duration
 }
 
 func (c *Config) fill() {
@@ -110,6 +124,9 @@ func (c *Config) fill() {
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 4 * c.Workers
 	}
+	if c.ReplAckTimeout == 0 {
+		c.ReplAckTimeout = 2 * time.Second
+	}
 	c.Governor.fill()
 }
 
@@ -135,6 +152,10 @@ type Server struct {
 	writeTimeouts atomic.Int64 // conns reaped by the write deadline
 
 	stopped atomic.Bool
+
+	// repl is the server's replication role — leader hub, follower
+	// source, promote hook. Zero value = unreplicated. See repl.go.
+	repl replState
 
 	// testApplyDelay slows apply down; set before Serve, tests only.
 	testApplyDelay time.Duration
@@ -667,6 +688,10 @@ type opTally struct {
 	// page; scanKeys/lookupKeys accumulate the entries across pages, so
 	// keys-per-page is derivable from the pair.
 	scans, seeks, lookups, scanKeys, lookupKeys int64
+
+	// Replication refusals: mutations sent to a follower, and getseqs
+	// whose staleness floor the follower had not yet applied.
+	notLeader, lagging int64
 }
 
 // apply executes one request against the shard's engine, recording it in
@@ -689,7 +714,33 @@ func (s *Server) apply(sh *shard, req Request, t *opTally) Response {
 			return Response{Status: StatusMiss}
 		}
 		return Response{Status: StatusOK, HasVal: true, Val: v}
+	case OpGetSeq:
+		// A bounded-staleness get: on a follower, refuse (StatusLagging)
+		// rather than serve state older than the client's floor — the
+		// client retries the leader. On a leader the floor is always met
+		// (clients learn MinSeq from this leader's own acks), and on an
+		// unreplicated server it degrades to a plain get.
+		t.gets++
+		if f := s.Follower(); f != nil && f.AppliedSeq(sh.id) < req.MinSeq {
+			t.lagging++
+			return Response{Status: StatusLagging}
+		}
+		v, ok, err := sh.eng.Get(req.Key)
+		if err != nil {
+			t.unavail++
+			return Response{Status: StatusUnavail}
+		}
+		if !ok {
+			return Response{Status: StatusMiss}
+		}
+		return Response{Status: StatusOK, HasVal: true, Val: v}
 	case OpPut:
+		if s.IsFollower() {
+			// Followers never mutate outside the replication stream; the
+			// client re-routes this to the leader.
+			t.notLeader++
+			return Response{Status: StatusNotLeader}
+		}
 		t.puts++
 		var ok bool
 		var err error
@@ -711,6 +762,10 @@ func (s *Server) apply(sh *shard, req Request, t *opTally) Response {
 		}
 		return Response{Status: StatusMiss}
 	case OpDel:
+		if s.IsFollower() {
+			t.notLeader++
+			return Response{Status: StatusNotLeader}
+		}
 		t.dels++
 		var ok bool
 		var err error
@@ -741,6 +796,8 @@ func (s *Server) apply(sh *shard, req Request, t *opTally) Response {
 		return s.execSeek(req, t)
 	case OpLookup:
 		return s.execLookup(req, t)
+	case OpSeqs:
+		return s.execSeqs(t)
 	default:
 		t.bad++
 		return Response{Status: StatusBadRequest}

@@ -16,7 +16,8 @@ import (
 
 // startServer runs a Server on an ephemeral loopback port, returning its
 // address and a shutdown func that cancels and waits for a clean drain.
-func startServer(t *testing.T, cfg Config) (*Server, string, func()) {
+// testing.TB so the replication benchmarks can share it.
+func startServer(t testing.TB, cfg Config) (*Server, string, func()) {
 	t.Helper()
 	s := New(cfg)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")

@@ -7,6 +7,7 @@ import (
 	"btreeperf/internal/cbtree"
 	"btreeperf/internal/metrics"
 	"btreeperf/internal/query/index"
+	"btreeperf/internal/repl"
 )
 
 // shard is one independent serving partition: its own storage engine,
@@ -48,6 +49,11 @@ type shard struct {
 	// Durability counters.
 	commitFails atomic.Int64 // batches whose group commit failed
 	unavail     atomic.Int64 // requests answered StatusUnavail
+
+	// Replication counters.
+	ackTimeouts atomic.Int64 // batches that missed the semi-sync follower-ack barrier
+	notLeader   atomic.Int64 // mutations refused with StatusNotLeader (follower role)
+	lagging     atomic.Int64 // getseqs refused with StatusLagging (staleness floor unmet)
 
 	// Shed counters (per shard: overload shedding acts on the shard
 	// whose root is saturated, not globally).
@@ -117,10 +123,12 @@ func (sh *shard) run() {
 						j.resp = Response{Status: StatusUnavail}
 					}
 				}
+			} else if hub := s.Hub(); hub != nil {
+				sh.replCommit(bt, hub)
 			}
 		}
 		if n := tally.gets + tally.puts + tally.dels + tally.pings + tally.bad +
-			tally.scans + tally.seeks + tally.lookups; n > 0 {
+			tally.scans + tally.seeks + tally.lookups + tally.notLeader; n > 0 {
 			ns := time.Since(t0).Nanoseconds()
 			// The histogram records the batch's amortized per-op service
 			// time for each op (exact in the mean, batch-smoothed in the
@@ -158,7 +166,52 @@ func (sh *shard) run() {
 			if tally.lookupKeys > 0 {
 				sh.lookupKeys.Add(tally.lookupKeys)
 			}
+			if tally.notLeader > 0 {
+				sh.notLeader.Add(tally.notLeader)
+			}
+			if tally.lagging > 0 {
+				sh.lagging.Add(tally.lagging)
+			}
 		}
 		bt.completeOne()
+	}
+}
+
+// replCommit is the leader-side replication epilogue of a batch whose
+// group commit succeeded: wake the hub's shippers, hold the batch for
+// the semi-sync follower-ack barrier when one is configured, and stamp
+// each acknowledged mutation with the shard's durable sequence (wire:
+// the value field of the put/del response) — the client's staleness
+// floor for bounded-staleness follower reads.
+func (sh *shard) replCommit(bt *batch, hub *repl.Hub) {
+	s := sh.srv
+	seq := sh.eng.(seqEngine).DurableSeq()
+	hub.Poke()
+	acked := true
+	if k := s.cfg.ReplAcks; k > 0 {
+		if !hub.WaitAcked(sh.id, seq, k, s.cfg.ReplAckTimeout) {
+			// The write is durable here but its follower redundancy was
+			// not confirmed in time. Busy is the honest retryable answer:
+			// the client must treat the op as possibly applied (standard
+			// semi-sync ambiguity) — puts and dels are idempotent, so a
+			// retry converges.
+			acked = false
+			sh.ackTimeouts.Add(1)
+		}
+	}
+	for i := range bt.jobs {
+		j := &bt.jobs[i]
+		if j.skip || int(j.shard) != sh.id || (j.req.Op != OpPut && j.req.Op != OpDel) {
+			continue
+		}
+		if j.resp.Status != StatusOK && j.resp.Status != StatusMiss {
+			continue
+		}
+		if !acked {
+			j.resp = Response{Status: StatusBusy}
+			continue
+		}
+		j.resp.HasVal = true
+		j.resp.Val = uint64(seq)
 	}
 }

@@ -28,10 +28,10 @@ out="${BENCH_OUT:-results/BENCH_serving.json}"
 raw="${BENCH_RAW:-$(mktemp)}"
 
 go test ./internal/server -run '^$' \
-  -bench 'BenchmarkAppendRequest|BenchmarkAppendResponse|BenchmarkReadRequest|BenchmarkReadResponse|BenchmarkBatchDispatch|BenchmarkServeLoopback|BenchmarkScanLoopback' \
+  -bench 'BenchmarkAppendRequest|BenchmarkAppendResponse|BenchmarkReadRequest|BenchmarkReadResponse|BenchmarkBatchDispatch|BenchmarkServeLoopback|BenchmarkScanLoopback|BenchmarkReplicatedGet' \
   -benchmem -benchtime "$benchtime" -count "$count" | tee "$raw"
 
 go run ./cmd/benchjson \
-  -note "scripts/bench.sh: count=$count benchtime=$benchtime; ServeLoopback is a mixed get/put/del pipeline over loopback TCP, client and server in one process; ServeLoopbackSharded sweeps the hash-routed shard count on the depth-128 mix; ScanLoopback is one paged range-scan request per op (fan-out + k-way merge), keys/op = page fill" \
+  -note "scripts/bench.sh: count=$count benchtime=$benchtime; ServeLoopback is a mixed get/put/del pipeline over loopback TCP, client and server in one process; ServeLoopbackSharded sweeps the hash-routed shard count on the depth-128 mix; ScanLoopback is one paged range-scan request per op (fan-out + k-way merge), keys/op = page fill; ReplicatedGet is one bounded-staleness get through a ReplicaSet against a disk leader plus N oplog-streaming followers, writes quiesced" \
   <"$raw" >"$out"
 echo "wrote $out"

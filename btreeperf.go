@@ -59,6 +59,11 @@ const (
 	// LinkType is the Lehman–Yao right-link protocol (recommended; the
 	// paper shows it dominates the others at every concurrency level).
 	LinkType = cbtree.LinkType
+	// TreeOLC is optimistic lock-coupling: Link-type writers plus
+	// version-validated latch-free reads that never touch the lock
+	// queues, restarting on conflict with a bounded-retry fallback to
+	// the locked path. Best read-side latency under read-heavy load.
+	TreeOLC = cbtree.OLC
 )
 
 // TreeStats counts a Tree's structural and protocol events.
@@ -116,6 +121,7 @@ const (
 	OD       = core.OD
 	Link     = core.Link
 	TwoPhase = core.TwoPhase
+	OLC      = core.OLC
 )
 
 // RecoveryPolicy selects the §7 recovery protocol.

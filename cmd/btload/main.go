@@ -10,6 +10,13 @@
 //	btload -addr 127.0.0.1:9400 -conns 4 -depth 32 -duration 5s
 //	btload -addr 127.0.0.1:9400 -n 1000000 -qs .3 -qi .5 -qd .2
 //	btload -addr 127.0.0.1:9400 -scenario scan-mixed -scan-limit 128
+//	btload -addr 127.0.0.1:9400 -scenario read-heavy -zipf 1.1
+//
+// -zipf s skews key choice zipfian with exponent s (0 = uniform, the
+// paper's regime): searches, deletes, and scans concentrate on a hot
+// set of live keys and inserts on low keys, concentrating writer
+// contention — the regime where olc's latch-free reads diverge most
+// from link-type's queued R locks.
 //
 // By default the loop is closed: each connection sends as fast as its
 // pipeline window allows, so offered load adapts to the server. With
@@ -91,6 +98,7 @@ func main() {
 		scanSpan  = flag.Int64("scan-span", 0, "scan range width in key space (0 = keyspace/512)")
 		scanLimit = flag.Int("scan-limit", 0, "scan page entry cap (0 = server default)")
 		keySpace  = flag.Int64("keyspace", 1<<31, "insert keys drawn uniformly from [0, keyspace)")
+		zipf      = flag.Float64("zipf", 0, "zipfian key-skew exponent s: accesses concentrate on a hot key set (0 = uniform)")
 		seed      = flag.Uint64("seed", 1, "workload seed (fixed seed = reproducible op streams)")
 		chaosSpec = flag.String("chaos", "", "client-side fault spec (tolerant mode), e.g. 'preset=0.002,pdrop=0.05,seed=3'")
 		opTimeout = flag.Duration("op-timeout", 0, "per-op deadline on each connection (0 = none; -chaos and -audit default to 5s)")
@@ -147,6 +155,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "btload:", err)
 		os.Exit(2)
 	}
+	if *zipf < 0 {
+		fmt.Fprintln(os.Stderr, "btload: -zipf must be >= 0")
+		os.Exit(2)
+	}
+	master.SetSkew(*zipf)
 	gens := master.Split(*conns)
 
 	var (
@@ -240,8 +253,12 @@ func main() {
 	if *rate > 0 {
 		loop = fmt.Sprintf("open loop λ=%.0f/s", *rate)
 	}
-	fmt.Printf("btload: %d conns × depth %d against %s (%s), mix s/i/d/r = %.2f/%.2f/%.2f/%.2f, seed %d\n",
-		*conns, *depth, *addr, loop, *qs, *qi, *qd, *qr, *seed)
+	skewNote := ""
+	if *zipf > 0 {
+		skewNote = fmt.Sprintf(", zipf s=%.2f", *zipf)
+	}
+	fmt.Printf("btload: %d conns × depth %d against %s (%s), mix s/i/d/r = %.2f/%.2f/%.2f/%.2f, seed %d%s\n",
+		*conns, *depth, *addr, loop, *qs, *qi, *qd, *qr, *seed, skewNote)
 	fmt.Printf("%d ops in %v: %.0f ops/s\n",
 		n, elapsed.Round(time.Millisecond), float64(n)/elapsed.Seconds())
 	if *rate > 0 {

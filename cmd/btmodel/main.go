@@ -25,7 +25,7 @@ import (
 
 func main() {
 	var (
-		algName    = flag.String("alg", "nlc", "algorithm: nlc, od, link, 2pl")
+		algName    = flag.String("alg", "nlc", "algorithm: nlc, od, link, 2pl, olc")
 		items      = flag.Int("items", 40000, "keys in the tree")
 		nodeCap    = flag.Int("nodecap", 13, "maximum items per node (N)")
 		height     = flag.Int("height", 0, "force tree height (0 = derive from items)")
@@ -96,6 +96,10 @@ func main() {
 
 	fmt.Printf("\nresponse times: search=%s insert=%s delete=%s (stable=%v)\n",
 		table.F(res.RespSearch), table.F(res.RespInsert), table.F(res.RespDelete), res.Stable)
+	if alg == core.OLC {
+		fmt.Printf("latch-free reads: restart prob=%s  fallback prob=%s  restarts/op=%s\n",
+			table.F(res.RestartProb), table.F(res.FallbackProb), table.F(res.RestartsPerOp))
+	}
 
 	if *simSeeds > 0 {
 		rec, err := parseRecovery(*recovery)
@@ -150,8 +154,10 @@ func parseAlg(s string) (core.Algorithm, error) {
 		return core.Link, nil
 	case "2pl", "two-phase":
 		return core.TwoPhase, nil
+	case "olc", "optimistic-lock-coupling":
+		return core.OLC, nil
 	default:
-		return 0, fmt.Errorf("unknown algorithm %q (want nlc, od, link or 2pl)", s)
+		return 0, fmt.Errorf("unknown algorithm %q (want nlc, od, link, 2pl or olc)", s)
 	}
 }
 

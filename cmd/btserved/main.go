@@ -53,7 +53,7 @@ import (
 
 func main() {
 	var (
-		algName  = flag.String("alg", "link-type", "algorithm: lock-coupling, optimistic, link-type")
+		algName  = flag.String("alg", "link-type", "algorithm: lock-coupling, optimistic, link-type, olc")
 		capacity = flag.Int("cap", 64, "node capacity (items per node)")
 		listen   = flag.String("listen", ":9400", "binary protocol listen address")
 		httpAddr = flag.String("http", ":9401", "telemetry listen address (/metrics, /debug/model, /healthz); empty disables")
@@ -298,7 +298,9 @@ func parseAlg(name string) (cbtree.Algorithm, error) {
 		return cbtree.Optimistic, nil
 	case "link-type", "link", "ly":
 		return cbtree.LinkType, nil
+	case "olc", "optimistic-lock-coupling":
+		return cbtree.OLC, nil
 	default:
-		return 0, fmt.Errorf("unknown algorithm %q (want lock-coupling, optimistic, or link-type)", name)
+		return 0, fmt.Errorf("unknown algorithm %q (want lock-coupling, optimistic, link-type, or olc)", name)
 	}
 }

@@ -25,7 +25,7 @@ import (
 
 func main() {
 	var (
-		algName  = flag.String("alg", "nlc", "algorithm: nlc, od, link, 2pl")
+		algName  = flag.String("alg", "nlc", "algorithm: nlc, od, link, 2pl, olc")
 		lambda   = flag.Float64("lambda", 0.1, "total arrival rate")
 		disk     = flag.Float64("disk", 5, "on-disk access cost multiplier")
 		nodeCap  = flag.Int("nodecap", 13, "maximum items per node")
@@ -86,6 +86,10 @@ func main() {
 		table.FE(res.RespDelete.Mean, res.RespDelete.CI95))
 	fmt.Printf("root ρ_w=%s  restarts=%d  crossings=%d  splits=%d\n",
 		table.F(res.RootRhoW), res.Restarts, res.LinkCrossings, res.Splits)
+	if alg == core.OLC {
+		fmt.Printf("latch-free read restarts=%d  locked fallbacks=%d\n",
+			res.ReadRestarts, res.ReadFallbacks)
+	}
 	p := res.Percentiles
 	fmt.Printf("response percentiles: p50=%s p90=%s p95=%s p99=%s max=%s\n\n",
 		table.F(p.P50), table.F(p.P90), table.F(p.P95), table.F(p.P99), table.F(p.Max))
@@ -109,8 +113,10 @@ func parseAlg(s string) (core.Algorithm, error) {
 		return core.Link, nil
 	case "2pl", "two-phase":
 		return core.TwoPhase, nil
+	case "olc", "optimistic-lock-coupling":
+		return core.OLC, nil
 	default:
-		return 0, fmt.Errorf("unknown algorithm %q (want nlc, od, link or 2pl)", s)
+		return 0, fmt.Errorf("unknown algorithm %q (want nlc, od, link, 2pl or olc)", s)
 	}
 }
 

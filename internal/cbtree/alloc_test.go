@@ -1,0 +1,80 @@
+package cbtree
+
+import "testing"
+
+// Allocation regression tests for the OLC read path. The whole point of
+// version-validated latch-free reads is a cheaper steady-state get: a
+// descent that allocates would hand that win straight back to the
+// garbage collector. Both the point lookup and the leaf-chain scan must
+// stay at zero allocations per operation, including their restart
+// bookkeeping.
+
+func olcAllocTree(t *testing.T, n int) *Tree {
+	t.Helper()
+	keys := make([]int64, n)
+	vals := make([]uint64, n)
+	for i := range keys {
+		keys[i] = int64(i) * 3
+		vals[i] = uint64(i)
+	}
+	tr, err := BulkLoad(16, OLC, keys, vals, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestOLCSearchAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	tr := olcAllocTree(t, 10000)
+	key := int64(0)
+	if n := testing.AllocsPerRun(200, func() {
+		if _, ok := tr.Search(key); !ok {
+			t.Fatalf("key %d missing", key)
+		}
+		key = (key + 3003) % 30000
+	}); n != 0 {
+		t.Errorf("OLC Search: %v allocs/op, want 0", n)
+	}
+}
+
+func TestOLCRangeAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	tr := olcAllocTree(t, 10000)
+	lo := int64(0)
+	count := 0
+	fn := func(k int64, v uint64) bool {
+		count++
+		return true
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		count = 0
+		tr.Range(lo, lo+300, fn)
+		if count == 0 {
+			t.Fatalf("empty scan at lo=%d", lo)
+		}
+		lo = (lo + 2997) % 29000
+	}); n != 0 {
+		t.Errorf("OLC Range: %v allocs/op, want 0", n)
+	}
+}
+
+func TestOLCSearchGEAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	tr := olcAllocTree(t, 10000)
+	key := int64(1)
+	if n := testing.AllocsPerRun(200, func() {
+		if _, _, ok := tr.SearchGE(key); !ok {
+			t.Fatalf("no key >= %d", key)
+		}
+		key = (key + 3003) % 29000
+	}); n != 0 {
+		t.Errorf("OLC SearchGE: %v allocs/op, want 0", n)
+	}
+}

@@ -66,9 +66,21 @@ func BulkLoad(cap int, alg Algorithm, keys []int64, vals []uint64, fill float64)
 		level = parents
 	}
 
+	if alg == OLC {
+		publishAll(level[0].n)
+	}
 	t.root.Store(level[0].n)
 	t.size.Store(int64(len(keys)))
 	return t, nil
+}
+
+// publishAll publishes the snapshot of every node in a just-built
+// subtree (OLC readers require one before a node becomes reachable).
+func publishAll(n *node) {
+	n.publish()
+	for _, c := range n.children {
+		publishAll(c)
+	}
 }
 
 // built pairs a constructed node with the smallest key of its subtree.

@@ -1,6 +1,7 @@
 // Package cbtree is a goroutine-safe concurrent B⁺-tree implementing the
 // three concurrency-control algorithms analyzed by Johnson & Shasha
-// (PODS 1990) on real sync primitives:
+// (PODS 1990) on real sync primitives, plus the framework's natural
+// fourth algorithm:
 //
 //   - LockCoupling — Bayer/Schkolnick naive lock coupling: updates descend
 //     with exclusive locks, releasing ancestors whenever the child cannot
@@ -11,8 +12,13 @@
 //   - LinkType — Lehman–Yao: right links and high keys let every operation
 //     hold at most one lock at a time; splits are half-splits repaired
 //     upward.
+//   - OLC — optimistic lock-coupling: writers follow the Link-type
+//     protocol under seqlock-style versioned W locks, readers descend
+//     latch-free against immutable node snapshots validated by version,
+//     restarting on conflict with a bounded-retry fallback to the locked
+//     path (see olc.go).
 //
-// All three algorithms run against the same node layout, so they are
+// All algorithms run against the same node layout, so they are
 // directly comparable (see the benchmarks at the repository root, the
 // modern analogue of the paper's Figure 12).
 //
@@ -40,6 +46,9 @@ const (
 	Optimistic
 	// LinkType is the paper's Link-type (Lehman–Yao) algorithm.
 	LinkType
+	// OLC is optimistic lock-coupling: version-validated latch-free
+	// reads over Link-type writes.
+	OLC
 )
 
 func (a Algorithm) String() string {
@@ -50,6 +59,8 @@ func (a Algorithm) String() string {
 		return "optimistic"
 	case LinkType:
 		return "link-type"
+	case OLC:
+		return "olc"
 	default:
 		return fmt.Sprintf("Algorithm(%d)", int(a))
 	}
@@ -57,18 +68,21 @@ func (a Algorithm) String() string {
 
 // Stats counts structural and protocol events since the tree was created.
 type Stats struct {
-	Splits    int64 // node splits
-	Restarts  int64 // Optimistic second descents
-	Crossings int64 // LinkType right-link follows
+	Splits        int64 // node splits
+	Restarts      int64 // Optimistic second descents
+	Crossings     int64 // LinkType/OLC right-link follows
+	ReadRestarts  int64 // OLC failed snapshot validations
+	ReadFallbacks int64 // OLC descents that fell back to locking
 }
 
-// node is a B⁺-tree node guarded by its own FCFS reader/writer lock.
-// All fields after mu are protected by mu, except that the pointer
-// identity of a node never changes and nodes are never freed (the GC
-// reclaims unreachable ones), so holding a stale pointer is always safe —
-// the Link-type protocol then recovers via right links.
+// node is a B⁺-tree node guarded by its own FCFS reader/writer lock
+// (versioned, for OLC's latch-free readers). All fields after mu are
+// protected by mu, except that the pointer identity of a node never
+// changes and nodes are never freed (the GC reclaims unreachable ones),
+// so holding a stale pointer is always safe — the Link-type protocol
+// then recovers via right links.
 type node struct {
-	mu       lock.FCFSRWMutex
+	mu       lock.VersionLock
 	level    int
 	keys     []int64
 	vals     []uint64
@@ -76,7 +90,50 @@ type node struct {
 	right    *node
 	high     int64
 	hasHigh  bool
+
+	// snap is the node's immutable published image, maintained only in
+	// OLC mode: every mutating W critical section rebuilds it before
+	// UnlockV, so whenever the version word is even (no writer) the
+	// snapshot equals the live fields. Latch-free readers load it
+	// through the ReadBegin/Validate protocol and never touch the
+	// mutable slices — that is what makes OLC reads race-free in the
+	// Go memory model, with the version word supplying recency.
+	snap atomic.Pointer[nodeSnap]
 }
+
+// nodeSnap is one immutable image of a node. Fields mirror node's.
+type nodeSnap struct {
+	keys     []int64
+	vals     []uint64
+	children []*node
+	right    *node
+	high     int64
+	hasHigh  bool
+}
+
+// publish rebuilds n's immutable snapshot from its live fields. Caller
+// must hold n.mu exclusively, or own n exclusively because it is not yet
+// reachable (construction, bulk load).
+func (n *node) publish() {
+	s := &nodeSnap{
+		right:   n.right,
+		high:    n.high,
+		hasHigh: n.hasHigh,
+	}
+	if len(n.keys) > 0 {
+		s.keys = append(make([]int64, 0, len(n.keys)), n.keys...)
+	}
+	if len(n.vals) > 0 {
+		s.vals = append(make([]uint64, 0, len(n.vals)), n.vals...)
+	}
+	if len(n.children) > 0 {
+		s.children = append(make([]*node, 0, len(n.children)), n.children...)
+	}
+	n.snap.Store(s)
+}
+
+// covers is the snapshot form of node.covers.
+func (s *nodeSnap) covers(key int64) bool { return !s.hasHigh || key < s.high }
 
 func (n *node) isLeaf() bool { return n.level == 1 }
 
@@ -106,6 +163,25 @@ func (n *node) childIndex(key int64) int {
 		return routeLinear(n.keys, key)
 	}
 	return routeBinary(n.keys, key)
+}
+
+// childIndex returns the child slot routing key within a snapshot.
+func (s *nodeSnap) childIndex(key int64) int {
+	if len(s.keys) < linearScanMax {
+		return routeLinear(s.keys, key)
+	}
+	return routeBinary(s.keys, key)
+}
+
+// keyIndex locates key in a leaf snapshot (see node.keyIndex).
+func (s *nodeSnap) keyIndex(key int64) (int, bool) {
+	var lo int
+	if len(s.keys) < linearScanMax {
+		lo = lowerBoundLinear(s.keys, key)
+	} else {
+		lo = lowerBoundBinary(s.keys, key)
+	}
+	return lo, lo < len(s.keys) && s.keys[lo] == key
 }
 
 // keyIndex locates key in a leaf, returning its slot (or the slot it
@@ -178,9 +254,11 @@ type Tree struct {
 	root atomic.Pointer[node]
 	size atomic.Int64
 
-	splits    atomic.Int64
-	restarts  atomic.Int64
-	crossings atomic.Int64
+	splits        atomic.Int64
+	restarts      atomic.Int64
+	crossings     atomic.Int64
+	readRestarts  atomic.Int64 // OLC failed snapshot validations
+	readFallbacks atomic.Int64 // OLC descents that fell back to locking
 
 	// probe, when set (see Instrument), supplies the telemetry sink every
 	// newly created node's lock reports into, keyed by tree level. Written
@@ -194,11 +272,15 @@ func New(cap int, alg Algorithm) *Tree {
 	if cap < 3 {
 		panic(fmt.Sprintf("cbtree: capacity %d too small (need >= 3)", cap))
 	}
-	if alg != LockCoupling && alg != Optimistic && alg != LinkType {
+	if alg != LockCoupling && alg != Optimistic && alg != LinkType && alg != OLC {
 		panic(fmt.Sprintf("cbtree: unknown algorithm %v", alg))
 	}
 	t := &Tree{alg: alg, cap: cap}
-	t.root.Store(&node{level: 1})
+	r := &node{level: 1}
+	if alg == OLC {
+		r.publish()
+	}
+	t.root.Store(r)
 	return t
 }
 
@@ -214,9 +296,11 @@ func (t *Tree) Len() int { return int(t.size.Load()) }
 // Stats returns the event counters.
 func (t *Tree) Stats() Stats {
 	return Stats{
-		Splits:    t.splits.Load(),
-		Restarts:  t.restarts.Load(),
-		Crossings: t.crossings.Load(),
+		Splits:        t.splits.Load(),
+		Restarts:      t.restarts.Load(),
+		Crossings:     t.crossings.Load(),
+		ReadRestarts:  t.readRestarts.Load(),
+		ReadFallbacks: t.readFallbacks.Load(),
 	}
 }
 
@@ -330,6 +414,11 @@ func (t *Tree) growRoot(old *node, sep int64, sib *node) {
 	}
 	if t.probe != nil {
 		r.mu.SetProbe(t.probe(r.level))
+	}
+	if t.alg == OLC {
+		// Latch-free readers may reach the new root the instant the CAS
+		// lands; its snapshot must already exist.
+		r.publish()
 	}
 	if !t.root.CompareAndSwap(old, r) {
 		panic("cbtree: concurrent root replacement")

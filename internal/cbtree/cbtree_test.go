@@ -8,13 +8,14 @@ import (
 	"btreeperf/internal/xrand"
 )
 
-var algorithms = []Algorithm{LockCoupling, Optimistic, LinkType}
+var algorithms = []Algorithm{LockCoupling, Optimistic, LinkType, OLC}
 
 func TestAlgorithmString(t *testing.T) {
 	want := map[Algorithm]string{
 		LockCoupling: "lock-coupling",
 		Optimistic:   "optimistic",
 		LinkType:     "link-type",
+		OLC:          "olc",
 	}
 	for a, s := range want {
 		if a.String() != s {

@@ -33,6 +33,11 @@ func (t *Tree) checkNode(n *node, lo, hi int64, hiInf bool, leftmost map[int]*no
 	if n.items() > t.cap {
 		return fmt.Errorf("cbtree: level %d node over capacity: %d > %d", n.level, n.items(), t.cap)
 	}
+	if t.alg == OLC {
+		if err := n.checkSnap(); err != nil {
+			return err
+		}
+	}
 	if hiInf {
 		if n.hasHigh {
 			return fmt.Errorf("cbtree: rightmost level-%d node has finite high key", n.level)
@@ -74,6 +79,40 @@ func (t *Tree) checkNode(n *node, lo, hi int64, hiInf bool, leftmost map[int]*no
 		}
 		if err := t.checkNode(c, clo, chi, chiInf, leftmost, count); err != nil {
 			return err
+		}
+	}
+	return nil
+}
+
+// checkSnap verifies the OLC invariant that a quiescent node's published
+// snapshot exists, is current, and the version word is even: every
+// mutating critical section must republish before UnlockV.
+func (n *node) checkSnap() error {
+	if v := n.mu.Version(); v&1 != 0 {
+		return fmt.Errorf("cbtree: level %d node version %d odd while quiescent", n.level, v)
+	}
+	s := n.snap.Load()
+	if s == nil {
+		return fmt.Errorf("cbtree: level %d node without a published snapshot", n.level)
+	}
+	if len(s.keys) != len(n.keys) || len(s.vals) != len(n.vals) ||
+		len(s.children) != len(n.children) ||
+		s.right != n.right || s.high != n.high || s.hasHigh != n.hasHigh {
+		return fmt.Errorf("cbtree: level %d snapshot shape stale", n.level)
+	}
+	for i := range n.keys {
+		if s.keys[i] != n.keys[i] {
+			return fmt.Errorf("cbtree: level %d snapshot key %d stale", n.level, i)
+		}
+	}
+	for i := range n.vals {
+		if s.vals[i] != n.vals[i] {
+			return fmt.Errorf("cbtree: level %d snapshot val %d stale", n.level, i)
+		}
+	}
+	for i := range n.children {
+		if s.children[i] != n.children[i] {
+			return fmt.Errorf("cbtree: level %d snapshot child %d stale", n.level, i)
 		}
 	}
 	return nil

@@ -1,0 +1,295 @@
+package cbtree
+
+import "btreeperf/internal/lock"
+
+// Optimistic lock-coupling (OLC): the framework's fourth algorithm.
+//
+// Writers run the Link-type protocol (one W lock at a time, half-splits
+// repaired upward through right links) but enter every critical section
+// through LockV/UnlockV, so the node's version word is odd exactly while
+// it is being written, and republish the node's immutable snapshot
+// before releasing. Readers descend with no locks at all: at each node
+// they sample the version (ReadBegin), load the snapshot, route through
+// it — following right links latch-free — and re-validate the version
+// before trusting the routing decision (this also validates the parent
+// link: the child pointer was read from a snapshot the parent's version
+// still vouches for). A failed validation restarts the descent from the
+// root; after olcMaxAttempts failed descents the operation falls back to
+// the locked Link-type path, whose R locks queue behind writers in the
+// ordinary FCFS way.
+//
+// Because snapshots are immutable and loaded through one atomic pointer,
+// a validated read can never be torn; the version protocol adds recency
+// (no writer overlapped the read) and is the restart process the
+// analytical model in internal/core prices.
+
+// olcMaxAttempts bounds latch-free descent attempts before an operation
+// falls back to the locked path. Keep in sync with core.OLCMaxAttempts
+// and the simulator's olcMaxAttempts: the analysis truncates its restart
+// geometric series at the same depth.
+const olcMaxAttempts = 3
+
+// noteRestart counts one failed snapshot validation at the given level,
+// streaming it into the level's probe when the sink understands
+// latch-free telemetry.
+func (t *Tree) noteRestart(level int) {
+	t.readRestarts.Add(1)
+	if probe := t.probe; probe != nil {
+		if vp, ok := probe(level).(lock.VersionProbe); ok {
+			vp.ReadRestart()
+		}
+	}
+}
+
+// noteFallback counts one descent that exhausted its retry budget.
+// Fallbacks are charged to the leaf level: that is where the locked
+// re-descent will queue.
+func (t *Tree) noteFallback() {
+	t.readFallbacks.Add(1)
+	if probe := t.probe; probe != nil {
+		if vp, ok := probe(1).(lock.VersionProbe); ok {
+			vp.ReadFallback()
+		}
+	}
+}
+
+// olcSearch is the latch-free point lookup with bounded retry.
+func (t *Tree) olcSearch(key int64) (uint64, bool) {
+	for attempt := 0; attempt < olcMaxAttempts; attempt++ {
+		if v, ok, done := t.olcTrySearch(key); done {
+			return v, ok
+		}
+	}
+	t.noteFallback()
+	// The locked fallback must be right-link aware: a lock-coupled
+	// descent with no moveRight would miss keys mid-half-split, so the
+	// Link-type locked read is the correct pessimistic twin.
+	return t.linkSearch(key)
+}
+
+// olcTrySearch makes one latch-free descent attempt. done is false when
+// a validation failed and the caller should restart from the root.
+func (t *Tree) olcTrySearch(key int64) (val uint64, ok, done bool) {
+	n := t.root.Load()
+	for {
+		v, stable := n.mu.ReadBegin()
+		if !stable {
+			t.noteRestart(n.level)
+			return 0, false, false
+		}
+		s := n.snap.Load()
+		if !s.covers(key) {
+			r := s.right
+			if !n.mu.Validate(v) {
+				t.noteRestart(n.level)
+				return 0, false, false
+			}
+			t.crossings.Add(1)
+			n = r
+			continue
+		}
+		if n.level == 1 {
+			i, found := s.keyIndex(key)
+			var vv uint64
+			if found {
+				vv = s.vals[i]
+			}
+			if !n.mu.Validate(v) {
+				t.noteRestart(1)
+				return 0, false, false
+			}
+			return vv, found, true
+		}
+		child := s.children[s.childIndex(key)]
+		if !n.mu.Validate(v) {
+			t.noteRestart(n.level)
+			return 0, false, false
+		}
+		n = child
+	}
+}
+
+// olcDescendLeaf finds the (unlocked) leaf candidate for key latch-free,
+// optionally collecting the ancestor stack for split repair, falling
+// back to the locked descent after olcMaxAttempts failed attempts.
+func (t *Tree) olcDescendLeaf(key int64, wantStack bool) (*node, []*node) {
+	var stack []*node
+	for attempt := 0; attempt < olcMaxAttempts; attempt++ {
+		stack = stack[:0]
+		n := t.root.Load()
+		ok := true
+		for ok && n.level > 1 {
+			v, stable := n.mu.ReadBegin()
+			if !stable {
+				t.noteRestart(n.level)
+				ok = false
+				break
+			}
+			s := n.snap.Load()
+			if !s.covers(key) {
+				r := s.right
+				if !n.mu.Validate(v) {
+					t.noteRestart(n.level)
+					ok = false
+					break
+				}
+				t.crossings.Add(1)
+				n = r
+				continue
+			}
+			child := s.children[s.childIndex(key)]
+			if !n.mu.Validate(v) {
+				t.noteRestart(n.level)
+				ok = false
+				break
+			}
+			if wantStack {
+				stack = append(stack, n)
+			}
+			n = child
+		}
+		if ok {
+			return n, stack
+		}
+	}
+	t.noteFallback()
+	return t.linkDescend(key, wantStack)
+}
+
+// olcView returns a consistent immutable image of n: a validated
+// latch-free snapshot after bounded per-node retries, else (counting a
+// fallback) the current snapshot read under the node's R lock — with the
+// R lock held no writer is active, so the stored snapshot is exact.
+// Leaf-chain walkers (Range, SearchGE) use this instead of restarting
+// from the root, which would lose their position.
+func (t *Tree) olcView(n *node) *nodeSnap {
+	for attempt := 0; attempt < olcMaxAttempts; attempt++ {
+		v, stable := n.mu.ReadBegin()
+		if stable {
+			s := n.snap.Load()
+			if n.mu.Validate(v) {
+				return s
+			}
+		}
+		t.noteRestart(n.level)
+	}
+	t.noteFallback()
+	n.mu.RLock()
+	s := n.snap.Load()
+	n.mu.RUnlock()
+	return s
+}
+
+// olcRange is the latch-free scan: descend to the leaf covering lo, then
+// emit from validated leaf snapshots, chaining through their right
+// pointers. Each leaf is observed atomically (an immutable image), the
+// same per-leaf consistency the locked scan provides.
+func (t *Tree) olcRange(lo, hi int64, fn func(key int64, val uint64) bool) {
+	n, _ := t.olcDescendLeaf(lo, false)
+	for n != nil {
+		s := t.olcView(n)
+		for i, k := range s.keys {
+			if k < lo {
+				continue
+			}
+			if k > hi || !fn(k, s.vals[i]) {
+				return
+			}
+		}
+		n = s.right
+	}
+}
+
+// olcSearchGE is the latch-free seek: first stored key >= key.
+func (t *Tree) olcSearchGE(key int64) (k int64, v uint64, ok bool) {
+	n, _ := t.olcDescendLeaf(key, false)
+	for n != nil {
+		s := t.olcView(n)
+		if i, _ := s.keyIndex(key); i < len(s.keys) {
+			return s.keys[i], s.vals[i], true
+		}
+		n = s.right
+	}
+	return 0, 0, false
+}
+
+// ---------------------------------------------------------------------------
+// Writes: the Link-type protocol under versioned locks, republishing the
+// snapshot after every mutation.
+
+// olcMoveRightW follows right links while key lies beyond the node's
+// high key, holding one versioned W lock at a time. Releasing a node we
+// did not mutate still bumps its version (UnlockV) — a conservative
+// invalidation, never an unsafe one.
+func (t *Tree) olcMoveRightW(n *node, key int64) *node {
+	for !n.covers(key) {
+		r := n.right
+		n.mu.UnlockV()
+		t.crossings.Add(1)
+		r.mu.LockV()
+		n = r
+	}
+	return n
+}
+
+func (t *Tree) olcInsert(key int64, val uint64) bool {
+	n, stack := t.olcDescendLeaf(key, true)
+	n.mu.LockV()
+	n = t.olcMoveRightW(n, key)
+	if i, ok := n.keyIndex(key); ok {
+		n.vals[i] = val
+		n.publish()
+		n.mu.UnlockV()
+		return false
+	}
+	i, _ := n.keyIndex(key)
+	n.keys = insertAt(n.keys, i, key)
+	n.vals = insertAt(n.vals, i, val)
+	t.size.Add(1)
+
+	// Half-split repair, as linkInsert: split under the node's own lock,
+	// release, then lock the parent to install the new pointer. The new
+	// sibling's snapshot is published before the split node's truncated
+	// one — a reader can only reach the sibling through a snapshot
+	// published after it.
+	for n.items() > t.cap {
+		sib, sep := t.split(n)
+		sib.publish()
+		if len(stack) == 0 && t.root.Load() == n {
+			n.publish()
+			t.growRoot(n, sep, sib)
+			break
+		}
+		level := n.level + 1
+		n.publish()
+		n.mu.UnlockV()
+		var parent *node
+		if len(stack) > 0 {
+			parent = stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+		} else {
+			// The root grew since our descent; find the parent level
+			// under locks (rare, and correctness-critical).
+			parent = t.linkLocate(level, sep)
+		}
+		parent.mu.LockV()
+		parent = t.olcMoveRightW(parent, sep)
+		parent.addChild(sep, sib)
+		n = parent
+	}
+	n.publish()
+	n.mu.UnlockV()
+	return true
+}
+
+func (t *Tree) olcDelete(key int64) bool {
+	n, _ := t.olcDescendLeaf(key, false)
+	n.mu.LockV()
+	n = t.olcMoveRightW(n, key)
+	ok := t.leafRemove(n, key)
+	if ok {
+		n.publish()
+	}
+	n.mu.UnlockV()
+	return ok
+}

@@ -2,10 +2,14 @@ package cbtree
 
 // Search returns the value stored under key.
 func (t *Tree) Search(key int64) (uint64, bool) {
-	if t.alg == LinkType {
+	switch t.alg {
+	case LinkType:
 		return t.linkSearch(key)
+	case OLC:
+		return t.olcSearch(key)
+	default:
+		return t.coupledSearch(key)
 	}
-	return t.coupledSearch(key)
 }
 
 // Insert stores key→val. A fresh insertion reports true; replacing an
@@ -16,6 +20,8 @@ func (t *Tree) Insert(key int64, val uint64) bool {
 		return t.lcInsert(key, val)
 	case Optimistic:
 		return t.optInsert(key, val)
+	case OLC:
+		return t.olcInsert(key, val)
 	default:
 		return t.linkInsert(key, val)
 	}
@@ -29,6 +35,8 @@ func (t *Tree) Delete(key int64) bool {
 		return t.lcDelete(key)
 	case Optimistic:
 		return t.optDelete(key)
+	case OLC:
+		return t.olcDelete(key)
 	default:
 		return t.linkDelete(key)
 	}
@@ -321,6 +329,10 @@ func (t *Tree) linkLocate(level int, key int64) *node {
 // leaf chain with shared-lock coupling; concurrent splits are neither
 // missed nor double-visited.
 func (t *Tree) Range(lo, hi int64, fn func(key int64, val uint64) bool) {
+	if t.alg == OLC {
+		t.olcRange(lo, hi, fn)
+		return
+	}
 	var n *node
 	if t.alg == LinkType {
 		leaf, _ := t.linkDescend(lo, false)

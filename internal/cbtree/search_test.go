@@ -40,7 +40,7 @@ func TestSearchLinearBinaryAgree(t *testing.T) {
 // the binary path) and checks that every operation's result agrees —
 // an end-to-end check that the two search paths route identically.
 func TestSearchPathEquivalence(t *testing.T) {
-	for _, alg := range []Algorithm{LockCoupling, Optimistic, LinkType} {
+	for _, alg := range []Algorithm{LockCoupling, Optimistic, LinkType, OLC} {
 		t.Run(alg.String(), func(t *testing.T) {
 			small := New(8, alg)
 			large := New(64, alg)

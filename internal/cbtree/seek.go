@@ -3,6 +3,9 @@ package cbtree
 // SearchGE returns the smallest stored key >= key and its value
 // (an ordered "seek"). ok is false when no such key exists.
 func (t *Tree) SearchGE(key int64) (k int64, v uint64, ok bool) {
+	if t.alg == OLC {
+		return t.olcSearchGE(key)
+	}
 	var n *node
 	if t.alg == LinkType {
 		leaf, _ := t.linkDescend(key, false)

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"btreeperf/internal/lock"
 	"btreeperf/internal/metrics"
@@ -13,7 +14,7 @@ import (
 // mutators run, for every algorithm. Run under -race (the CI race matrix
 // includes this package): any unsynchronized counter read shows up here.
 func TestStatsConcurrentWithMutators(t *testing.T) {
-	for _, alg := range []Algorithm{LockCoupling, Optimistic, LinkType} {
+	for _, alg := range []Algorithm{LockCoupling, Optimistic, LinkType, OLC} {
 		t.Run(alg.String(), func(t *testing.T) {
 			tr := New(8, alg)
 			var stop atomic.Bool
@@ -50,7 +51,7 @@ func TestStatsConcurrentWithMutators(t *testing.T) {
 			wg.Wait()
 			stop.Store(true)
 			<-readerDone
-			if s := tr.Stats(); alg != LinkType && s.Crossings != 0 {
+			if s := tr.Stats(); alg != LinkType && alg != OLC && s.Crossings != 0 {
 				t.Errorf("%v recorded %d link crossings", alg, s.Crossings)
 			}
 		})
@@ -98,5 +99,71 @@ func TestInstrumentCoversAllLevels(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestOLCRestartTelemetry drives concurrent latch-free readers against
+// writers on an OLC tree and checks that validation restarts and locked
+// fallbacks observed by the tree are mirrored, count for count, in the
+// per-level probes (metrics.LevelStats implements lock.VersionProbe).
+func TestOLCRestartTelemetry(t *testing.T) {
+	tr := New(4, OLC)
+	for i := int64(0); i < 500; i++ {
+		tr.Insert(i*2, uint64(i))
+	}
+	probe := metrics.NewTreeProbe()
+	tr.Instrument(func(level int) lock.Probe { return probe.Level(level) })
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) { // writers churn the keyspace, forcing conflicts
+			defer wg.Done()
+			k := int64(w)
+			for !stop.Load() {
+				tr.Insert(k*2+1, uint64(k))
+				tr.Delete(k*2 + 1)
+				k = (k + 2) % 500
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			k := int64(r)
+			for !stop.Load() {
+				tr.Search(k * 2)
+				tr.Range(k*2, k*2+20, func(int64, uint64) bool { return true })
+				k = (k + 1) % 500
+			}
+		}(r)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for tr.Stats().ReadRestarts == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	st := tr.Stats()
+	snap := probe.Snapshot()
+	var probeRestarts, probeFallbacks int64
+	for _, ls := range snap.Levels {
+		probeRestarts += ls.ReadRestarts
+		probeFallbacks += ls.ReadFallbacks
+	}
+	if probeRestarts != st.ReadRestarts {
+		t.Errorf("probe restarts %d != tree restarts %d", probeRestarts, st.ReadRestarts)
+	}
+	if probeFallbacks != st.ReadFallbacks {
+		t.Errorf("probe fallbacks %d != tree fallbacks %d", probeFallbacks, st.ReadFallbacks)
+	}
+	if st.ReadRestarts == 0 {
+		t.Log("no restart observed this run; telemetry equality still checked")
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
 	}
 }

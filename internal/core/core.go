@@ -177,6 +177,10 @@ const (
 	// TwoPhase is strict Two-Phase Locking on the whole descent path —
 	// the additional algorithm the paper defers to its full version.
 	TwoPhase
+	// OLC is optimistic lock-coupling: version-validated latch-free
+	// descents with bounded retry over a Link-type writer protocol — the
+	// fourth algorithm, beyond the paper's original three.
+	OLC
 )
 
 func (a Algorithm) String() string {
@@ -189,6 +193,8 @@ func (a Algorithm) String() string {
 		return "link-type"
 	case TwoPhase:
 		return "two-phase-locking"
+	case OLC:
+		return "olc"
 	default:
 		return fmt.Sprintf("Algorithm(%d)", int(a))
 	}
@@ -244,6 +250,19 @@ type Result struct {
 	RespSearch float64 // Per(S)
 	RespInsert float64 // Per(I)
 	RespDelete float64 // Per(D)
+
+	// OLC-only diagnostics (zero for the locking algorithms): the
+	// restart process of the latch-free descent. ReadConflict[i] is the
+	// probability one validation of a level-i node fails (index 0
+	// unused); RestartProb is the mix-weighted probability a whole
+	// latch-free descent must restart; FallbackProb is the mix-weighted
+	// probability all OLCMaxAttempts descents fail and the operation
+	// takes the locked path; RestartsPerOp is the mix-weighted expected
+	// number of failed descents per operation.
+	ReadConflict  []float64
+	RestartProb   float64
+	FallbackProb  float64
+	RestartsPerOp float64
 }
 
 // Level returns the solved queue of level i (1 = leaf).

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"btreeperf/internal/workload"
+)
+
+func TestOLCZeroLoad(t *testing.T) {
+	m := paperModel(t, 5)
+	res, err := AnalyzeOLC(m, paperWorkload(1e-9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stable {
+		t.Fatal("OLC unstable at zero load")
+	}
+	// No writers in sight: descents never restart, responses are the
+	// bare path costs.
+	if res.RestartProb > 1e-6 || res.FallbackProb > 1e-9 {
+		t.Errorf("restart %v fallback %v at zero load", res.RestartProb, res.FallbackProb)
+	}
+	var path float64
+	h := m.Shape.Height
+	for i := 1; i <= h; i++ {
+		path += m.Costs.Se(i, h)
+	}
+	if math.Abs(res.RespSearch-path) > 1e-3*path {
+		t.Errorf("RespSearch %v, want ≈ %v", res.RespSearch, path)
+	}
+}
+
+func TestOLCBeatsLinkOnSearchResponse(t *testing.T) {
+	// The point of latch-free reads: searches skip every R-lock wait.
+	// Under contention the OLC search response must undercut Link's at
+	// the same operating point — and the gap must widen with load, since
+	// Link's queueing waits grow superlinearly while OLC restarts grow
+	// roughly linearly. At trivially low load the two are equal to within
+	// a fraction of a percent (the rare correlated fallback is priced,
+	// the nonexistent queue wait is not).
+	m := paperModel(t, 5)
+	prevGap := 0.0
+	for _, lambda := range []float64{25, 100, 250} {
+		w := paperWorkload(lambda)
+		olc, err := AnalyzeOLC(m, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		link, err := AnalyzeLink(m, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !olc.Stable || !link.Stable {
+			t.Fatalf("λ=%v unstable (olc %v link %v)", lambda, olc.Stable, link.Stable)
+		}
+		if olc.RespSearch >= link.RespSearch {
+			t.Errorf("λ=%v: OLC search %v not below Link %v", lambda, olc.RespSearch, link.RespSearch)
+		}
+		gap := link.RespSearch - olc.RespSearch
+		if gap <= prevGap {
+			t.Errorf("λ=%v: gap %v did not widen (was %v)", lambda, gap, prevGap)
+		}
+		prevGap = gap
+	}
+	low := paperWorkload(0.1)
+	olc, err := AnalyzeOLC(m, low)
+	if err != nil {
+		t.Fatal(err)
+	}
+	link, err := AnalyzeLink(m, low)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if olc.RespSearch > 1.001*link.RespSearch {
+		t.Errorf("low load: OLC search %v more than 0.1%% above Link %v", olc.RespSearch, link.RespSearch)
+	}
+}
+
+func TestOLCRestartProbMonotone(t *testing.T) {
+	m := paperModel(t, 5)
+	prev := -1.0
+	for _, lambda := range []float64{0.01, 0.05, 0.1, 0.2, 0.4} {
+		res, err := AnalyzeOLC(m, paperWorkload(lambda))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Stable {
+			break
+		}
+		if res.RestartProb < prev {
+			t.Errorf("λ=%v: restart probability %v fell below %v", lambda, res.RestartProb, prev)
+		}
+		if res.RestartProb < 0 || res.RestartProb > 1 || res.FallbackProb > res.RestartProb {
+			t.Errorf("λ=%v: implausible restart %v / fallback %v", lambda, res.RestartProb, res.FallbackProb)
+		}
+		for i := 1; i <= m.Shape.Height; i++ {
+			if p := res.ReadConflict[i]; p < 0 || p > 1 {
+				t.Errorf("λ=%v level %d: conflict probability %v", lambda, i, p)
+			}
+		}
+		prev = res.RestartProb
+	}
+}
+
+func TestOLCMaxThroughputAtLeastLink(t *testing.T) {
+	// OLC removes reader traffic from the queues without adding writer
+	// work, so its stability boundary cannot fall below Link's.
+	m := paperModel(t, 5)
+	mix := paperWorkload(0)
+	olc, err := MaxThroughput(OLC, m, mix, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	link, err := MaxThroughput(Link, m, mix, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if olc < 0.99*link {
+		t.Errorf("OLC max throughput %v below Link's %v", olc, link)
+	}
+}
+
+func TestOLCReadOnlyNeverRestarts(t *testing.T) {
+	m := paperModel(t, 5)
+	res, err := AnalyzeOLC(m, Workload{Lambda: 0.5, Mix: workload.Mix{QS: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RestartProb != 0 || res.RestartsPerOp != 0 {
+		t.Errorf("read-only workload restarts: %v / %v", res.RestartProb, res.RestartsPerOp)
+	}
+	if !res.Stable {
+		t.Error("read-only workload unstable")
+	}
+}
+
+func TestOLCString(t *testing.T) {
+	if OLC.String() != "olc" {
+		t.Fatalf("OLC string %q", OLC.String())
+	}
+}

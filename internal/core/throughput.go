@@ -17,6 +17,8 @@ func Analyze(a Algorithm, m Model, w Workload) (*Result, error) {
 		return AnalyzeLink(m, w)
 	case TwoPhase:
 		return AnalyzeTwoPhase(m, w)
+	case OLC:
+		return AnalyzeOLC(m, w)
 	default:
 		return nil, fmt.Errorf("core: unknown algorithm %v", a)
 	}

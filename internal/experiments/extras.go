@@ -28,7 +28,68 @@ func Extras() []Figure {
 			"maximum throughput vs. buffer-pool size at raw disk cost D=10; model hit ratio plus a simulator point per pool size", extBuffering},
 		{"extD", "Extra D: access skew and the buffer pool",
 			"measured LRU hit ratios of the disk-backed tree under uniform vs. self-similar key popularity; the uniform-shape model is the skew-free baseline", extSkew},
+		{"extE", "Extra E: OLC restart model vs. simulation",
+			"the fourth algorithm: optimistic lock-coupling's predicted restart and fallback rates (writer-utilization conflicts, correlated retries) against the simulator's measured rates, with search responses", extOLC},
 	}
+}
+
+// extOLC validates the fourth algorithm's restart-probability model: per
+// load, the analytical restarts-per-operation and fallback probability
+// next to the simulator's measured rates, plus both search responses.
+func extOLC(o Options) (*table.Table, error) {
+	o = o.defaults()
+	m, err := paperModel(5)
+	if err != nil {
+		return nil, err
+	}
+	// The top load sits near the simulator's own saturation; short quick
+	// runs have not converged there (contention is still building when
+	// the run ends), so quick mode stays on the two lower loads.
+	lambdas := []float64{5, 10, 25}
+	if o.Quick {
+		lambdas = []float64{5, 10}
+	}
+	tb := table.New("",
+		"lambda", "model_restarts_per_op", "sim_restarts_per_op",
+		"model_fallback_prob", "sim_fallback_per_op",
+		"model_search", "sim_search")
+	rows := make([][]string, len(lambdas))
+	err = sim.ForEachPoint(len(lambdas), func(i int) error {
+		lambda := lambdas[i]
+		res, err := core.AnalyzeOLC(m, core.Workload{Lambda: lambda, Mix: workload.PaperMix})
+		if err != nil {
+			return err
+		}
+		cfg := sim.Paper(core.OLC, lambda, 5)
+		cfg.Ops = o.Ops
+		cfg.Warmup = o.Ops / 10
+		rep, err := sim.RunSeeds(cfg, sim.DefaultSeeds(min(o.Seeds, 3)))
+		if err != nil {
+			return err
+		}
+		var restarts, fallbacks, completed int64
+		for _, r := range rep.Results {
+			restarts += r.ReadRestarts
+			fallbacks += r.ReadFallbacks
+			completed += int64(r.Completed)
+		}
+		simSearch := table.F(rep.RespSearch.Mean)
+		if rep.Unstable {
+			simSearch = "unstable"
+		}
+		rows[i] = []string{table.F(lambda),
+			table.F(res.RestartsPerOp), table.F(float64(restarts) / float64(completed)),
+			table.F(res.FallbackProb), table.F(float64(fallbacks) / float64(completed)),
+			table.F(res.RespSearch), simSearch}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		tb.AddRow(row...)
+	}
+	return tb, nil
 }
 
 // extSkew measures the real LRU pool of internal/diskbtree under

@@ -4,10 +4,10 @@ import "testing"
 
 func TestExtrasRegistered(t *testing.T) {
 	ex := Extras()
-	if len(ex) != 4 {
+	if len(ex) != 5 {
 		t.Fatalf("%d extras", len(ex))
 	}
-	for _, id := range []string{"extA", "extB", "extC", "extD"} {
+	for _, id := range []string{"extA", "extB", "extC", "extD", "extE"} {
 		if _, ok := ByID(id); !ok {
 			t.Errorf("%s not resolvable", id)
 		}
@@ -82,5 +82,28 @@ func TestExtSkewQuick(t *testing.T) {
 	model := parseF(t, tb.Rows[0][2])
 	if uniform < model-0.15 || uniform > model+0.15 {
 		t.Fatalf("uniform measured %v vs model %v", uniform, model)
+	}
+}
+
+func TestExtOLCQuick(t *testing.T) {
+	tb := runQuick(t, "extE")
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows: %d", len(tb.Rows))
+	}
+	prevSim := -1.0
+	for _, row := range tb.Rows {
+		model := parseF(t, row[1])
+		sim := parseF(t, row[2])
+		if model <= 0 || sim <= 0 {
+			t.Fatalf("degenerate restart rates: %v", row)
+		}
+		// Model and simulator agree within a factor of two on restarts.
+		if ratio := sim / model; ratio > 2 || ratio < 0.5 {
+			t.Errorf("λ=%s: sim %v vs model %v restarts/op", row[0], sim, model)
+		}
+		if sim <= prevSim {
+			t.Errorf("restart rate not rising with load: %v", tb.Rows)
+		}
+		prevSim = sim
 	}
 }

@@ -1,0 +1,80 @@
+package lock
+
+import "sync/atomic"
+
+// VersionProbe extends Probe with latch-free read telemetry. A tree level
+// whose locks report into a VersionProbe additionally learns how often
+// optimistic readers had to restart a validation at that level and how
+// often a descent exhausted its retry budget and fell back to locking —
+// the OLC counterparts of the R-wait statistics the blocking algorithms
+// report (an OLC reader never queues, so its cost shows up as restarts,
+// not waits).
+type VersionProbe interface {
+	Probe
+	// ReadRestart is called once per failed snapshot validation.
+	ReadRestart()
+	// ReadFallback is called once per descent that exhausted its retries
+	// and re-descended under locks.
+	ReadFallback()
+}
+
+// VersionLock is an FCFSRWMutex extended with a seqlock-style version
+// word for optimistic lock-coupling: even = stable, odd = write-locked.
+// Writers acquire the embedded FCFS W lock as usual but enter and leave
+// their critical sections through LockV/UnlockV, which bump the version
+// to odd on acquire and back to even on release. Readers take no lock at
+// all: they call ReadBegin before touching the protected state and
+// Validate after, retrying (or falling back to the embedded lock) when a
+// writer was active anywhere in between.
+//
+// The version word alone does not make unsynchronized reads of mutable
+// memory well-defined in Go's memory model; callers must publish the
+// protected state through an atomic pointer to immutable data (see
+// cbtree's node snapshots) and use the version purely to detect
+// concurrent writers and bound staleness. R locks on the embedded mutex
+// do not bump the version: they are the fallback path and conflict with
+// writers through the lock queue, not through validation.
+//
+// Invariants (see TestVersionLockSeqlockProperties):
+//   - the version is monotonically non-decreasing,
+//   - it is odd exactly between a writer's LockV and UnlockV,
+//   - each LockV/UnlockV pair advances it by exactly 2.
+//
+// The zero value is ready to use and has version 0 (stable).
+type VersionLock struct {
+	FCFSRWMutex
+	ver atomic.Uint64
+}
+
+// LockV acquires the exclusive lock and bumps the version to odd,
+// invalidating every optimistic read that overlaps the critical section.
+func (l *VersionLock) LockV() {
+	l.Lock()
+	l.ver.Add(1)
+}
+
+// UnlockV bumps the version back to even and releases the exclusive
+// lock. The caller must have republished any snapshot of the protected
+// state first, so that version-even always implies snapshot-current.
+func (l *VersionLock) UnlockV() {
+	l.ver.Add(1)
+	l.Unlock()
+}
+
+// ReadBegin samples the version at the start of an optimistic read.
+// ok is false when a writer currently holds the lock (odd version); the
+// caller should restart rather than read state mid-mutation.
+func (l *VersionLock) ReadBegin() (v uint64, ok bool) {
+	v = l.ver.Load()
+	return v, v&1 == 0
+}
+
+// Validate reports whether no writer was active since ReadBegin returned
+// v: the version is unchanged (and hence still even).
+func (l *VersionLock) Validate(v uint64) bool {
+	return l.ver.Load() == v
+}
+
+// Version returns the current version word (odd while a writer holds the
+// lock).
+func (l *VersionLock) Version() uint64 { return l.ver.Load() }

@@ -145,6 +145,12 @@ type LevelStats struct {
 	presentNs  atomic.Int64
 	waitHistR  Hist
 	waitHistW  Hist
+
+	// Latch-free (OLC) read telemetry, fed through lock.VersionProbe:
+	// optimistic readers never enter the lock queue, so their cost
+	// surfaces as restarts and fallbacks instead of R-waits.
+	readRestarts  atomic.Int64
+	readFallbacks atomic.Int64
 }
 
 // Acquired implements lock.Probe.
@@ -180,6 +186,14 @@ func (s *LevelStats) Held(write bool, heldNs int64) {
 // WriterPresence implements lock.Probe.
 func (s *LevelStats) WriterPresence(ns int64) { s.presentNs.Add(ns) }
 
+// ReadRestart implements lock.VersionProbe: one failed snapshot
+// validation by a latch-free reader at this level.
+func (s *LevelStats) ReadRestart() { s.readRestarts.Add(1) }
+
+// ReadFallback implements lock.VersionProbe: one latch-free descent
+// exhausted its retries and re-descended under locks.
+func (s *LevelStats) ReadFallback() { s.readFallbacks.Add(1) }
+
 // LevelSnapshot is a point-in-time copy of a LevelStats.
 type LevelSnapshot struct {
 	Level      int
@@ -196,6 +210,9 @@ type LevelSnapshot struct {
 	PresentNs  int64
 	WaitHistR  HistSnapshot
 	WaitHistW  HistSnapshot
+
+	ReadRestarts  int64 // OLC failed snapshot validations
+	ReadFallbacks int64 // OLC descents that fell back to locking
 }
 
 // Snapshot copies the counters. Fields are loaded individually: each is
@@ -215,6 +232,9 @@ func (s *LevelStats) Snapshot() LevelSnapshot {
 		PresentNs:  s.presentNs.Load(),
 		WaitHistR:  s.waitHistR.Snapshot(),
 		WaitHistW:  s.waitHistW.Snapshot(),
+
+		ReadRestarts:  s.readRestarts.Load(),
+		ReadFallbacks: s.readFallbacks.Load(),
 	}
 }
 
@@ -261,7 +281,9 @@ func (p *TreeProbe) Snapshot() Snapshot {
 	s := Snapshot{At: time.Now()}
 	for lv := 1; lv <= MaxLevels; lv++ {
 		ls := p.levels[lv].Snapshot()
-		if ls.AcquiredR == 0 && ls.AcquiredW == 0 {
+		// OLC internal levels may see only latch-free traffic: restarts
+		// without a single lock acquisition still count as activity.
+		if ls.AcquiredR == 0 && ls.AcquiredW == 0 && ls.ReadRestarts == 0 {
 			continue
 		}
 		ls.Level = lv
@@ -286,6 +308,11 @@ type LevelRates struct {
 	WaitHistW HistSnapshot
 	Acquired  int64 // total acquisitions in the window, both classes
 	Released  int64 // total releases in the window, both classes
+
+	ReadRestarts  int64   // OLC validation failures in the window
+	ReadFallbacks int64   // OLC locked fallbacks in the window
+	RestartRate   float64 // OLC validation failures per second
+	FallbackRate  float64 // OLC locked fallbacks per second
 }
 
 // MeanHold returns the class-blended mean hold time in seconds, weighting
@@ -323,6 +350,9 @@ func Rates(prev, cur Snapshot) []LevelRates {
 			ReleasedR: ls.ReleasedR - p.ReleasedR,
 			ReleasedW: ls.ReleasedW - p.ReleasedW,
 			PresentNs: ls.PresentNs - p.PresentNs,
+
+			ReadRestarts:  ls.ReadRestarts - p.ReadRestarts,
+			ReadFallbacks: ls.ReadFallbacks - p.ReadFallbacks,
 		}
 		r := LevelRates{
 			Level:     ls.Level,
@@ -333,6 +363,11 @@ func Rates(prev, cur Snapshot) []LevelRates {
 			WaitHistW: ls.WaitHistW.Sub(p.WaitHistW),
 			Acquired:  d.AcquiredR + d.AcquiredW,
 			Released:  d.ReleasedR + d.ReleasedW,
+
+			ReadRestarts:  d.ReadRestarts,
+			ReadFallbacks: d.ReadFallbacks,
+			RestartRate:   float64(d.ReadRestarts) / dt,
+			FallbackRate:  float64(d.ReadFallbacks) / dt,
 		}
 		if d.ReleasedR > 0 && d.HeldNsR > 0 {
 			r.MeanHoldR = float64(d.HeldNsR) / 1e9 / float64(d.ReleasedR)

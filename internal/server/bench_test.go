@@ -74,10 +74,26 @@ func BenchmarkReadResponse(b *testing.B) {
 // process (client and server share it), so 0 here means the steady-state
 // request path on both sides is allocation-free.
 func BenchmarkServeLoopback(b *testing.B) {
-	for _, alg := range []cbtree.Algorithm{cbtree.LockCoupling, cbtree.Optimistic, cbtree.LinkType} {
+	for _, alg := range []cbtree.Algorithm{cbtree.LockCoupling, cbtree.Optimistic, cbtree.LinkType, cbtree.OLC} {
 		for _, depth := range []int{1, 16, 128} {
 			b.Run(fmt.Sprintf("%s/depth=%d", alg, depth), func(b *testing.B) {
 				benchServeLoopback(b, alg, depth)
+			})
+		}
+	}
+}
+
+// BenchmarkServeLoopbackReadHeavy is the workload OLC exists for: mostly
+// gets (14/16) with just enough puts and dels (1/16 each) to keep
+// writers in play. Under link-type every get still queues through the
+// root's FCFS R lock; under olc the same gets descend latch-free and
+// only validate versions, so olc should win this head-to-head at depth
+// where the pipeline keeps the tree busy.
+func BenchmarkServeLoopbackReadHeavy(b *testing.B) {
+	for _, alg := range []cbtree.Algorithm{cbtree.LinkType, cbtree.OLC} {
+		for _, depth := range []int{16, 128} {
+			b.Run(fmt.Sprintf("%s/depth=%d", alg, depth), func(b *testing.B) {
+				benchServeLoopbackMix(b, Config{Algorithm: alg, Capacity: 64, Depth: depth, Prefill: benchPrefill}, readHeavyReq)
 			})
 		}
 	}
@@ -171,7 +187,35 @@ func benchScanLoopback(b *testing.B, shards, limit int) {
 	b.ReportMetric(float64(keys)/float64(b.N), "keys/op")
 }
 
+// mixedReq is the default 50% get / 25% put / 25% del request mix.
+func mixedReq(seq int, r uint64) Request {
+	switch seq % 4 {
+	case 0, 1:
+		return Request{Op: OpGet, Key: benchKey(r % benchPrefill)}
+	case 2:
+		return Request{Op: OpPut, Key: int64(r) % (1 << 40), Val: r}
+	default:
+		return Request{Op: OpDel, Key: benchKey(r % benchPrefill)}
+	}
+}
+
+// readHeavyReq is the 87.5% get / 6.25% put / 6.25% del mix.
+func readHeavyReq(seq int, r uint64) Request {
+	switch seq % 16 {
+	case 14:
+		return Request{Op: OpPut, Key: int64(r) % (1 << 40), Val: r}
+	case 15:
+		return Request{Op: OpDel, Key: benchKey(r % benchPrefill)}
+	default:
+		return Request{Op: OpGet, Key: benchKey(r % benchPrefill)}
+	}
+}
+
 func benchServeLoopbackCfg(b *testing.B, cfg Config) {
+	benchServeLoopbackMix(b, cfg, mixedReq)
+}
+
+func benchServeLoopbackMix(b *testing.B, cfg Config, mix func(seq int, r uint64) Request) {
 	depth := cfg.Depth
 	s := New(cfg)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -205,15 +249,7 @@ func benchServeLoopbackCfg(b *testing.B, cfg Config) {
 	rng := uint64(1)
 	nextReq := func(seq int) Request {
 		rng = rng*6364136223846793005 + 1442695040888963407
-		r := rng >> 33
-		switch seq % 4 {
-		case 0, 1:
-			return Request{Op: OpGet, Key: benchKey(r % benchPrefill)}
-		case 2:
-			return Request{Op: OpPut, Key: int64(r) % (1 << 40), Val: r}
-		default:
-			return Request{Op: OpDel, Key: benchKey(r % benchPrefill)}
-		}
+		return mix(seq, rng>>33)
 	}
 
 	b.ReportAllocs()

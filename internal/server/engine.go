@@ -51,6 +51,10 @@ type Engine interface {
 type EngineStats struct {
 	Splits, Restarts, Crossings int64
 
+	// OLC latch-free read telemetry; zero under the locking algorithms.
+	ReadRestarts  int64 // failed snapshot validations
+	ReadFallbacks int64 // descents that fell back to the locked path
+
 	// Durability progress; all zero on the in-memory engine.
 	Recovered     int64 // ops replayed at open
 	Appended      int64 // oplog records appended this epoch
@@ -131,7 +135,10 @@ func (e *memEngine) Close() error      { return nil }
 
 func (e *memEngine) Stats() EngineStats {
 	ts := e.t.Stats()
-	return EngineStats{Splits: ts.Splits, Restarts: ts.Restarts, Crossings: ts.Crossings}
+	return EngineStats{
+		Splits: ts.Splits, Restarts: ts.Restarts, Crossings: ts.Crossings,
+		ReadRestarts: ts.ReadRestarts, ReadFallbacks: ts.ReadFallbacks,
+	}
 }
 
 // DiskEngineConfig parameterizes NewDiskEngine.

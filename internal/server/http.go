@@ -4,14 +4,18 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"net/http/pprof"
 	"sync"
 	"time"
 
+	"btreeperf/internal/core"
 	"btreeperf/internal/metrics"
+	"btreeperf/internal/shape"
 	"btreeperf/internal/table"
+	"btreeperf/internal/workload"
 )
 
 // SaturationRho is the paper's §6 saturation threshold: the rules of
@@ -278,6 +282,10 @@ type metricsJSON struct {
 	RootRhoW   float64 `json:"root_rho_w"`
 	Saturated  bool    `json:"saturated"`
 
+	// OLC latch-free read telemetry; zero under the locking algorithms.
+	ReadRestarts  int64 `json:"read_restarts"`
+	ReadFallbacks int64 `json:"read_fallbacks"`
+
 	Engine        string `json:"engine"` // mem | disk
 	Poisoned      bool   `json:"poisoned"`
 	Recovered     int64  `json:"recovered_ops"`
@@ -339,10 +347,12 @@ type shardMetricsJSON struct {
 	OpMeanUs     float64 `json:"op_mean_us"`
 	OpP50Us      float64 `json:"op_p50_us"`
 	OpP99Us      float64 `json:"op_p99_us"`
-	Splits       int64   `json:"splits"`
-	Restarts     int64   `json:"restarts"`
-	Crossings    int64   `json:"crossings"`
-	RootRhoW     float64 `json:"root_rho_w"`
+	Splits        int64   `json:"splits"`
+	Restarts      int64   `json:"restarts"`
+	Crossings     int64   `json:"crossings"`
+	ReadRestarts  int64   `json:"read_restarts"`
+	ReadFallbacks int64   `json:"read_fallbacks"`
+	RootRhoW      float64 `json:"root_rho_w"`
 	ModelRhoW    float64 `json:"model_rho_w"`
 	Saturated    bool    `json:"saturated"`
 	Poisoned     bool    `json:"poisoned"`
@@ -455,6 +465,12 @@ type levelMetricsJSON struct {
 	RhoW      float64 `json:"rho_w"`
 	ModelRhoW float64 `json:"model_rho_w"`
 	Stable    bool    `json:"model_stable"`
+
+	// OLC latch-free read telemetry for this level over the window.
+	ReadRestarts  int64   `json:"read_restarts"`
+	ReadFallbacks int64   `json:"read_fallbacks"`
+	RestartRate   float64 `json:"restart_rate"`
+	FallbackRate  float64 `json:"fallback_rate"`
 }
 
 func us(sec float64) float64 { return sec * 1e6 }
@@ -476,6 +492,11 @@ func levelJSON(points []metrics.ModelPoint, height int) []levelMetricsJSON {
 			WaitWUs:  us(p.MeanWaitW),
 			WaitWP99: float64(p.WaitHistW.Quantile(0.99)) / 1e3,
 			RhoW:     p.RhoW,
+
+			ReadRestarts:  p.ReadRestarts,
+			ReadFallbacks: p.ReadFallbacks,
+			RestartRate:   p.RestartRate,
+			FallbackRate:  p.FallbackRate,
 		}
 		if p.Evaluated {
 			lj.ModelRhoW = p.Sol.RhoW
@@ -527,6 +548,10 @@ func mergeLevels(scrapes []shardScrape) []levelMetricsJSON {
 				waitR += wgt * us(p.MeanWaitR)
 				waitW += wgt * us(p.MeanWaitW)
 				hist = hist.Add(p.WaitHistW)
+				m.ReadRestarts += p.ReadRestarts
+				m.ReadFallbacks += p.ReadFallbacks
+				m.RestartRate += p.RestartRate
+				m.FallbackRate += p.FallbackRate
 				if p.RhoW > m.RhoW {
 					m.RhoW = p.RhoW
 				}
@@ -573,6 +598,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		scans, scanKeys, seeks              int64
 		lookups, lookupKeys, indexKeys      int64
 		splits, restarts, crossings         int64
+		readRestarts, readFallbacks         int64
 		recovered, appended, synced, oplogB int64
 		fsyncs, checkpoints, ckptLag        int64
 		commitFails, unavail                int64
@@ -610,6 +636,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		splits += sc.es.Splits
 		restarts += sc.es.Restarts
 		crossings += sc.es.Crossings
+		readRestarts += sc.es.ReadRestarts
+		readFallbacks += sc.es.ReadFallbacks
 		recovered += sc.es.Recovered
 		appended += sc.es.Appended
 		synced += sc.es.Synced
@@ -676,6 +704,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		RootRhoW:   math.Max(rhoMeas, rhoModel),
 		Saturated:  saturated,
 
+		ReadRestarts:  readRestarts,
+		ReadFallbacks: readFallbacks,
+
 		Engine:        eng0.Kind(),
 		Poisoned:      poisoned,
 		Recovered:     recovered,
@@ -739,10 +770,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 				OpMeanUs:     sc.win.ObsMeanNs / 1e3,
 				OpP50Us:      float64(sc.win.OpHist.Quantile(0.5)) / 1e3,
 				OpP99Us:      float64(sc.win.OpHist.Quantile(0.99)) / 1e3,
-				Splits:       sc.es.Splits,
-				Restarts:     sc.es.Restarts,
-				Crossings:    sc.es.Crossings,
-				RootRhoW:     sc.rhoMeas,
+				Splits:        sc.es.Splits,
+				Restarts:      sc.es.Restarts,
+				Crossings:     sc.es.Crossings,
+				ReadRestarts:  sc.es.ReadRestarts,
+				ReadFallbacks: sc.es.ReadFallbacks,
+				RootRhoW:      sc.rhoMeas,
 				ModelRhoW:    sc.rhoModel,
 				Saturated:    sc.saturated,
 				Poisoned:     sc.poisoned,
@@ -777,7 +810,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "query scan_pages=%d scan_keys=%d seeks=%d lookup_pages=%d lookup_keys=%d indexed=%v index_keys=%d\n",
 		out.Scans, out.ScanKeys, out.Seeks, out.Lookups, out.LookupKeys, out.Indexed, out.IndexKeys)
 	fmt.Fprintf(w, "op_latency_us mean=%.1f p50=%.1f p99=%.1f\n", out.OpMeanUs, out.OpP50Us, out.OpP99Us)
-	fmt.Fprintf(w, "tree splits=%d restarts=%d crossings=%d\n", out.Splits, out.Restarts, out.Crossings)
+	fmt.Fprintf(w, "tree splits=%d restarts=%d crossings=%d read_restarts=%d read_fallbacks=%d\n",
+		out.Splits, out.Restarts, out.Crossings, out.ReadRestarts, out.ReadFallbacks)
 	fmt.Fprintf(w, "engine kind=%s poisoned=%v recovered=%d oplog_appended=%d oplog_synced=%d oplog_bytes=%d fsyncs=%d checkpoints=%d checkpoint_lag=%d commit_fails=%d unavail=%d ckpt_pause_last_us=%.1f ckpt_pause_max_us=%.1f\n",
 		out.Engine, out.Poisoned, out.Recovered, out.OplogAppended, out.OplogSynced,
 		out.OplogBytes, out.Fsyncs, out.Checkpoints, out.CheckpointLag, out.CommitFails, out.Unavail,
@@ -816,10 +850,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		} else if l.Level == 1 {
 			role = "leaf"
 		}
-		fmt.Fprintf(w, "level=%d role=%s lambda_r=%.0f lambda_w=%.0f mu_r=%.0f mu_w=%.0f hold_r_us=%.2f hold_w_us=%.2f wait_r_us=%.2f wait_w_us=%.2f wait_w_p99_us=%.1f rho_w=%.4f model_rho_w=%.4f stable=%v\n",
+		fmt.Fprintf(w, "level=%d role=%s lambda_r=%.0f lambda_w=%.0f mu_r=%.0f mu_w=%.0f hold_r_us=%.2f hold_w_us=%.2f wait_r_us=%.2f wait_w_us=%.2f wait_w_p99_us=%.1f rho_w=%.4f model_rho_w=%.4f stable=%v",
 			l.Level, role, l.LambdaR, l.LambdaW, l.MuR, l.MuW,
 			l.HoldRUs, l.HoldWUs, l.WaitRUs, l.WaitWUs, l.WaitWP99,
 			l.RhoW, l.ModelRhoW, l.Stable)
+		if out.ReadRestarts > 0 || out.ReadFallbacks > 0 {
+			fmt.Fprintf(w, " read_restarts=%d read_fallbacks=%d restart_rate=%.1f fallback_rate=%.1f",
+				l.ReadRestarts, l.ReadFallbacks, l.RestartRate, l.FallbackRate)
+		}
+		fmt.Fprintln(w)
 	}
 	fmt.Fprintf(w, "governor state=%s rho_w=%.4f threshold=%.2f exit=%.2f transitions=%d shed_overload=%d shed_busy=%d conn_rejects=%d read_timeouts=%d write_timeouts=%d\n",
 		out.Governor, out.GovernorRhoW, out.GovernorRho, out.GovernorExit,
@@ -906,6 +945,7 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 		} else {
 			fmt.Fprintf(w, "root below the λ_{ρ=.5} saturation threshold\n")
 		}
+		s.saturationForecast(w)
 		return
 	}
 
@@ -939,5 +979,59 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "WARNING: SATURATED — every shard's root is past λ_{ρ=.5} (§6, rules of thumb 1–4). Raise node capacity (Optimistic/Link-type) or add shards.\n")
 	} else if saturatedShards > 0 {
 		fmt.Fprintf(w, "WARNING: partial saturation — the hottest shard's root is past λ_{ρ=.5}; the hash router cannot steer keys away from it\n")
+	}
+	s.saturationForecast(w)
+}
+
+// saturationForecast prints the framework's predicted effective maximum
+// arrival rate λ_{ρ=.5} for each analyzable algorithm — NLC, OD, Link and
+// the fourth, OLC — at the live tree's shape and measured operation mix.
+// This is the §6 planning view behind the "raise capacity or shard"
+// advice: it shows what ceiling each protocol choice would buy at this
+// tree size. OLC's ceiling matches Link-type's (its writers are
+// Link-type writers; its readers never occupy a queue), so the line
+// quantifies how far the weaker protocols fall short rather than ranking
+// OLC above Link here — OLC's advantage is response time below the
+// ceiling, visible in the per-level wait columns above.
+func (s *Server) saturationForecast(w io.Writer) {
+	eng := s.shards[0].eng
+	keys := 0
+	var gets, puts, dels int64
+	for _, sh := range s.shards {
+		keys += sh.eng.Len()
+		gets += sh.gets.Load()
+		puts += sh.puts.Load()
+		dels += sh.dels.Load()
+	}
+	tot := gets + puts + dels
+	if tot == 0 || keys <= eng.Cap() {
+		return // no traffic or a root-only tree: nothing to forecast
+	}
+	mix := workload.Mix{
+		QS: float64(gets) / float64(tot),
+		QI: float64(puts) / float64(tot),
+		QD: float64(dels) / float64(tot),
+	}
+	// The shape model describes a tree grown by its workload; it needs a
+	// growing mix. A read-only or shrinking window still gets a forecast,
+	// pinned at the paper's canonical mix.
+	if mix.QI <= mix.QD {
+		mix = workload.PaperMix
+	}
+	shp, err := shape.New(keys, eng.Cap(), mix.QI, mix.QD)
+	if err != nil {
+		return
+	}
+	costs := core.PaperCosts(1)
+	costs.MemLevels = shp.Height // the serving tree is memory-resident
+	m := core.Model{Shape: shp, Costs: costs}
+	fmt.Fprintf(w, "\npredicted λ_{ρ=.5} per algorithm at this tree (%d keys, cap %d, mix qs=%.2f qi=%.2f qd=%.2f; model time units):\n",
+		keys, eng.Cap(), mix.QS, mix.QI, mix.QD)
+	for _, alg := range []core.Algorithm{core.NLC, core.OD, core.Link, core.OLC} {
+		leff, err := core.EffectiveMaxThroughput(alg, m, core.Workload{Mix: mix}, SaturationRho, 1e-3)
+		if err != nil {
+			continue
+		}
+		fmt.Fprintf(w, "  %-4s λ_eff = %s\n", alg, table.F(leff))
 	}
 }

@@ -125,7 +125,7 @@ func (s *session) finishUpdate(p *des.Proc, chain []held) float64 {
 		leaf := chain[len(chain)-1]
 		s.releaseAll(chain[:len(chain)-1])
 		p.Delay(s.cfg.TTrans)
-		s.lockOf(leaf.node).Release(leaf.grant)
+		s.releaseNode(leaf.node, leaf.grant)
 	default:
 		s.releaseAll(chain)
 	}
@@ -134,8 +134,28 @@ func (s *session) finishUpdate(p *des.Proc, chain []held) float64 {
 
 func (s *session) releaseAll(chain []held) {
 	for _, h := range chain {
-		s.lockOf(h.node).Release(h.grant)
+		s.releaseNode(h.node, h.grant)
 	}
+}
+
+// acquireNode and releaseNode are the version-aware lock entry points:
+// under OLC every W critical section bumps the node's version word on
+// the way in and out (odd exactly while held), so latch-free readers
+// can detect overlap. For the other algorithms they are plain lock
+// operations.
+func (s *session) acquireNode(p *des.Proc, n *btree.Node, c des.Class) *des.Grant {
+	g := s.lockOf(n).Acquire(p, c)
+	if s.versioned && c == des.Write {
+		s.ver[n]++
+	}
+	return g
+}
+
+func (s *session) releaseNode(n *btree.Node, g *des.Grant) {
+	if s.versioned && g.Class() == des.Write {
+		s.ver[n]++
+	}
+	s.lockOf(n).Release(g)
 }
 
 // ---------------------------------------------------------------------------
@@ -260,7 +280,7 @@ func (s *session) linkOp(p *des.Proc, op workload.Op, key int64) float64 {
 		return p.Now()
 	}
 
-	g := s.lockOf(n).Acquire(p, des.Write)
+	g := s.acquireNode(p, n, des.Write)
 	s.work(p, s.m())
 	n, g = s.linkMoveRight(p, n, g, key, des.Write)
 
@@ -280,10 +300,10 @@ func (s *session) linkOp(p *des.Proc, op workload.Op, key int64) float64 {
 func (s *session) linkMoveRight(p *des.Proc, n *btree.Node, g *des.Grant, key int64, class des.Class) (*btree.Node, *des.Grant) {
 	for !n.Covers(key) {
 		right := n.Right()
-		s.lockOf(n).Release(g)
+		s.releaseNode(n, g)
 		s.crossings++
 		n = right
-		g = s.lockOf(n).Acquire(p, class)
+		g = s.acquireNode(p, n, class)
 		s.access(p, n.Level())
 	}
 	return n, g
@@ -307,7 +327,7 @@ func (s *session) linkRepairSplits(p *des.Proc, n *btree.Node, g *des.Grant, sta
 			break
 		}
 		level := n.Level() + 1
-		s.lockOf(n).Release(g)
+		s.releaseNode(n, g)
 
 		var parent *btree.Node
 		if len(stack) > 0 {
@@ -318,14 +338,14 @@ func (s *session) linkRepairSplits(p *des.Proc, n *btree.Node, g *des.Grant, sta
 			// level from the current root.
 			parent = s.linkLocate(p, level, sep)
 		}
-		g = s.lockOf(parent).Acquire(p, des.Write)
+		g = s.acquireNode(p, parent, des.Write)
 		s.access(p, level)
 		parent, g = s.linkMoveRight(p, parent, g, sep, des.Write)
 		s.work(p, s.mod(level))
 		parent.AddChild(sep, sib)
 		n = parent
 	}
-	s.lockOf(n).Release(g)
+	s.releaseNode(n, g)
 	return p.Now()
 }
 

@@ -1,0 +1,106 @@
+package sim
+
+import (
+	"testing"
+
+	"btreeperf/internal/core"
+	"btreeperf/internal/workload"
+)
+
+func TestOLCCountsRestartsUnderContention(t *testing.T) {
+	cfg := smallCfg(core.OLC, 0.05)
+	cfg.MaxInFlight = 100000
+	s, err := runForTree(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.readRestarts == 0 {
+		t.Error("contended OLC run observed no read restarts")
+	}
+	if s.readFallbacks > s.readRestarts {
+		t.Errorf("fallbacks %d exceed restarts %d", s.readFallbacks, s.readRestarts)
+	}
+	// Quiescent versions must all be even: every W critical section
+	// bumped on the way in and out.
+	for n, v := range s.ver {
+		if v&1 != 0 {
+			t.Fatalf("level-%d node version %d odd after drain", n.Level(), v)
+		}
+	}
+}
+
+func TestOLCRestartRateMatchesModel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	// The validation claim for the fourth algorithm: the analytical
+	// restart model — first-attempt conflict probabilities from writer
+	// utilization and Poisson overlap, correlated retries from writer
+	// persistence — tracks the simulator's measured restart and
+	// fallback rates. Validation runs in the load range the repo's
+	// response validations use (the simulator's own saturation sits far
+	// below the analytical Link λmax, so higher λ just measures an
+	// overloaded simulator, not the model).
+	m := validationModel(t, 5)
+	prevRestarts := -1.0
+	for _, lambda := range []float64{10, 25} {
+		res, err := core.AnalyzeOLC(m, core.Workload{Lambda: lambda, Mix: workload.PaperMix})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := runPoint(t, core.OLC, lambda)
+		if rep.Unstable {
+			t.Fatalf("OLC unstable at λ=%v", lambda)
+		}
+		var restarts, fallbacks, completed int64
+		for _, r := range rep.Results {
+			restarts += r.ReadRestarts
+			fallbacks += r.ReadFallbacks
+			completed += int64(r.Completed)
+		}
+		perOp := float64(restarts) / float64(completed)
+		fbPerOp := float64(fallbacks) / float64(completed)
+		if perOp <= prevRestarts {
+			t.Errorf("restart rate not increasing: %.4g after %.4g", perOp, prevRestarts)
+		}
+		prevRestarts = perOp
+		if res.RestartsPerOp <= 0 || res.FallbackProb <= 0 {
+			t.Fatalf("model predicts no restarts at λ=%v", lambda)
+		}
+		if ratio := perOp / res.RestartsPerOp; ratio > 2 || ratio < 0.5 {
+			t.Errorf("λ=%v: restarts/op sim %.4g vs model %.4g (ratio %.2f)",
+				lambda, perOp, res.RestartsPerOp, ratio)
+		}
+		if ratio := fbPerOp / res.FallbackProb; ratio > 2 || ratio < 0.5 {
+			t.Errorf("λ=%v: fallbacks/op sim %.4g vs model %.4g (ratio %.2f)",
+				lambda, fbPerOp, res.FallbackProb, ratio)
+		}
+		// Responses: latch-free searches still track the model within
+		// the tolerance the locking algorithms validate at.
+		if e := relErr(rep.RespSearch.Mean, res.RespSearch); e > 0.12 {
+			t.Errorf("λ=%v search: sim %.2f vs model %.2f (rel %.2f)",
+				lambda, rep.RespSearch.Mean, res.RespSearch, e)
+		}
+		if e := relErr(rep.RespInsert.Mean, res.RespInsert); e > 0.15 {
+			t.Errorf("λ=%v insert: sim %.2f vs model %.2f (rel %.2f)",
+				lambda, rep.RespInsert.Mean, res.RespInsert, e)
+		}
+	}
+}
+
+func TestOLCDeterministicAcrossRuns(t *testing.T) {
+	cfg := smallCfg(core.OLC, 0.03)
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ReadRestarts != b.ReadRestarts || a.ReadFallbacks != b.ReadFallbacks ||
+		a.RespSearch.Mean != b.RespSearch.Mean || a.Duration != b.Duration {
+		t.Errorf("OLC runs with identical seed differ: %+v vs %+v",
+			a.ReadRestarts, b.ReadRestarts)
+	}
+}

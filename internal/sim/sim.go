@@ -125,8 +125,11 @@ type Result struct {
 	RootRhoW   float64     // time-average writer presence at the root
 
 	Restarts      int64 // Optimistic Descent second descents
-	LinkCrossings int64 // Link-type right-link follows
+	LinkCrossings int64 // Link-type / OLC right-link follows
 	Splits        int64 // node splits during the concurrent phase
+
+	ReadRestarts  int64 // OLC failed latch-free descents
+	ReadFallbacks int64 // OLC descents that fell back to the locked path
 }
 
 // RespMean returns the mix-weighted mean response time of the run.
@@ -157,6 +160,12 @@ type session struct {
 
 	svc *xrand.Source // service-time draws
 
+	// OLC state: per-node seqlock-style version words (even = stable,
+	// odd = write-locked), bumped around every W critical section when
+	// versioned is set.
+	versioned bool
+	ver       map[*btree.Node]uint64
+
 	respSearch, respInsert, respDelete stats.Welford
 	respHist                           *stats.Histogram
 	respMax                            float64
@@ -166,6 +175,8 @@ type session struct {
 	unstable                           bool
 	restarts                           int64
 	crossings                          int64
+	readRestarts                       int64
+	readFallbacks                      int64
 }
 
 // Run executes one simulation.
@@ -201,6 +212,10 @@ func run(cfg Config) (*Result, *session, error) {
 		locks:     make(map[*btree.Node]*des.RWLock),
 		lockLevel: make(map[*des.RWLock]int),
 		svc:       root.Split(3),
+	}
+	if cfg.Algorithm == core.OLC {
+		s.versioned = true
+		s.ver = make(map[*btree.Node]uint64)
 	}
 	// Unwind any process still parked when the run ends — on a normal
 	// drain there are none, but an early exit (unstable abort, panic)
@@ -269,6 +284,8 @@ func run(cfg Config) (*Result, *session, error) {
 		Splits:     tree.Stats().Splits - splitsBefore,
 
 		LinkCrossings: s.crossings,
+		ReadRestarts:  s.readRestarts,
+		ReadFallbacks: s.readFallbacks,
 		Percentiles: Percentiles{
 			P50: s.respHist.Quantile(0.50),
 			P90: s.respHist.Quantile(0.90),
@@ -335,6 +352,8 @@ func (s *session) runOp(p *des.Proc, op workload.Op, key int64) float64 {
 			return s.twoPhaseSearch(p, key)
 		}
 		return s.twoPhaseUpdate(p, op, key)
+	case core.OLC:
+		return s.olcOp(p, op, key)
 	default:
 		panic(fmt.Sprintf("sim: unknown algorithm %v", s.cfg.Algorithm))
 	}

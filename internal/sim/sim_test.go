@@ -42,7 +42,7 @@ func TestValidate(t *testing.T) {
 }
 
 func TestRunCompletesAndIsConsistent(t *testing.T) {
-	for _, a := range []core.Algorithm{core.NLC, core.OD, core.Link} {
+	for _, a := range []core.Algorithm{core.NLC, core.OD, core.Link, core.OLC} {
 		t.Run(a.String(), func(t *testing.T) {
 			cfg := smallCfg(a, 0.01)
 			res, err := Run(cfg)
@@ -75,7 +75,7 @@ func TestTreeInvariantsSurviveConcurrency(t *testing.T) {
 	// After thousands of concurrent operations under each algorithm, the
 	// tree must still be structurally perfect. (Link-type leaves empty
 	// leaves in place, which merge-at-empty invariants allow.)
-	for _, a := range []core.Algorithm{core.NLC, core.OD, core.Link} {
+	for _, a := range []core.Algorithm{core.NLC, core.OD, core.Link, core.OLC} {
 		t.Run(a.String(), func(t *testing.T) {
 			cfg := smallCfg(a, 0.05) // contended
 			cfg.MaxInFlight = 100000

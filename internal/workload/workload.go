@@ -145,6 +145,17 @@ func (kp *KeyPool) Pick(src *xrand.Source) (k int64, ok bool) {
 	return kp.keys[src.IntN(len(kp.keys))], true
 }
 
+// PickSkewed is Pick with a zipfian index distribution: low pool slots
+// are hot with exponent skew (skew <= 0 degrades to Pick). Swap-remove
+// churns the slot order over time, but the hot set stays small at any
+// instant, which is what a contention knob needs.
+func (kp *KeyPool) PickSkewed(src *xrand.Source, skew float64) (k int64, ok bool) {
+	if len(kp.keys) == 0 {
+		return 0, false
+	}
+	return kp.keys[src.Zipf(len(kp.keys), skew)], true
+}
+
 // Take removes and returns a uniformly random live key.
 func (kp *KeyPool) Take(src *xrand.Source) (k int64, ok bool) {
 	k, ok = kp.Pick(src)
@@ -160,7 +171,16 @@ type Generator struct {
 	pool     *KeyPool
 	src      *xrand.Source
 	keySpace int64
+	skew     float64 // zipfian key skew; 0 = uniform
 }
+
+// SetSkew sets the zipfian key-skew exponent s: searches, deletes, and
+// scans draw their live key zipfian over the pool, inserts draw their
+// new key zipfian over [0, keySpace), so accesses concentrate on a hot
+// set. s = 0 (the default) is the uniform regime the paper analyzes and
+// leaves the generator's draw stream byte-identical to before the knob
+// existed. Call before Split; children inherit the skew.
+func (g *Generator) SetSkew(s float64) { g.skew = s }
 
 // NewGenerator builds a generator over the given live-key pool. Insert
 // keys are uniform over [0, keySpace).
@@ -184,21 +204,34 @@ func (g *Generator) Next() (Op, int64) {
 	u := g.src.Float64()
 	switch {
 	case u < g.mix.QS:
-		if k, ok := g.pool.Pick(g.src); ok {
+		if k, ok := g.pool.PickSkewed(g.src, g.skew); ok {
 			return Search, k
 		}
 	case u < g.mix.QS+g.mix.QD:
-		if k, ok := g.pool.Take(g.src); ok {
+		if k, ok := g.pool.PickSkewed(g.src, g.skew); ok {
+			g.pool.Remove(k)
 			return Delete, k
 		}
 	case u < g.mix.QS+g.mix.QD+g.mix.QR:
-		if k, ok := g.pool.Pick(g.src); ok {
+		if k, ok := g.pool.PickSkewed(g.src, g.skew); ok {
 			return Scan, k
 		}
 	}
-	k := g.src.Int63n(g.keySpace)
+	var k int64
+	if g.skew > 0 {
+		k = int64(g.src.Zipf(int(min64(g.keySpace, 1<<31)), g.skew))
+	} else {
+		k = g.src.Int63n(g.keySpace)
+	}
 	g.pool.Add(k)
 	return Insert, k
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 // Split returns n deterministic, mutually independent generators, so n
@@ -219,6 +252,7 @@ func (g *Generator) Split(n int) []*Generator {
 			pool:     NewKeyPool(),
 			src:      g.src.Split(uint64(i) + 1),
 			keySpace: g.keySpace,
+			skew:     g.skew,
 		}
 	}
 	for j, k := range g.pool.keys {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math"
+	"sort"
 	"testing"
 
 	"btreeperf/internal/xrand"
@@ -264,5 +265,72 @@ func TestScenario(t *testing.T) {
 	}
 	if _, err := Scenario("nope"); err == nil {
 		t.Fatal("unknown scenario accepted")
+	}
+}
+
+// TestSkewZeroIsUniformStream pins the -zipf 0 default to the exact
+// draw stream the generator produced before the skew knob existed: the
+// knob must be invisible when off.
+func TestSkewZeroIsUniformStream(t *testing.T) {
+	pool := NewKeyPool()
+	g, err := NewGenerator(PaperMix, pool, 1<<16, xrand.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.SetSkew(0)
+	h := fnv.New64a()
+	for i := 0; i < 10000; i++ {
+		op, key := g.Next()
+		fmt.Fprintf(h, "%d:%d;", op, key)
+	}
+	const gold = uint64(0xe135c499f781a7db) // TestScanZeroShareIsPaperStream's hash
+	if got := h.Sum64(); got != gold {
+		t.Fatalf("skew-0 stream hash %#x, want %#x", got, gold)
+	}
+}
+
+// TestSkewConcentratesAccesses checks the knob does what the contention
+// experiments need: with s > 0 a small fraction of distinct keys absorbs
+// a large fraction of search traffic, and children inherit the skew
+// through Split.
+func TestSkewConcentratesAccesses(t *testing.T) {
+	run := func(skew float64) (top10Share float64) {
+		pool := NewKeyPool()
+		for k := int64(0); k < 1000; k++ {
+			pool.Add(k * 7)
+		}
+		g, err := NewGenerator(Mix{QS: 1, QI: 0, QD: 0}, pool, 1<<16, xrand.New(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.SetSkew(skew)
+		g = g.Split(2)[0] // skew must survive Split
+		counts := map[int64]int{}
+		const draws = 20000
+		for i := 0; i < draws; i++ {
+			op, key := g.Next()
+			if op != Search {
+				t.Fatalf("pure-search mix drew %v", op)
+			}
+			counts[key]++
+		}
+		best := make([]int, 0, len(counts))
+		for _, c := range counts {
+			best = append(best, c)
+		}
+		sort.Sort(sort.Reverse(sort.IntSlice(best)))
+		top := 0
+		for i := 0; i < 10 && i < len(best); i++ {
+			top += best[i]
+		}
+		return float64(top) / draws
+	}
+	uniform := run(0)
+	skewed := run(1.1)
+	if skewed < 3*uniform {
+		t.Errorf("zipf 1.1 top-10 share %.3f not well above uniform %.3f", skewed, uniform)
+	}
+	if skewed < 0.25 {
+		t.Errorf("zipf 1.1 top-10 keys absorb only %.1f%% of searches", 100*skewed)
 	}
 }

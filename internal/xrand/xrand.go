@@ -149,6 +149,38 @@ func (s *Source) Choose(weights []float64) int {
 // Perm returns a random permutation of [0, n).
 func (s *Source) Perm(n int) []int { return s.rng.Perm(n) }
 
+// Zipf returns an index in [0, n) drawn with probability approximately
+// proportional to 1/(i+1)^skew, by inverting the continuous analogue of
+// the Zipf CDF — one uniform draw, O(1), no table. skew <= 0 is uniform;
+// larger skew concentrates mass on the low indices (skew = 1 is the
+// classic Zipf's law).
+func (s *Source) Zipf(n int, skew float64) int {
+	if n <= 0 {
+		panic(fmt.Sprintf("xrand: Zipf n = %d", n))
+	}
+	if skew <= 0 {
+		return s.rng.IntN(n)
+	}
+	u := s.rng.Float64()
+	var x float64
+	if math.Abs(skew-1) < 1e-9 {
+		// F(x) = ln x / ln(n+1) over [1, n+1).
+		x = math.Exp(u * math.Log(float64(n)+1))
+	} else {
+		// F(x) = (x^(1−s) − 1)/((n+1)^(1−s) − 1) over [1, n+1).
+		e := 1 - skew
+		x = math.Pow(1+u*(math.Pow(float64(n)+1, e)-1), 1/e)
+	}
+	i := int(x) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}
+
 // SelfSimilar returns an index in [0, n) drawn from the self-similar
 // ("80/20") distribution: a (1−hot) fraction of draws lands in the first
 // hot·n indices, recursively at every scale (Gray et al.). hot must be in

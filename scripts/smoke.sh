@@ -1,12 +1,12 @@
 #!/usr/bin/env bash
-# Smoke test for the btserved/btload serving path: for each of the three
+# Smoke test for the btserved/btload serving path: for each of the four
 # concurrency-control algorithms, start a server, push a pipelined burst
 # through it with btload, then scrape /metrics and assert the per-level
 # telemetry saw the traffic (nonzero arrival rate and a populated rho_w
 # column). Exercises the real binaries over loopback TCP, not the test
 # harness.
 #
-#   scripts/smoke.sh            # ~15 s, three server runs
+#   scripts/smoke.sh            # ~20 s, four server runs
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -20,7 +20,7 @@ go build -o "$bin/btquery" ./cmd/btquery
 listen=127.0.0.1:9470
 http=127.0.0.1:9471
 
-for alg in lock-coupling optimistic link-type; do
+for alg in lock-coupling optimistic link-type olc; do
   echo "== $alg =="
   "$bin/btserved" -alg "$alg" -listen "$listen" -http "$http" -prefill 20000 \
     2>"$bin/serv-$alg.log" &
@@ -56,6 +56,11 @@ for alg in lock-coupling optimistic link-type; do
     }'
   echo "$metrics" | grep -E '^saturation ' || {
     echo "FAIL($alg): /metrics has no saturation line" >&2; exit 1; }
+  # The olc engine must export its latch-free read telemetry.
+  if [ "$alg" = olc ]; then
+    echo "$metrics" | grep -E '^tree .*read_restarts=' >/dev/null || {
+      echo "FAIL(olc): /metrics tree line has no read_restarts counter" >&2; exit 1; }
+  fi
   curl -sf "http://$http/debug/model" | grep -q 'qmodel evaluated' || {
     echo "FAIL($alg): /debug/model did not evaluate the model" >&2; exit 1; }
 
@@ -147,4 +152,4 @@ wait "$spid" || { echo "FAIL(sharded): btserved exited nonzero" >&2; exit 1; }
 grep -q drained "$bin/serv-sharded.log" || {
   echo "FAIL(sharded): btserved did not drain cleanly" >&2; exit 1; }
 
-echo "smoke: all three algorithms plus the 4-shard indexed server served point and query traffic, drained, and reported telemetry"
+echo "smoke: all four algorithms plus the 4-shard indexed server served point and query traffic, drained, and reported telemetry"

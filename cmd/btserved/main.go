@@ -84,7 +84,9 @@ func main() {
 		engineName = flag.String("engine", "mem", "storage engine: mem (volatile) or disk (durable, group-committed)")
 		path       = flag.String("path", "", "disk engine data file (required with -engine disk)")
 		fsyncMode  = flag.String("fsync", "batch", "disk engine fsync policy: batch (group commit, one fsync per batch) or op (fsync every mutation)")
-		ckptOps    = flag.Int64("checkpoint-ops", 0, "disk engine: mutations between stop-the-world checkpoints (0 = default 262144, negative disables)")
+		ckptOps    = flag.Int64("checkpoint-ops", 0, "disk engine: mutations of replay debt that trigger a checkpoint (0 = default 262144, negative disables)")
+		ckptMode   = flag.String("checkpoint-mode", "inc", "disk engine checkpoint mode: inc (incremental, concurrent with serving, bounded pause) or stw (stop-the-world baseline)")
+		ckptChunk  = flag.Int("checkpoint-chunk", 4096, "disk engine: keys walked per latched chunk of an incremental checkpoint")
 		cacheNodes = flag.Int("cache-nodes", 0, "disk engine buffer-pool size in nodes (0 = default 4096)")
 
 		indexOn = flag.Bool("index", false, "maintain the secondary value index (enables the lookup op; rebuilt from the primary at startup)")
@@ -131,6 +133,31 @@ func main() {
 			fmt.Fprintf(os.Stderr, "btserved: -fsync %q (want batch or op)\n", *fsyncMode)
 			os.Exit(2)
 		}
+		if *ckptMode != server.CheckpointIncremental && *ckptMode != server.CheckpointSTW {
+			fmt.Fprintf(os.Stderr, "btserved: -checkpoint-mode %q (want %s or %s)\n",
+				*ckptMode, server.CheckpointIncremental, server.CheckpointSTW)
+			os.Exit(2)
+		}
+		if *ckptChunk <= 0 {
+			fmt.Fprintf(os.Stderr, "btserved: -checkpoint-chunk %d (want > 0: an incremental checkpoint must make progress each latched chunk)\n", *ckptChunk)
+			os.Exit(2)
+		}
+		if *cacheNodes < 0 {
+			fmt.Fprintf(os.Stderr, "btserved: -cache-nodes %d (want >= 0)\n", *cacheNodes)
+			os.Exit(2)
+		}
+		// A positive threshold below the batch size would demand a
+		// checkpoint mid-batch, which group commit can never satisfy:
+		// every committed batch would immediately re-cross the threshold.
+		effBatch := int64(*maxBatch)
+		if effBatch <= 0 {
+			effBatch = int64(server.DefaultMaxBatch)
+		}
+		if *ckptOps > 0 && *ckptOps < effBatch {
+			fmt.Fprintf(os.Stderr, "btserved: -checkpoint-ops %d is below the commit batch size %d; every batch would re-cross the threshold (raise -checkpoint-ops or lower -max-batch)\n",
+				*ckptOps, effBatch)
+			os.Exit(2)
+		}
 		for i := 0; i < *shards; i++ {
 			p := *path
 			if *shards > 1 {
@@ -142,11 +169,13 @@ func main() {
 				p = filepath.Join(dir, "tree.db")
 			}
 			diskEng, err := server.NewDiskEngine(server.DiskEngineConfig{
-				Path:          p,
-				Cap:           *capacity,
-				CacheNodes:    *cacheNodes,
-				SyncEveryOp:   *fsyncMode == "op",
-				CheckpointOps: *ckptOps,
+				Path:            p,
+				Cap:             *capacity,
+				CacheNodes:      *cacheNodes,
+				SyncEveryOp:     *fsyncMode == "op",
+				CheckpointOps:   *ckptOps,
+				CheckpointMode:  *ckptMode,
+				CheckpointChunk: *ckptChunk,
 			})
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "btserved:", err)

@@ -53,6 +53,14 @@ func (c CacheStats) HitRatio() float64 {
 	return float64(c.Hits) / float64(total)
 }
 
+// resetStats zeroes the access counters so stats measure the workload,
+// not Open's recovery replay and bootstrap checkpoint walk.
+func (c *cache) resetStats() {
+	c.mu.Lock()
+	c.hits, c.misses, c.evictions = 0, 0, 0
+	c.mu.Unlock()
+}
+
 func newCache(store *pagestore.Store, capacity int) *cache {
 	if capacity < 4 {
 		capacity = 4

@@ -1,0 +1,419 @@
+package diskbtree
+
+// Incremental concurrent checkpointing. A checkpoint walks the live tree
+// in bounded key chunks — short shared latches on the leaf chain, fully
+// concurrent with readers and writers — and streams the keys into a
+// fresh, compact pagestore image built bottom-up in a sidecar file
+// (path + ".ckpt.tmp"). When the walk finishes, the image is fsync'd and
+// atomically installed: journal.Rotate renames it over path + ".ckpt"
+// and rebases the oplog to the walk's start sequence S inside one
+// bounded blocking window. Recovery then is: copy the image over the
+// live file and replay the oplog suffix > S.
+//
+// Why the fuzzy walk is correct (ARIES-style): S is the oplog head when
+// the walk begins, and every tree mutation strictly precedes its oplog
+// append — so every operation with sequence ≤ S is fully visible to the
+// walk. Operations racing with the walk (sequence > S) may or may not be
+// captured, but all of them stay in the rotated oplog and replay
+// idempotently (insert/delete have set semantics), in log order, on top
+// of the image. Keys never move left in a Lehman–Yao tree (splits move
+// them right, there is no merging), so a strictly increasing key cursor
+// sees every persistent key exactly once and the streamed keys arrive in
+// strictly ascending order — exactly what the bottom-up builder needs.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"btreeperf/internal/pagestore"
+)
+
+const (
+	// ImageSuffix is appended to the tree path to name the installed
+	// checkpoint image; ImageTmpSuffix names the in-progress build.
+	ImageSuffix    = ".ckpt"
+	ImageTmpSuffix = ".ckpt.tmp"
+
+	// syncChunkKeys is the walk chunk used by synchronous full
+	// checkpoints (Sync, Close, recovery bootstrap).
+	syncChunkKeys = 8192
+
+	// imageFillNum/imageFillDen give the leaf/internal fill factor of a
+	// built image (3/4 leaves room for post-recovery inserts without an
+	// immediate split wave).
+	imageFillNum, imageFillDen = 3, 4
+)
+
+// pendingNode is a node of the image still accepting entries: its page
+// id is pre-allocated so the previous node of the level can point its
+// right link here before being written.
+type pendingNode struct {
+	n   *dnode
+	id  pagestore.PageID
+	min int64
+}
+
+// imageBuilder streams strictly ascending key/value pairs into a compact
+// bottom-up B⁺-tree inside a fresh pagestore. levels[0] is the leaf
+// level; a node is written out the moment its successor on the level
+// materializes (resolving its right link and high key), so memory use is
+// one pending node per level.
+type imageBuilder struct {
+	store  *pagestore.Store
+	cap    int
+	per    int
+	levels []*pendingNode
+	count  int64
+}
+
+func newImageBuilder(path string, fs pagestore.FS, cap int) (*imageBuilder, error) {
+	pagestore.RemoveFile(fs, path) // debris from an interrupted build
+	st, err := pagestore.OpenFS(path, fs)
+	if err != nil {
+		return nil, err
+	}
+	per := cap * imageFillNum / imageFillDen
+	if per < 2 {
+		per = 2
+	}
+	return &imageBuilder{store: st, cap: cap, per: per}, nil
+}
+
+func (b *imageBuilder) newPending(level int, min int64) (*pendingNode, error) {
+	id, err := b.store.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	return &pendingNode{n: &dnode{level: level}, id: id, min: min}, nil
+}
+
+// add appends the next key of the ascending stream.
+func (b *imageBuilder) add(key int64, val uint64) error {
+	if len(b.levels) == 0 {
+		p, err := b.newPending(1, key)
+		if err != nil {
+			return err
+		}
+		b.levels = append(b.levels, p)
+	}
+	p := b.levels[0]
+	if len(p.n.keys) >= b.per {
+		var err error
+		if p, err = b.seal(0, key); err != nil {
+			return err
+		}
+	}
+	p.n.keys = append(p.n.keys, key)
+	p.n.vals = append(p.n.vals, val)
+	b.count++
+	return nil
+}
+
+// seal writes out the pending node at level index lvl — right link to a
+// freshly allocated successor, high key = the successor's minimum — and
+// promotes its (id, min) into the parent level. It returns the new
+// pending successor.
+func (b *imageBuilder) seal(lvl int, nextMin int64) (*pendingNode, error) {
+	p := b.levels[lvl]
+	np, err := b.newPending(p.n.level, nextMin)
+	if err != nil {
+		return nil, err
+	}
+	p.n.right = np.id
+	p.n.high, p.n.hasHigh = nextMin, true
+	if err := b.store.Write(p.id, p.n.encode()); err != nil {
+		return nil, err
+	}
+	if err := b.promote(lvl+1, p.id, p.min); err != nil {
+		return nil, err
+	}
+	b.levels[lvl] = np
+	return np, nil
+}
+
+// promote registers a finished child in the pending parent at level
+// index lvl, creating or sealing the parent as needed.
+func (b *imageBuilder) promote(lvl int, childID pagestore.PageID, childMin int64) error {
+	if lvl == len(b.levels) {
+		p, err := b.newPending(lvl+1, childMin)
+		if err != nil {
+			return err
+		}
+		b.levels = append(b.levels, p)
+	}
+	p := b.levels[lvl]
+	if len(p.n.children) >= b.per {
+		var err error
+		if p, err = b.seal(lvl, childMin); err != nil {
+			return err
+		}
+	}
+	if len(p.n.children) > 0 {
+		p.n.keys = append(p.n.keys, childMin)
+	}
+	p.n.children = append(p.n.children, childID)
+	return nil
+}
+
+// finish flushes the pending spine bottom-up (each pending node is the
+// rightmost of its level: right link 0, infinite high key), stamps the
+// meta page (root, key count, capacity, and the checkpoint sequence) and
+// fsyncs the image. The caller still owns the store and must close it.
+func (b *imageBuilder) finish(seq int64) error {
+	var root pagestore.PageID
+	if len(b.levels) == 0 {
+		// Empty tree: a lone empty leaf root, like a fresh Open.
+		id, err := b.store.Allocate()
+		if err != nil {
+			return err
+		}
+		if err := b.store.Write(id, (&dnode{level: 1}).encode()); err != nil {
+			return err
+		}
+		root = id
+	} else {
+		for lvl := 0; ; lvl++ {
+			p := b.levels[lvl]
+			if err := b.store.Write(p.id, p.n.encode()); err != nil {
+				return err
+			}
+			if lvl == len(b.levels)-1 {
+				root = p.id
+				break
+			}
+			// May seal a full parent and grow the spine; the loop bound
+			// is re-read each iteration.
+			if err := b.promote(lvl+1, p.id, p.min); err != nil {
+				return err
+			}
+		}
+	}
+	var ud [64]byte
+	binary.LittleEndian.PutUint64(ud[0:8], uint64(b.count))
+	binary.LittleEndian.PutUint64(ud[8:16], uint64(b.cap))
+	binary.LittleEndian.PutUint64(ud[16:24], uint64(seq))
+	if err := b.store.SetUserData(ud); err != nil {
+		return err
+	}
+	if err := b.store.SetRoot(root); err != nil {
+		return err
+	}
+	return b.store.Sync()
+}
+
+// Checkpoint is one incremental checkpoint in progress. The intended
+// sequence is Begin → Step until done → Finalize → Install; Abort at any
+// point discards the build. A single goroutine drives a Checkpoint, but
+// Steps run fully concurrently with tree readers and writers.
+type Checkpoint struct {
+	t         *Tree
+	seq       int64 // oplog head when the walk began
+	b         *imageBuilder
+	cursor    int64
+	done      bool
+	finalized bool
+	closed    bool
+
+	keysWalked int64
+}
+
+// BeginCheckpoint starts an incremental checkpoint of a durable tree:
+// it captures the current oplog head S and opens the sidecar image
+// build. Every operation sequenced ≤ S is guaranteed into the image;
+// later ones stay in the rotated oplog.
+func (t *Tree) BeginCheckpoint() (*Checkpoint, error) {
+	if err := t.Poisoned(); err != nil {
+		return nil, err
+	}
+	if t.jnl == nil {
+		return nil, fmt.Errorf("diskbtree: checkpoint of a non-durable tree")
+	}
+	b, err := newImageBuilder(t.path+ImageTmpSuffix, t.fs, t.cap)
+	if err != nil {
+		return nil, t.poison(err)
+	}
+	return &Checkpoint{t: t, seq: t.jnl.SeqAppended(), b: b, cursor: math.MinInt64}, nil
+}
+
+// Seq returns the oplog sequence this checkpoint covers.
+func (c *Checkpoint) Seq() int64 { return c.seq }
+
+// KeysWalked returns the number of keys streamed into the image so far —
+// the checkpoint's progress indicator against Tree.Len().
+func (c *Checkpoint) KeysWalked() int64 { return c.keysWalked }
+
+// fail poisons the tree and its journal fail-stop: a checkpoint that
+// cannot reach disk (ENOSPC, I/O error) leaves durability unprovable, so
+// nothing may be acknowledged afterwards.
+func (c *Checkpoint) fail(err error) error {
+	c.t.jnl.Poison(err)
+	return c.t.poison(err)
+}
+
+// Step walks one bounded chunk of the live tree — at least maxKeys keys,
+// rounded up to the containing leaf — holding only short shared latches
+// on the leaf chain, and streams it into the image. It reports whether
+// the walk has reached the right edge of the tree.
+func (c *Checkpoint) Step(maxKeys int) (bool, error) {
+	t := c.t
+	if c.done || c.closed {
+		return true, nil
+	}
+	if err := t.Poisoned(); err != nil {
+		return false, err
+	}
+	if maxKeys < 1 {
+		maxKeys = 1
+	}
+	keys := make([]int64, 0, maxKeys)
+	vals := make([]uint64, 0, maxKeys)
+
+	id, _, err := t.descend(c.cursor, false)
+	if err != nil {
+		return false, t.poison(err)
+	}
+	f, err := t.rLatch(id)
+	if err != nil {
+		return false, t.poison(err)
+	}
+	f, err = t.moveRightR(f, c.cursor)
+	if err != nil {
+		return false, t.poison(err)
+	}
+	for {
+		for i, k := range f.n.keys {
+			if k < c.cursor {
+				continue // collected by an earlier chunk
+			}
+			keys = append(keys, k)
+			vals = append(vals, f.n.vals[i])
+		}
+		if f.n.right == 0 {
+			c.done = true
+			t.rUnlatch(f)
+			break
+		}
+		if len(keys) >= maxKeys {
+			// Resume at the right sibling's lower bound: keys never move
+			// left, so everything < high is behind us for good.
+			c.cursor = f.n.high
+			t.rUnlatch(f)
+			break
+		}
+		nf, err := t.rLatch(f.n.right)
+		if err != nil {
+			t.rUnlatch(f)
+			return false, t.poison(err)
+		}
+		t.rUnlatch(f)
+		f = nf
+	}
+
+	// Feed the builder outside the latches: image I/O must not extend the
+	// window in which writers to the chunk's last leaf are blocked.
+	for i, k := range keys {
+		if err := c.b.add(k, vals[i]); err != nil {
+			return false, c.fail(fmt.Errorf("diskbtree: checkpoint image write: %w", err))
+		}
+	}
+	c.keysWalked += int64(len(keys))
+	return c.done, nil
+}
+
+// Finalize completes the image after the walk is done: flushes the
+// builder's spine, stamps the meta page with S, fsyncs and closes the
+// sidecar file. No tree latches are taken.
+func (c *Checkpoint) Finalize() error {
+	if c.closed {
+		return fmt.Errorf("diskbtree: checkpoint already closed")
+	}
+	if !c.done {
+		return fmt.Errorf("diskbtree: checkpoint walk not finished")
+	}
+	if c.finalized {
+		return nil
+	}
+	if err := c.b.finish(c.seq); err != nil {
+		return c.fail(fmt.Errorf("diskbtree: checkpoint finalize: %w", err))
+	}
+	if err := c.b.store.Close(); err != nil {
+		return c.fail(fmt.Errorf("diskbtree: checkpoint finalize: %w", err))
+	}
+	c.finalized = true
+	return nil
+}
+
+// Install atomically commits the finalized image: journal.Rotate renames
+// it over path+".ckpt" (the commit point) and rebases the oplog to S
+// inside one bounded blocking window — the only pause the checkpoint
+// imposes, independent of tree size. It returns that pause in
+// nanoseconds.
+func (c *Checkpoint) Install() (pauseNs int64, err error) {
+	t := c.t
+	if c.closed {
+		return 0, fmt.Errorf("diskbtree: checkpoint already closed")
+	}
+	if !c.finalized {
+		return 0, fmt.Errorf("diskbtree: checkpoint not finalized")
+	}
+	pauseNs, err = t.jnl.Rotate(c.seq, func() error {
+		return t.fs.Rename(t.path+ImageTmpSuffix, t.path+ImageSuffix)
+	})
+	if err != nil {
+		return 0, t.poison(err)
+	}
+	c.closed = true
+	t.ckptSeq.Store(c.seq)
+	t.checkpoints.Add(1)
+	return pauseNs, nil
+}
+
+// Abort discards an unfinished or failed checkpoint, deleting the
+// sidecar build. Safe to call at any point, including after Install
+// (where it is a no-op).
+func (c *Checkpoint) Abort() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	if !c.finalized {
+		c.b.store.Close()
+	}
+	pagestore.RemoveFile(c.t.fs, c.t.path+ImageTmpSuffix)
+}
+
+// CheckpointNow builds and installs a full checkpoint synchronously,
+// walking the tree in syncChunkKeys-sized chunks. Unlike the old
+// stop-the-world checkpoint it is safe to run concurrently with readers
+// and writers; only Install's bounded window blocks appends. It returns
+// the install pause in nanoseconds.
+func (t *Tree) CheckpointNow() (pauseNs int64, err error) {
+	c, err := t.BeginCheckpoint()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		done, err := c.Step(syncChunkKeys)
+		if err != nil {
+			c.Abort()
+			return 0, err
+		}
+		if done {
+			break
+		}
+	}
+	if err := c.Finalize(); err != nil {
+		c.Abort()
+		return 0, err
+	}
+	return c.Install()
+}
+
+// CheckpointSeq returns the sequence of the last installed checkpoint
+// image; SeqAppended − CheckpointSeq is the replay debt a crash would
+// incur (the "mutations behind" telemetry).
+func (t *Tree) CheckpointSeq() int64 { return t.ckptSeq.Load() }
+
+// Checkpoints returns the number of images installed since Open.
+func (t *Tree) Checkpoints() int64 { return t.checkpoints.Load() }

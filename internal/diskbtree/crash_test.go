@@ -10,15 +10,16 @@ import (
 	"btreeperf/internal/xrand"
 )
 
-// copyCrashState simulates a crash: it copies the data file, journal and
-// oplog while the tree object still holds dirty pages in its buffer pool
-// (those are "lost" — exactly what a crash does to an OS page cache that
-// was never flushed; evicted pages HAVE reached the file, giving the mixed
-// on-disk state the journal must untangle).
+// copyCrashState simulates a crash: it copies the data file, checkpoint
+// image and oplog while the tree object still holds dirty pages in its
+// buffer pool (those are "lost" — exactly what a crash does to an OS page
+// cache that was never flushed; evicted pages HAVE reached the file, but
+// recovery never trusts the live file anyway — it restores from the
+// image and replays the oplog suffix).
 func copyCrashState(t *testing.T, path, dstDir string) string {
 	t.Helper()
 	dst := filepath.Join(dstDir, "crashed.db")
-	for _, suffix := range []string{"", ".journal", ".oplog"} {
+	for _, suffix := range []string{"", ".oplog", ImageSuffix, ImageTmpSuffix} {
 		src, err := os.Open(path + suffix)
 		if os.IsNotExist(err) {
 			continue

@@ -107,6 +107,14 @@ func TestCrashSweepAckedDurability(t *testing.T) {
 				return
 			}
 			acked = append(acked, k)
+			// A full checkpoint mid-workload puts every syscall of the
+			// image build, install rename, and oplog rotation into the
+			// sweep's crash range.
+			if i == 12 {
+				if err := tr.Sync(); err != nil {
+					return
+				}
+			}
 		}
 		return
 	}
@@ -161,6 +169,118 @@ func TestCrashSweepAckedDurability(t *testing.T) {
 		rec.Close()
 	}
 	t.Logf("swept %d crash points", total)
+}
+
+// TestCrashSweepMidCheckpoint interleaves an incremental checkpoint's
+// chunk walk with acked inserts and crashes at every syscall of the
+// combined trace, so the kill lands inside image-page writes, the image
+// fsync and rename, and the oplog rotation — with concurrent appends in
+// flight. Every op acked before the crash must survive recovery,
+// whichever image (old or newly installed) recovery starts from.
+func TestCrashSweepMidCheckpoint(t *testing.T) {
+	opts := func(fs pagestore.FS) Options {
+		return Options{Cap: 5, CacheNodes: 8, Durable: true, FS: fs}
+	}
+	base := filepath.Join(t.TempDir(), "tree.db")
+	bt, err := Open(base, opts(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 40; i++ {
+		if _, err := bt.Insert(i, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bt.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	workload := func(tr *Tree) (acked []int64) {
+		ck, _ := tr.BeginCheckpoint()
+		step := func() {
+			if ck == nil {
+				return
+			}
+			done, err := ck.Step(4)
+			if err != nil || !done {
+				if err != nil {
+					ck.Abort()
+					ck = nil
+				}
+				return
+			}
+			if err := ck.Finalize(); err != nil {
+				ck.Abort()
+				ck = nil
+				return
+			}
+			if _, err := ck.Install(); err != nil {
+				ck.Abort()
+			}
+			ck = nil
+		}
+		for i := int64(0); i < 20; i++ {
+			k := 1000 + i*3
+			if _, err := tr.Insert(k, uint64(k)*7); err != nil {
+				return
+			}
+			if err := tr.Commit(); err != nil {
+				return
+			}
+			acked = append(acked, k)
+			step()
+		}
+		for ck != nil {
+			step()
+		}
+		return
+	}
+
+	probe := pagestore.NewFailFS(nil, pagestore.FailPlan{})
+	ppath := copyCrashState(t, base, t.TempDir())
+	ptr, err := Open(ppath, opts(probe))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(workload(ptr)); got != 20 {
+		t.Fatalf("probe acked %d/20 ops", got)
+	}
+	ptr.Close()
+	total := probe.Ops()
+
+	for n := int64(1); n <= total; n++ {
+		path := copyCrashState(t, base, t.TempDir())
+		fs := pagestore.NewFailFS(nil, pagestore.FailPlan{CrashAt: n})
+		var acked []int64
+		if tr, err := Open(path, opts(fs)); err == nil {
+			acked = workload(tr)
+			tr.Close()
+		}
+		if !fs.Crashed() {
+			t.Fatalf("crash point %d/%d never fired", n, total)
+		}
+		rec, err := Open(path, opts(nil))
+		if err != nil {
+			t.Fatalf("crash at syscall %d: reopen failed: %v", n, err)
+		}
+		if err := rec.CheckInvariants(); err != nil {
+			t.Fatalf("crash at syscall %d: recovered tree corrupt: %v", n, err)
+		}
+		for i := int64(0); i < 40; i++ {
+			v, ok, err := rec.Search(i)
+			if err != nil || !ok || v != uint64(i) {
+				t.Fatalf("crash at syscall %d: base key %d = %d,%v,%v", n, i, v, ok, err)
+			}
+		}
+		for _, k := range acked {
+			v, ok, err := rec.Search(k)
+			if err != nil || !ok || v != uint64(k)*7 {
+				t.Fatalf("crash at syscall %d: acked key %d lost (= %d,%v,%v)", n, k, v, ok, err)
+			}
+		}
+		rec.Close()
+	}
+	t.Logf("swept %d mid-checkpoint crash points", total)
 }
 
 // TestTornOplogTailSweep truncates the oplog at every byte offset — not

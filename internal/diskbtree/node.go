@@ -12,12 +12,14 @@
 // recover from concurrent splits through right links, exactly as in
 // internal/cbtree.
 //
-// Durability: all dirty pages reach the file on Sync or Close, and the
-// root pointer and key count persist in the store's meta page. The tree
-// is NOT crash-atomic — there is no write-ahead log, so a crash between
-// the page writes of a split can lose recent updates (a clean Close is
-// required). Restructuring is lazy merge-at-empty, as everywhere in this
-// repository.
+// Durability: a non-durable tree flushes dirty pages on Sync/Close and
+// is NOT crash-atomic (a clean Close is required). With Options.Durable
+// the tree follows the checkpoint-image model: every mutation is logged
+// to an oplog, Sync installs an atomically renamed image of the whole
+// tree (built incrementally, concurrent with serving — see
+// BeginCheckpoint in checkpoint.go), and crash recovery restores the
+// image and replays the oplog suffix. Restructuring is lazy
+// merge-at-empty, as everywhere in this repository.
 package diskbtree
 
 import (

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"os"
 	"sync/atomic"
 
 	"btreeperf/internal/journal"
@@ -24,6 +25,8 @@ type Tree struct {
 	store *pagestore.Store
 	cache *cache
 	cap   int
+	path  string
+	fs    pagestore.FS  // never nil (OSFS by default)
 	root  atomic.Uint64 // pagestore.PageID of the root
 	size  atomic.Int64
 
@@ -32,9 +35,11 @@ type Tree struct {
 
 	fail atomic.Pointer[treeFault] // sticky first storage failure
 
-	splits    atomic.Int64
-	crossings atomic.Int64
-	recovered atomic.Int64 // operations replayed at the last Open
+	splits      atomic.Int64
+	crossings   atomic.Int64
+	recovered   atomic.Int64 // operations replayed at the last Open
+	ckptSeq     atomic.Int64 // sequence of the last installed checkpoint image
+	checkpoints atomic.Int64 // images installed since Open
 }
 
 type treeFault struct{ err error }
@@ -64,10 +69,12 @@ type Options struct {
 	Cap int
 	// CacheNodes is the buffer-pool capacity in nodes. Default 1024.
 	CacheNodes int
-	// Durable enables crash recovery: a rollback journal (page pre-images
-	// under the write-ahead rule) plus a logical oplog, both reset at each
-	// Sync. Opening a durable tree after a crash rewinds to the last Sync
-	// and replays the logged operations.
+	// Durable enables crash recovery under the checkpoint-image model:
+	// the tree's durable state is an atomically installed image file
+	// (path + ".ckpt") plus a logical oplog of the operations since the
+	// image's sequence. Opening a durable tree after a crash copies the
+	// image over the (scratch) live file and replays the oplog suffix.
+	// Checkpoints are incremental and concurrent — see BeginCheckpoint.
 	Durable bool
 	// SyncOps, with Durable, fsyncs the oplog on every Insert/Delete so
 	// each acknowledged operation survives a crash (slower). Without it,
@@ -89,71 +96,113 @@ func Open(path string, opts Options) (*Tree, error) {
 	if opts.CacheNodes == 0 {
 		opts.CacheNodes = 1024
 	}
+	fs := opts.FS
+	if fs == nil {
+		fs = pagestore.OSFS
+	}
+	if opts.Durable {
+		return openDurable(path, opts, fs)
+	}
 	store, err := pagestore.OpenFS(path, opts.FS)
 	if err != nil {
 		return nil, err
 	}
-	t := &Tree{store: store, cache: newCache(store, opts.CacheNodes), cap: opts.Cap}
-
+	t := &Tree{store: store, cache: newCache(store, opts.CacheNodes), cap: opts.Cap, path: path, fs: fs}
 	if store.Root() == 0 {
-		// Fresh tree: write an empty leaf root.
-		f, err := t.cache.create(&dnode{level: 1})
-		if err != nil {
+		if err := t.initEmpty(); err != nil {
 			store.Close()
 			return nil, err
-		}
-		t.cache.put(f, true)
-		t.root.Store(uint64(f.id))
-		if err := t.persistMeta(); err != nil {
-			store.Close()
-			return nil, err
-		}
-		if opts.Durable {
-			if err := t.attachJournal(path, opts.SyncOps, opts.FS); err != nil {
-				store.Close()
-				return nil, err
-			}
 		}
 		return t, nil
 	}
-
-	t.root.Store(uint64(store.Root()))
-	ud := store.UserData()
-	t.size.Store(int64(binary.LittleEndian.Uint64(ud[:8])))
-	storedCap := int(binary.LittleEndian.Uint64(ud[8:16]))
-	if storedCap != 0 && storedCap != opts.Cap {
+	if err := t.loadMeta(); err != nil {
 		store.Close()
-		return nil, fmt.Errorf("diskbtree: store was created with capacity %d, not %d", storedCap, opts.Cap)
-	}
-	if opts.Durable {
-		if err := t.attachJournal(path, opts.SyncOps, opts.FS); err != nil {
-			store.Close()
-			return nil, err
-		}
+		return nil, err
 	}
 	return t, nil
 }
 
-// attachJournal opens the journal, recovers a prior epoch if one exists,
-// and installs the write guard.
+// openDurable restores a durable tree under the checkpoint-image model:
+// the installed image (path + ".ckpt") is the recovery source — the live
+// file is scratch and is overwritten by a copy of it — and the oplog
+// suffix past the image's sequence is replayed on top. With no image yet
+// (first open, or a crash before the bootstrap install) the live file is
+// discarded and the whole oplog replays over an empty tree. Either way
+// Open finishes by installing a fresh image at the replayed head, so the
+// image-exists invariant holds from here on.
+func openDurable(path string, opts Options, fs pagestore.FS) (*Tree, error) {
+	pagestore.RemoveFile(fs, path+ImageTmpSuffix) // interrupted build debris
+
+	haveImage := true
+	if err := pagestore.CloneFile(fs, path+ImageSuffix, path); err != nil {
+		if !errors.Is(err, os.ErrNotExist) {
+			return nil, fmt.Errorf("diskbtree: restore checkpoint image: %w", err)
+		}
+		haveImage = false
+		pagestore.RemoveFile(fs, path) // live file is scratch; start clean
+	}
+	store, err := pagestore.OpenFS(path, opts.FS)
+	if err != nil {
+		return nil, err
+	}
+	t := &Tree{store: store, cache: newCache(store, opts.CacheNodes), cap: opts.Cap, path: path, fs: fs}
+	if haveImage {
+		err = t.loadMeta()
+	} else {
+		err = t.initEmpty()
+	}
+	if err == nil {
+		err = t.attachJournal(path, opts.SyncOps, opts.FS)
+	}
+	if err != nil {
+		if t.jnl != nil {
+			t.jnl.Close()
+		}
+		store.Close()
+		return nil, err
+	}
+	t.cache.resetStats() // recovery replay + bootstrap image are not workload
+	return t, nil
+}
+
+// initEmpty writes an empty leaf root into a fresh store.
+func (t *Tree) initEmpty() error {
+	f, err := t.cache.create(&dnode{level: 1})
+	if err != nil {
+		return err
+	}
+	t.cache.put(f, true)
+	t.root.Store(uint64(f.id))
+	return t.persistMeta()
+}
+
+// loadMeta restores root, size, and checkpoint sequence from the store's
+// meta page, validating the persisted capacity.
+func (t *Tree) loadMeta() error {
+	t.root.Store(uint64(t.store.Root()))
+	ud := t.store.UserData()
+	t.size.Store(int64(binary.LittleEndian.Uint64(ud[:8])))
+	storedCap := int(binary.LittleEndian.Uint64(ud[8:16]))
+	if storedCap != 0 && storedCap != t.cap {
+		return fmt.Errorf("diskbtree: store was created with capacity %d, not %d", storedCap, t.cap)
+	}
+	t.ckptSeq.Store(int64(binary.LittleEndian.Uint64(ud[16:24])))
+	return nil
+}
+
+// attachJournal opens the oplog, aligns it with the recovered image
+// (rebasing it if a crash interrupted a rotation), replays the suffix,
+// and installs a fresh image at the replayed head.
 func (t *Tree) attachJournal(path string, syncOps bool, fs pagestore.FS) error {
-	j, err := journal.OpenFS(path, t.store, syncOps, fs)
+	j, err := journal.OpenFS(path, syncOps, fs)
 	if err != nil {
 		return err
 	}
 	t.jnl = j
-	ops, err := j.Recover()
+	ops, err := j.Recover(t.ckptSeq.Load())
 	if err != nil {
 		return err
 	}
-	// The store may have been rewound: reload the root and size.
-	t.root.Store(uint64(t.store.Root()))
-	ud := t.store.UserData()
-	t.size.Store(int64(binary.LittleEndian.Uint64(ud[:8])))
-
-	// Guard page writes from here on, so a crash during replay rewinds to
-	// the same checkpoint and replays again (both steps are idempotent).
-	t.store.SetWriteGuard(j.Guard)
 
 	// Replay the logged operations (idempotent set semantics).
 	t.replaying = true
@@ -173,28 +222,35 @@ func (t *Tree) attachJournal(path string, syncOps bool, fs pagestore.FS) error {
 	t.replaying = false
 	t.recovered.Store(int64(len(ops)))
 
-	// Open a clean epoch.
-	return t.Sync()
+	// Bootstrap/refresh the image at the replayed head: recovery is
+	// idempotent (a crash here reruns the same replay) and the oplog
+	// shrinks back to empty.
+	_, err = t.CheckpointNow()
+	return err
 }
 
 // Recovered returns the number of operations replayed by the last Open
 // (always zero after a clean shutdown).
 func (t *Tree) Recovered() int { return int(t.recovered.Load()) }
 
-// persistMeta records the root, size and capacity in the store's meta page.
+// persistMeta records the root, size, capacity and checkpoint sequence
+// in the store's meta page.
 func (t *Tree) persistMeta() error {
 	var ud [64]byte
 	binary.LittleEndian.PutUint64(ud[:8], uint64(t.size.Load()))
 	binary.LittleEndian.PutUint64(ud[8:16], uint64(t.cap))
+	binary.LittleEndian.PutUint64(ud[16:24], uint64(t.ckptSeq.Load()))
 	if err := t.store.SetUserData(ud); err != nil {
 		return err
 	}
 	return t.store.SetRoot(pagestore.PageID(t.root.Load()))
 }
 
-// Sync flushes all dirty nodes and the meta page to the file; with a
-// durable tree it then checkpoints the journal, opening a fresh epoch.
-// The tree must be quiescent. A storage failure poisons the tree.
+// Sync makes the whole tree durable. On a durable tree it builds and
+// installs a full checkpoint image (safe concurrently with readers and
+// writers; only the bounded install window blocks appends). On a
+// non-durable tree it flushes all dirty nodes and the meta page — the
+// tree must then be quiescent. A storage failure poisons the tree.
 func (t *Tree) Sync() error {
 	if err := t.Poisoned(); err != nil {
 		return err
@@ -203,19 +259,17 @@ func (t *Tree) Sync() error {
 }
 
 func (t *Tree) sync() error {
+	if t.jnl != nil {
+		_, err := t.CheckpointNow()
+		return err
+	}
 	if err := t.cache.flush(); err != nil {
 		return err
 	}
 	if err := t.persistMeta(); err != nil {
 		return err
 	}
-	if err := t.store.Sync(); err != nil {
-		return err
-	}
-	if t.jnl != nil {
-		return t.jnl.Checkpoint()
-	}
-	return nil
+	return t.store.Sync()
 }
 
 // Commit makes every operation applied before the call durable without

@@ -9,27 +9,23 @@ import (
 	"btreeperf/internal/pagestore"
 )
 
-func openStoreAndJournal(t *testing.T, fs pagestore.FS) (*pagestore.Store, *Journal) {
+func openFailJournal(t *testing.T, fs pagestore.FS) *Journal {
 	t.Helper()
 	dir := t.TempDir()
 	path := filepath.Join(dir, "s.db")
-	st, err := pagestore.OpenFS(path, fs)
+	j, err := OpenFS(path, false, fs)
 	if err != nil {
 		t.Fatal(err)
 	}
-	j, err := OpenFS(path, st, false, fs)
-	if err != nil {
+	t.Cleanup(func() { j.Close() })
+	if _, err := j.Recover(0); err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { j.Close(); st.Close() })
-	if _, err := j.Recover(); err != nil {
-		t.Fatal(err)
-	}
-	return st, j
+	return j
 }
 
 func TestCommitCoversAppendedRecords(t *testing.T) {
-	_, j := openStoreAndJournal(t, nil)
+	j := openFailJournal(t, nil)
 	for i := 0; i < 10; i++ {
 		if err := j.Append(Op{Kind: OpInsert, Key: int64(i), Val: 1}); err != nil {
 			t.Fatal(err)
@@ -66,7 +62,7 @@ func TestCommitCoversAppendedRecords(t *testing.T) {
 // requested (the group-commit amortization) — and that no Commit ever
 // returns with its records uncovered.
 func TestGroupCommitPiggyback(t *testing.T) {
-	_, j := openStoreAndJournal(t, nil)
+	j := openFailJournal(t, nil)
 	const workers, perWorker = 8, 50
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -105,9 +101,9 @@ func TestGroupCommitPiggyback(t *testing.T) {
 // was dropped.
 func TestFailedSyncPoisonsJournal(t *testing.T) {
 	// Syncs in this sequence: Commit's fsync is the journal's first sync
-	// (store opens fresh, Recover on empty journal syncs nothing).
+	// (Recover on a fresh oplog syncs nothing).
 	fs := pagestore.NewFailFS(nil, pagestore.FailPlan{FailSyncAt: 1})
-	_, j := openStoreAndJournal(t, fs)
+	j := openFailJournal(t, fs)
 	if err := j.Append(Op{Kind: OpInsert, Key: 1}); err != nil {
 		t.Fatal(err)
 	}
@@ -126,20 +122,16 @@ func TestFailedSyncPoisonsJournal(t *testing.T) {
 	if err := j.Checkpoint(); !errors.Is(err, ErrPoisoned) {
 		t.Fatalf("Checkpoint after poison = %v, want ErrPoisoned", err)
 	}
-	if err := j.Guard(1); !errors.Is(err, ErrPoisoned) {
-		t.Fatalf("Guard after poison = %v, want ErrPoisoned", err)
-	}
 	if _, _, _, commits := j.Stats(); commits != 0 {
 		t.Fatalf("poisoned journal recorded %d successful commits", commits)
 	}
 }
 
 func TestFailedAppendWritePoisons(t *testing.T) {
-	// The first mutating syscall in this sequence is the pagestore meta
-	// write at Open... use a plan keyed to the append's write instead:
-	// count syscalls with an inert run first.
+	// Key the plan to the append's write by counting syscalls with an
+	// inert run first.
 	probe := pagestore.NewFailFS(nil, pagestore.FailPlan{})
-	_, pj := openStoreAndJournal(t, probe)
+	pj := openFailJournal(t, probe)
 	before := probe.Ops()
 	if err := pj.Append(Op{Kind: OpInsert, Key: 9}); err != nil {
 		t.Fatal(err)
@@ -147,7 +139,7 @@ func TestFailedAppendWritePoisons(t *testing.T) {
 	writeIdx := probe.Ops() // the append's write was the last mutating syscall
 
 	fs := pagestore.NewFailFS(nil, pagestore.FailPlan{FailWriteAt: writeIdx, TornBytes: 5})
-	_, j := openStoreAndJournal(t, fs)
+	j := openFailJournal(t, fs)
 	if fs.Ops() != before {
 		t.Fatalf("setup syscalls diverged: %d vs %d", fs.Ops(), before)
 	}

@@ -1,42 +1,51 @@
-// Package journal makes a pagestore-backed tree crash-recoverable using
-// the classic rollback-journal + logical-oplog design (as in SQLite's
-// journal mode):
+// Package journal is the logical oplog under a pagestore-backed tree:
+// every committed operation (insert key→val, delete key) is appended as
+// a CRC-framed record with a global sequence number. Durability and
+// recovery follow the checkpoint-image model (ARIES-style fuzzy
+// checkpoints, LMDB-style atomic image installs):
 //
-//   - The rollback journal captures, under the write-ahead rule, the
-//     pre-image of every page overwritten since the last checkpoint,
-//     together with a snapshot of the store's meta state. Restoring it
-//     rewinds the data file to exactly the checkpoint.
-//   - The oplog records every logical operation (insert key→val, delete
-//     key) committed since the checkpoint. Replaying it onto the restored
-//     checkpoint reconstructs all acknowledged state. Records are
-//     CRC-framed, so a torn tail (an operation in flight at the crash) is
-//     detected and dropped.
+//   - The tree's durable state is a checkpoint image — a complete,
+//     fsync'd pagestore file stamped with the sequence S of the last
+//     operation it reflects. The live tree file is scratch: recovery
+//     never reads it.
+//   - Recovery = copy the image over the live file, then replay the
+//     oplog suffix with sequences > S. Insert/delete have set semantics,
+//     so replay is idempotent; a torn trailing record (in flight at the
+//     crash) is detected by CRC and dropped.
+//   - Installing a new image is Rotate: the oplog is atomically replaced
+//     (single rename) by one whose epoch base is the image's sequence,
+//     inside a bounded blocking window that excludes appenders — the
+//     only pause a checkpoint imposes, independent of tree size.
 //
-// Recovery = restore journal → replay oplog → checkpoint. Both steps are
-// idempotent: page restoration is physical, and insert/delete are
-// set-semantics operations, so crashing during recovery (or replaying ops
-// that already reached a checkpoint) is harmless.
-//
-// A checkpoint (flush pages → fsync data → reset journal atomically via
-// rename → truncate oplog) bounds both files.
+// Rotate's crash ordering makes the image rename the commit point: the
+// new oplog (holding the records concurrent with the image build) is
+// written and fsync'd to a temp file first, then the image is renamed
+// into place, then the oplog. A crash before the image rename recovers
+// from the old image with the old oplog; a crash between the renames
+// recovers from the new image with the old oplog, whose obsolete prefix
+// Recover drops by rebasing the file to base S — the rebase invariant:
+// after recovery the oplog's base always equals the image's sequence,
+// so sequence numbers are never reused across a crash.
 //
 // # Durability points and group commit
 //
 // Appended operations are durable only once an oplog fsync covers them:
 // per operation when syncOps is set, or at the next Commit otherwise.
-// Commit implements group commit — one fsync covers every record appended
-// before it, concurrent committers piggyback on each other's fsyncs — so
-// a serving layer can acknowledge a whole pipelined batch after a single
-// disk barrier.
+// Commit implements group commit — one fsync covers every record
+// appended before it, concurrent committers piggyback on each other's
+// fsyncs — so a serving layer can acknowledge a whole pipelined batch
+// after a single disk barrier.
 //
 // # Fail-stop on storage errors
 //
-// After any write or fsync failure on either file, the journal poisons
-// itself: every later Append, Commit, Guard, and Checkpoint returns the
-// sticky first error. A failed fsync leaves the kernel free to have
-// dropped the dirty pages whose writeback failed, so retrying the fsync
-// and getting success proves nothing (the fsyncgate failure mode) — the
-// only sound reaction is to stop acknowledging writes for good.
+// After any write or fsync failure, the journal poisons itself: every
+// later Append, Commit, and Rotate returns the sticky first error. A
+// failed fsync leaves the kernel free to have dropped the dirty pages
+// whose writeback failed, so retrying the fsync and getting success
+// proves nothing (the fsyncgate failure mode) — the only sound reaction
+// is to stop acknowledging writes for good. Checkpoint failures (a
+// half-written image on a full disk, say) poison through the same path
+// via Poison.
 package journal
 
 import (
@@ -48,6 +57,7 @@ import (
 	"os"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"btreeperf/internal/pagestore"
 )
@@ -70,11 +80,9 @@ type Op struct {
 }
 
 const (
-	journalMagic = 0x4254424a                 // "BTBJ"
-	oplogMagic   = 0x4254424f                 // "BTBO"
-	journalHdr   = 4 + 8 + 8 + 8 + 64 + 8 + 4 // magic pages freeHead root userData baseSeq crc
-	oplogHdr     = 4 + 8 + 4                  // magic baseSeq crc
-	opRecSize    = 1 + 8 + 8 + 4
+	oplogMagic = 0x4254424f // "BTBO"
+	oplogHdr   = 4 + 8 + 4  // magic baseSeq crc
+	opRecSize  = 1 + 8 + 8 + 4
 )
 
 // OpRecSize is the size in bytes of one encoded oplog record.
@@ -88,16 +96,17 @@ const OplogHdrSize = oplogHdr
 // storage failure.
 var ErrPoisoned = errors.New("journal: poisoned by an earlier storage failure")
 
-// Journal couples a rollback journal and an oplog for one store.
+// Journal is the oplog for one tree.
 type Journal struct {
 	mu      sync.Mutex
-	store   *pagestore.Store
 	fs      pagestore.FS
-	jf      pagestore.File
 	of      pagestore.File
-	jPath   string
 	oPath   string
 	syncOps bool
+
+	// rotMu serializes Rotate/Recover against each other; appends and
+	// commits are excluded only inside Rotate's bounded phase 2.
+	rotMu sync.Mutex
 
 	// Group-commit state. Lock order: syncMu before mu, never the
 	// reverse. appendSeq/oplogBytes are guarded by mu; syncSeq by syncMu.
@@ -109,8 +118,8 @@ type Journal struct {
 
 	// Global sequence numbering for log shipping. Every appended record
 	// has a global sequence number baseSeq+i (i = 1-based position in the
-	// epoch); baseSeq is persisted in both file headers and advances at
-	// each checkpoint, so sequence numbers survive restarts and epochs.
+	// epoch); baseSeq is persisted in the epoch header and advances at
+	// each rotation, so sequence numbers survive restarts and epochs.
 	// durable is the highest fsync-covered global sequence.
 	baseSeq int64        // guarded by mu
 	durable atomic.Int64 // baseSeq + syncSeq, published after each fsync
@@ -119,61 +128,46 @@ type Journal struct {
 	// first), and the retention policy; all guarded by mu. retain reports
 	// the lowest global sequence some registered follower still needs
 	// (math.MaxInt64 = none); segments wholly at or below it are pruned
-	// at checkpoint, and the byte budget evicts oldest-first beyond it.
+	// at rotation, and the byte budget evicts oldest-first beyond it.
 	segments     []segment
 	segBytes     int64
 	retain       func() int64
 	retainBudget int64
 
 	fail atomic.Pointer[failure] // sticky first storage failure
-
-	captured   map[pagestore.PageID]bool
-	checkpoint struct {
-		pages, freeHead, root pagestore.PageID
-		userData              [64]byte
-	}
 }
 
 type failure struct{ err error }
 
-// Open attaches a journal to the store, using path+".journal" and
-// path+".oplog". If the files hold a prior epoch's data, the caller must
-// run Recover (then replay the returned ops and Checkpoint) before using
-// the store. syncOps controls whether every logged operation is fsync'd
-// (durable per op) or left to Commit/Checkpoint (group commit).
-func Open(path string, store *pagestore.Store, syncOps bool) (*Journal, error) {
-	return OpenFS(path, store, syncOps, nil)
+// Open attaches an oplog at path+".oplog". If the file holds a prior
+// run's records, the caller must run Recover (then replay the returned
+// ops and checkpoint) before appending. syncOps controls whether every
+// logged operation is fsync'd (durable per op) or left to Commit (group
+// commit).
+func Open(path string, syncOps bool) (*Journal, error) {
+	return OpenFS(path, syncOps, nil)
 }
 
 // OpenFS is Open through an explicit pagestore.FS (nil = OSFS) — the
 // injection point for failpoint testing.
-func OpenFS(path string, store *pagestore.Store, syncOps bool, fs pagestore.FS) (*Journal, error) {
+func OpenFS(path string, syncOps bool, fs pagestore.FS) (*Journal, error) {
 	if fs == nil {
 		fs = pagestore.OSFS
 	}
 	j := &Journal{
-		store:    store,
-		fs:       fs,
-		jPath:    path + ".journal",
-		oPath:    path + ".oplog",
-		syncOps:  syncOps,
-		captured: make(map[pagestore.PageID]bool),
+		fs:      fs,
+		oPath:   path + ".oplog",
+		syncOps: syncOps,
 	}
 	var err error
-	j.jf, err = fs.OpenFile(j.jPath, os.O_RDWR|os.O_CREATE, 0o644)
-	if err != nil {
-		return nil, fmt.Errorf("journal: %w", err)
-	}
 	j.of, err = fs.OpenFile(j.oPath, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
-		j.jf.Close()
 		return nil, fmt.Errorf("journal: %w", err)
 	}
 	// A brand-new oplog gets its epoch header immediately (base 0, not
 	// yet fsync'd — the first record's covering fsync persists it too).
 	if st, err := j.of.Stat(); err == nil && st.Size() == 0 {
 		if err := j.writeOplogHdr(0); err != nil {
-			j.jf.Close()
 			j.of.Close()
 			return nil, fmt.Errorf("journal: %w", err)
 		}
@@ -183,15 +177,17 @@ func OpenFS(path string, store *pagestore.Store, syncOps bool, fs pagestore.FS) 
 
 // writeOplogHdr stamps the oplog's epoch header at offset 0: the global
 // sequence of the record before the file's first (= the epoch base).
-// Recovery uses it to tell a live oplog from a stale one left behind by
-// a checkpoint that crashed between its two file renames.
 func (j *Journal) writeOplogHdr(base int64) error {
 	hdr := make([]byte, oplogHdr)
+	encodeOplogHdr(hdr, base)
+	_, err := j.of.WriteAt(hdr, 0)
+	return err
+}
+
+func encodeOplogHdr(hdr []byte, base int64) {
 	binary.LittleEndian.PutUint32(hdr[0:], oplogMagic)
 	binary.LittleEndian.PutUint64(hdr[4:], uint64(base))
 	binary.LittleEndian.PutUint32(hdr[12:], crc32.ChecksumIEEE(hdr[:12]))
-	_, err := j.of.WriteAt(hdr, 0)
-	return err
 }
 
 // parseOplogHdr validates an oplog epoch header, returning its base.
@@ -205,16 +201,11 @@ func parseOplogHdr(b []byte) (int64, bool) {
 	return int64(binary.LittleEndian.Uint64(b[4:])), true
 }
 
-// Close closes the journal files without checkpointing.
+// Close closes the oplog file without checkpointing.
 func (j *Journal) Close() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	err1 := j.jf.Close()
-	err2 := j.of.Close()
-	if err1 != nil {
-		return err1
-	}
-	return err2
+	return j.of.Close()
 }
 
 // Failed returns the sticky first storage failure, or nil.
@@ -225,6 +216,11 @@ func (j *Journal) Failed() error {
 	return nil
 }
 
+// Poison records err as the journal's sticky failure (first one wins):
+// the fail-stop entry point for storage errors detected outside the
+// journal itself, like a half-written checkpoint image. Nil is ignored.
+func (j *Journal) Poison(err error) error { return j.poison(err) }
+
 // poison records err as the sticky failure (first one wins) and returns it.
 func (j *Journal) poison(err error) error {
 	if err == nil {
@@ -234,63 +230,8 @@ func (j *Journal) poison(err error) error {
 	return err
 }
 
-// NeedsRecovery reports whether the journal holds a prior epoch
-// (a non-empty journal file).
-func (j *Journal) NeedsRecovery() (bool, error) {
-	st, err := j.jf.Stat()
-	if err != nil {
-		return false, err
-	}
-	return st.Size() > 0, nil
-}
-
-// Guard is the pagestore.WriteGuard: it captures the page's pre-image
-// (once per epoch) before the store overwrites it.
-func (j *Journal) Guard(id pagestore.PageID) error {
-	if err := j.Failed(); err != nil {
-		return err
-	}
-	j.mu.Lock()
-	if j.captured[id] || id >= j.checkpoint.pages {
-		// Already journaled, or a page born after the checkpoint (the
-		// recovery truncate discards it).
-		j.mu.Unlock()
-		return nil
-	}
-	j.mu.Unlock()
-
-	// Read the pre-image without holding j.mu (Read takes the store lock).
-	img, err := j.store.Read(id)
-	if err != nil {
-		return fmt.Errorf("journal: capture page %d: %w", id, err)
-	}
-
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	if j.captured[id] {
-		return nil
-	}
-	rec := make([]byte, 8+4+len(img)+4)
-	binary.LittleEndian.PutUint64(rec[0:], uint64(id))
-	binary.LittleEndian.PutUint32(rec[8:], uint32(len(img)))
-	copy(rec[12:], img)
-	binary.LittleEndian.PutUint32(rec[12+len(img):], crc32.ChecksumIEEE(rec[:12+len(img)]))
-	if _, err := j.jf.Seek(0, io.SeekEnd); err != nil {
-		return j.poison(err)
-	}
-	if _, err := j.jf.Write(rec); err != nil {
-		return j.poison(err)
-	}
-	// Write-ahead rule: the image must be durable before the page write.
-	if err := j.jf.Sync(); err != nil {
-		return j.poison(err)
-	}
-	j.captured[id] = true
-	return nil
-}
-
 // Append logs a logical operation. With syncOps the record is durable on
-// return; otherwise it is durable at the next Commit (or Checkpoint).
+// return; otherwise it is durable at the next Commit (or rotation).
 func (j *Journal) Append(op Op) error {
 	if err := j.Failed(); err != nil {
 		return err
@@ -379,246 +320,246 @@ func (j *Journal) Stats() (appended, synced, oplogBytes, commits int64) {
 	return appended, synced, oplogBytes, j.commits.Load()
 }
 
-// Checkpoint begins a fresh epoch: it snapshots the store's current meta
-// state into a new journal header (atomically, via rename) and retires
-// the oplog — either truncating it, or, when a registered follower still
-// needs its records (see SetRetention), sealing it as a catch-up segment
-// and starting a fresh one. The global sequence base advances by the
-// epoch's record count either way, so a record's sequence number never
-// changes. The caller must have flushed and fsync'd the store first, and
-// must ensure no Append or Commit runs concurrently.
-func (j *Journal) Checkpoint() error {
+// Rotate installs a checkpoint image covering sequences up to upTo: it
+// atomically replaces the oplog with one whose epoch base is upTo
+// (keeping only the records appended concurrently with the image build)
+// and, when a registered follower still needs the outgoing records,
+// seals them as a catch-up segment first. commitImage, if non-nil, runs
+// inside the blocking window after the replacement oplog is durable and
+// must perform the image's atomic install (its rename): its success is
+// the commit point of the whole checkpoint.
+//
+// Phase 1 (sealing) runs concurrently with appends and commits; only
+// phase 2 — write + fsync of the small replacement oplog, the two
+// renames, and the in-memory rebase — excludes them. The returned
+// pause is phase 2's duration: the entire serving stall a checkpoint
+// imposes, bounded by the append rate during the image build rather
+// than the tree size.
+func (j *Journal) Rotate(upTo int64, commitImage func() error) (pauseNs int64, err error) {
 	if err := j.Failed(); err != nil {
-		return err
+		return 0, err
 	}
+	j.rotMu.Lock()
+	defer j.rotMu.Unlock()
+
+	j.mu.Lock()
+	base := j.baseSeq
+	head := base + j.appendSeq
+	retain, retainBudget := j.retain, j.retainBudget
+	j.mu.Unlock()
+	if upTo < base || upTo > head {
+		return 0, fmt.Errorf("journal: rotate to %d outside [%d, %d]", upTo, base, head)
+	}
+
+	// Phase 1: seal the outgoing records (base, upTo] as a segment while
+	// appends continue. The bytes are stable — records never move once
+	// appended, only the file's tail grows — so an unlocked ReadAt is
+	// safe. The copy is fsync'd before it is renamed into the chain: a
+	// sealed segment is durable end to end.
+	floor := int64(int64max)
+	if retain != nil {
+		floor = retain()
+	}
+	var seg segment
+	sealed := false
+	if retainBudget > 0 && upTo > base && floor < upTo {
+		buf := make([]byte, oplogHdr+(upTo-base)*opRecSize)
+		encodeOplogHdr(buf, base)
+		if _, err := j.of.ReadAt(buf[oplogHdr:], oplogHdr); err != nil {
+			return 0, j.poison(fmt.Errorf("journal: seal segment: %w", err))
+		}
+		tmp := j.oPath + ".segtmp"
+		sf, err := j.fs.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+		if err != nil {
+			return 0, j.poison(err)
+		}
+		if _, err := sf.WriteAt(buf, 0); err != nil {
+			sf.Close()
+			return 0, j.poison(err)
+		}
+		if err := sf.Sync(); err != nil {
+			sf.Close()
+			return 0, j.poison(err)
+		}
+		if err := sf.Close(); err != nil {
+			return 0, j.poison(err)
+		}
+		segPath := segmentPath(j.oPath, base)
+		if err := j.fs.Rename(tmp, segPath); err != nil {
+			return 0, j.poison(err)
+		}
+		seg = segment{base: base, count: upTo - base, bytes: int64(len(buf)), path: segPath}
+		sealed = true
+	}
+
+	// Phase 2: the bounded install pause.
+	start := time.Now()
 	j.syncMu.Lock()
 	defer j.syncMu.Unlock()
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	pages, freeHead, root, userData := j.store.Snapshot()
-	newBase := j.baseSeq + j.appendSeq
-
-	hdr := make([]byte, journalHdr)
-	binary.LittleEndian.PutUint32(hdr[0:], journalMagic)
-	binary.LittleEndian.PutUint64(hdr[4:], uint64(pages))
-	binary.LittleEndian.PutUint64(hdr[12:], uint64(freeHead))
-	binary.LittleEndian.PutUint64(hdr[20:], uint64(root))
-	copy(hdr[28:], userData[:])
-	binary.LittleEndian.PutUint64(hdr[92:], uint64(newBase))
-	binary.LittleEndian.PutUint32(hdr[100:], crc32.ChecksumIEEE(hdr[:100]))
-
-	tmp := j.jPath + ".tmp"
-	f, err := j.fs.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
-	if err != nil {
-		return j.poison(err)
-	}
-	if _, err := f.Write(hdr); err != nil {
-		f.Close()
-		return j.poison(err)
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		return j.poison(err)
-	}
-	if err := j.jf.Close(); err != nil {
-		f.Close()
-		return j.poison(err)
-	}
-	if err := j.fs.Rename(tmp, j.jPath); err != nil {
-		f.Close()
-		return j.poison(err)
-	}
-	j.jf = f
-
-	// Retire the oplog. Sealing keeps the epoch's records available for
-	// follower catch-up: the file is fsync'd (a sealed segment is durable
-	// end to end) and renamed into the segment chain, and a fresh oplog
-	// opens. Without a follower needing it, truncate as always.
-	floor := int64(int64max)
-	if j.retain != nil {
-		floor = j.retain()
-	}
-	if j.retainBudget > 0 && j.appendSeq > 0 && floor < newBase {
-		if err := j.of.Sync(); err != nil {
-			return j.poison(err)
+	err = func() error {
+		head = j.baseSeq + j.appendSeq // appends may have raced in since phase 1
+		suffix := head - upTo
+		buf := make([]byte, oplogHdr+suffix*opRecSize)
+		encodeOplogHdr(buf, upTo)
+		if suffix > 0 {
+			if _, err := j.of.ReadAt(buf[oplogHdr:], oplogHdr+(upTo-base)*opRecSize); err != nil {
+				return fmt.Errorf("journal: read rotate suffix: %w", err)
+			}
 		}
-		if err := j.of.Close(); err != nil {
-			return j.poison(err)
-		}
-		segPath := segmentPath(j.oPath, j.baseSeq)
-		if err := j.fs.Rename(j.oPath, segPath); err != nil {
-			return j.poison(err)
-		}
-		j.segments = append(j.segments, segment{
-			base:  j.baseSeq,
-			count: j.appendSeq,
-			bytes: j.oplogBytes + oplogHdr,
-			path:  segPath,
-		})
-		j.segBytes += j.oplogBytes + oplogHdr
-		nf, err := j.fs.OpenFile(j.oPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+		tmp := j.oPath + ".tmp"
+		f, err := j.fs.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 		if err != nil {
-			return j.poison(err)
+			return err
 		}
-		j.of = nf
-	} else if err := j.of.Truncate(0); err != nil {
-		return j.poison(err)
+		if _, err := f.WriteAt(buf, 0); err != nil {
+			f.Close()
+			return err
+		}
+		// The suffix may hold acked records; it must be durable in the
+		// replacement before the old file can be unlinked by the rename.
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+		if commitImage != nil {
+			if err := commitImage(); err != nil {
+				f.Close()
+				return err
+			}
+		}
+		if err := j.fs.Rename(tmp, j.oPath); err != nil {
+			f.Close()
+			return err
+		}
+		j.of.Close()
+		j.of = f
+		j.baseSeq = upTo
+		j.appendSeq = suffix
+		j.syncSeq = suffix
+		j.oplogBytes = suffix * opRecSize
+		j.durable.Store(head) // the replacement's fsync covered everything
+		if sealed {
+			j.segments = append(j.segments, seg)
+			j.segBytes += seg.bytes
+		}
+		j.pruneLocked(floor)
+		return nil
+	}()
+	if err != nil {
+		return 0, j.poison(err)
 	}
-	if err := j.writeOplogHdr(newBase); err != nil {
-		return j.poison(err)
-	}
-	if err := j.of.Sync(); err != nil {
-		return j.poison(err)
-	}
-	j.baseSeq = newBase
-	j.appendSeq = 0
-	j.syncSeq = 0
-	j.oplogBytes = 0
-	j.durable.Store(newBase)
-	j.pruneLocked(floor)
-
-	j.captured = make(map[pagestore.PageID]bool)
-	j.checkpoint.pages = pages
-	j.checkpoint.freeHead = freeHead
-	j.checkpoint.root = root
-	j.checkpoint.userData = userData
-	return nil
+	return time.Since(start).Nanoseconds(), nil
 }
 
-// Recover rewinds the store to the journaled checkpoint and returns the
-// logical operations to replay. A journal without a valid header (fresh
-// file) yields no restoration and no ops. Torn trailing records in either
-// file are ignored.
-func (j *Journal) Recover() ([]Op, error) {
+// Checkpoint rotates the oplog to its current head with no image
+// install: every appended record is retired from the active file
+// (sealed for followers or dropped). It is the epoch-advance primitive
+// for callers that manage durability elsewhere — the tree always
+// rotates through Rotate with a real image.
+func (j *Journal) Checkpoint() error {
+	_, err := j.Rotate(j.SeqAppended(), nil)
+	return err
+}
+
+// Recover aligns the oplog with the checkpoint image the caller
+// recovered from (imageSeq = the image's stamped sequence) and returns
+// the operations to replay on top of it, in order, with global
+// sequences (imageSeq, imageSeq+n]. Torn or corrupt trailing records
+// are dropped — they were never covered by an fsync, so they were never
+// acknowledged.
+//
+// The rebase invariant: on return the oplog's base equals imageSeq,
+// whatever the file held. A file with an older base (a crash between
+// Rotate's image and oplog renames) is rebased by rewriting it with
+// only the surviving suffix; without that, the next run would reuse
+// sequence numbers the image already covers, and a follower that saw
+// the originals would silently diverge.
+func (j *Journal) Recover(imageSeq int64) ([]Op, error) {
+	j.rotMu.Lock()
+	defer j.rotMu.Unlock()
 	j.mu.Lock()
 	defer j.mu.Unlock()
 
-	jbytes, err := readAll(j.jf)
-	if err != nil {
-		return nil, err
-	}
-	if len(jbytes) == 0 {
-		// Fresh journal: adopt the store's current state as the epoch base.
-		j.checkpoint.pages, j.checkpoint.freeHead, j.checkpoint.root, j.checkpoint.userData = j.store.Snapshot()
-		j.baseSeq, j.appendSeq, j.syncSeq, j.oplogBytes = 0, 0, 0, 0
-		j.durable.Store(0)
-		return nil, nil
-	}
-	if len(jbytes) < journalHdr {
-		return nil, errors.New("journal: truncated header")
-	}
-	if binary.LittleEndian.Uint32(jbytes[0:]) != journalMagic {
-		return nil, errors.New("journal: bad magic")
-	}
-	if crc32.ChecksumIEEE(jbytes[:100]) != binary.LittleEndian.Uint32(jbytes[100:]) {
-		return nil, errors.New("journal: corrupt header")
-	}
-	pages := pagestore.PageID(binary.LittleEndian.Uint64(jbytes[4:]))
-	freeHead := pagestore.PageID(binary.LittleEndian.Uint64(jbytes[12:]))
-	root := pagestore.PageID(binary.LittleEndian.Uint64(jbytes[20:]))
-	var userData [64]byte
-	copy(userData[:], jbytes[28:92])
-	base := int64(binary.LittleEndian.Uint64(jbytes[92:]))
+	// Clear temp files an interrupted rotation may have left behind.
+	removeFile(j.fs, j.oPath+".tmp")
+	removeFile(j.fs, j.oPath+".segtmp")
 
-	// Restore complete page images (pre-images of post-checkpoint writes).
-	off := journalHdr
-	type image struct {
-		id   pagestore.PageID
-		data []byte
-	}
-	var images []image
-	for off+12 <= len(jbytes) {
-		id := pagestore.PageID(binary.LittleEndian.Uint64(jbytes[off:]))
-		n := int(binary.LittleEndian.Uint32(jbytes[off+8:]))
-		if n < 0 || n > pagestore.PageSize || off+12+n+4 > len(jbytes) {
-			break // torn tail
-		}
-		rec := jbytes[off : off+12+n]
-		want := binary.LittleEndian.Uint32(jbytes[off+12+n:])
-		if crc32.ChecksumIEEE(rec) != want {
-			break // torn tail
-		}
-		images = append(images, image{id: id, data: jbytes[off+12 : off+12+n]})
-		off += 12 + n + 4
-	}
-	// Truncate/restore meta first so restored writes land inside the file.
-	if err := j.store.Restore(pages, freeHead, root, userData); err != nil {
-		return nil, err
-	}
-	for _, img := range images {
-		if img.id >= pages {
-			continue // image of a page beyond the checkpoint (shouldn't happen)
-		}
-		if err := j.store.WriteRestored(img.id, img.data); err != nil {
-			return nil, err
-		}
-	}
-	j.checkpoint.pages = pages
-	j.checkpoint.freeHead = freeHead
-	j.checkpoint.root = root
-	j.checkpoint.userData = userData
-
-	// Parse the oplog, dropping a torn tail. The epoch header must match
-	// the journal's base: a mismatch means a checkpoint crashed between
-	// renaming the journal header and retiring the oplog, so the records
-	// are from the ALREADY-FLUSHED previous epoch — replaying them would
-	// be harmless (set semantics) but counting them would corrupt the
-	// global sequence space, so the stale file is retired here instead:
-	// sealed as a catch-up segment when its record count completes the
-	// chain, discarded otherwise.
 	obytes, err := readAll(j.of)
 	if err != nil {
 		return nil, err
 	}
-	j.baseSeq = base
+	base, ok := parseOplogHdr(obytes)
 	var ops []Op
-	ohBase, ohOK := parseOplogHdr(obytes)
-	switch {
-	case ohOK && ohBase == base:
+	if ok {
 		ops = DecodeOps(obytes[oplogHdr:])
-	case ohOK && ohBase < base && ohBase+int64(len(DecodeOps(obytes[oplogHdr:]))) >= base:
-		// Stale epoch whose records run through the new base: finish the
-		// interrupted seal so followers can still catch up across it.
-		if err := j.sealStaleLocked(ohBase); err != nil {
-			return nil, err
-		}
-	default:
-		// Fresh, foreign, or short file: start the epoch clean.
+	}
+	head := base + int64(len(ops))
+
+	switch {
+	case !ok:
+		// Fresh, foreign, or short file: start the epoch clean at the image.
 		if err := j.of.Truncate(0); err != nil {
 			return nil, j.poison(err)
 		}
-		if err := j.writeOplogHdr(base); err != nil {
+		if err := j.writeOplogHdr(imageSeq); err != nil {
 			return nil, j.poison(err)
 		}
+		ops = nil
+	case base > imageSeq:
+		// The log claims to start after the image ends: records
+		// (imageSeq, base] are gone. Nothing sound can be replayed.
+		return nil, fmt.Errorf("journal: oplog base %d ahead of image sequence %d", base, imageSeq)
+	case base == imageSeq:
+		// Aligned. Drop any torn bytes past the valid prefix so appended
+		// records land at the offsets their sequences imply.
+		if valid := int64(oplogHdr) + int64(len(ops))*opRecSize; valid < int64(len(obytes)) {
+			if err := j.of.Truncate(valid); err != nil {
+				return nil, j.poison(err)
+			}
+		}
+	default: // base < imageSeq: rebase to the image (the invariant above)
+		keep := head - imageSeq
+		if keep < 0 {
+			keep = 0
+		}
+		cut := oplogHdr + int(int64(len(ops))-keep)*opRecSize
+		suffix := obytes[cut : cut+int(keep)*opRecSize]
+		buf := make([]byte, oplogHdr+len(suffix))
+		encodeOplogHdr(buf, imageSeq)
+		copy(buf[oplogHdr:], suffix)
+		tmp := j.oPath + ".tmp"
+		f, err := j.fs.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+		if err != nil {
+			return nil, j.poison(err)
+		}
+		if _, err := f.WriteAt(buf, 0); err != nil {
+			f.Close()
+			return nil, j.poison(err)
+		}
+		// The suffix records may have been acked before the crash — the
+		// rebase must be durable before it replaces the old file.
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, j.poison(err)
+		}
+		if err := j.fs.Rename(tmp, j.oPath); err != nil {
+			f.Close()
+			return nil, j.poison(err)
+		}
+		j.of.Close()
+		j.of = f
+		ops = ops[int64(len(ops))-keep:]
 	}
+
+	j.baseSeq = imageSeq
 	j.appendSeq = int64(len(ops))
 	j.syncSeq = int64(len(ops))
 	j.oplogBytes = int64(len(ops)) * opRecSize
-	j.durable.Store(base + int64(len(ops)))
+	j.durable.Store(imageSeq + int64(len(ops)))
 	j.discoverSegmentsLocked()
 	return ops, nil
-}
-
-// sealStaleLocked retires a stale previous-epoch oplog (left by a
-// checkpoint that crashed mid-retirement) into the segment chain and
-// opens a fresh oplog for the current epoch. Caller holds mu.
-func (j *Journal) sealStaleLocked(staleBase int64) error {
-	if err := j.of.Close(); err != nil {
-		return j.poison(err)
-	}
-	segPath := segmentPath(j.oPath, staleBase)
-	if err := j.fs.Rename(j.oPath, segPath); err != nil {
-		return j.poison(err)
-	}
-	nf, err := j.fs.OpenFile(j.oPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
-	if err != nil {
-		return j.poison(err)
-	}
-	j.of = nf
-	if err := j.writeOplogHdr(j.baseSeq); err != nil {
-		return j.poison(err)
-	}
-	return nil
 }
 
 // DecodeOps parses oplog bytes into the valid prefix of logical

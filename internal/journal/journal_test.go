@@ -1,51 +1,39 @@
 package journal
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
-
-	"btreeperf/internal/pagestore"
 )
 
-func openPair(t *testing.T) (*pagestore.Store, *Journal, string) {
+func openJournal(t *testing.T) (*Journal, string) {
 	t.Helper()
 	path := filepath.Join(t.TempDir(), "data.db")
-	st, err := pagestore.Open(path)
+	j, err := Open(path, false)
 	if err != nil {
 		t.Fatal(err)
 	}
-	j, err := Open(path, st, false)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return st, j, path
+	return j, path
 }
 
-func TestFreshJournalNoRecovery(t *testing.T) {
-	_, j, _ := openPair(t)
-	need, err := j.NeedsRecovery()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if need {
-		t.Fatal("fresh journal claims recovery needed")
-	}
-	ops, err := j.Recover()
+func TestFreshRecovery(t *testing.T) {
+	j, _ := openJournal(t)
+	ops, err := j.Recover(0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(ops) != 0 {
 		t.Fatalf("fresh recovery returned %d ops", len(ops))
 	}
+	if j.SeqAppended() != 0 || j.SeqDurable() != 0 {
+		t.Fatalf("fresh seqs: appended=%d durable=%d", j.SeqAppended(), j.SeqDurable())
+	}
 }
 
 func TestOplogRoundTrip(t *testing.T) {
-	st, j, _ := openPair(t)
-	if _, err := j.Recover(); err != nil {
-		t.Fatal(err)
-	}
-	if err := j.Checkpoint(); err != nil {
+	j, _ := openJournal(t)
+	if _, err := j.Recover(0); err != nil {
 		t.Fatal(err)
 	}
 	want := []Op{
@@ -58,7 +46,7 @@ func TestOplogRoundTrip(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	got, err := j.Recover()
+	got, err := j.Recover(0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,30 +58,89 @@ func TestOplogRoundTrip(t *testing.T) {
 			t.Fatalf("op %d = %+v, want %+v", i, got[i], want[i])
 		}
 	}
-	_ = st
 }
 
-func TestCheckpointTruncatesOplog(t *testing.T) {
-	_, j, _ := openPair(t)
-	j.Recover()
-	j.Checkpoint()
+func TestRotateDropsImagedPrefix(t *testing.T) {
+	j, _ := openJournal(t)
+	j.Recover(0)
+	for i := int64(1); i <= 5; i++ {
+		j.Append(Op{Kind: OpInsert, Key: i, Val: uint64(i)})
+	}
+	installed := false
+	pause, err := j.Rotate(3, func() error { installed = true; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !installed {
+		t.Fatal("commitImage not invoked")
+	}
+	if pause < 0 {
+		t.Fatalf("pause = %d", pause)
+	}
+	// The rotation itself made everything durable (the replacement file
+	// was fsync'd with the suffix in it).
+	if j.SeqAppended() != 5 || j.SeqDurable() != 5 {
+		t.Fatalf("seqs after rotate: appended=%d durable=%d", j.SeqAppended(), j.SeqDurable())
+	}
+	ops, err := j.Recover(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 2 || ops[0].Key != 4 || ops[1].Key != 5 {
+		t.Fatalf("suffix after rotate = %+v", ops)
+	}
+}
+
+func TestRotateBoundsChecked(t *testing.T) {
+	j, _ := openJournal(t)
+	j.Recover(0)
+	j.Append(Op{Kind: OpInsert, Key: 1, Val: 1})
+	if _, err := j.Rotate(2, nil); err == nil {
+		t.Fatal("rotate past head accepted")
+	}
+	if err := j.Failed(); err != nil {
+		t.Fatalf("bounds error poisoned the journal: %v", err)
+	}
+}
+
+func TestRotateFailedInstallPoisons(t *testing.T) {
+	j, _ := openJournal(t)
+	j.Recover(0)
+	j.Append(Op{Kind: OpInsert, Key: 1, Val: 1})
+	boom := errors.New("image rename exploded")
+	if _, err := j.Rotate(1, func() error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("rotate error = %v", err)
+	}
+	if err := j.Append(Op{Kind: OpInsert, Key: 2, Val: 2}); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("append after failed install = %v", err)
+	}
+	if err := j.Commit(); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("commit after failed install = %v", err)
+	}
+}
+
+func TestCheckpointRetiresOplog(t *testing.T) {
+	j, _ := openJournal(t)
+	j.Recover(0)
 	j.Append(Op{Kind: OpInsert, Key: 1, Val: 1})
 	if err := j.Checkpoint(); err != nil {
 		t.Fatal(err)
 	}
-	ops, err := j.Recover()
+	ops, err := j.Recover(j.SeqAppended())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(ops) != 0 {
 		t.Fatalf("%d ops survived a checkpoint", len(ops))
 	}
+	if j.SeqAppended() != 1 {
+		t.Fatalf("sequence numbering reset: %d", j.SeqAppended())
+	}
 }
 
 func TestTornOplogTailDropped(t *testing.T) {
-	_, j, path := openPair(t)
-	j.Recover()
-	j.Checkpoint()
+	j, path := openJournal(t)
+	j.Recover(0)
 	for i := int64(0); i < 5; i++ {
 		j.Append(Op{Kind: OpInsert, Key: i, Val: uint64(i)})
 	}
@@ -106,7 +153,7 @@ func TestTornOplogTailDropped(t *testing.T) {
 	of.Truncate(st.Size() - 3)
 	of.Close()
 
-	ops, err := j.Recover()
+	ops, err := j.Recover(0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,165 +163,128 @@ func TestTornOplogTailDropped(t *testing.T) {
 }
 
 func TestCorruptOplogRecordStopsReplay(t *testing.T) {
-	_, j, path := openPair(t)
-	j.Recover()
-	j.Checkpoint()
+	j, path := openJournal(t)
+	j.Recover(0)
 	for i := int64(0); i < 5; i++ {
 		j.Append(Op{Kind: OpInsert, Key: i, Val: uint64(i)})
 	}
-	// Corrupt the middle record; replay must stop before it.
+	// Corrupt the middle record; replay must stop before it, and recovery
+	// must discard everything from the corruption on (those records were
+	// never fsync-covered, so they were never acked).
 	of, _ := os.OpenFile(path+".oplog", os.O_RDWR, 0)
 	of.WriteAt([]byte{0xEE}, 16+2*21+3) // 16-byte epoch header, then records
 	of.Close()
-	ops, err := j.Recover()
+	ops, err := j.Recover(0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(ops) != 2 {
 		t.Fatalf("recovered %d ops past corruption, want 2", len(ops))
 	}
-}
-
-func TestPageRestore(t *testing.T) {
-	st, j, _ := openPair(t)
-	id, err := st.Allocate()
+	// The torn tail is gone: appending works and a re-recovery sees the
+	// survivors plus the new record at the right sequences.
+	j.Append(Op{Kind: OpInsert, Key: 77, Val: 77})
+	ops, err = j.Recover(0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := st.Write(id, []byte("checkpoint state")); err != nil {
-		t.Fatal(err)
+	if len(ops) != 3 || ops[2].Key != 77 {
+		t.Fatalf("post-truncate append: %+v", ops)
 	}
-	st.SetRoot(id)
-	j.Recover() // adopt current state as the epoch base
-	j.Checkpoint()
-	st.SetWriteGuard(j.Guard)
+}
 
-	// Overwrite the page post-checkpoint; the guard captures the image.
-	if err := st.Write(id, []byte("dirty new state")); err != nil {
-		t.Fatal(err)
+func TestRecoverRebasesOldEpoch(t *testing.T) {
+	// A crash between Rotate's image rename and oplog rename leaves a new
+	// image (seq S) with an old oplog (base < S). Recovery must rebase the
+	// file to base S, dropping the imaged prefix, so sequence numbers are
+	// never reused.
+	j, path := openJournal(t)
+	j.Recover(0)
+	for i := int64(1); i <= 5; i++ {
+		j.Append(Op{Kind: OpInsert, Key: i, Val: uint64(i)})
 	}
-	// Also grow the file.
-	id2, _ := st.Allocate()
-	st.Write(id2, []byte("post-checkpoint page"))
-
-	pagesBefore, _, _, _ := st.Snapshot()
-	if _, err := j.Recover(); err != nil {
-		t.Fatal(err)
-	}
-	data, err := st.Read(id)
+	j.Commit()
+	ops, err := j.Recover(3) // image says S=3; file base is 0
 	if err != nil {
 		t.Fatal(err)
 	}
-	if string(data[:16]) != "checkpoint state" {
-		t.Fatalf("page not restored: %q", data[:16])
+	if len(ops) != 2 || ops[0].Key != 4 || ops[1].Key != 5 {
+		t.Fatalf("rebased suffix = %+v", ops)
 	}
-	pagesAfter, _, root, _ := st.Snapshot()
-	if pagesAfter >= pagesBefore {
-		t.Fatalf("file not truncated: %d -> %d", pagesBefore, pagesAfter)
+	if j.SeqAppended() != 5 {
+		t.Fatalf("appended seq after rebase = %d", j.SeqAppended())
 	}
-	if root != id {
-		t.Fatalf("root not restored: %d", root)
+	// The file itself was rewritten with base 3.
+	raw, err := os.ReadFile(path + ".oplog")
+	if err != nil {
+		t.Fatal(err)
 	}
-}
-
-func TestGuardCapturesOncePerEpoch(t *testing.T) {
-	st, j, path := openPair(t)
-	id, _ := st.Allocate()
-	st.Write(id, []byte("v0"))
-	j.Recover()
-	j.Checkpoint()
-	st.SetWriteGuard(j.Guard)
-
-	st.Write(id, []byte("v1"))
-	sz1, _ := os.Stat(path + ".journal")
-	st.Write(id, []byte("v2"))
-	sz2, _ := os.Stat(path + ".journal")
-	if sz1.Size() != sz2.Size() {
-		t.Fatalf("second write re-journaled the page: %d -> %d", sz1.Size(), sz2.Size())
+	base, ok := parseOplogHdr(raw)
+	if !ok || base != 3 {
+		t.Fatalf("oplog base after rebase = %d (ok=%v), want 3", base, ok)
 	}
-	// Recovery restores v0, not v1.
-	j.Recover()
-	data, _ := st.Read(id)
-	if string(data[:2]) != "v0" {
-		t.Fatalf("restored %q, want v0", data[:2])
+	if len(raw) != OplogHdrSize+2*OpRecSize {
+		t.Fatalf("oplog size after rebase = %d", len(raw))
+	}
+	// New appends continue at sequence 6.
+	j.Append(Op{Kind: OpInsert, Key: 6, Val: 6})
+	if j.SeqAppended() != 6 {
+		t.Fatalf("appended after rebase+append = %d", j.SeqAppended())
 	}
 }
 
-func TestFreshPagesNotJournaled(t *testing.T) {
-	st, j, path := openPair(t)
-	j.Recover()
-	j.Checkpoint()
-	st.SetWriteGuard(j.Guard)
-	id, _ := st.Allocate() // born after the checkpoint
-	st.Write(id, []byte("ephemeral"))
-	sz, _ := os.Stat(path + ".journal")
-	if sz.Size() != int64(journalHdr) {
-		t.Fatalf("fresh page write journaled: %d bytes", sz.Size())
+func TestRecoverRebasePastHead(t *testing.T) {
+	// The image can be ahead of every surviving record (torn tail below
+	// S): the oplog must still rebase to S with zero ops to replay.
+	j, _ := openJournal(t)
+	j.Recover(0)
+	j.Append(Op{Kind: OpInsert, Key: 1, Val: 1})
+	ops, err := j.Recover(4)
+	if err != nil {
+		t.Fatal(err)
 	}
-	// Recovery truncates it away.
-	j.Recover()
-	if _, err := st.Read(id); err == nil {
-		t.Fatal("post-checkpoint page survived recovery")
+	if len(ops) != 0 {
+		t.Fatalf("replay ops = %+v, want none", ops)
+	}
+	if j.SeqAppended() != 4 || j.SeqDurable() != 4 {
+		t.Fatalf("seqs = %d/%d, want 4/4", j.SeqAppended(), j.SeqDurable())
+	}
+}
+
+func TestRecoverOplogAheadOfImageRejected(t *testing.T) {
+	j, _ := openJournal(t)
+	j.Recover(0)
+	j.Append(Op{Kind: OpInsert, Key: 1, Val: 1})
+	j.Checkpoint() // base is now 1
+	if _, err := j.Recover(0); err == nil {
+		t.Fatal("oplog base ahead of image accepted")
+	}
+}
+
+func TestRecoverForeignFileStartsClean(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "data.db")
+	if err := os.WriteFile(path+".oplog", []byte("not an oplog at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, err := Open(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops, err := j.Recover(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 0 {
+		t.Fatalf("foreign file yielded %d ops", len(ops))
+	}
+	if j.SeqAppended() != 7 {
+		t.Fatalf("base after clean start = %d, want 7", j.SeqAppended())
 	}
 }
 
 func TestJournalClose(t *testing.T) {
-	_, j, _ := openPair(t)
+	j, _ := openJournal(t)
 	if err := j.Close(); err != nil {
 		t.Fatal(err)
-	}
-}
-
-func TestCorruptJournalHeaderRejected(t *testing.T) {
-	_, j, path := openPair(t)
-	j.Recover()
-	j.Checkpoint()
-	// Corrupt the header.
-	jf, err := os.OpenFile(path+".journal", os.O_RDWR, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	jf.WriteAt([]byte{0xAB}, 10)
-	jf.Close()
-	if _, err := j.Recover(); err == nil {
-		t.Fatal("corrupt journal header accepted")
-	}
-}
-
-func TestTruncatedJournalHeaderRejected(t *testing.T) {
-	_, j, path := openPair(t)
-	j.Recover()
-	j.Checkpoint()
-	if err := os.Truncate(path+".journal", 10); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := j.Recover(); err == nil {
-		t.Fatal("truncated journal header accepted")
-	}
-}
-
-func TestTornJournalPageRecordDropped(t *testing.T) {
-	st, j, path := openPair(t)
-	id, _ := st.Allocate()
-	st.Write(id, []byte("base"))
-	j.Recover()
-	j.Checkpoint()
-	st.SetWriteGuard(j.Guard)
-	st.Write(id, []byte("new")) // journals the pre-image
-
-	// Tear the page record's tail: the write it guarded is assumed never
-	// to have happened (write-ahead), so recovery skips it.
-	fi, _ := os.Stat(path + ".journal")
-	os.Truncate(path+".journal", fi.Size()-5)
-	if _, err := j.Recover(); err != nil {
-		t.Fatal(err)
-	}
-	// The page keeps its current ("new") content — no torn restore.
-	data, err := st.Read(id)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if string(data[:3]) != "new" {
-		t.Fatalf("page = %q", data[:3])
 	}
 }

@@ -4,21 +4,15 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
-
-	"btreeperf/internal/pagestore"
 )
 
-func reopenPair(t *testing.T, path string) (*pagestore.Store, *Journal) {
+func reopenJournal(t *testing.T, path string) *Journal {
 	t.Helper()
-	st, err := pagestore.Open(path)
+	j, err := Open(path, false)
 	if err != nil {
 		t.Fatal(err)
 	}
-	j, err := Open(path, st, false)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return st, j
+	return j
 }
 
 func appendN(t *testing.T, j *Journal, from, n int64) {
@@ -30,13 +24,12 @@ func appendN(t *testing.T, j *Journal, from, n int64) {
 	}
 }
 
-// Global sequence numbers must survive checkpoints (which reset the
+// Global sequence numbers must survive rotations (which reset the
 // per-epoch counters) and full restarts (which reload them from the
 // persisted headers).
 func TestSeqContinuityAcrossCheckpointAndRecover(t *testing.T) {
-	_, j, path := openPair(t)
-	j.Recover()
-	j.Checkpoint()
+	j, path := openJournal(t)
+	j.Recover(0)
 
 	appendN(t, j, 0, 3)
 	if got := j.SeqAppended(); got != 3 {
@@ -71,8 +64,9 @@ func TestSeqContinuityAcrossCheckpointAndRecover(t *testing.T) {
 	}
 	j.Close()
 
-	_, j2 := reopenPair(t, path)
-	ops, err := j2.Recover()
+	// Reopen as after a crash whose last checkpoint image was at seq 3.
+	j2 := reopenJournal(t, path)
+	ops, err := j2.Recover(3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,13 +85,12 @@ func TestSeqContinuityAcrossCheckpointAndRecover(t *testing.T) {
 	}
 }
 
-// With retention enabled, checkpoints seal the outgoing epoch instead of
-// truncating it, the chain prunes as the follower floor advances, and
+// With retention enabled, rotations seal the outgoing epoch instead of
+// dropping it, the chain prunes as the follower floor advances, and
 // the byte budget evicts oldest-first past it.
 func TestRetentionSealPruneEvict(t *testing.T) {
-	_, j, _ := openPair(t)
-	j.Recover()
-	j.Checkpoint()
+	j, _ := openJournal(t)
+	j.Recover(0)
 
 	floor := int64(0)
 	j.SetRetention(func() int64 { return floor }, 1<<20)
@@ -116,7 +109,7 @@ func TestRetentionSealPruneEvict(t *testing.T) {
 		t.Fatalf("LowestSeq = %d, want 0", got)
 	}
 
-	// Follower advanced past the first segment: next checkpoint prunes it.
+	// Follower advanced past the first segment: next rotation prunes it.
 	floor = 3
 	appendN(t, j, 7, 1)
 	j.Commit()
@@ -172,9 +165,8 @@ func TestRetentionSealPruneEvict(t *testing.T) {
 // The segment chain must survive a restart: recovery re-discovers the
 // sealed files and a tail can still resume from any retained sequence.
 func TestSegmentsSurviveRestart(t *testing.T) {
-	_, j, path := openPair(t)
-	j.Recover()
-	j.Checkpoint()
+	j, path := openJournal(t)
+	j.Recover(0)
 	j.SetRetention(func() int64 { return 0 }, 1<<20)
 
 	appendN(t, j, 0, 3)
@@ -184,8 +176,8 @@ func TestSegmentsSurviveRestart(t *testing.T) {
 	j.Commit()
 	j.Close()
 
-	_, j2 := reopenPair(t, path)
-	if _, err := j2.Recover(); err != nil {
+	j2 := reopenJournal(t, path)
+	if _, err := j2.Recover(3); err != nil {
 		t.Fatal(err)
 	}
 	if got := j2.LowestSeq(); got != 0 {
@@ -219,8 +211,8 @@ func TestSegmentsSurviveRestart(t *testing.T) {
 	if err := os.WriteFile(stray, []byte("junk"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	_, j3 := reopenPair(t, path)
-	if _, err := j3.Recover(); err != nil {
+	j3 := reopenJournal(t, path)
+	if _, err := j3.Recover(3); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(stray); !os.IsNotExist(err) {
@@ -229,16 +221,15 @@ func TestSegmentsSurviveRestart(t *testing.T) {
 	j3.Close()
 }
 
-// A checkpoint can crash after renaming the new journal header but
-// before retiring the oplog. The oplog on disk then belongs to the
-// previous epoch (its header base is behind the journal's): recovery
-// must not replay it into the sequence space again, and — since its
-// records complete the catch-up chain — must finish the interrupted
-// seal so followers can still resume across it.
-func TestStaleOplogSealCompletedOnRecovery(t *testing.T) {
-	_, j, path := openPair(t)
-	j.Recover()
-	j.Checkpoint()
+// A rotation can crash after renaming the new image but before renaming
+// the replacement oplog. The oplog on disk then belongs to the previous
+// epoch (its base is behind the image's sequence): recovery must rebase
+// it — not replay its prefix into the sequence space again — and the
+// catch-up chain stays whole, because Rotate seals the outgoing records
+// BEFORE the image rename.
+func TestStaleOplogRebasedOnRecovery(t *testing.T) {
+	j, path := openJournal(t)
+	j.Recover(0)
 	j.SetRetention(func() int64 { return 0 }, 1<<20)
 
 	appendN(t, j, 0, 3) // epoch base 0: seqs 1..3
@@ -247,9 +238,10 @@ func TestStaleOplogSealCompletedOnRecovery(t *testing.T) {
 	appendN(t, j, 3, 2) // epoch base 3: seqs 4,5
 	j.Commit()
 
-	// Save the base-3 epoch's oplog, run the real checkpoint, then undo
-	// the oplog retirement: journal header says base 5, oplog is the old
-	// base-3 epoch — exactly the crash window's on-disk state.
+	// Save the base-3 epoch's oplog, run the real rotation (sealing
+	// (3,5]), then undo the oplog replacement: the segment chain and the
+	// "image" say seq 5, the oplog is the old base-3 epoch — exactly the
+	// crash window's on-disk state.
 	oplog := path + ".oplog"
 	saved, err := os.ReadFile(oplog)
 	if err != nil {
@@ -259,26 +251,23 @@ func TestStaleOplogSealCompletedOnRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 	j.Close()
-	if err := os.Remove(segmentPath(oplog, 3)); err != nil {
-		t.Fatal(err)
-	}
 	if err := os.WriteFile(oplog, saved, 0o644); err != nil {
 		t.Fatal(err)
 	}
 
-	_, j2 := reopenPair(t, path)
-	ops, err := j2.Recover()
+	j2 := reopenJournal(t, path)
+	ops, err := j2.Recover(5)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(ops) != 0 {
-		t.Fatalf("recovered %d ops from a stale oplog, want 0 (already checkpointed)", len(ops))
+		t.Fatalf("recovered %d ops from a stale oplog, want 0 (already imaged)", len(ops))
 	}
 	if got := j2.SeqAppended(); got != 5 {
 		t.Fatalf("SeqAppended = %d, want 5", got)
 	}
 	if got := j2.LowestSeq(); got != 0 {
-		t.Fatalf("LowestSeq = %d, want 0 (seal not completed)", got)
+		t.Fatalf("LowestSeq = %d, want 0 (segment chain broken)", got)
 	}
 	tl := j2.Tail(0)
 	defer tl.Close()
@@ -289,7 +278,7 @@ func TestStaleOplogSealCompletedOnRecovery(t *testing.T) {
 			t.Fatal(err)
 		}
 		if len(ops) == 0 {
-			t.Fatalf("tail dried up at %d/5 ops after seal completion", len(got))
+			t.Fatalf("tail dried up at %d/5 ops", len(got))
 		}
 		got = append(got, ops...)
 	}
@@ -302,9 +291,8 @@ func TestStaleOplogSealCompletedOnRecovery(t *testing.T) {
 }
 
 func TestSegmentFilesDeletedByPrune(t *testing.T) {
-	_, j, path := openPair(t)
-	j.Recover()
-	j.Checkpoint()
+	j, path := openJournal(t)
+	j.Recover(0)
 	floor := int64(0)
 	j.SetRetention(func() int64 { return floor }, 1<<20)
 

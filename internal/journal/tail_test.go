@@ -9,9 +9,8 @@ import (
 // Tail from seq 0 replays the whole retained history in order, across a
 // segment boundary and into the active oplog, respecting max.
 func TestTailFromZeroAcrossBoundary(t *testing.T) {
-	_, j, _ := openPair(t)
-	j.Recover()
-	j.Checkpoint()
+	j, _ := openJournal(t)
+	j.Recover(0)
 	j.SetRetention(func() int64 { return 0 }, 1<<20)
 
 	appendN(t, j, 0, 4)
@@ -53,9 +52,8 @@ func TestTailFromZeroAcrossBoundary(t *testing.T) {
 // leader crash could still lose it, and a follower that applied it would
 // silently diverge.
 func TestTailStopsAtDurable(t *testing.T) {
-	_, j, _ := openPair(t)
-	j.Recover()
-	j.Checkpoint()
+	j, _ := openJournal(t)
+	j.Recover(0)
 
 	appendN(t, j, 0, 2)
 	j.Commit()
@@ -83,9 +81,8 @@ func TestTailStopsAtDurable(t *testing.T) {
 // truncating the file mid-record while the journal's counters still
 // promise more, then restoring the missing bytes.
 func TestTailEOFMidEntryRetriesFromBoundary(t *testing.T) {
-	_, j, path := openPair(t)
-	j.Recover()
-	j.Checkpoint()
+	j, path := openJournal(t)
+	j.Recover(0)
 	appendN(t, j, 0, 5)
 	j.Commit()
 
@@ -137,9 +134,8 @@ func TestTailEOFMidEntryRetriesFromBoundary(t *testing.T) {
 // in order, with correct sequence numbers.
 func TestTailConcurrentWriter(t *testing.T) {
 	const total = 2000
-	_, j, _ := openPair(t)
-	j.Recover()
-	j.Checkpoint()
+	j, _ := openJournal(t)
+	j.Recover(0)
 	j.SetRetention(func() int64 { return 0 }, 64<<20)
 
 	var wg sync.WaitGroup

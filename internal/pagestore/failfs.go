@@ -34,6 +34,11 @@ var ErrInjected = errors.New("pagestore: injected I/O fault")
 // ErrCrashed is returned by every operation after the crash point.
 var ErrCrashed = errors.New("pagestore: simulated crash (process is gone)")
 
+// ErrNoSpace is the injected disk-full error: once a WriteBudget is
+// exhausted, every further write fails with it (short-writing the last
+// partial payload), exactly as ENOSPC behaves on a full filesystem.
+var ErrNoSpace = errors.New("pagestore: injected ENOSPC (disk full)")
+
 // FailPlan schedules faults against the shared mutating-syscall counter.
 // Zero values mean "never".
 type FailPlan struct {
@@ -54,6 +59,14 @@ type FailPlan struct {
 	// index: that syscall and everything after it (reads too) fail with
 	// ErrCrashed and never reach the wrapped FS.
 	CrashAt int64
+
+	// WriteBudget > 0 simulates a disk with that many writable bytes
+	// left: writes consume it, and the write that would exceed it
+	// persists only the remaining budget (a short write) and fails with
+	// ErrNoSpace, as does every write after. Reads, syncs, and renames
+	// are unaffected — metadata operations usually still succeed on a
+	// full disk.
+	WriteBudget int64
 }
 
 // FailFS wraps an FS with the plan. Safe for concurrent use.
@@ -64,6 +77,7 @@ type FailFS struct {
 
 	ops     int64 // mutating syscalls observed
 	syncs   int64 // Syncs observed
+	written int64 // payload bytes written (the counter WriteBudget draws on)
 	crashed bool
 }
 
@@ -90,6 +104,15 @@ func (fs *FailFS) Syncs() int64 {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	return fs.syncs
+}
+
+// BytesWritten returns the total payload bytes written so far. A test
+// can run a workload once with no budget to size a WriteBudget that
+// fails partway through it.
+func (fs *FailFS) BytesWritten() int64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.written
 }
 
 // Crashed reports whether the crash point has been reached.
@@ -119,6 +142,17 @@ func (fs *FailFS) mutOp(isWrite bool, payloadLen int) (int, error) {
 			torn = payloadLen
 		}
 		return torn, ErrInjected
+	}
+	if isWrite {
+		if fs.plan.WriteBudget > 0 && fs.written+int64(payloadLen) > fs.plan.WriteBudget {
+			remain := fs.plan.WriteBudget - fs.written
+			if remain < 0 {
+				remain = 0
+			}
+			fs.written = fs.plan.WriteBudget
+			return int(remain), ErrNoSpace
+		}
+		fs.written += int64(payloadLen)
 	}
 	return -1, nil
 }
@@ -194,8 +228,8 @@ type failFile struct {
 func (f *failFile) write(p []byte, do func(q []byte) (int, error)) (int, error) {
 	allow, err := f.fs.mutOp(true, len(p))
 	if err != nil {
-		if errors.Is(err, ErrInjected) && allow > 0 {
-			// Torn write: a prefix lands before the failure.
+		if allow > 0 && (errors.Is(err, ErrInjected) || errors.Is(err, ErrNoSpace)) {
+			// Torn or out-of-space write: a prefix lands before the failure.
 			if n, werr := do(p[:allow]); werr != nil {
 				return n, werr
 			}

@@ -50,3 +50,50 @@ func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, ne
 // minimal test FS implementations keep compiling — callers fall back to
 // os.Remove when the method is absent.
 func (osFS) Remove(name string) error { return os.Remove(name) }
+
+// RemoveFile removes name through fs when it implements Remove (OSFS and
+// FailFS both do, so crash sweeps see the syscall), falling back to
+// os.Remove otherwise.
+func RemoveFile(fs FS, name string) error {
+	if r, ok := fs.(interface{ Remove(string) error }); ok {
+		return r.Remove(name)
+	}
+	return os.Remove(name)
+}
+
+// CloneFile copies src over dst through fs, truncating dst to src's
+// length. Recovery uses it to reset the scratch tree file from the
+// checkpoint image; dst is not fsynced — callers that need durability
+// sync it themselves.
+func CloneFile(fs FS, src, dst string) error {
+	if fs == nil {
+		fs = OSFS
+	}
+	sf, err := fs.OpenFile(src, os.O_RDONLY, 0)
+	if err != nil {
+		return err
+	}
+	defer sf.Close()
+	st, err := sf.Stat()
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, st.Size())
+	if _, err := io.ReadFull(io.NewSectionReader(sf, 0, st.Size()), buf); err != nil {
+		return err
+	}
+	df, err := fs.OpenFile(dst, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return err
+	}
+	defer df.Close()
+	if len(buf) > 0 {
+		if _, err := df.WriteAt(buf, 0); err != nil {
+			return err
+		}
+	}
+	if err := df.Truncate(int64(len(buf))); err != nil {
+		return err
+	}
+	return df.Close()
+}

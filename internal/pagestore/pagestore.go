@@ -39,7 +39,6 @@ type Store struct {
 	freeHead PageID   // head of the free list (0 = empty)
 	root     PageID   // caller-managed root pointer stored in the meta page
 	userData [64]byte // caller-managed blob stored in the meta page
-	guard    WriteGuard
 
 	reads  int64
 	writes int64
@@ -146,24 +145,18 @@ func (s *Store) Allocate() (PageID, error) {
 		s.freeHead = PageID(binary.LittleEndian.Uint64(buf))
 		return id, nil
 	}
+	// Extension is a pure counter bump: the file grows lazily when the
+	// page is first written (every live page is written before any read —
+	// the buffer pool flushes dirty frames, Free writes the free-list
+	// link). Recovery never trusts this file anyway; it is rebuilt from
+	// the checkpoint image.
 	id := s.pages
 	s.pages++
-	// Extend the file with a checksummed empty page so the new page is
-	// immediately readable (journals capture pre-images via Read).
-	if err := s.writePayloadLocked(id, nil); err != nil {
-		s.pages--
-		return 0, err
-	}
 	return id, nil
 }
 
 // Free returns a page to the free list. The page's contents are destroyed.
 func (s *Store) Free(id PageID) error {
-	if g := s.guardFor(); g != nil {
-		if err := g(id); err != nil {
-			return err
-		}
-	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := s.checkID(id); err != nil {
@@ -180,11 +173,6 @@ func (s *Store) Free(id PageID) error {
 
 // Write stores payload (at most PageSize−4 bytes) into the page.
 func (s *Store) Write(id PageID, payload []byte) error {
-	if g := s.guardFor(); g != nil {
-		if err := g(id); err != nil {
-			return err
-		}
-	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := s.checkID(id); err != nil {

@@ -2,6 +2,7 @@ package pagestore
 
 import (
 	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
 	"sync"
@@ -281,72 +282,65 @@ func TestAllocatedIDsUnique(t *testing.T) {
 	}
 }
 
-func TestSnapshotRestore(t *testing.T) {
-	s, _ := openTemp(t)
-	defer s.Close()
-	a, _ := s.Allocate()
-	s.Write(a, []byte("alpha"))
-	s.SetRoot(a)
-	var ud [64]byte
-	copy(ud[:], "snapshot blob")
-	s.SetUserData(ud)
-
-	pages, freeHead, root, userData := s.Snapshot()
-	if root != a || userData != ud {
-		t.Fatalf("snapshot root=%d", root)
-	}
-
-	// Diverge: grow the file, move the root, overwrite the page.
-	b, _ := s.Allocate()
-	s.Write(b, []byte("beta"))
-	s.SetRoot(b)
-	s.Write(a, []byte("OVERWRITTEN"))
-
-	if err := s.Restore(pages, freeHead, root, userData); err != nil {
+func TestCloneFile(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "src.db")
+	dst := filepath.Join(dir, "dst.db")
+	want := []byte("checkpoint image bytes")
+	if err := os.WriteFile(src, want, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if s.Root() != a || s.Pages() != int(pages) {
-		t.Fatalf("restore: root=%d pages=%d", s.Root(), s.Pages())
-	}
-	if _, err := s.Read(b); err == nil {
-		t.Fatal("truncated page still readable")
-	}
-	// Restore does not revert page contents — that is the journal's job.
-	if err := s.WriteRestored(a, []byte("alpha")); err != nil {
+	// Pre-populate dst with something longer, so the truncate matters.
+	if err := os.WriteFile(dst, make([]byte, 1000), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	data, err := s.Read(a)
+	if err := CloneFile(nil, src, dst); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(dst)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if string(data[:5]) != "alpha" {
-		t.Fatalf("data = %q", data[:5])
+	if !bytes.Equal(got, want) {
+		t.Fatalf("clone = %q (%d bytes), want %q", got, len(got), want)
+	}
+	if err := CloneFile(nil, filepath.Join(dir, "missing"), dst); err == nil {
+		t.Fatal("clone of missing source succeeded")
 	}
 }
 
-func TestWriteGuardInvocations(t *testing.T) {
-	s, _ := openTemp(t)
-	defer s.Close()
-	a, _ := s.Allocate()
-	var guarded []PageID
-	s.SetWriteGuard(func(id PageID) error {
-		guarded = append(guarded, id)
-		return nil
-	})
-	s.Write(a, []byte("x"))
-	s.Free(a)
-	if len(guarded) != 2 || guarded[0] != a || guarded[1] != a {
-		t.Fatalf("guard calls: %v", guarded)
-	}
-	// A failing guard blocks the write.
-	s.SetWriteGuard(func(PageID) error { return os.ErrPermission })
-	b, _ := s.Allocate() // extension is unguarded
-	if err := s.Write(b, []byte("y")); err == nil {
-		t.Fatal("write proceeded past failing guard")
-	}
-	s.SetWriteGuard(nil)
-	if err := s.Write(b, []byte("y")); err != nil {
+func TestWriteBudgetENOSPC(t *testing.T) {
+	dir := t.TempDir()
+	// Probe: how many bytes does one page write cost?
+	probe := NewFailFS(nil, FailPlan{})
+	s, err := OpenFS(filepath.Join(dir, "probe.db"), probe)
+	if err != nil {
 		t.Fatal(err)
+	}
+	id, _ := s.Allocate()
+	if err := s.Write(id, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	total := probe.BytesWritten() // up to and including the page write
+	s.Close()
+	if total == 0 {
+		t.Fatal("probe counted no bytes")
+	}
+
+	// Budget one byte short of the workload: the last write comes up
+	// short with ErrNoSpace, and every write after fails too.
+	fs := NewFailFS(nil, FailPlan{WriteBudget: total - 1})
+	s2, err := OpenFS(filepath.Join(dir, "full.db"), fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	id2, _ := s2.Allocate()
+	if err := s2.Write(id2, []byte("x")); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("write on full disk: %v", err)
+	}
+	if err := s2.Write(id2, []byte("y")); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("second write on full disk: %v", err)
 	}
 }
 
@@ -357,17 +351,5 @@ func TestSync(t *testing.T) {
 	s.Write(id, []byte("durable"))
 	if err := s.Sync(); err != nil {
 		t.Fatal(err)
-	}
-}
-
-func TestWriteRestoredValidation(t *testing.T) {
-	s, _ := openTemp(t)
-	defer s.Close()
-	if err := s.WriteRestored(0, nil); err == nil {
-		t.Fatal("meta page restore accepted")
-	}
-	id, _ := s.Allocate()
-	if err := s.WriteRestored(id, make([]byte, PageSize)); err == nil {
-		t.Fatal("oversize restore accepted")
 	}
 }

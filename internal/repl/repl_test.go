@@ -12,7 +12,6 @@ import (
 	"time"
 
 	"btreeperf/internal/journal"
-	"btreeperf/internal/pagestore"
 )
 
 func TestProtoRoundTrips(t *testing.T) {
@@ -74,18 +73,11 @@ type leaderShard struct {
 func newLeaderShard(t *testing.T, dir string, i int) *leaderShard {
 	t.Helper()
 	path := filepath.Join(dir, fmt.Sprintf("shard-%d.db", i))
-	st, err := pagestore.Open(path)
+	j, err := journal.Open(path, false)
 	if err != nil {
 		t.Fatal(err)
 	}
-	j, err := journal.Open(path, st, false)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := j.Recover(); err != nil {
-		t.Fatal(err)
-	}
-	if err := j.Checkpoint(); err != nil {
+	if _, err := j.Recover(0); err != nil {
 		t.Fatal(err)
 	}
 	ls := &leaderShard{data: make(map[int64]uint64), jnl: j}

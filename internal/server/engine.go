@@ -2,6 +2,7 @@ package server
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -56,13 +57,14 @@ type EngineStats struct {
 	ReadFallbacks int64 // descents that fell back to the locked path
 
 	// Durability progress; all zero on the in-memory engine.
-	Recovered     int64 // ops replayed at open
-	Appended      int64 // oplog records appended this epoch
-	Synced        int64 // oplog records fsync-covered this epoch
-	OplogBytes    int64
-	Fsyncs        int64 // group-commit fsyncs issued this epoch
-	Checkpoints   int64 // stop-the-world checkpoints taken
-	CheckpointLag int64 // mutations since the last checkpoint
+	Recovered       int64 // ops replayed at open
+	Appended        int64 // oplog records appended this epoch
+	Synced          int64 // oplog records fsync-covered this epoch
+	OplogBytes      int64
+	Fsyncs          int64 // group-commit fsyncs issued this epoch
+	Checkpoints     int64 // checkpoint images installed
+	CheckpointLag   int64 // mutations behind the last installed image (replay debt)
+	CheckpointFails int64 // checkpoint attempts that failed (each one poisons)
 
 	// Global sequence positions (see internal/journal): every mutation
 	// since the shard's creation carries one sequence number, surviving
@@ -79,11 +81,17 @@ type EngineStats struct {
 	RetainedSegs  int64
 	RetainedBytes int64
 
-	// Stop-the-world checkpoint pause: the duration of the last
-	// checkpoint's quiescent window and the maximum observed, in
-	// nanoseconds.
+	// Checkpoint pause: how long the last checkpoint blocked serving and
+	// the maximum observed, in nanoseconds. Incremental mode reports the
+	// bounded install window (independent of tree size); stop-the-world
+	// mode reports the whole quiescent rebuild.
 	CkptPauseLastNs int64
 	CkptPauseMaxNs  int64
+
+	// Incremental checkpoint progress: walk chunks completed / planned
+	// for the in-flight checkpoint (both zero when idle).
+	CkptChunksDone  int64
+	CkptChunksTotal int64
 }
 
 // memEngine adapts the instrumented in-memory cbtree. Commit is a no-op:
@@ -152,35 +160,75 @@ type DiskEngineConfig struct {
 	// group commit against.
 	SyncEveryOp bool
 
-	// CheckpointOps bounds the oplog: after this many mutations the next
-	// Commit takes a stop-the-world checkpoint (flush + truncate the
-	// logs), so recovery replay stays bounded. Default 1 << 18 (a ~5.5 MB
-	// oplog, sub-second replay); negative disables checkpointing (the
-	// oplog grows until Close).
+	// CheckpointOps bounds the oplog: once this many mutations have
+	// accumulated past the last installed image, a checkpoint is taken
+	// (incremental and concurrent by default; see CheckpointMode), so
+	// recovery replay stays bounded. Default 1 << 18 (a ~5.5 MB oplog,
+	// sub-second replay); negative disables checkpointing (the oplog
+	// grows until Close).
 	CheckpointOps int64
+
+	// CheckpointMode selects how the threshold checkpoint runs:
+	// CheckpointIncremental (default) walks the tree in bounded chunks on
+	// a background goroutine, fully concurrent with serving — only the
+	// image install blocks appends, for a bounded window independent of
+	// tree size. CheckpointSTW is the old stop-the-world baseline: the
+	// committing request holds the engine write lock for the whole
+	// rebuild.
+	CheckpointMode string
+
+	// CheckpointChunk is the number of keys an incremental checkpoint
+	// walks per latched chunk. Default 4096.
+	CheckpointChunk int
 
 	// FS overrides the file layer (failpoint tests). Nil = real files.
 	FS pagestore.FS
 }
 
+// CheckpointMode values.
+const (
+	CheckpointIncremental = "inc"
+	CheckpointSTW         = "stw"
+)
+
 // DiskEngine serves from a durable diskbtree. Operations and Commit run
-// concurrently under a read lock; the periodic checkpoint — which needs
-// a quiescent tree — takes the write lock, trading a stop-the-world
-// pause for a bounded recovery replay. That pause is the serving-layer
-// analogue of the paper's §7 observation that recovery protocols buy
-// their guarantees with longer lock hold times.
+// concurrently under a read lock. In incremental mode (the default) a
+// background goroutine checkpoints concurrently with serving and Commit
+// only blocks — backpressure — when the replay debt reaches twice the
+// threshold; in stop-the-world mode the committing request takes the
+// write lock and pays the full rebuild pause, the serving-layer analogue
+// of the paper's §7 observation that recovery protocols buy their
+// guarantees with longer lock hold times.
 type DiskEngine struct {
-	t       *diskbtree.Tree
-	mu      sync.RWMutex // RLock: ops and Commit; Lock: checkpoint
-	ckptOps int64
+	t         *diskbtree.Tree
+	mu        sync.RWMutex // RLock: ops and Commit; Lock: stw checkpoint, Close
+	ckptOps   int64
+	ckptChunk int
+	stw       bool
 
-	muts        atomic.Int64 // mutations since the last checkpoint
-	checkpoints atomic.Int64
+	checkpointFails atomic.Int64
 
-	// Stop-the-world pause telemetry: how long the last checkpoint held
-	// the write lock, and the maximum observed.
+	// Incremental-mode background checkpointer.
+	kick chan struct{} // non-blocking wake-up, capacity 1
+	stop chan struct{}
+	done chan struct{}
+
+	// Backpressure: committers at ≥ 2× the threshold wait here until the
+	// next checkpoint attempt (success or failure) completes.
+	genMu   sync.Mutex
+	genCond *sync.Cond
+	ckptGen int64
+	closed  bool
+
+	// Pause telemetry: how long the last checkpoint blocked serving
+	// (install window in incremental mode, whole rebuild in stw mode),
+	// and the maximum observed.
 	pauseLastNs atomic.Int64
 	pauseMaxNs  atomic.Int64
+
+	// In-flight incremental walk progress.
+	chunksDone  atomic.Int64
+	chunksTotal atomic.Int64
 }
 
 // NewDiskEngine opens (creating or recovering) the tree at cfg.Path.
@@ -194,6 +242,19 @@ func NewDiskEngine(cfg DiskEngineConfig) (*DiskEngine, error) {
 	if cfg.CheckpointOps == 0 {
 		cfg.CheckpointOps = 1 << 18
 	}
+	if cfg.CheckpointMode == "" {
+		cfg.CheckpointMode = CheckpointIncremental
+	}
+	if cfg.CheckpointMode != CheckpointIncremental && cfg.CheckpointMode != CheckpointSTW {
+		return nil, fmt.Errorf("server: unknown checkpoint mode %q (want %q or %q)",
+			cfg.CheckpointMode, CheckpointIncremental, CheckpointSTW)
+	}
+	if cfg.CheckpointChunk == 0 {
+		cfg.CheckpointChunk = 4096
+	}
+	if cfg.CheckpointChunk < 0 {
+		return nil, fmt.Errorf("server: checkpoint chunk %d must be positive", cfg.CheckpointChunk)
+	}
 	t, err := diskbtree.Open(cfg.Path, diskbtree.Options{
 		Cap:        cfg.Cap,
 		CacheNodes: cfg.CacheNodes,
@@ -204,7 +265,20 @@ func NewDiskEngine(cfg DiskEngineConfig) (*DiskEngine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &DiskEngine{t: t, ckptOps: cfg.CheckpointOps}, nil
+	e := &DiskEngine{
+		t:         t,
+		ckptOps:   cfg.CheckpointOps,
+		ckptChunk: cfg.CheckpointChunk,
+		stw:       cfg.CheckpointMode == CheckpointSTW,
+	}
+	e.genCond = sync.NewCond(&e.genMu)
+	if !e.stw && e.ckptOps > 0 {
+		e.kick = make(chan struct{}, 1)
+		e.stop = make(chan struct{})
+		e.done = make(chan struct{})
+		go e.checkpointLoop()
+	}
+	return e, nil
 }
 
 // Recovered returns the number of operations replayed at open.
@@ -219,26 +293,18 @@ func (e *DiskEngine) Get(key int64) (uint64, bool, error) {
 func (e *DiskEngine) Put(key int64, val uint64) (bool, error) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	ok, err := e.t.Insert(key, val)
-	if err == nil {
-		e.muts.Add(1)
-	}
-	return ok, err
+	return e.t.Insert(key, val)
 }
 
 func (e *DiskEngine) Del(key int64) (bool, error) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	ok, err := e.t.Delete(key)
-	if err == nil {
-		e.muts.Add(1)
-	}
-	return ok, err
+	return e.t.Delete(key)
 }
 
-// Scan walks the diskbtree leaf chain under the engine's read lock (so a
-// stop-the-world checkpoint waits for in-flight scan pages, and pages
-// bound how long a scan can hold the checkpoint out).
+// Scan walks the diskbtree leaf chain under the engine's read lock (in
+// stop-the-world mode the checkpoint waits for in-flight scan pages;
+// incremental checkpoints need no exclusion at all).
 func (e *DiskEngine) Scan(lo, hi int64, limit int, dst []query.KV) ([]query.KV, bool, error) {
 	if hi <= lo || limit <= 0 {
 		return dst, false, nil
@@ -261,37 +327,142 @@ func (e *DiskEngine) Scan(lo, hi int64, limit int, dst []query.KV) ([]query.KV, 
 	return dst, more, nil
 }
 
-// Commit group-commits the oplog, then — if the checkpoint threshold has
-// been reached — takes the stop-the-world checkpoint.
+// Commit group-commits the oplog, then — if the replay debt has reached
+// the checkpoint threshold — triggers a checkpoint: inline and
+// stop-the-world in stw mode, a background wake-up in incremental mode.
+// An incremental commit only blocks (backpressure) when the debt reaches
+// twice the threshold, so the oplog and recovery replay stay bounded
+// even when writes outrun the checkpointer.
 func (e *DiskEngine) Commit() error {
 	e.mu.RLock()
 	err := e.t.Commit()
-	lag := e.muts.Load()
 	e.mu.RUnlock()
-	if err != nil || e.ckptOps <= 0 || lag < e.ckptOps {
+	if err != nil || e.ckptOps <= 0 || e.lag() < e.ckptOps {
 		return err
 	}
-	return e.checkpoint()
+	if e.stw {
+		return e.checkpointSTW()
+	}
+	e.genMu.Lock()
+	for !e.closed && e.t.Poisoned() == nil && e.lag() >= e.ckptOps {
+		select {
+		case e.kick <- struct{}{}:
+		default:
+		}
+		if e.lag() < 2*e.ckptOps {
+			break // kicked; only wait when the debt is critical
+		}
+		e.genCond.Wait()
+	}
+	e.genMu.Unlock()
+	return nil
 }
 
-func (e *DiskEngine) checkpoint() error {
+// lag is the replay debt: mutations appended past the last installed
+// checkpoint image. Recovery replays exactly this many operations.
+func (e *DiskEngine) lag() int64 {
+	if j := e.t.Journal(); j != nil {
+		return j.SeqAppended() - e.t.CheckpointSeq()
+	}
+	return 0
+}
+
+func (e *DiskEngine) recordPause(ns int64) {
+	e.pauseLastNs.Store(ns)
+	for {
+		max := e.pauseMaxNs.Load()
+		if ns <= max || e.pauseMaxNs.CompareAndSwap(max, ns) {
+			return
+		}
+	}
+}
+
+// checkpointSTW is the stop-the-world baseline: the committing request
+// holds the engine write lock for the entire image rebuild.
+func (e *DiskEngine) checkpointSTW() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.muts.Load() < e.ckptOps {
+	if e.lag() < e.ckptOps {
 		return nil // another committer got here first
 	}
 	t0 := time.Now()
 	if err := e.t.Sync(); err != nil {
+		e.checkpointFails.Add(1)
 		return err
 	}
-	pause := time.Since(t0).Nanoseconds()
-	e.pauseLastNs.Store(pause)
-	if pause > e.pauseMaxNs.Load() {
-		e.pauseMaxNs.Store(pause)
-	}
-	e.muts.Store(0)
-	e.checkpoints.Add(1)
+	e.recordPause(time.Since(t0).Nanoseconds())
 	return nil
+}
+
+// checkpointLoop is the incremental-mode background checkpointer. Every
+// attempt — success or failure — bumps the generation and wakes blocked
+// committers so backpressure can re-evaluate (or observe the poison).
+func (e *DiskEngine) checkpointLoop() {
+	defer close(e.done)
+	for {
+		select {
+		case <-e.stop:
+			return
+		case <-e.kick:
+		}
+		e.runCheckpoint()
+		e.genMu.Lock()
+		e.ckptGen++
+		e.genCond.Broadcast()
+		e.genMu.Unlock()
+	}
+}
+
+// runCheckpoint takes one incremental checkpoint: walk the tree in
+// bounded chunks, yielding between them, then finalize and install the
+// image. No engine lock is held — serving proceeds concurrently; only
+// the install step inside c.Install blocks appends, briefly.
+func (e *DiskEngine) runCheckpoint() {
+	if e.lag() < e.ckptOps {
+		return
+	}
+	c, err := e.t.BeginCheckpoint()
+	if err != nil {
+		e.checkpointFails.Add(1)
+		return
+	}
+	e.chunksTotal.Store(int64(e.t.Len()/e.ckptChunk) + 1)
+	e.chunksDone.Store(0)
+	defer func() {
+		e.chunksDone.Store(0)
+		e.chunksTotal.Store(0)
+	}()
+	for {
+		select {
+		case <-e.stop:
+			c.Abort()
+			return
+		default:
+		}
+		done, err := c.Step(e.ckptChunk)
+		if err != nil {
+			e.checkpointFails.Add(1)
+			c.Abort()
+			return
+		}
+		e.chunksDone.Add(1)
+		if done {
+			break
+		}
+		runtime.Gosched()
+	}
+	if err := c.Finalize(); err != nil {
+		e.checkpointFails.Add(1)
+		c.Abort()
+		return
+	}
+	pause, err := c.Install()
+	if err != nil {
+		e.checkpointFails.Add(1)
+		c.Abort()
+		return
+	}
+	e.recordPause(pause)
 }
 
 // Journal exposes the engine's oplog journal — the replication hub tails
@@ -325,10 +496,13 @@ func (e *DiskEngine) Stats() EngineStats {
 		Synced:          syn,
 		OplogBytes:      bytes,
 		Fsyncs:          commits,
-		Checkpoints:     e.checkpoints.Load(),
-		CheckpointLag:   e.muts.Load(),
+		Checkpoints:     e.t.Checkpoints(),
+		CheckpointLag:   e.lag(),
+		CheckpointFails: e.checkpointFails.Load(),
 		CkptPauseLastNs: e.pauseLastNs.Load(),
 		CkptPauseMaxNs:  e.pauseMaxNs.Load(),
+		CkptChunksDone:  e.chunksDone.Load(),
+		CkptChunksTotal: e.chunksTotal.Load(),
 	}
 	if j := e.t.Journal(); j != nil {
 		st.SeqAppended = j.SeqAppended()
@@ -341,8 +515,18 @@ func (e *DiskEngine) Stats() EngineStats {
 	return st
 }
 
-// Close checkpoints (unless poisoned) and releases the files.
+// Close stops the background checkpointer, wakes any blocked
+// committers, takes a final checkpoint (unless poisoned) and releases
+// the files.
 func (e *DiskEngine) Close() error {
+	if e.stop != nil {
+		close(e.stop)
+		<-e.done
+	}
+	e.genMu.Lock()
+	e.closed = true
+	e.genCond.Broadcast()
+	e.genMu.Unlock()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.t.Close()

@@ -295,6 +295,7 @@ type metricsJSON struct {
 	Fsyncs        int64  `json:"group_commit_fsyncs"`
 	Checkpoints   int64  `json:"checkpoints"`
 	CheckpointLag int64  `json:"checkpoint_lag"`
+	CkptFails     int64  `json:"ckpt_fails"`
 	CommitFails   int64  `json:"commit_fails"`
 	Unavail       int64  `json:"unavail"`
 
@@ -309,6 +310,8 @@ type metricsJSON struct {
 	RetainedBytes   int64   `json:"retained_bytes"`
 	CkptPauseLastUs float64 `json:"ckpt_pause_last_us"`
 	CkptPauseMaxUs  float64 `json:"ckpt_pause_max_us"`
+	CkptChunksDone  int64   `json:"ckpt_chunks_done"`
+	CkptChunksTotal int64   `json:"ckpt_chunks_total"`
 
 	// Replication is present only on a leader or follower.
 	Replication *replicationJSON `json:"replication,omitempty"`
@@ -331,37 +334,37 @@ type metricsJSON struct {
 
 // shardMetricsJSON is one shard's block on a multi-shard /metrics.
 type shardMetricsJSON struct {
-	Shard        int     `json:"shard"`
-	Keys         int     `json:"keys"`
-	Height       int     `json:"height"`
-	WindowS      float64 `json:"window_s"`
-	OpsPerSec    float64 `json:"ops_per_sec"`
-	Gets         int64   `json:"gets"`
-	Puts         int64   `json:"puts"`
-	Dels         int64   `json:"dels"`
-	Scans        int64   `json:"scan_pages"`
-	ScanKeys     int64   `json:"scan_keys"`
-	Seeks        int64   `json:"seeks"`
-	Lookups      int64   `json:"lookup_pages"`
-	LookupKeys   int64   `json:"lookup_keys"`
-	OpMeanUs     float64 `json:"op_mean_us"`
-	OpP50Us      float64 `json:"op_p50_us"`
-	OpP99Us      float64 `json:"op_p99_us"`
+	Shard         int     `json:"shard"`
+	Keys          int     `json:"keys"`
+	Height        int     `json:"height"`
+	WindowS       float64 `json:"window_s"`
+	OpsPerSec     float64 `json:"ops_per_sec"`
+	Gets          int64   `json:"gets"`
+	Puts          int64   `json:"puts"`
+	Dels          int64   `json:"dels"`
+	Scans         int64   `json:"scan_pages"`
+	ScanKeys      int64   `json:"scan_keys"`
+	Seeks         int64   `json:"seeks"`
+	Lookups       int64   `json:"lookup_pages"`
+	LookupKeys    int64   `json:"lookup_keys"`
+	OpMeanUs      float64 `json:"op_mean_us"`
+	OpP50Us       float64 `json:"op_p50_us"`
+	OpP99Us       float64 `json:"op_p99_us"`
 	Splits        int64   `json:"splits"`
 	Restarts      int64   `json:"restarts"`
 	Crossings     int64   `json:"crossings"`
 	ReadRestarts  int64   `json:"read_restarts"`
 	ReadFallbacks int64   `json:"read_fallbacks"`
 	RootRhoW      float64 `json:"root_rho_w"`
-	ModelRhoW    float64 `json:"model_rho_w"`
-	Saturated    bool    `json:"saturated"`
-	Poisoned     bool    `json:"poisoned"`
-	CommitFails  int64   `json:"commit_fails"`
-	Unavail      int64   `json:"unavail"`
-	Governor     string  `json:"governor"`
-	GovernorRhoW float64 `json:"governor_rho_w"`
-	ShedOverload int64   `json:"shed_overload"`
-	ShedBusy     int64   `json:"shed_busy"`
+	ModelRhoW     float64 `json:"model_rho_w"`
+	Saturated     bool    `json:"saturated"`
+	Poisoned      bool    `json:"poisoned"`
+	CommitFails   int64   `json:"commit_fails"`
+	Unavail       int64   `json:"unavail"`
+	Governor      string  `json:"governor"`
+	GovernorRhoW  float64 `json:"governor_rho_w"`
+	ShedOverload  int64   `json:"shed_overload"`
+	ShedBusy      int64   `json:"shed_busy"`
 
 	// Seq is the shard's replication sequence: applied on a follower,
 	// durable on a journal-backed leader, zero otherwise.
@@ -601,10 +604,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		readRestarts, readFallbacks         int64
 		recovered, appended, synced, oplogB int64
 		fsyncs, checkpoints, ckptLag        int64
+		ckptFails                           int64
 		commitFails, unavail                int64
 		seqAppended, seqDurable, seqLowest  int64
 		retainedSegs, retainedBytes         int64
 		pauseLastNs, pauseMaxNs             int64
+		chunksDone, chunksTotal             int64
 		rhoMeas, rhoModel                   float64
 		saturated, poisoned                 bool
 		hist                                metrics.HistSnapshot
@@ -645,6 +650,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fsyncs += sc.es.Fsyncs
 		checkpoints += sc.es.Checkpoints
 		ckptLag += sc.es.CheckpointLag
+		ckptFails += sc.es.CheckpointFails
+		chunksDone += sc.es.CkptChunksDone
+		chunksTotal += sc.es.CkptChunksTotal
 		commitFails += sc.sh.commitFails.Load()
 		unavail += sc.sh.unavail.Load()
 		seqAppended += sc.es.SeqAppended
@@ -716,6 +724,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		Fsyncs:        fsyncs,
 		Checkpoints:   checkpoints,
 		CheckpointLag: ckptLag,
+		CkptFails:     ckptFails,
 		CommitFails:   commitFails,
 		Unavail:       unavail,
 
@@ -726,6 +735,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		RetainedBytes:   retainedBytes,
 		CkptPauseLastUs: float64(pauseLastNs) / 1e3,
 		CkptPauseMaxUs:  float64(pauseMaxNs) / 1e3,
+		CkptChunksDone:  chunksDone,
+		CkptChunksTotal: chunksTotal,
 
 		Replication: replJSON(s.replicationStats()),
 	}
@@ -754,39 +765,39 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 				govName = "disabled"
 			}
 			out.ShardBlocks = append(out.ShardBlocks, shardMetricsJSON{
-				Shard:        i,
-				Keys:         sc.sh.eng.Len(),
-				Height:       sc.height,
-				WindowS:      sc.win.Dt,
-				OpsPerSec:    sc.win.OpRate,
-				Gets:         sc.sh.gets.Load(),
-				Puts:         sc.sh.puts.Load(),
-				Dels:         sc.sh.dels.Load(),
-				Scans:        sc.sh.scans.Load(),
-				ScanKeys:     sc.sh.scanKeys.Load(),
-				Seeks:        sc.sh.seeks.Load(),
-				Lookups:      sc.sh.lookups.Load(),
-				LookupKeys:   sc.sh.lookupKeys.Load(),
-				OpMeanUs:     sc.win.ObsMeanNs / 1e3,
-				OpP50Us:      float64(sc.win.OpHist.Quantile(0.5)) / 1e3,
-				OpP99Us:      float64(sc.win.OpHist.Quantile(0.99)) / 1e3,
+				Shard:         i,
+				Keys:          sc.sh.eng.Len(),
+				Height:        sc.height,
+				WindowS:       sc.win.Dt,
+				OpsPerSec:     sc.win.OpRate,
+				Gets:          sc.sh.gets.Load(),
+				Puts:          sc.sh.puts.Load(),
+				Dels:          sc.sh.dels.Load(),
+				Scans:         sc.sh.scans.Load(),
+				ScanKeys:      sc.sh.scanKeys.Load(),
+				Seeks:         sc.sh.seeks.Load(),
+				Lookups:       sc.sh.lookups.Load(),
+				LookupKeys:    sc.sh.lookupKeys.Load(),
+				OpMeanUs:      sc.win.ObsMeanNs / 1e3,
+				OpP50Us:       float64(sc.win.OpHist.Quantile(0.5)) / 1e3,
+				OpP99Us:       float64(sc.win.OpHist.Quantile(0.99)) / 1e3,
 				Splits:        sc.es.Splits,
 				Restarts:      sc.es.Restarts,
 				Crossings:     sc.es.Crossings,
 				ReadRestarts:  sc.es.ReadRestarts,
 				ReadFallbacks: sc.es.ReadFallbacks,
 				RootRhoW:      sc.rhoMeas,
-				ModelRhoW:    sc.rhoModel,
-				Saturated:    sc.saturated,
-				Poisoned:     sc.poisoned,
-				CommitFails:  sc.sh.commitFails.Load(),
-				Unavail:      sc.sh.unavail.Load(),
-				Governor:     govName,
-				GovernorRhoW: gs.RootRhoW,
-				ShedOverload: gs.ShedOverload,
-				ShedBusy:     gs.ShedBusy,
-				Seq:          s.shardSeq(i),
-				Levels:       levelJSON(sc.points, sc.height),
+				ModelRhoW:     sc.rhoModel,
+				Saturated:     sc.saturated,
+				Poisoned:      sc.poisoned,
+				CommitFails:   sc.sh.commitFails.Load(),
+				Unavail:       sc.sh.unavail.Load(),
+				Governor:      govName,
+				GovernorRhoW:  gs.RootRhoW,
+				ShedOverload:  gs.ShedOverload,
+				ShedBusy:      gs.ShedBusy,
+				Seq:           s.shardSeq(i),
+				Levels:        levelJSON(sc.points, sc.height),
 			})
 		}
 	}
@@ -812,10 +823,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "op_latency_us mean=%.1f p50=%.1f p99=%.1f\n", out.OpMeanUs, out.OpP50Us, out.OpP99Us)
 	fmt.Fprintf(w, "tree splits=%d restarts=%d crossings=%d read_restarts=%d read_fallbacks=%d\n",
 		out.Splits, out.Restarts, out.Crossings, out.ReadRestarts, out.ReadFallbacks)
-	fmt.Fprintf(w, "engine kind=%s poisoned=%v recovered=%d oplog_appended=%d oplog_synced=%d oplog_bytes=%d fsyncs=%d checkpoints=%d checkpoint_lag=%d commit_fails=%d unavail=%d ckpt_pause_last_us=%.1f ckpt_pause_max_us=%.1f\n",
+	fmt.Fprintf(w, "engine kind=%s poisoned=%v recovered=%d oplog_appended=%d oplog_synced=%d oplog_bytes=%d fsyncs=%d checkpoints=%d checkpoint_lag=%d ckpt_fails=%d commit_fails=%d unavail=%d\n",
 		out.Engine, out.Poisoned, out.Recovered, out.OplogAppended, out.OplogSynced,
-		out.OplogBytes, out.Fsyncs, out.Checkpoints, out.CheckpointLag, out.CommitFails, out.Unavail,
-		out.CkptPauseLastUs, out.CkptPauseMaxUs)
+		out.OplogBytes, out.Fsyncs, out.Checkpoints, out.CheckpointLag, out.CkptFails,
+		out.CommitFails, out.Unavail)
+	fmt.Fprintf(w, "checkpoint pause_last_us=%.1f pause_max_us=%.1f chunks_done=%d chunks_total=%d behind=%d\n",
+		out.CkptPauseLastUs, out.CkptPauseMaxUs, out.CkptChunksDone, out.CkptChunksTotal, out.CheckpointLag)
 	fmt.Fprintf(w, "seqs appended=%d durable=%d lowest=%d retained_segments=%d retained_bytes=%d\n",
 		out.SeqAppended, out.SeqDurable, out.SeqLowest, out.RetainedSegs, out.RetainedBytes)
 	if rp := out.Replication; rp != nil {

@@ -28,8 +28,9 @@ const benchReplPrefill = 1 << 13
 
 func benchReplicatedGet(b *testing.B, replicas int) {
 	// A dedicated engine with the default checkpoint cadence: the tiny
-	// CheckpointOps the tests use would stop the world dozens of times
-	// during prefill and swamp the setup.
+	// CheckpointOps the tests use would checkpoint dozens of times
+	// during prefill (concurrently, but still burning I/O) and swamp
+	// the setup.
 	eng, err := NewDiskEngine(DiskEngineConfig{Path: b.TempDir() + "/tree.db"})
 	if err != nil {
 		b.Fatal(err)

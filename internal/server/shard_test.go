@@ -338,9 +338,36 @@ func checkNoNaN(t *testing.T, path string, v any) {
 // divide-by-zero guards in windowState.advance, metrics.Rates, and the
 // model evaluation (λ=0 windows are not evaluated).
 func TestIdleServerTelemetryFinite(t *testing.T) {
-	for _, shards := range []int{1, 4} {
-		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
-			s, _, shutdown := startServer(t, Config{Algorithm: cbtree.LinkType, Shards: shards})
+	for _, tc := range []struct {
+		shards int
+		disk   bool
+	}{{1, false}, {4, false}, {1, true}, {4, true}} {
+		name := fmt.Sprintf("shards=%d", tc.shards)
+		if tc.disk {
+			name += "/disk"
+		}
+		t.Run(name, func(t *testing.T) {
+			shards := tc.shards
+			cfg := Config{Algorithm: cbtree.LinkType, Shards: shards}
+			// The disk passes cover the checkpoint telemetry block
+			// (pause last/max, chunks done/total, mutations-behind): an
+			// idle engine must report them as finite zeros, never NaN
+			// from a 0/0 progress ratio.
+			if tc.disk {
+				var engines []Engine
+				for i := 0; i < shards; i++ {
+					engines = append(engines, newDiskEngine(t, DiskEngineConfig{
+						Path: filepath.Join(t.TempDir(), fmt.Sprintf("s%d.db", i)),
+						Cap:  8, CacheNodes: 32,
+					}))
+				}
+				if shards == 1 {
+					cfg.Engine = engines[0]
+				} else {
+					cfg.Engines = engines
+				}
+			}
+			s, _, shutdown := startServer(t, cfg)
 			defer shutdown()
 			hs := httptest.NewServer(s.Handler())
 			defer hs.Close()
@@ -368,6 +395,18 @@ func TestIdleServerTelemetryFinite(t *testing.T) {
 				}
 				if got := decoded["governor"].(string); got != "ok" {
 					t.Errorf("round %d: idle governor = %q, want ok (stale gauge?)", round, got)
+				}
+				if tc.disk {
+					body := httpGet(t, hs.URL+"/metrics")
+					if !strings.Contains(body, "checkpoint pause_last_us=") ||
+						!strings.Contains(body, "chunks_done=0 chunks_total=0") {
+						t.Errorf("round %d: idle disk /metrics missing the checkpoint telemetry line:\n%s", round, body)
+					}
+					for _, f := range []string{"ckpt_pause_last_us", "ckpt_pause_max_us", "ckpt_chunks_done", "ckpt_chunks_total", "ckpt_fails"} {
+						if _, ok := decoded[f]; !ok {
+							t.Errorf("round %d: idle disk /metrics json missing %q", round, f)
+						}
+					}
 				}
 			}
 		})

@@ -19,11 +19,19 @@
 #   CYCLES=5 scripts/crash.sh     # quicker local run
 #   SHARDS=4 scripts/crash.sh     # sharded disk engine: one journal per
 #                                 # shard, all must replay on recovery
+#   CKPT_KILL=1 scripts/crash.sh  # retune the server to checkpoint
+#                                 # constantly (low threshold, small
+#                                 # chunks) and time each kill into the
+#                                 # checkpoint window, so recovery runs
+#                                 # against a half-written image / oplog
+#                                 # rotation left by a mid-checkpoint
+#                                 # death
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 cycles="${CYCLES:-25}"
 shards="${SHARDS:-1}"
+ckptkill="${CKPT_KILL:-0}"
 bin="$(mktemp -d)"
 trap 'kill -9 "${spid:-}" 2>/dev/null || true; rm -rf "$bin"' EXIT
 
@@ -41,10 +49,11 @@ chaos='latency=50us,preset=0.0005,seed=11'
 # start_server [chaos-spec] — no argument serves a clean listener (the
 # final verification pass must not have its gets reset mid-replay).
 start_server() {
-  local chaosflags=()
+  local chaosflags=() ckptflags=()
   [ $# -gt 0 ] && chaosflags=(-chaos "$1")
+  [ "$ckptkill" = 1 ] && ckptflags=(-checkpoint-ops 2000 -checkpoint-chunk 256)
   "$bin/btserved" -engine disk -path "$db" -shards "$shards" -cap 64 \
-    -listen "$listen" -http "$http" "${chaosflags[@]}" \
+    -listen "$listen" -http "$http" "${chaosflags[@]}" "${ckptflags[@]}" \
     >>"$bin/serv.log" 2>&1 &
   spid=$!
   for _ in $(seq 100); do
@@ -65,7 +74,24 @@ for ((i = 0; i < cycles; i++)); do
   "$bin/btload" -addr "$listen" -audit "$audit" -keystart "$((i * 10000000))" \
     -conns 4 -depth 128 -duration 30s >>"$bin/load.log" 2>&1 &
   lpid=$!
-  sleep "${delays[$((i % ${#delays[@]}))]}"
+  if [ "$ckptkill" = 1 ]; then
+    # Let the load ramp, then kill the instant /metrics shows an
+    # incremental checkpoint walk in flight (chunks_done > 0). If no
+    # walk shows within the budget (tiny tree in early cycles), the
+    # fallback kill still lands near an install: the 2000-mutation
+    # threshold keeps checkpoints nearly back-to-back under load.
+    sleep 0.15
+    for _ in $(seq 150); do
+      m="$(curl -sf "http://$http/metrics" 2>/dev/null | grep '^checkpoint ' || true)"
+      case "$m" in
+      *"chunks_done=0 "*) ;;
+      *chunks_done=*) break ;;
+      esac
+      sleep 0.01
+    done
+  else
+    sleep "${delays[$((i % ${#delays[@]}))]}"
+  fi
   kill -9 "$spid"
   wait "$spid" 2>/dev/null || true
   wait "$lpid" || { echo "FAIL: btload did not survive the kill (cycle $i)" >&2; tail "$bin/load.log" >&2; exit 1; }
@@ -91,4 +117,6 @@ grep -q 'ops recovered' "$bin/serv.log" || {
 kill -TERM "$spid"
 wait "$spid" || { echo "FAIL: final btserved exited nonzero" >&2; exit 1; }
 
-echo "crash: $cycles kill -9 cycles at shards=$shards, $acked acked writes, zero lost"
+mode="random kills"
+[ "$ckptkill" = 1 ] && mode="kills timed into the checkpoint window"
+echo "crash: $cycles kill -9 cycles ($mode) at shards=$shards, $acked acked writes, zero lost"
